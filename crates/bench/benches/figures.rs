@@ -1,0 +1,101 @@
+//! One Criterion benchmark per paper artifact.
+//!
+//! Table 1 and Figures 1–5 are benchmarked at full fidelity (they are
+//! pure computations over the embedded corpus). Figures 6–18 are
+//! benchmarked through their *workload kernel* — one complete
+//! (prune → fine-tune → evaluate) grid cell of the experiment backing the
+//! figure, at micro scale — so `cargo bench` terminates in minutes while
+//! still exercising the exact code path `expfig <figure>` runs. The full
+//! grids are regenerated with `expfig`, not Criterion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sb_bench::configs::{experiment_config, Scale};
+use sb_corpus::data::build_corpus;
+use sb_corpus::{fragmentation, graph, tradeoff};
+use sb_data::SyntheticVision;
+use sb_nn::NetworkExt;
+use sb_tensor::Rng;
+use shrinkbench::experiment::ExperimentRunner;
+use shrinkbench::prune_and_finetune;
+
+fn bench_meta_analysis_artifacts(c: &mut Criterion) {
+    let corpus = build_corpus();
+    c.bench_function("table1", |b| {
+        b.iter(|| std::hint::black_box(fragmentation::pair_counts(&corpus, 4)))
+    });
+    c.bench_function("fig1", |b| {
+        b.iter(|| std::hint::black_box(tradeoff::figure1(&corpus)))
+    });
+    c.bench_function("fig2", |b| {
+        b.iter(|| std::hint::black_box(graph::comparison_histograms(&corpus)))
+    });
+    c.bench_function("fig3", |b| {
+        b.iter(|| std::hint::black_box(fragmentation::figure3_grid(&corpus)))
+    });
+    c.bench_function("fig4", |b| {
+        b.iter(|| {
+            std::hint::black_box((
+                fragmentation::pairs_per_paper(&corpus),
+                fragmentation::points_per_curve(&corpus),
+            ))
+        })
+    });
+    c.bench_function("fig5", |b| {
+        b.iter(|| std::hint::black_box(tradeoff::figure5(&corpus)))
+    });
+    c.bench_function("corpus-construction", |b| {
+        b.iter(|| std::hint::black_box(build_corpus()))
+    });
+}
+
+/// One grid cell of the experiment backing a figure, shrunk hard.
+fn bench_cell(c: &mut Criterion, bench_name: &str, experiment_id: &str, strategy_index: usize) {
+    let mut cfg = experiment_config(experiment_id, Scale::Quick)
+        .unwrap_or_else(|| panic!("unknown experiment {experiment_id}"));
+    cfg.data_scale *= 4; // even smaller than quick
+    cfg.pretrain.epochs = 1;
+    cfg.finetune.epochs = 1;
+    cfg.finetune.patience = None;
+    let data = SyntheticVision::new(cfg.dataset.spec(cfg.data_scale, cfg.data_seed));
+    let (net, _, snapshot) = ExperimentRunner::pretrain(&cfg, &data);
+    let strategy = cfg.strategies[strategy_index.min(cfg.strategies.len() - 1)].build();
+    let mut finetune = cfg.finetune.clone();
+    finetune.flatten_input = cfg.model.flatten_input();
+    let mut group = c.benchmark_group("experiment-cells");
+    group.sample_size(10);
+    let net = std::cell::RefCell::new(net);
+    group.bench_function(bench_name, |b| {
+        b.iter_batched(
+            || snapshot.clone(),
+            |snap| {
+                let mut net = net.borrow_mut();
+                net.restore(&snap);
+                let mut rng = Rng::seed_from(5);
+                std::hint::black_box(
+                    prune_and_finetune(&mut *net, strategy.as_ref(), 4.0, &data, &finetune, &mut rng)
+                        .unwrap(),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_experiment_figures(c: &mut Criterion) {
+    // fig6 / fig17 / fig18 share the imagenet-resnet18 workload.
+    bench_cell(c, "fig6-fig17-fig18-cell", "imagenet-resnet18", 0);
+    // fig7 / fig9 / fig10 share cifar-vgg; fig13/fig14 share resnet56.
+    bench_cell(c, "fig7-fig9-fig10-cell", "cifar-vgg", 0);
+    bench_cell(c, "fig11-fig12-cell", "resnet20", 0);
+    bench_cell(c, "fig13-fig14-cell", "resnet56", 0);
+    bench_cell(c, "fig15-fig16-cell", "resnet110", 0);
+    // fig8's workload: magnitude pruning from an alternative pretrain.
+    bench_cell(c, "fig8-cell", "weights-b", 0);
+    // Ablation workloads.
+    bench_cell(c, "ablation-schedule-cell", "ablation-schedule-iterative", 0);
+    bench_cell(c, "ablation-structured-cell", "ablation-structured", 0);
+}
+
+criterion_group!(benches, bench_meta_analysis_artifacts, bench_experiment_figures);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Microbenchmarks for the numerical substrate: the kernels whose cost
+//! dominates every experiment in the reproduction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sb_nn::{models, Layer, Mode, Network};
+use sb_tensor::{im2col, Conv2dGeometry, Rng, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = Rng::seed_from(0);
+        let a = Tensor::rand_normal(&[n, n], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[n, n], 0.0, 1.0, &mut rng);
+        group.bench_function(format!("{n}x{n}"), |bench| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)))
+        });
+        group.bench_function(format!("{n}x{n}-transposed"), |bench| {
+            bench.iter(|| std::hint::black_box(a.matmul_transposed(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let geom = Conv2dGeometry {
+        in_channels: 8,
+        in_h: 16,
+        in_w: 16,
+        kernel_h: 3,
+        kernel_w: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let mut rng = Rng::seed_from(1);
+    let x = Tensor::rand_normal(&[8, 8, 16, 16], 0.0, 1.0, &mut rng);
+    c.bench_function("im2col-8x8x16x16-k3", |bench| {
+        bench.iter(|| std::hint::black_box(im2col(&x, &geom)))
+    });
+}
+
+fn bench_conv_forward_backward(c: &mut Criterion) {
+    let geom = Conv2dGeometry {
+        in_channels: 8,
+        in_h: 16,
+        in_w: 16,
+        kernel_h: 3,
+        kernel_w: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let mut rng = Rng::seed_from(2);
+    let x = Tensor::rand_normal(&[8, 8, 16, 16], 0.0, 1.0, &mut rng);
+    c.bench_function("conv2d-forward", |bench| {
+        let mut conv = sb_nn::Conv2d::new("c", 16, geom, &mut rng);
+        bench.iter(|| std::hint::black_box(conv.forward(&x, Mode::Eval)))
+    });
+    c.bench_function("conv2d-forward-backward", |bench| {
+        let mut conv = sb_nn::Conv2d::new("c", 16, geom, &mut rng);
+        bench.iter_batched(
+            || x.clone(),
+            |x| {
+                let y = conv.forward(&x, Mode::Train);
+                std::hint::black_box(conv.backward(&Tensor::ones(y.dims())))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_model_forward(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let x = Tensor::rand_normal(&[16, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("model-forward");
+    group.sample_size(20);
+    let mut vgg = models::cifar_vgg(3, 16, 10, 8, &mut rng);
+    group.bench_function("cifar-vgg-w8-b16", |bench| {
+        bench.iter(|| std::hint::black_box(vgg.forward(&x, Mode::Eval)))
+    });
+    let mut resnet = models::resnet_cifar(20, 3, 16, 10, 4, &mut rng);
+    group.bench_function("resnet20-w4-b16", |bench| {
+        bench.iter(|| std::hint::black_box(resnet.forward(&x, Mode::Eval)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_im2col,
+    bench_conv_forward_backward,
+    bench_model_forward
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Microbenchmarks for the pruning primitives: scoring, mask
+//! construction, mask application, and profiling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sb_metrics::ModelProfile;
+use sb_tensor::{Rng, Tensor};
+use shrinkbench::masks::{keep_fraction_for_compression, masks_from_scores};
+use shrinkbench::{
+    GlobalGradient, GlobalMagnitude, LayerMagnitude, Pruner, PruneSettings, RandomPruning, Scope,
+    Strategy, StrategyKind,
+};
+use std::collections::BTreeMap;
+
+fn pretrainedish() -> sb_nn::models::Model {
+    let mut rng = Rng::seed_from(0);
+    sb_nn::models::cifar_vgg(3, 16, 10, 8, &mut rng)
+}
+
+fn bench_strategy_prune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune-cifar-vgg-w8");
+    group.sample_size(20);
+    let mut rng = Rng::seed_from(1);
+    let score_batch = (
+        Tensor::rand_normal(&[16, 3, 16, 16], 0.0, 1.0, &mut rng),
+        (0..16).map(|i| i % 10).collect::<Vec<_>>(),
+    );
+    let strategies: Vec<(&str, Box<dyn Strategy>)> = vec![
+        ("global-magnitude", Box::new(GlobalMagnitude)),
+        ("layer-magnitude", Box::new(LayerMagnitude)),
+        ("global-gradient", Box::new(GlobalGradient)),
+        ("random", Box::new(RandomPruning::global())),
+        ("filter-norm", StrategyKind::FilterNorm.build()),
+    ];
+    for (name, strategy) in &strategies {
+        group.bench_function(*name, |bench| {
+            bench.iter_batched(
+                pretrainedish,
+                |mut net| {
+                    let pruner = Pruner::new(PruneSettings {
+                        score_batch: Some(score_batch.clone()),
+                        ..PruneSettings::default()
+                    });
+                    let mut rng = Rng::seed_from(2);
+                    std::hint::black_box(
+                        pruner
+                            .prune(&mut net, strategy.as_ref(), 4.0, &mut rng)
+                            .unwrap(),
+                    )
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_mask_construction(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let mut scores: BTreeMap<String, Tensor> = BTreeMap::new();
+    for i in 0..8 {
+        scores.insert(
+            format!("layer{i}.weight"),
+            Tensor::rand_uniform(&[64, 128], 0.0, 1.0, &mut rng),
+        );
+    }
+    let mut group = c.benchmark_group("masks-from-scores-64k");
+    for scope in [Scope::Global, Scope::Layerwise] {
+        group.bench_function(format!("{scope:?}"), |bench| {
+            bench.iter(|| std::hint::black_box(masks_from_scores(&scores, 0.25, scope)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_profile_and_targeting(c: &mut Criterion) {
+    let net = pretrainedish();
+    c.bench_function("model-profile-measure", |bench| {
+        bench.iter(|| std::hint::black_box(ModelProfile::measure(&net)))
+    });
+    c.bench_function("keep-fraction-targeting", |bench| {
+        bench.iter(|| {
+            for compression in [1.0f64, 2.0, 4.0, 8.0, 16.0, 32.0] {
+                std::hint::black_box(keep_fraction_for_compression(
+                    1_000_000, 12_000, compression,
+                ));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_strategy_prune,
+    bench_mask_construction,
+    bench_profile_and_targeting
+);
+criterion_main!(benches);

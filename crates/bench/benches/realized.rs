@@ -1,0 +1,41 @@
+//! Realized vs theoretical speedup: wall-clock of the actual CSR sparse
+//! kernel against the dense matmul, across sparsity levels.
+//!
+//! The paper's "theoretical speedup" metric assumes unstructured sparsity
+//! is exploited perfectly; Section 2.1 warns it is not. These benchmarks
+//! measure how much of the theoretical speedup the real kernel delivers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sb_tensor::{Rng, SparseMatrix, Tensor};
+
+fn random_sparse(rows: usize, cols: usize, density: f64, seed: u64) -> Tensor {
+    let mut rng = Rng::seed_from(seed);
+    Tensor::from_fn(&[rows, cols], |_| {
+        if rng.coin(density) {
+            rng.normal()
+        } else {
+            0.0
+        }
+    })
+}
+
+fn bench_realized_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("realized-speedup-256x256xb32");
+    let mut rng = Rng::seed_from(0);
+    let x = Tensor::rand_normal(&[256, 32], 0.0, 1.0, &mut rng);
+    let dense_w = random_sparse(256, 256, 1.0, 1);
+    group.bench_function("dense", |b| {
+        b.iter(|| std::hint::black_box(dense_w.matmul(&x)))
+    });
+    for density in [0.5, 0.25, 0.125, 0.03125] {
+        let w = random_sparse(256, 256, density, 2);
+        let sparse = SparseMatrix::from_dense(&w);
+        group.bench_function(format!("csr-density-{density}"), |b| {
+            b.iter(|| std::hint::black_box(sparse.matmul_dense(&x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_realized_speedup);
+criterion_main!(benches);

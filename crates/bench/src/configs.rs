@@ -1,0 +1,431 @@
+//! Experiment configurations for every experimental figure, at two
+//! compute scales.
+
+use shrinkbench::experiment::{DatasetKind, ExperimentConfig, ModelKind, PretrainConfig};
+use shrinkbench::{FinetuneConfig, OptimizerKind, ScheduleKind, StrategyKind, WeightPolicy};
+
+/// Compute scale for the experimental figures.
+///
+/// `Quick` shrinks datasets, epochs, and seed counts so the full grid
+/// runs in a few minutes (CI / smoke-testing); `Standard` is the scale
+/// used for the committed EXPERIMENTS.md results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale smoke configuration.
+    Quick,
+    /// The full reproduction configuration.
+    Standard,
+}
+
+impl Scale {
+    /// Parses `"quick"` / `"standard"`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "standard" => Some(Scale::Standard),
+            _ => None,
+        }
+    }
+
+    fn seeds(&self, standard: &[u64]) -> Vec<u64> {
+        match self {
+            Scale::Quick => vec![standard[0]],
+            Scale::Standard => standard.to_vec(),
+        }
+    }
+
+    fn suffix(&self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Standard => "standard",
+        }
+    }
+}
+
+/// The compression ratios the paper recommends sweeping (Section 6),
+/// plus the dense control point.
+pub const CIFAR_COMPRESSIONS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// Ratios used for the ImageNet-like experiments (paper Figure 6).
+pub const IMAGENET_COMPRESSIONS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+
+/// Ratios for the width-scaled ResNets. The paper sweeps to 32×, but at
+/// our reduced widths the dense batch-norm/bias overhead alone exceeds
+/// `total/32` parameters, so every strategy saturates to an empty network
+/// there; we sweep to 16× and document the saturation in EXPERIMENTS.md.
+pub const RESNET_COMPRESSIONS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+
+/// Ratios for the initial-model pitfall experiment (Figure 8).
+pub const FIGURE8_COMPRESSIONS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+
+fn cifar_pretrain(scale: Scale) -> PretrainConfig {
+    PretrainConfig {
+        epochs: match scale {
+            Scale::Quick => 8,
+            Scale::Standard => 20,
+        },
+        optimizer: OptimizerKind::Adam { lr: 1e-3 },
+        batch_size: 64,
+        weights_seed: 0xA11CE,
+        patience: Some(5),
+    }
+}
+
+fn cifar_finetune(scale: Scale) -> FinetuneConfig {
+    FinetuneConfig {
+        // Paper Appendix C.2 fine-tunes CIFAR with Adam @ 3e-4; epochs
+        // scaled to this substrate.
+        epochs: match scale {
+            Scale::Quick => 2,
+            Scale::Standard => 4,
+        },
+        batch_size: 64,
+        optimizer: OptimizerKind::Adam { lr: 3e-4 },
+        schedule: ScheduleKind::OneShot,
+        patience: Some(1),
+        flatten_input: false,
+        exclude_classifier: true,
+        weight_policy: WeightPolicy::Finetune,
+    }
+}
+
+fn cifar_experiment(
+    id: &str,
+    model: ModelKind,
+    data_scale: usize,
+    scale: Scale,
+    strategies: Vec<StrategyKind>,
+    compressions: &[f64],
+) -> ExperimentConfig {
+    ExperimentConfig {
+        id: format!("{id}-{}", scale.suffix()),
+        dataset: DatasetKind::CifarLike,
+        data_scale: match scale {
+            Scale::Quick => data_scale * 4,
+            Scale::Standard => data_scale,
+        },
+        data_seed: 7,
+        model,
+        strategies,
+        compressions: compressions.to_vec(),
+        seeds: scale.seeds(&[1, 2, 3]),
+        pretrain: cifar_pretrain(scale),
+        finetune: cifar_finetune(scale),
+    }
+}
+
+/// Builds the experiment grid backing a figure.
+///
+/// Known experiment ids: `cifar-vgg`, `resnet20`, `resnet56`,
+/// `resnet110`, `imagenet-resnet18`, `weights-a`, `weights-b`,
+/// `ablation-schedule-oneshot`, `ablation-schedule-iterative`,
+/// `ablation-classifier-excluded`, `ablation-classifier-included`,
+/// `ablation-structured`.
+pub fn experiment_config(id: &str, scale: Scale) -> Option<ExperimentConfig> {
+    let fig7: Vec<StrategyKind> = StrategyKind::FIGURE7.to_vec();
+    let fig6: Vec<StrategyKind> = StrategyKind::FIGURE6.to_vec();
+    Some(match id {
+        "cifar-vgg" => cifar_experiment(
+            id,
+            ModelKind::CifarVgg { base_width: 8 },
+            2,
+            scale,
+            fig7,
+            &CIFAR_COMPRESSIONS,
+        ),
+        "resnet20" => cifar_experiment(
+            id,
+            ModelKind::ResNetCifar { depth: 20, base_width: 4 },
+            2,
+            scale,
+            fig7,
+            &RESNET_COMPRESSIONS,
+        ),
+        "resnet56" => cifar_experiment(
+            id,
+            ModelKind::ResNetCifar { depth: 56, base_width: 4 },
+            2,
+            scale,
+            fig7,
+            &RESNET_COMPRESSIONS,
+        ),
+        "resnet110" => {
+            let mut cfg = cifar_experiment(
+                id,
+                ModelKind::ResNetCifar { depth: 110, base_width: 4 },
+                2,
+                scale,
+                fig7,
+                &RESNET_COMPRESSIONS,
+            );
+            // The deepest model: halve the seed budget at standard scale
+            // to bound wall-clock (documented in EXPERIMENTS.md).
+            if scale == Scale::Standard {
+                cfg.seeds = vec![1, 2];
+            }
+            cfg
+        }
+        "imagenet-resnet18" => ExperimentConfig {
+            id: format!("{id}-{}", scale.suffix()),
+            dataset: DatasetKind::ImagenetLike,
+            data_scale: match scale {
+                Scale::Quick => 8,
+                Scale::Standard => 2,
+            },
+            data_seed: 11,
+            model: ModelKind::ResNet18 { base_width: 4 },
+            strategies: fig6,
+            compressions: IMAGENET_COMPRESSIONS.to_vec(),
+            // The paper's ImageNet plots carry no error bars: one seed.
+            seeds: vec![1],
+            pretrain: PretrainConfig {
+                epochs: match scale {
+                    Scale::Quick => 5,
+                    Scale::Standard => 15,
+                },
+                // Appendix C.2: ImageNet uses SGD with Nesterov momentum.
+                optimizer: OptimizerKind::SgdNesterov { lr: 0.02 },
+                batch_size: 64,
+                weights_seed: 0xB0B,
+                patience: Some(4),
+            },
+            finetune: FinetuneConfig {
+                epochs: match scale {
+                    Scale::Quick => 2,
+                    Scale::Standard => 5,
+                },
+                batch_size: 64,
+                // The paper fine-tunes ImageNet with SGD+Nesterov at 1e-3
+                // over 20 epochs of 1.28M images; at our dataset scale an
+                // equivalent optimization budget needs a larger step.
+                optimizer: OptimizerKind::SgdNesterov { lr: 1e-2 },
+                schedule: ScheduleKind::OneShot,
+                patience: Some(1),
+                flatten_input: false,
+                exclude_classifier: true,
+                weight_policy: WeightPolicy::Finetune,
+            },
+        },
+        // Figure 8: two pretrained models of the same architecture.
+        // Weights A: Adam with lr 1e-3; Weights B: Adam with lr 1e-4
+        // (paper Section 7.3: "trained two ResNet-56 networks using Adam
+        // until convergence with η = 1e−3 and η = 1e−4").
+        "weights-a" | "weights-b" => {
+            let lr = if id == "weights-a" { 1e-3 } else { 1e-4 };
+            let mut cfg = cifar_experiment(
+                id,
+                ModelKind::ResNetCifar { depth: 56, base_width: 4 },
+                2,
+                scale,
+                vec![StrategyKind::GlobalMagnitude, StrategyKind::LayerMagnitude],
+                &FIGURE8_COMPRESSIONS,
+            );
+            cfg.pretrain.optimizer = OptimizerKind::Adam { lr };
+            // The low-lr model needs a longer budget to reach its own
+            // convergence (the paper trains both "until convergence").
+            if id == "weights-b" && scale == Scale::Standard {
+                cfg.pretrain.epochs = 60;
+                cfg.pretrain.patience = Some(8);
+            }
+            cfg.seeds = scale.seeds(&[1, 2]);
+            cfg
+        }
+        "ablation-schedule-oneshot" | "ablation-schedule-iterative" => {
+            let mut cfg = cifar_experiment(
+                id,
+                ModelKind::ResNetCifar { depth: 20, base_width: 4 },
+                2,
+                scale,
+                vec![StrategyKind::GlobalMagnitude],
+                &[4.0, 16.0, 32.0],
+            );
+            if id.ends_with("iterative") {
+                cfg.finetune.schedule = ScheduleKind::Iterative { iterations: 3 };
+                cfg.finetune.epochs = cfg.finetune.epochs.max(3);
+            }
+            cfg.seeds = scale.seeds(&[1, 2]);
+            cfg
+        }
+        "ablation-classifier-excluded" | "ablation-classifier-included" => {
+            let mut cfg = cifar_experiment(
+                id,
+                ModelKind::CifarVgg { base_width: 8 },
+                2,
+                scale,
+                vec![StrategyKind::GlobalMagnitude],
+                &[8.0, 32.0],
+            );
+            cfg.finetune.exclude_classifier = id.ends_with("excluded");
+            cfg.seeds = scale.seeds(&[1, 2]);
+            cfg
+        }
+        "ablation-structured" => {
+            let mut cfg = cifar_experiment(
+                id,
+                ModelKind::Lenet5,
+                2,
+                scale,
+                vec![
+                    StrategyKind::FilterNorm,
+                    StrategyKind::GlobalMagnitude,
+                    StrategyKind::LayerMagnitude,
+                ],
+                &[2.0, 4.0, 8.0],
+            );
+            cfg.seeds = scale.seeds(&[1, 2]);
+            cfg
+        }
+        "ablation-policy-finetune" | "ablation-policy-rewind" | "ablation-policy-reinit" => {
+            let mut cfg = cifar_experiment(
+                id,
+                ModelKind::CifarVgg { base_width: 8 },
+                2,
+                scale,
+                vec![StrategyKind::GlobalMagnitude],
+                &[2.0, 8.0, 16.0],
+            );
+            cfg.finetune.weight_policy = match id {
+                "ablation-policy-rewind" => WeightPolicy::RewindToInit,
+                "ablation-policy-reinit" => WeightPolicy::Reinitialize,
+                _ => WeightPolicy::Finetune,
+            };
+            cfg.seeds = scale.seeds(&[1, 2]);
+            // Retraining from scratch/rewind needs a full budget, not a
+            // fine-tuning budget ("holding the number of fine-tuning
+            // iterations constant", Section 3.2).
+            cfg.finetune.epochs *= 2;
+            cfg
+        }
+        "ablation-arch-base" | "ablation-arch-variant" => {
+            let model = if id.ends_with("variant") {
+                ModelKind::CifarVggVariant { base_width: 8 }
+            } else {
+                ModelKind::CifarVgg { base_width: 8 }
+            };
+            let mut cfg = cifar_experiment(
+                id,
+                model,
+                2,
+                scale,
+                vec![StrategyKind::GlobalMagnitude, StrategyKind::GlobalGradient],
+                &[2.0, 4.0, 8.0],
+            );
+            cfg.seeds = scale.seeds(&[1, 2]);
+            cfg
+        }
+        "prune-at-init" => {
+            // Pruning at initialization (Lee et al. 2019b, Section 2.2's
+            // "or even at initialization" variant): zero pretraining
+            // epochs, then prune the random network and train with the
+            // mask fixed.
+            let mut cfg = cifar_experiment(
+                id,
+                ModelKind::CifarVgg { base_width: 8 },
+                2,
+                scale,
+                vec![
+                    StrategyKind::GlobalGradient,
+                    StrategyKind::GlobalMagnitude,
+                    StrategyKind::Random,
+                ],
+                &[1.0, 2.0, 4.0, 8.0],
+            );
+            cfg.pretrain.epochs = 0;
+            cfg.pretrain.patience = None;
+            cfg.seeds = scale.seeds(&[1, 2]);
+            cfg.finetune.epochs = match scale {
+                Scale::Quick => 3,
+                Scale::Standard => 8,
+            };
+            cfg.finetune.patience = Some(2);
+            cfg
+        }
+        "ablation-random-layerwise" => {
+            let mut cfg = cifar_experiment(
+                id,
+                ModelKind::ResNetCifar { depth: 20, base_width: 4 },
+                2,
+                scale,
+                vec![StrategyKind::Random, StrategyKind::RandomLayerwise],
+                &[2.0, 8.0, 16.0],
+            );
+            cfg.seeds = scale.seeds(&[1, 2]);
+            cfg
+        }
+        "mnist-saturation" => {
+            let mut cfg = cifar_experiment(
+                id,
+                ModelKind::Lenet300_100,
+                1,
+                scale,
+                vec![StrategyKind::GlobalMagnitude, StrategyKind::Random],
+                &CIFAR_COMPRESSIONS,
+            );
+            cfg.dataset = DatasetKind::MnistLike;
+            cfg.seeds = scale.seeds(&[1, 2]);
+            cfg
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_IDS: [&str; 13] = [
+        "cifar-vgg",
+        "resnet20",
+        "resnet56",
+        "resnet110",
+        "imagenet-resnet18",
+        "weights-a",
+        "weights-b",
+        "ablation-schedule-oneshot",
+        "ablation-schedule-iterative",
+        "ablation-classifier-excluded",
+        "ablation-classifier-included",
+        "ablation-structured",
+        "mnist-saturation",
+    ];
+
+    #[test]
+    fn all_known_ids_build() {
+        for id in ALL_IDS {
+            for scale in [Scale::Quick, Scale::Standard] {
+                let cfg = experiment_config(id, scale)
+                    .unwrap_or_else(|| panic!("{id} should build"));
+                assert!(!cfg.strategies.is_empty());
+                assert!(!cfg.compressions.is_empty());
+                assert!(!cfg.seeds.is_empty());
+            }
+        }
+        assert!(experiment_config("nonsense", Scale::Quick).is_none());
+    }
+
+    #[test]
+    fn quick_scale_is_smaller() {
+        let q = experiment_config("resnet56", Scale::Quick).unwrap();
+        let s = experiment_config("resnet56", Scale::Standard).unwrap();
+        assert!(q.data_scale > s.data_scale);
+        assert!(q.pretrain.epochs < s.pretrain.epochs);
+        assert!(q.seeds.len() < s.seeds.len());
+        assert_ne!(q.id, s.id, "cache keys must differ per scale");
+    }
+
+    #[test]
+    fn weights_ab_differ_only_in_pretraining() {
+        let a = experiment_config("weights-a", Scale::Standard).unwrap();
+        let b = experiment_config("weights-b", Scale::Standard).unwrap();
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.compressions, b.compressions);
+        assert_ne!(a.pretrain.optimizer, b.pretrain.optimizer);
+    }
+
+    #[test]
+    fn imagenet_uses_sgd_and_single_seed() {
+        let cfg = experiment_config("imagenet-resnet18", Scale::Standard).unwrap();
+        assert_eq!(cfg.seeds.len(), 1);
+        assert_eq!(cfg.strategies.len(), 4, "ImageNet plots omit random pruning");
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Experiment harness regenerating every table and figure of
+//! *"What is the State of Neural Network Pruning?"* (Blalock et al.,
+//! MLSys 2020).
+//!
+//! The `expfig` binary is the entry point:
+//!
+//! ```text
+//! cargo run --release -p sb-bench --bin expfig -- list
+//! cargo run --release -p sb-bench --bin expfig -- table1
+//! cargo run --release -p sb-bench --bin expfig -- fig7 --scale quick
+//! cargo run --release -p sb-bench --bin expfig -- all
+//! ```
+//!
+//! Meta-analysis artifacts (Table 1, Figures 1–5) are computed from the
+//! embedded corpus in `sb-corpus`; experimental artifacts (Figures 6–18
+//! and the ablations) train, prune, and fine-tune real models via the
+//! `shrinkbench` experiment runner, with results cached as JSON under
+//! `results/`.
+
+pub mod configs;
+pub mod figures;
+
+pub use configs::{experiment_config, Scale};

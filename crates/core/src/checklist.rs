@@ -1,0 +1,280 @@
+//! The paper's Appendix B, as code: a report card that scores an
+//! evaluation setup against the published best-practice checklist.
+//!
+//! The paper closes with a checklist reviewers should apply to pruning
+//! papers. Because this framework *is* the experimental setup, most items
+//! are decidable mechanically from an [`ExperimentConfig`] grid — so the
+//! harness can refuse to call an evaluation complete when it would fail
+//! the paper's own standards.
+
+use crate::experiment::{DatasetKind, ExperimentConfig, RunRecord};
+use crate::strategy::StrategyKind;
+use serde::{Deserialize, Serialize};
+
+/// One checklist line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChecklistItem {
+    /// The requirement, paraphrased from Appendix B.
+    pub requirement: String,
+    /// Whether the configuration satisfies it.
+    pub satisfied: bool,
+    /// What was found.
+    pub detail: String,
+}
+
+/// A scored checklist.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChecklistReport {
+    /// All evaluated items.
+    pub items: Vec<ChecklistItem>,
+}
+
+impl ChecklistReport {
+    /// Number of satisfied items.
+    pub fn satisfied(&self) -> usize {
+        self.items.iter().filter(|i| i.satisfied).count()
+    }
+
+    /// True when every item passes.
+    pub fn all_satisfied(&self) -> bool {
+        self.satisfied() == self.items.len()
+    }
+}
+
+impl std::fmt::Display for ChecklistReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "checklist: {}/{} satisfied", self.satisfied(), self.items.len())?;
+        for item in &self.items {
+            writeln!(
+                f,
+                "  [{}] {} — {}",
+                if item.satisfied { "x" } else { " " },
+                item.requirement,
+                item.detail
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn item(requirement: &str, satisfied: bool, detail: String) -> ChecklistItem {
+    ChecklistItem {
+        requirement: requirement.to_string(),
+        satisfied,
+        detail,
+    }
+}
+
+/// Scores one experiment grid (a single dataset/architecture pair)
+/// against the per-experiment checklist items.
+pub fn evaluate_experiment(config: &ExperimentConfig, records: &[RunRecord]) -> ChecklistReport {
+    let mut items = Vec::new();
+
+    let ratios: Vec<f64> = {
+        let mut r = config.compressions.clone();
+        r.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        r.dedup();
+        r
+    };
+    let sweep = ratios.iter().filter(|&&c| c > 1.0).count();
+    items.push(item(
+        "data across ≥5 compression ratios, including extreme ones",
+        sweep >= 5 || (sweep >= 4 && ratios.last().copied().unwrap_or(0.0) >= 16.0),
+        format!("{sweep} pruned ratios up to {:?}×", ratios.last().copied().unwrap_or(1.0)),
+    ));
+
+    items.push(item(
+        "multiple runs with separate random seeds",
+        config.seeds.len() >= 3,
+        format!("{} seeds", config.seeds.len()),
+    ));
+
+    items.push(item(
+        "random pruning baseline included",
+        config
+            .strategies
+            .iter()
+            .any(|s| matches!(s, StrategyKind::Random | StrategyKind::RandomLayerwise)),
+        format!("{} strategies", config.strategies.len()),
+    ));
+
+    items.push(item(
+        "magnitude pruning baseline included",
+        config
+            .strategies
+            .iter()
+            .any(|s| matches!(s, StrategyKind::GlobalMagnitude | StrategyKind::LayerMagnitude)),
+        format!("{:?}", config.strategies),
+    ));
+
+    items.push(item(
+        "not a MNIST-scale-only evaluation",
+        config.dataset != DatasetKind::MnistLike,
+        config.dataset.label().to_string(),
+    ));
+
+    let has_dense_control = records
+        .iter()
+        .all(|r| r.pretrain_top1 > 0.0 || r.target_compression != 1.0)
+        && !records.is_empty();
+    items.push(item(
+        "metrics reported for the unpruned control",
+        has_dense_control,
+        format!("{} records carry pretrain accuracy", records.len()),
+    ));
+
+    let both_metrics = records
+        .iter()
+        .all(|r| r.compression >= 1.0 && r.speedup >= 1.0 - 1e-9);
+    items.push(item(
+        "both compression ratio and theoretical speedup reported",
+        both_metrics && !records.is_empty(),
+        "RunRecord carries both by construction".to_string(),
+    ));
+
+    let both_accuracies = records.iter().all(|r| r.top5 >= r.top1);
+    items.push(item(
+        "both Top-1 and Top-5 accuracy reported",
+        both_accuracies && !records.is_empty(),
+        "RunRecord carries both by construction".to_string(),
+    ));
+
+    ChecklistReport { items }
+}
+
+/// Scores a whole evaluation campaign: the cross-experiment items
+/// (≥3 dataset/architecture pairs, modern ones included).
+pub fn evaluate_suite(configs: &[&ExperimentConfig]) -> ChecklistReport {
+    let mut items = Vec::new();
+    let mut pairs: Vec<(String, String)> = configs
+        .iter()
+        .map(|c| (c.dataset.label().to_string(), c.model.label()))
+        .collect();
+    pairs.sort();
+    pairs.dedup();
+    items.push(item(
+        "≥3 (dataset, architecture) pairs evaluated",
+        pairs.len() >= 3,
+        format!("{} pairs: {pairs:?}", pairs.len()),
+    ));
+    let non_mnist = configs
+        .iter()
+        .filter(|c| c.dataset != DatasetKind::MnistLike)
+        .count();
+    items.push(item(
+        "includes modern, large-scale configurations (not only MNIST/LeNet)",
+        non_mnist >= 2,
+        format!("{non_mnist} non-MNIST experiment grids"),
+    ));
+    ChecklistReport { items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{ModelKind, PretrainConfig};
+    use crate::finetune::FinetuneConfig;
+
+    fn good_config() -> ExperimentConfig {
+        ExperimentConfig {
+            id: "check".into(),
+            dataset: DatasetKind::CifarLike,
+            data_scale: 1,
+            data_seed: 0,
+            model: ModelKind::CifarVgg { base_width: 8 },
+            strategies: vec![
+                StrategyKind::GlobalMagnitude,
+                StrategyKind::LayerMagnitude,
+                StrategyKind::Random,
+            ],
+            compressions: vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+            seeds: vec![1, 2, 3],
+            pretrain: PretrainConfig::default(),
+            finetune: FinetuneConfig::default(),
+        }
+    }
+
+    fn record(c: f64) -> RunRecord {
+        RunRecord {
+            experiment: "check".into(),
+            strategy: "Global Weight".into(),
+            target_compression: c,
+            seed: 1,
+            compression: c,
+            speedup: c,
+            top1: 0.8,
+            top5: 0.95,
+            top1_before_finetune: 0.5,
+            pretrain_top1: 0.92,
+            pretrain_top5: 0.99,
+        }
+    }
+
+    #[test]
+    fn compliant_config_passes_everything() {
+        let records: Vec<RunRecord> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+            .iter()
+            .map(|&c| record(c))
+            .collect();
+        let report = evaluate_experiment(&good_config(), &records);
+        assert!(report.all_satisfied(), "{report}");
+    }
+
+    #[test]
+    fn single_seed_fails_central_tendency_item() {
+        let mut cfg = good_config();
+        cfg.seeds = vec![1];
+        let report = evaluate_experiment(&cfg, &[record(2.0)]);
+        assert!(!report.all_satisfied());
+        let failing = report
+            .items
+            .iter()
+            .find(|i| i.requirement.contains("random seeds"))
+            .unwrap();
+        assert!(!failing.satisfied);
+    }
+
+    #[test]
+    fn missing_random_baseline_is_flagged() {
+        let mut cfg = good_config();
+        cfg.strategies = vec![StrategyKind::GlobalMagnitude];
+        let report = evaluate_experiment(&cfg, &[record(2.0)]);
+        assert!(report
+            .items
+            .iter()
+            .any(|i| i.requirement.contains("random pruning") && !i.satisfied));
+    }
+
+    #[test]
+    fn mnist_only_evaluation_is_flagged() {
+        let mut cfg = good_config();
+        cfg.dataset = DatasetKind::MnistLike;
+        let report = evaluate_experiment(&cfg, &[record(2.0)]);
+        assert!(report
+            .items
+            .iter()
+            .any(|i| i.requirement.contains("MNIST") && !i.satisfied));
+    }
+
+    #[test]
+    fn suite_requires_three_pairs() {
+        let a = good_config();
+        let mut b = good_config();
+        b.model = ModelKind::ResNetCifar { depth: 56, base_width: 4 };
+        let mut c = good_config();
+        c.dataset = DatasetKind::ImagenetLike;
+        c.model = ModelKind::ResNet18 { base_width: 4 };
+        let suite = evaluate_suite(&[&a, &b, &c]);
+        assert!(suite.all_satisfied(), "{suite}");
+        let too_small = evaluate_suite(&[&a]);
+        assert!(!too_small.all_satisfied());
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let report = evaluate_experiment(&good_config(), &[record(4.0)]);
+        let text = report.to_string();
+        assert!(text.contains("checklist:"));
+        assert!(text.contains("[x]") || text.contains("[ ]"));
+    }
+}

@@ -1,0 +1,558 @@
+//! Multi-seed experiment orchestration: the part of ShrinkBench that
+//! "compute[s] metrics across many models, datasets, random seeds, and
+//! levels of pruning" (paper Section 7.1).
+//!
+//! An [`ExperimentConfig`] fully determines a result grid: datasets and
+//! pretrained weights are derived from fixed seeds, and each
+//! (strategy, compression, seed) cell reruns Algorithm 1 from the same
+//! pretrained snapshot. Results persist as JSON so figures can be
+//! regenerated without recomputation.
+
+use crate::finetune::{prune_and_retrain, FinetuneConfig, OptimizerKind};
+use crate::strategy::StrategyKind;
+use sb_data::{batches_of, DatasetSpec, Split, SyntheticVision};
+use sb_metrics::{mean_std, MeanStd};
+use sb_nn::{
+    evaluate, models, EarlyStopping, EvalMetrics, LrSchedule, NetworkExt, ParamSnapshot,
+    TrainConfig, Trainer,
+};
+use sb_tensor::Rng;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Which synthetic dataset an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// [`DatasetSpec::mnist_like`].
+    MnistLike,
+    /// [`DatasetSpec::cifar_like`].
+    CifarLike,
+    /// [`DatasetSpec::imagenet_like`].
+    ImagenetLike,
+}
+
+impl DatasetKind {
+    /// Materializes the spec, shrunken by `scale` (1 = full size).
+    pub fn spec(&self, scale: usize, seed: u64) -> DatasetSpec {
+        let base = match self {
+            DatasetKind::MnistLike => DatasetSpec::mnist_like(seed),
+            DatasetKind::CifarLike => DatasetSpec::cifar_like(seed),
+            DatasetKind::ImagenetLike => DatasetSpec::imagenet_like(seed),
+        };
+        if scale > 1 {
+            base.scaled_down(scale)
+        } else {
+            base
+        }
+    }
+
+    /// Display name used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DatasetKind::MnistLike => "MNIST-like",
+            DatasetKind::CifarLike => "CIFAR-like",
+            DatasetKind::ImagenetLike => "ImageNet-like",
+        }
+    }
+}
+
+/// Which architecture an experiment prunes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// [`models::lenet_300_100`].
+    Lenet300_100,
+    /// [`models::lenet5`].
+    Lenet5,
+    /// [`models::cifar_vgg`] at the given stem width.
+    CifarVgg {
+        /// Stage-1 channel count (original: 64).
+        base_width: usize,
+    },
+    /// [`models::cifar_vgg_variant`] — the dropout/smaller-head variant
+    /// used by the architecture-ambiguity experiment.
+    CifarVggVariant {
+        /// Stage-1 channel count.
+        base_width: usize,
+    },
+    /// [`models::resnet_cifar`] of the given depth and stem width.
+    ResNetCifar {
+        /// Depth `6n + 2` (20, 56, 110, ...).
+        depth: usize,
+        /// Stem channel count (original: 16).
+        base_width: usize,
+    },
+    /// [`models::resnet18`] at the given stem width.
+    ResNet18 {
+        /// Stem channel count (original: 64).
+        base_width: usize,
+    },
+}
+
+impl ModelKind {
+    /// Builds the network for `spec`, seeding weights from `weights_rng`.
+    pub fn build(&self, spec: &DatasetSpec, weights_rng: &mut Rng) -> models::Model {
+        match self {
+            ModelKind::Lenet300_100 => models::lenet_300_100(
+                spec.channels * spec.side * spec.side,
+                spec.classes,
+                weights_rng,
+            ),
+            ModelKind::Lenet5 => models::lenet5(spec.channels, spec.side, spec.classes, weights_rng),
+            ModelKind::CifarVgg { base_width } => {
+                models::cifar_vgg(spec.channels, spec.side, spec.classes, *base_width, weights_rng)
+            }
+            ModelKind::CifarVggVariant { base_width } => models::cifar_vgg_variant(
+                spec.channels,
+                spec.side,
+                spec.classes,
+                *base_width,
+                weights_rng,
+            ),
+            ModelKind::ResNetCifar { depth, base_width } => models::resnet_cifar(
+                *depth,
+                spec.channels,
+                spec.side,
+                spec.classes,
+                *base_width,
+                weights_rng,
+            ),
+            ModelKind::ResNet18 { base_width } => {
+                models::resnet18(spec.channels, spec.side, spec.classes, *base_width, weights_rng)
+            }
+        }
+    }
+
+    /// Whether the architecture consumes flattened `[N, D]` inputs.
+    pub fn flatten_input(&self) -> bool {
+        matches!(self, ModelKind::Lenet300_100)
+    }
+
+    /// Display name used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            ModelKind::Lenet300_100 => "LeNet-300-100".to_string(),
+            ModelKind::Lenet5 => "LeNet-5".to_string(),
+            ModelKind::CifarVgg { .. } => "CIFAR-VGG".to_string(),
+            // Deliberately the same display label as the base model —
+            // that is Section 5.1's point.
+            ModelKind::CifarVggVariant { .. } => "CIFAR-VGG".to_string(),
+            ModelKind::ResNetCifar { depth, .. } => format!("ResNet-{depth}"),
+            ModelKind::ResNet18 { .. } => "ResNet-18".to_string(),
+        }
+    }
+}
+
+/// How the initial ("pretrained") model is obtained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PretrainConfig {
+    /// Training epochs to convergence.
+    pub epochs: usize,
+    /// Optimizer.
+    pub optimizer: OptimizerKind,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Seed for weight initialization and batch order (fixing it gives
+    /// the standardized pretrained weights ShrinkBench ships).
+    pub weights_seed: u64,
+    /// Early-stopping patience, if any.
+    pub patience: Option<usize>,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> Self {
+        PretrainConfig {
+            epochs: 20,
+            optimizer: OptimizerKind::Adam { lr: 1e-3 },
+            batch_size: 64,
+            weights_seed: 0xA11CE,
+            patience: Some(4),
+        }
+    }
+}
+
+/// A full experiment grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Unique identifier (cache key and report title).
+    pub id: String,
+    /// Dataset family.
+    pub dataset: DatasetKind,
+    /// Dataset shrink divisor (1 = preset size).
+    pub data_scale: usize,
+    /// Dataset generation seed.
+    pub data_seed: u64,
+    /// Architecture.
+    pub model: ModelKind,
+    /// Pruning strategies to sweep.
+    pub strategies: Vec<StrategyKind>,
+    /// Target compression ratios (the paper recommends
+    /// `{2, 4, 8, 16, 32}`; 1 is allowed as the dense control).
+    pub compressions: Vec<f64>,
+    /// Random seeds (paper: three per CIFAR configuration).
+    pub seeds: Vec<u64>,
+    /// Pretraining recipe.
+    pub pretrain: PretrainConfig,
+    /// Fine-tuning recipe.
+    pub finetune: FinetuneConfig,
+}
+
+/// One grid cell's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Experiment id this record belongs to.
+    pub experiment: String,
+    /// Strategy legend label.
+    pub strategy: String,
+    /// Requested compression.
+    pub target_compression: f64,
+    /// Run seed.
+    pub seed: u64,
+    /// Achieved compression ratio.
+    pub compression: f64,
+    /// Achieved theoretical speedup.
+    pub speedup: f64,
+    /// Validation Top-1 after fine-tuning.
+    pub top1: f32,
+    /// Validation Top-5 after fine-tuning.
+    pub top5: f32,
+    /// Validation Top-1 after pruning, before fine-tuning.
+    pub top1_before_finetune: f32,
+    /// Pretrained (dense) model's validation Top-1 — the control the
+    /// paper insists on reporting.
+    pub pretrain_top1: f32,
+    /// Pretrained model's validation Top-5.
+    pub pretrain_top5: f32,
+}
+
+/// Mean ± std summary of one (strategy, compression) cell across seeds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellSummary {
+    /// Strategy legend label.
+    pub strategy: String,
+    /// Requested compression.
+    pub target_compression: f64,
+    /// Achieved compression across seeds.
+    pub compression: MeanStd,
+    /// Achieved speedup across seeds.
+    pub speedup: MeanStd,
+    /// Top-1 after fine-tuning.
+    pub top1: MeanStd,
+    /// Top-5 after fine-tuning.
+    pub top5: MeanStd,
+}
+
+/// Executes experiment grids with JSON result caching.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentRunner {
+    /// Directory for cached results; `None` disables persistence.
+    pub cache_dir: Option<PathBuf>,
+    /// Print per-cell progress to stderr.
+    pub verbose: bool,
+}
+
+#[derive(Serialize, Deserialize)]
+struct CacheFile {
+    config: ExperimentConfig,
+    records: Vec<RunRecord>,
+}
+
+impl ExperimentRunner {
+    /// Creates a runner caching into `dir`.
+    pub fn with_cache(dir: impl Into<PathBuf>) -> Self {
+        ExperimentRunner {
+            cache_dir: Some(dir.into()),
+            verbose: false,
+        }
+    }
+
+    fn cache_path(&self, id: &str) -> Option<PathBuf> {
+        self.cache_dir.as_ref().map(|d| d.join(format!("{id}.json")))
+    }
+
+    /// Pretrains the experiment's model on its dataset, returning the
+    /// network, its validation metrics, and the snapshot reused by every
+    /// grid cell.
+    pub fn pretrain(
+        config: &ExperimentConfig,
+        data: &SyntheticVision,
+    ) -> (models::Model, EvalMetrics, Vec<ParamSnapshot>) {
+        let (net, metrics, trained, _init) = Self::pretrain_with_init(config, data);
+        (net, metrics, trained)
+    }
+
+    /// Like [`ExperimentRunner::pretrain`], additionally returning the
+    /// snapshot taken *before* training — the rewind target for
+    /// lottery-ticket-style weight policies.
+    pub fn pretrain_with_init(
+        config: &ExperimentConfig,
+        data: &SyntheticVision,
+    ) -> (
+        models::Model,
+        EvalMetrics,
+        Vec<ParamSnapshot>,
+        Vec<ParamSnapshot>,
+    ) {
+        let mut weights_rng = Rng::seed_from(config.pretrain.weights_seed);
+        let mut net = config.model.build(data.spec(), &mut weights_rng);
+        let init_snapshot = net.snapshot();
+        let flatten = config.model.flatten_input();
+        let val = batches_of(data, Split::Val, config.pretrain.batch_size, None, flatten);
+        let mut optimizer = config.pretrain.optimizer.build();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: config.pretrain.epochs,
+            schedule: LrSchedule::Fixed,
+            early_stopping: config
+                .pretrain
+                .patience
+                .map(|p| EarlyStopping { patience: p }),
+            restore_best: true,
+        });
+        let mut epoch_rng = Rng::seed_from(config.pretrain.weights_seed ^ 0x0E90C4);
+        trainer
+            .fit(
+                &mut net,
+                optimizer.as_mut(),
+                |epoch| {
+                    let mut fork = epoch_rng.fork(epoch as u64);
+                    batches_of(
+                        data,
+                        Split::Train,
+                        config.pretrain.batch_size,
+                        Some(&mut fork),
+                        flatten,
+                    )
+                },
+                &val,
+            )
+            .unwrap_or_else(|d| panic!("pretraining diverged: {d}"));
+        let metrics = evaluate(&mut net, &val);
+        let snapshot = net.snapshot();
+        (net, metrics, snapshot, init_snapshot)
+    }
+
+    /// Runs (or loads from cache) the full grid.
+    pub fn run(&self, config: &ExperimentConfig) -> Vec<RunRecord> {
+        if let Some(path) = self.cache_path(&config.id) {
+            if let Ok(bytes) = fs::read(&path) {
+                if let Ok(cache) = serde_json::from_slice::<CacheFile>(&bytes) {
+                    if &cache.config == config {
+                        if self.verbose {
+                            eprintln!("[{}] loaded {} cached records", config.id, cache.records.len());
+                        }
+                        return cache.records;
+                    }
+                }
+            }
+        }
+
+        let data = SyntheticVision::new(config.dataset.spec(config.data_scale, config.data_seed));
+        let t0 = Instant::now();
+        let (mut net, pre_metrics, snapshot, init_snapshot) =
+            Self::pretrain_with_init(config, &data);
+        if self.verbose {
+            eprintln!(
+                "[{}] pretrained {} on {}: top1 {:.3} top5 {:.3} ({:?})",
+                config.id,
+                config.model.label(),
+                data.spec().name,
+                pre_metrics.top1,
+                pre_metrics.top5,
+                t0.elapsed()
+            );
+        }
+
+        let mut finetune = config.finetune.clone();
+        finetune.flatten_input = config.model.flatten_input();
+
+        let mut records = Vec::new();
+        for kind in &config.strategies {
+            let strategy = kind.build();
+            for &compression in &config.compressions {
+                for &seed in &config.seeds {
+                    let t = Instant::now();
+                    net.restore(&snapshot);
+                    let mut rng = Rng::seed_from(seed ^ 0x5EED_0000);
+                    let result = prune_and_retrain(
+                        &mut net,
+                        strategy.as_ref(),
+                        compression,
+                        &data,
+                        &finetune,
+                        Some(&init_snapshot),
+                        &mut rng,
+                    )
+                    .unwrap_or_else(|e| panic!("pruning failed in {}: {e}", config.id));
+                    if self.verbose {
+                        eprintln!(
+                            "[{}] {} c={:<5} seed={} → top1 {:.3} (pre-ft {:.3}, speedup {:.2}×) ({:?})",
+                            config.id,
+                            strategy.label(),
+                            compression,
+                            seed,
+                            result.after_finetune.top1,
+                            result.before_finetune.top1,
+                            result.speedup,
+                            t.elapsed()
+                        );
+                    }
+                    records.push(RunRecord {
+                        experiment: config.id.clone(),
+                        strategy: strategy.label(),
+                        target_compression: compression,
+                        seed,
+                        compression: result.compression,
+                        speedup: result.speedup,
+                        top1: result.after_finetune.top1,
+                        top5: result.after_finetune.top5,
+                        top1_before_finetune: result.before_finetune.top1,
+                        pretrain_top1: pre_metrics.top1,
+                        pretrain_top5: pre_metrics.top5,
+                    });
+                }
+            }
+        }
+
+        if let Some(path) = self.cache_path(&config.id) {
+            if let Some(parent) = path.parent() {
+                let _ = fs::create_dir_all(parent);
+            }
+            let cache = CacheFile {
+                config: config.clone(),
+                records: records.clone(),
+            };
+            if let Ok(json) = serde_json::to_vec_pretty(&cache) {
+                let _ = fs::write(&path, json);
+            }
+        }
+        records
+    }
+}
+
+/// Aggregates records into per-(strategy, compression) summaries with
+/// mean ± std across seeds, ordered by strategy then compression.
+pub fn summarize(records: &[RunRecord]) -> Vec<CellSummary> {
+    let mut keys: Vec<(String, f64)> = Vec::new();
+    for r in records {
+        let key = (r.strategy.clone(), r.target_compression);
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+    }
+    keys.iter()
+        .map(|(strategy, compression)| {
+            let cell: Vec<&RunRecord> = records
+                .iter()
+                .filter(|r| &r.strategy == strategy && r.target_compression == *compression)
+                .collect();
+            let f = |g: &dyn Fn(&RunRecord) -> f64| {
+                mean_std(&cell.iter().map(|r| g(r)).collect::<Vec<_>>())
+            };
+            CellSummary {
+                strategy: strategy.clone(),
+                target_compression: *compression,
+                compression: f(&|r| r.compression),
+                speedup: f(&|r| r.speedup),
+                top1: f(&|r| r.top1 as f64),
+                top5: f(&|r| r.top5 as f64),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(id: &str) -> ExperimentConfig {
+        ExperimentConfig {
+            id: id.to_string(),
+            dataset: DatasetKind::MnistLike,
+            data_scale: 16,
+            data_seed: 0,
+            model: ModelKind::Lenet300_100,
+            strategies: vec![StrategyKind::GlobalMagnitude, StrategyKind::Random],
+            compressions: vec![2.0, 8.0],
+            seeds: vec![1, 2],
+            pretrain: PretrainConfig {
+                epochs: 3,
+                patience: None,
+                ..PretrainConfig::default()
+            },
+            finetune: FinetuneConfig {
+                epochs: 1,
+                patience: None,
+                ..FinetuneConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn grid_produces_one_record_per_cell() {
+        let runner = ExperimentRunner::default();
+        let records = runner.run(&tiny_config("t1"));
+        assert_eq!(records.len(), 2 * 2 * 2);
+        // All pretrain metrics identical (same snapshot reused).
+        let first = records[0].pretrain_top1;
+        assert!(records.iter().all(|r| r.pretrain_top1 == first));
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let runner = ExperimentRunner::default();
+        let a = runner.run(&tiny_config("t2"));
+        let b = runner.run(&tiny_config("t2"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn summarize_groups_cells() {
+        let runner = ExperimentRunner::default();
+        let records = runner.run(&tiny_config("t3"));
+        let cells = summarize(&records);
+        assert_eq!(cells.len(), 4);
+        for cell in &cells {
+            assert_eq!(cell.top1.n, 2);
+        }
+    }
+
+    #[test]
+    fn cache_round_trips() {
+        let dir = std::env::temp_dir().join("shrinkbench-test-cache");
+        let _ = fs::remove_dir_all(&dir);
+        let runner = ExperimentRunner::with_cache(&dir);
+        let cfg = tiny_config("t4");
+        let a = runner.run(&cfg);
+        assert!(dir.join("t4.json").exists());
+        let b = runner.run(&cfg);
+        assert_eq!(a, b);
+        // Changing the config invalidates the cache.
+        let mut cfg2 = cfg.clone();
+        cfg2.compressions = vec![4.0];
+        let c = runner.run(&cfg2);
+        assert_ne!(a.len(), c.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dataset_kind_specs() {
+        assert_eq!(DatasetKind::MnistLike.spec(1, 0).channels, 1);
+        assert_eq!(DatasetKind::ImagenetLike.spec(1, 0).classes, 60);
+        assert!(DatasetKind::CifarLike.spec(4, 0).train_size < 1024);
+    }
+
+    #[test]
+    fn model_kind_labels() {
+        assert_eq!(
+            ModelKind::ResNetCifar {
+                depth: 56,
+                base_width: 8
+            }
+            .label(),
+            "ResNet-56"
+        );
+        assert!(ModelKind::Lenet300_100.flatten_input());
+        assert!(!ModelKind::Lenet5.flatten_input());
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # shrinkbench — standardized neural-network pruning evaluation, in Rust
+//!
+//! A from-scratch reproduction of **ShrinkBench**, the framework introduced
+//! by Blalock, Gonzalez Ortiz, Frankle & Guttag in *"What is the State of
+//! Neural Network Pruning?"* (MLSys 2020). It provides:
+//!
+//! * **Pruning primitives** — binary masks over named parameters, score →
+//!   mask conversion with global or layerwise ranking
+//!   ([`masks`](crate::masks)), and compression-ratio targeting that
+//!   accounts for unprunable parameters.
+//! * **Baseline strategies** (paper Section 7.2) — global/layerwise
+//!   magnitude pruning, global/layerwise gradient-magnitude pruning, and
+//!   random pruning (global and layerwise-proportional), all implementing
+//!   the open [`Strategy`] trait so user methods plug in identically.
+//! * **Algorithm 1** (prune + fine-tune, Section 2.2) — one-shot and
+//!   iterative schedules with early stopping
+//!   ([`prune_and_finetune`]).
+//! * **An experiment runner** — multi-seed sweeps over (dataset, model,
+//!   strategy, compression) grids with deterministic seeding, JSON result
+//!   persistence, and mean ± std aggregation ([`experiment`]).
+//! * **Structured pruning** (Section 2.3's structure axis) — filter-level
+//!   masks for convolutions ([`structured`]).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use shrinkbench::{GlobalMagnitude, Pruner, PruneSettings};
+//! use sb_nn::models;
+//! use sb_tensor::Rng;
+//!
+//! let mut rng = Rng::seed_from(0);
+//! let mut net = models::lenet_300_100(256, 10, &mut rng);
+//! let pruner = Pruner::new(PruneSettings::default());
+//! let outcome = pruner.prune(&mut net, &GlobalMagnitude, 4.0, &mut rng)?;
+//! println!("compression {:.2}×, speedup {:.2}×",
+//!          outcome.compression_ratio, outcome.theoretical_speedup);
+//! # Ok::<(), shrinkbench::PruneError>(())
+//! ```
+
+pub mod checklist;
+pub mod experiment;
+mod finetune;
+pub mod masks;
+mod pruner;
+mod strategy;
+pub mod structured;
+
+pub use finetune::{
+    prune_and_finetune, prune_and_retrain, FinetuneConfig, OptimizerKind, PruneFinetuneResult,
+    ScheduleKind, WeightPolicy,
+};
+pub use pruner::{PruneError, PruneOutcome, PruneSettings, Pruner};
+pub use strategy::{
+    GlobalGradient, GlobalMagnitude, LayerGradient, LayerMagnitude, RandomPruning, Scope,
+    ScoreEntry, Strategy, StrategyKind,
+};

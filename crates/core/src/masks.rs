@@ -1,0 +1,252 @@
+//! Score → mask conversion and compression-ratio targeting.
+//!
+//! These are the arithmetic heart of the framework: given saliency scores
+//! for every prunable tensor and a desired compression ratio, decide
+//! exactly which weights survive.
+
+use crate::strategy::Scope;
+use sb_tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// Keep-fraction of *prunable* weights required to hit an overall
+/// compression ratio `c`, given that `unprunable` parameters (biases,
+/// batch norm, excluded classifier) always survive.
+///
+/// Solving `total / c = keep·prunable + unprunable` for `keep`. The result
+/// is clamped to `[0, 1]`; a compression ratio so large that even pruning
+/// every prunable weight cannot reach it yields `0.0` (the caller can
+/// detect this by comparing achieved vs requested compression, mirroring
+/// how real pruned models bottom out against their dense layers).
+///
+/// # Panics
+///
+/// Panics if `compression < 1` or `prunable == 0`.
+pub fn keep_fraction_for_compression(
+    prunable: usize,
+    unprunable: usize,
+    compression: f64,
+) -> f64 {
+    assert!(compression >= 1.0, "compression ratio must be ≥ 1");
+    assert!(prunable > 0, "no prunable parameters");
+    let total = (prunable + unprunable) as f64;
+    let target_nonzero = total / compression;
+    ((target_nonzero - unprunable as f64) / prunable as f64).clamp(0.0, 1.0)
+}
+
+/// Builds binary masks keeping the top-scoring fraction of weights.
+///
+/// * `scores`: per-tensor saliency scores (higher ⇒ kept), keyed by
+///   parameter name. Entries already pruned must be scored `-∞` by the
+///   caller if they must stay pruned.
+/// * `keep_fraction`: fraction of all scored weights to keep.
+/// * `scope`: [`Scope::Global`] ranks all weights together;
+///   [`Scope::Layerwise`] keeps `keep_fraction` of each tensor.
+///
+/// Deterministic: ties are broken by (name, index) order.
+///
+/// # Panics
+///
+/// Panics if `scores` is empty, any score is NaN, or `keep_fraction` is
+/// outside `[0, 1]`.
+pub fn masks_from_scores(
+    scores: &BTreeMap<String, Tensor>,
+    keep_fraction: f64,
+    scope: Scope,
+) -> BTreeMap<String, Tensor> {
+    assert!(!scores.is_empty(), "no score tensors given");
+    assert!(
+        (0.0..=1.0).contains(&keep_fraction),
+        "keep_fraction {keep_fraction} outside [0, 1]"
+    );
+    for (name, s) in scores {
+        assert!(
+            !s.data().iter().any(|v| v.is_nan()),
+            "scores for {name} contain NaN"
+        );
+    }
+    match scope {
+        Scope::Layerwise => scores
+            .iter()
+            .map(|(name, s)| {
+                let k = round_count(s.numel(), keep_fraction);
+                (name.clone(), top_k_mask(s, k))
+            })
+            .collect(),
+        Scope::Global => {
+            let total: usize = scores.values().map(Tensor::numel).sum();
+            let k = round_count(total, keep_fraction);
+            // Threshold = k-th largest score overall.
+            let mut all: Vec<f32> = Vec::with_capacity(total);
+            for s in scores.values() {
+                all.extend_from_slice(s.data());
+            }
+            if k == 0 {
+                return scores
+                    .iter()
+                    .map(|(n, s)| (n.clone(), Tensor::zeros(s.dims())))
+                    .collect();
+            }
+            if k >= total {
+                return scores
+                    .iter()
+                    .map(|(n, s)| (n.clone(), Tensor::ones(s.dims())))
+                    .collect();
+            }
+            all.sort_unstable_by(|a, b| b.partial_cmp(a).expect("NaN checked above"));
+            let threshold = all[k - 1];
+            // Keep strictly-above first, then fill remaining quota among
+            // exact-threshold entries in deterministic (name, index) order.
+            let above: usize = all[..k].iter().filter(|&&v| v > threshold).count();
+            let mut tie_quota = k - above;
+            scores
+                .iter()
+                .map(|(name, s)| {
+                    let mut mask = Tensor::zeros(s.dims());
+                    for (i, &v) in s.data().iter().enumerate() {
+                        if v > threshold {
+                            mask.data_mut()[i] = 1.0;
+                        } else if v == threshold && tie_quota > 0 {
+                            mask.data_mut()[i] = 1.0;
+                            tie_quota -= 1;
+                        }
+                    }
+                    (name.clone(), mask)
+                })
+                .collect()
+        }
+    }
+}
+
+fn round_count(n: usize, fraction: f64) -> usize {
+    ((n as f64 * fraction).round() as usize).min(n)
+}
+
+/// Mask keeping the `k` highest-scoring entries of one tensor
+/// (deterministic index-order tie-breaking).
+fn top_k_mask(scores: &Tensor, k: usize) -> Tensor {
+    let n = scores.numel();
+    if k >= n {
+        return Tensor::ones(scores.dims());
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        scores.data()[b]
+            .partial_cmp(&scores.data()[a])
+            .expect("NaN checked by caller")
+            .then(a.cmp(&b))
+    });
+    let mut mask = Tensor::zeros(scores.dims());
+    for &i in &idx[..k] {
+        mask.data_mut()[i] = 1.0;
+    }
+    mask
+}
+
+/// Count of kept (1.0) entries across a mask set.
+pub fn kept_count(masks: &BTreeMap<String, Tensor>) -> usize {
+    masks
+        .values()
+        .map(|m| m.data().iter().filter(|&&v| v == 1.0).count())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores_of(pairs: &[(&str, &[f32])]) -> BTreeMap<String, Tensor> {
+        pairs
+            .iter()
+            .map(|(n, v)| (n.to_string(), Tensor::from_slice(v)))
+            .collect()
+    }
+
+    #[test]
+    fn keep_fraction_accounts_for_unprunable() {
+        // 90 prunable + 10 unprunable, target 2× ⇒ keep 50 total ⇒ 40
+        // prunable ⇒ 4/9.
+        let f = keep_fraction_for_compression(90, 10, 2.0);
+        assert!((f - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keep_fraction_saturates_at_zero() {
+        // 10 unprunable alone exceed total/c ⇒ keep nothing prunable.
+        assert_eq!(keep_fraction_for_compression(90, 10, 100.0), 0.0);
+    }
+
+    #[test]
+    fn keep_fraction_of_one_at_unit_compression() {
+        assert_eq!(keep_fraction_for_compression(50, 50, 1.0), 1.0);
+    }
+
+    #[test]
+    fn global_keeps_largest_across_tensors() {
+        let scores = scores_of(&[("a", &[0.9, 0.1]), ("b", &[0.8, 0.2])]);
+        let masks = masks_from_scores(&scores, 0.5, Scope::Global);
+        assert_eq!(masks["a"].data(), &[1.0, 0.0]);
+        assert_eq!(masks["b"].data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn global_can_empty_a_whole_tensor() {
+        let scores = scores_of(&[("a", &[0.9, 0.8]), ("b", &[0.1, 0.2])]);
+        let masks = masks_from_scores(&scores, 0.5, Scope::Global);
+        assert_eq!(masks["a"].data(), &[1.0, 1.0]);
+        assert_eq!(masks["b"].data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn layerwise_keeps_fraction_per_tensor() {
+        let scores = scores_of(&[("a", &[0.9, 0.8, 0.0, 0.1]), ("b", &[0.1, 0.2, 0.3, 0.4])]);
+        let masks = masks_from_scores(&scores, 0.5, Scope::Layerwise);
+        assert_eq!(masks["a"].data(), &[1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(masks["b"].data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn exact_count_kept_globally() {
+        let scores = scores_of(&[("a", &[0.5, 0.4, 0.3]), ("b", &[0.2, 0.1, 0.05, 0.9])]);
+        for f in [0.0, 0.3, 0.5, 0.7, 1.0] {
+            let masks = masks_from_scores(&scores, f, Scope::Global);
+            assert_eq!(kept_count(&masks), (7.0 * f).round() as usize);
+        }
+    }
+
+    #[test]
+    fn ties_are_broken_deterministically_and_exactly() {
+        // All-equal scores: exactly k survive, not all of them.
+        let scores = scores_of(&[("a", &[1.0; 6])]);
+        let masks = masks_from_scores(&scores, 0.5, Scope::Global);
+        assert_eq!(kept_count(&masks), 3);
+        let again = masks_from_scores(&scores, 0.5, Scope::Global);
+        assert_eq!(masks, again);
+    }
+
+    #[test]
+    fn neg_infinity_scores_never_survive() {
+        let scores = scores_of(&[("a", &[f32::NEG_INFINITY, 0.5, f32::NEG_INFINITY, 0.1])]);
+        let masks = masks_from_scores(&scores, 0.5, Scope::Global);
+        assert_eq!(masks["a"].data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn keep_everything_and_nothing() {
+        let scores = scores_of(&[("a", &[0.1, 0.2])]);
+        assert_eq!(
+            masks_from_scores(&scores, 1.0, Scope::Global)["a"].data(),
+            &[1.0, 1.0]
+        );
+        assert_eq!(
+            masks_from_scores(&scores, 0.0, Scope::Layerwise)["a"].data(),
+            &[0.0, 0.0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_scores_rejected() {
+        let scores = scores_of(&[("a", &[f32::NAN, 1.0])]);
+        masks_from_scores(&scores, 0.5, Scope::Global);
+    }
+}

@@ -1,0 +1,327 @@
+//! The pruning-strategy abstraction and the paper's five baselines.
+
+use sb_tensor::{Rng, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Whether scores are ranked across the whole network or within each
+/// parameter tensor (paper Section 2.3, "Scoring": local vs global
+/// comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// Rank all prunable weights against each other.
+    Global,
+    /// Rank weights within each tensor; every tensor keeps the same
+    /// fraction.
+    Layerwise,
+}
+
+/// A view of one prunable parameter handed to [`Strategy::score`].
+#[derive(Debug)]
+pub struct ScoreEntry<'a> {
+    /// Parameter name.
+    pub name: &'a str,
+    /// Current weight values.
+    pub value: &'a Tensor,
+    /// Gradient evaluated on the scoring minibatch; `None` when the
+    /// strategy declared it does not need gradients.
+    pub grad: Option<&'a Tensor>,
+}
+
+/// A pruning heuristic: assigns a saliency score to every weight.
+///
+/// Higher score ⇒ more important ⇒ kept longer. This is the extension
+/// point of the framework — ShrinkBench's design goal is that evaluating
+/// a *new* method requires implementing exactly this trait (mirroring the
+/// Python library's mask-callback API).
+///
+/// # Example: a custom "scaled magnitude" method
+///
+/// ```
+/// use shrinkbench::{Scope, ScoreEntry, Strategy};
+/// use sb_tensor::{Rng, Tensor};
+///
+/// struct ScaledMagnitude;
+///
+/// impl Strategy for ScaledMagnitude {
+///     fn label(&self) -> String { "Scaled Magnitude".into() }
+///     fn scope(&self) -> Scope { Scope::Global }
+///     fn score(&self, entry: &ScoreEntry, _rng: &mut Rng) -> Tensor {
+///         // Normalize each tensor's magnitudes by its own largest one.
+///         let m = entry.value.abs();
+///         let peak = m.max().max(1e-12);
+///         m.scale(1.0 / peak)
+///     }
+/// }
+/// ```
+pub trait Strategy {
+    /// Human-readable method name used in reports and figure legends.
+    fn label(&self) -> String;
+
+    /// Global or layerwise ranking.
+    fn scope(&self) -> Scope;
+
+    /// Whether [`ScoreEntry::grad`] must be populated (the runner will
+    /// evaluate one scoring minibatch before pruning, as in the paper's
+    /// Appendix C.1).
+    fn needs_gradients(&self) -> bool {
+        false
+    }
+
+    /// Computes a score tensor with the same shape as `entry.value`.
+    fn score(&self, entry: &ScoreEntry<'_>, rng: &mut Rng) -> Tensor;
+}
+
+/// **Global Magnitude Pruning** — "prunes the weights with the lowest
+/// absolute value anywhere in the network" (Section 7.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalMagnitude;
+
+impl Strategy for GlobalMagnitude {
+    fn label(&self) -> String {
+        "Global Weight".to_string()
+    }
+    fn scope(&self) -> Scope {
+        Scope::Global
+    }
+    fn score(&self, entry: &ScoreEntry<'_>, _rng: &mut Rng) -> Tensor {
+        entry.value.abs()
+    }
+}
+
+/// **Layerwise Magnitude Pruning** — "for each layer, prunes the weights
+/// with the lowest absolute value" (Section 7.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LayerMagnitude;
+
+impl Strategy for LayerMagnitude {
+    fn label(&self) -> String {
+        "Layer Weight".to_string()
+    }
+    fn scope(&self) -> Scope {
+        Scope::Layerwise
+    }
+    fn score(&self, entry: &ScoreEntry<'_>, _rng: &mut Rng) -> Tensor {
+        entry.value.abs()
+    }
+}
+
+/// **Global Gradient Magnitude Pruning** — "prunes the weights with the
+/// lowest absolute value of (weight × gradient), evaluated on a batch of
+/// inputs" (Section 7.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalGradient;
+
+impl Strategy for GlobalGradient {
+    fn label(&self) -> String {
+        "Global Gradient".to_string()
+    }
+    fn scope(&self) -> Scope {
+        Scope::Global
+    }
+    fn needs_gradients(&self) -> bool {
+        true
+    }
+    fn score(&self, entry: &ScoreEntry<'_>, _rng: &mut Rng) -> Tensor {
+        let grad = entry
+            .grad
+            .expect("GlobalGradient requires gradients; the pruner must supply a scoring batch");
+        (entry.value * grad).abs()
+    }
+}
+
+/// **Layerwise Gradient Magnitude Pruning** — per-layer variant of
+/// [`GlobalGradient`] (Section 7.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LayerGradient;
+
+impl Strategy for LayerGradient {
+    fn label(&self) -> String {
+        "Layer Gradient".to_string()
+    }
+    fn scope(&self) -> Scope {
+        Scope::Layerwise
+    }
+    fn needs_gradients(&self) -> bool {
+        true
+    }
+    fn score(&self, entry: &ScoreEntry<'_>, _rng: &mut Rng) -> Tensor {
+        let grad = entry
+            .grad
+            .expect("LayerGradient requires gradients; the pruner must supply a scoring batch");
+        (entry.value * grad).abs()
+    }
+}
+
+/// **Random Pruning** — "prunes each weight independently with
+/// probability equal to the fraction of the network to be pruned"
+/// (Section 7.2). With [`Scope::Global`] the kept fraction varies by
+/// tensor; with [`Scope::Layerwise`] each tensor keeps the same fraction
+/// (the "random pruning baseline with the same layerwise pruning
+/// proportions" of the Appendix B checklist).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomPruning {
+    scope: Scope,
+}
+
+impl RandomPruning {
+    /// Random pruning ranked globally.
+    pub fn global() -> Self {
+        RandomPruning { scope: Scope::Global }
+    }
+
+    /// Random pruning with per-layer proportions.
+    pub fn layerwise() -> Self {
+        RandomPruning {
+            scope: Scope::Layerwise,
+        }
+    }
+}
+
+impl Strategy for RandomPruning {
+    fn label(&self) -> String {
+        match self.scope {
+            Scope::Global => "Random".to_string(),
+            Scope::Layerwise => "Random (layerwise)".to_string(),
+        }
+    }
+    fn scope(&self) -> Scope {
+        self.scope
+    }
+    fn score(&self, entry: &ScoreEntry<'_>, rng: &mut Rng) -> Tensor {
+        Tensor::rand_uniform(entry.value.dims(), 0.0, 1.0, rng)
+    }
+}
+
+/// Serializable identifier for the built-in strategies, used by
+/// experiment configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// [`GlobalMagnitude`].
+    GlobalMagnitude,
+    /// [`LayerMagnitude`].
+    LayerMagnitude,
+    /// [`GlobalGradient`].
+    GlobalGradient,
+    /// [`LayerGradient`].
+    LayerGradient,
+    /// [`RandomPruning::global`].
+    Random,
+    /// [`RandomPruning::layerwise`].
+    RandomLayerwise,
+    /// [`crate::structured::FilterNorm`] — structured filter pruning.
+    FilterNorm,
+}
+
+impl StrategyKind {
+    /// All five baselines reported in the paper's Figure 7.
+    pub const FIGURE7: [StrategyKind; 5] = [
+        StrategyKind::GlobalMagnitude,
+        StrategyKind::LayerMagnitude,
+        StrategyKind::GlobalGradient,
+        StrategyKind::LayerGradient,
+        StrategyKind::Random,
+    ];
+
+    /// The four non-random baselines reported in the paper's Figure 6
+    /// (ImageNet experiments omit random pruning).
+    pub const FIGURE6: [StrategyKind; 4] = [
+        StrategyKind::GlobalMagnitude,
+        StrategyKind::LayerMagnitude,
+        StrategyKind::GlobalGradient,
+        StrategyKind::LayerGradient,
+    ];
+
+    /// Instantiates the strategy.
+    pub fn build(&self) -> Box<dyn Strategy> {
+        match self {
+            StrategyKind::GlobalMagnitude => Box::new(GlobalMagnitude),
+            StrategyKind::LayerMagnitude => Box::new(LayerMagnitude),
+            StrategyKind::GlobalGradient => Box::new(GlobalGradient),
+            StrategyKind::LayerGradient => Box::new(LayerGradient),
+            StrategyKind::Random => Box::new(RandomPruning::global()),
+            StrategyKind::RandomLayerwise => Box::new(RandomPruning::layerwise()),
+            StrategyKind::FilterNorm => Box::new(crate::structured::FilterNorm),
+        }
+    }
+
+    /// The figure-legend label of the built strategy.
+    pub fn label(&self) -> String {
+        self.build().label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry_with<'a>(value: &'a Tensor, grad: Option<&'a Tensor>) -> ScoreEntry<'a> {
+        ScoreEntry {
+            name: "w",
+            value,
+            grad,
+        }
+    }
+
+    #[test]
+    fn magnitude_scores_are_absolute_values() {
+        let v = Tensor::from_slice(&[-3.0, 1.0, -0.5]);
+        let mut rng = Rng::seed_from(0);
+        let s = GlobalMagnitude.score(&entry_with(&v, None), &mut rng);
+        assert_eq!(s.data(), &[3.0, 1.0, 0.5]);
+        let s2 = LayerMagnitude.score(&entry_with(&v, None), &mut rng);
+        assert_eq!(s2.data(), s.data());
+    }
+
+    #[test]
+    fn gradient_scores_multiply_weight_and_grad() {
+        let v = Tensor::from_slice(&[2.0, -1.0]);
+        let g = Tensor::from_slice(&[-0.5, -3.0]);
+        let mut rng = Rng::seed_from(0);
+        let s = GlobalGradient.score(&entry_with(&v, Some(&g)), &mut rng);
+        assert_eq!(s.data(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires gradients")]
+    fn gradient_strategy_without_grads_panics() {
+        let v = Tensor::from_slice(&[1.0]);
+        let mut rng = Rng::seed_from(0);
+        GlobalGradient.score(&entry_with(&v, None), &mut rng);
+    }
+
+    #[test]
+    fn random_scores_are_deterministic_per_rng() {
+        let v = Tensor::zeros(&[8]);
+        let mut r1 = Rng::seed_from(7);
+        let mut r2 = Rng::seed_from(7);
+        let s1 = RandomPruning::global().score(&entry_with(&v, None), &mut r1);
+        let s2 = RandomPruning::global().score(&entry_with(&v, None), &mut r2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(StrategyKind::GlobalMagnitude.label(), "Global Weight");
+        assert_eq!(StrategyKind::LayerMagnitude.label(), "Layer Weight");
+        assert_eq!(StrategyKind::GlobalGradient.label(), "Global Gradient");
+        assert_eq!(StrategyKind::LayerGradient.label(), "Layer Gradient");
+        assert_eq!(StrategyKind::Random.label(), "Random");
+    }
+
+    #[test]
+    fn needs_gradients_flags() {
+        assert!(!GlobalMagnitude.needs_gradients());
+        assert!(GlobalGradient.needs_gradients());
+        assert!(LayerGradient.needs_gradients());
+        assert!(!RandomPruning::global().needs_gradients());
+    }
+
+    #[test]
+    fn kind_round_trips_through_serde() {
+        for kind in StrategyKind::FIGURE7 {
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: StrategyKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, kind);
+        }
+    }
+}

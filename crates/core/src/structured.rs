@@ -1,0 +1,184 @@
+//! Structured (filter-level) pruning — the "structure" axis of the
+//! paper's Section 2.3.
+//!
+//! Unstructured pruning produces element-sparse tensors that real dense
+//! hardware cannot exploit directly; structured pruning removes whole
+//! convolution filters (output channels), keeping the computation dense
+//! (Li et al. 2016). This module provides:
+//!
+//! * [`prune_filters`] — exact filter-granular masking by smallest L1
+//!   norm, the Li et al. heuristic;
+//! * [`FilterNorm`] — a [`Strategy`] adapter so structured pruning can be
+//!   swept by the same experiment harness as the unstructured baselines
+//!   (each weight is scored by its filter's norm; at most one boundary
+//!   filter per layer is split by the top-k cut).
+
+use crate::strategy::{Scope, ScoreEntry, Strategy};
+use sb_nn::{Network, ParamKind};
+use sb_tensor::{Rng, Tensor};
+
+/// Masks the fraction `prune_fraction` of each convolution's filters with
+/// the smallest L1 norms (rounding down, so at least one filter always
+/// survives). Linear weights and the classifier are untouched.
+///
+/// Returns the number of filters removed.
+///
+/// # Panics
+///
+/// Panics if `prune_fraction` is outside `[0, 1)`.
+pub fn prune_filters(network: &mut dyn Network, prune_fraction: f64) -> usize {
+    assert!(
+        (0.0..1.0).contains(&prune_fraction),
+        "prune_fraction must be in [0, 1)"
+    );
+    let mut removed = 0usize;
+    network.visit_params(&mut |p| {
+        if p.kind() != ParamKind::ConvWeight {
+            return;
+        }
+        let dims = p.value().dims().to_vec();
+        let (filters, patch) = (dims[0], dims[1]);
+        let mut norms: Vec<(usize, f32)> = (0..filters)
+            .map(|f| {
+                let row = &p.value().data()[f * patch..(f + 1) * patch];
+                (f, row.iter().map(|v| v.abs()).sum())
+            })
+            .collect();
+        norms.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let kill = ((filters as f64 * prune_fraction) as usize).min(filters - 1);
+        let mut mask = Tensor::ones(&dims);
+        for &(f, _) in norms.iter().take(kill) {
+            for v in &mut mask.data_mut()[f * patch..(f + 1) * patch] {
+                *v = 0.0;
+            }
+        }
+        removed += kill;
+        p.set_mask(mask);
+    });
+    removed
+}
+
+/// Filter-norm scoring as a [`Strategy`]: every weight inherits its
+/// filter's mean absolute value, so layerwise top-k keeps whole filters
+/// (up to one split boundary filter per layer). Non-convolutional weights
+/// fall back to plain magnitude so the strategy composes with
+/// fully-connected heads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FilterNorm;
+
+impl Strategy for FilterNorm {
+    fn label(&self) -> String {
+        "Filter Norm (structured)".to_string()
+    }
+
+    fn scope(&self) -> Scope {
+        Scope::Layerwise
+    }
+
+    fn score(&self, entry: &ScoreEntry<'_>, _rng: &mut Rng) -> Tensor {
+        let dims = entry.value.dims();
+        if dims.len() != 2 || !entry.name.contains("conv") {
+            return entry.value.abs();
+        }
+        let (filters, patch) = (dims[0], dims[1]);
+        let mut scores = Tensor::zeros(dims);
+        for f in 0..filters {
+            let row = &entry.value.data()[f * patch..(f + 1) * patch];
+            let norm: f32 = row.iter().map(|v| v.abs()).sum::<f32>() / patch as f32;
+            for v in &mut scores.data_mut()[f * patch..(f + 1) * patch] {
+                *v = norm;
+            }
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_metrics::ModelProfile;
+    use sb_nn::models;
+    use sb_tensor::Rng;
+
+    #[test]
+    fn prune_filters_removes_whole_rows() {
+        let mut rng = Rng::seed_from(0);
+        let mut net = models::lenet5(1, 16, 10, &mut rng);
+        let removed = prune_filters(&mut net, 0.5);
+        assert!(removed > 0);
+        net.visit_params_ref(&mut |p| {
+            if p.kind() != ParamKind::ConvWeight {
+                return;
+            }
+            let dims = p.value().dims();
+            let (filters, patch) = (dims[0], dims[1]);
+            let mask = p.mask().expect("conv weights masked");
+            for f in 0..filters {
+                let row = &mask.data()[f * patch..(f + 1) * patch];
+                let sum: f32 = row.iter().sum();
+                assert!(
+                    sum == 0.0 || sum == patch as f32,
+                    "filter {f} partially masked"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn prune_filters_keeps_at_least_one() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = models::lenet5(1, 16, 10, &mut rng);
+        prune_filters(&mut net, 0.99);
+        net.visit_params_ref(&mut |p| {
+            if p.kind() == ParamKind::ConvWeight {
+                assert!(p.effective_params() > 0);
+            }
+        });
+    }
+
+    #[test]
+    fn structured_pruning_reduces_flops() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = models::lenet5(1, 16, 10, &mut rng);
+        prune_filters(&mut net, 0.5);
+        let p = ModelProfile::measure(&net);
+        assert!(p.theoretical_speedup() > 1.3);
+    }
+
+    #[test]
+    fn filter_norm_scores_are_row_constant() {
+        let mut rng = Rng::seed_from(3);
+        let value = Tensor::rand_normal(&[4, 9], 0.0, 1.0, &mut rng);
+        let entry = ScoreEntry {
+            name: "stage1.conv1.weight",
+            value: &value,
+            grad: None,
+        };
+        let scores = FilterNorm.score(&entry, &mut rng);
+        for f in 0..4 {
+            let row = &scores.data()[f * 9..(f + 1) * 9];
+            assert!(row.iter().all(|&v| v == row[0]));
+        }
+    }
+
+    #[test]
+    fn filter_norm_falls_back_to_magnitude_for_linear() {
+        let mut rng = Rng::seed_from(4);
+        let value = Tensor::from_slice(&[-1.0, 2.0]);
+        let entry = ScoreEntry {
+            name: "fc1.weight",
+            value: &value,
+            grad: None,
+        };
+        let scores = FilterNorm.score(&entry, &mut rng);
+        assert_eq!(scores.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "prune_fraction")]
+    fn full_fraction_rejected() {
+        let mut rng = Rng::seed_from(5);
+        let mut net = models::lenet5(1, 16, 10, &mut rng);
+        prune_filters(&mut net, 1.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Interaction of the iterative schedule with weight policies and mask
+//! monotonicity.
+
+use sb_data::{batches_of, DatasetSpec, Split, SyntheticVision};
+use sb_nn::{models, Adam, Network, NetworkExt, TrainConfig, Trainer};
+use sb_tensor::Rng;
+use shrinkbench::{
+    prune_and_retrain, FinetuneConfig, GlobalMagnitude, ScheduleKind, WeightPolicy,
+};
+
+fn setup() -> (SyntheticVision, models::Model, Vec<sb_nn::ParamSnapshot>) {
+    let data = SyntheticVision::new(DatasetSpec::mnist_like(9).scaled_down(16));
+    let mut rng = Rng::seed_from(0);
+    let spec = data.spec();
+    let mut net = models::mlp(spec.channels * spec.side * spec.side, &[16], spec.classes, &mut rng);
+    let init = net.snapshot();
+    let mut opt = Adam::new(1e-3);
+    let trainer = Trainer::new(TrainConfig { epochs: 3, ..TrainConfig::default() });
+    let mut erng = Rng::seed_from(1);
+    trainer
+        .fit(
+            &mut net,
+            &mut opt,
+            |_| {
+                let mut fork = erng.fork(0);
+                batches_of(&data, Split::Train, 32, Some(&mut fork), true)
+            },
+            &[],
+        )
+        .unwrap();
+    (data, net, init)
+}
+
+#[test]
+fn iterative_rewind_reaches_target_with_monotone_masks() {
+    let (data, mut net, init) = setup();
+    let config = FinetuneConfig {
+        epochs: 2,
+        patience: None,
+        flatten_input: true,
+        schedule: ScheduleKind::Iterative { iterations: 2 },
+        weight_policy: WeightPolicy::RewindToInit,
+        ..FinetuneConfig::default()
+    };
+    let mut rng = Rng::seed_from(2);
+    let result =
+        prune_and_retrain(&mut net, &GlobalMagnitude, 8.0, &data, &config, Some(&init), &mut rng)
+            .unwrap();
+    assert!((result.compression - 8.0).abs() / 8.0 < 0.05, "{}", result.compression);
+    // Masks installed, and pruned weights exactly zero.
+    let mut masked_tensors = 0;
+    net.visit_params(&mut |p| {
+        if let Some(mask) = p.mask() {
+            masked_tensors += 1;
+            let mask = mask.clone();
+            for (v, m) in p.value().data().iter().zip(mask.data()) {
+                if *m == 0.0 {
+                    assert_eq!(*v, 0.0);
+                }
+            }
+        }
+    });
+    assert!(masked_tensors > 0);
+}
+
+#[test]
+fn iterative_reinit_is_deterministic() {
+    let run = || {
+        let (data, mut net, init) = setup();
+        let config = FinetuneConfig {
+            epochs: 2,
+            patience: None,
+            flatten_input: true,
+            schedule: ScheduleKind::Iterative { iterations: 3 },
+            weight_policy: WeightPolicy::Reinitialize,
+            ..FinetuneConfig::default()
+        };
+        let mut rng = Rng::seed_from(7);
+        let r = prune_and_retrain(
+            &mut net,
+            &GlobalMagnitude,
+            4.0,
+            &data,
+            &config,
+            Some(&init),
+            &mut rng,
+        )
+        .unwrap();
+        (r.compression, r.after_finetune.top1)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,173 @@
+//! Behavioural tests for the fine-tuning-axis extension
+//! ([`WeightPolicy`]): rewind-to-init and reinitialize.
+
+use sb_data::{batches_of, DatasetSpec, Split, SyntheticVision};
+use sb_nn::{models, Adam, Network, NetworkExt, ParamSnapshot, TrainConfig, Trainer};
+use sb_tensor::Rng;
+use shrinkbench::{
+    prune_and_retrain, FinetuneConfig, GlobalMagnitude, OptimizerKind, WeightPolicy,
+};
+
+fn setup() -> (SyntheticVision, models::Model, Vec<ParamSnapshot>) {
+    let data = SyntheticVision::new(DatasetSpec::mnist_like(2).scaled_down(16));
+    let mut rng = Rng::seed_from(0);
+    let spec = data.spec();
+    let mut net = models::mlp(spec.channels * spec.side * spec.side, &[16], spec.classes, &mut rng);
+    let init = net.snapshot();
+    let mut opt = Adam::new(1e-3);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 4,
+        ..TrainConfig::default()
+    });
+    let mut erng = Rng::seed_from(1);
+    trainer
+        .fit(
+            &mut net,
+            &mut opt,
+            |_| {
+                let mut fork = erng.fork(0);
+                batches_of(&data, Split::Train, 32, Some(&mut fork), true)
+            },
+            &[],
+        )
+        .unwrap();
+    (data, net, init)
+}
+
+fn config(policy: WeightPolicy, lr: f32) -> FinetuneConfig {
+    FinetuneConfig {
+        epochs: 1,
+        patience: None,
+        flatten_input: true,
+        optimizer: OptimizerKind::Adam { lr },
+        weight_policy: policy,
+        ..FinetuneConfig::default()
+    }
+}
+
+#[test]
+fn rewind_restores_surviving_weights_to_init() {
+    let (data, mut net, init) = setup();
+    let mut rng = Rng::seed_from(5);
+    // Learning rate ~0 so training barely moves the rewound weights.
+    prune_and_retrain(
+        &mut net,
+        &GlobalMagnitude,
+        2.0,
+        &data,
+        &config(WeightPolicy::RewindToInit, 1e-12),
+        Some(&init),
+        &mut rng,
+    )
+    .unwrap();
+    let mut k = 0usize;
+    let mut checked = 0usize;
+    net.visit_params(&mut |p| {
+        if let Some(mask) = p.mask() {
+            let mask = mask.clone();
+            for ((v, m), v0) in p
+                .value()
+                .data()
+                .iter()
+                .zip(mask.data())
+                .zip(init[k].value.data())
+            {
+                if *m == 1.0 {
+                    assert!(
+                        (*v - *v0).abs() < 1e-4,
+                        "surviving weight not rewound: {v} vs init {v0}"
+                    );
+                    checked += 1;
+                } else {
+                    assert_eq!(*v, 0.0, "pruned weight must stay zero after rewind");
+                }
+            }
+        }
+        k += 1;
+    });
+    assert!(checked > 0, "no masked parameters were checked");
+}
+
+#[test]
+#[should_panic(expected = "requires an initialization snapshot")]
+fn rewind_without_snapshot_panics() {
+    let (data, mut net, _) = setup();
+    let mut rng = Rng::seed_from(6);
+    let _ = prune_and_retrain(
+        &mut net,
+        &GlobalMagnitude,
+        2.0,
+        &data,
+        &config(WeightPolicy::RewindToInit, 1e-3),
+        None,
+        &mut rng,
+    );
+}
+
+#[test]
+fn reinitialize_discards_trained_weights() {
+    let (data, mut net, init) = setup();
+    let trained = net.snapshot();
+    let mut rng = Rng::seed_from(7);
+    prune_and_retrain(
+        &mut net,
+        &GlobalMagnitude,
+        2.0,
+        &data,
+        &config(WeightPolicy::Reinitialize, 1e-12),
+        Some(&init),
+        &mut rng,
+    )
+    .unwrap();
+    // Surviving weights must differ from the trained values (fresh init).
+    let mut k = 0usize;
+    let mut differing = 0usize;
+    let mut total = 0usize;
+    net.visit_params(&mut |p| {
+        if p.mask().is_some() {
+            for (v, v_trained) in p.value().data().iter().zip(trained[k].value.data()) {
+                if *v != 0.0 {
+                    total += 1;
+                    if (*v - *v_trained).abs() > 1e-6 {
+                        differing += 1;
+                    }
+                }
+            }
+        }
+        k += 1;
+    });
+    assert!(total > 0);
+    assert!(
+        differing as f64 > 0.9 * total as f64,
+        "only {differing}/{total} surviving weights were reinitialized"
+    );
+}
+
+#[test]
+fn finetune_policy_keeps_trained_weights() {
+    let (data, mut net, init) = setup();
+    let trained = net.snapshot();
+    let mut rng = Rng::seed_from(8);
+    prune_and_retrain(
+        &mut net,
+        &GlobalMagnitude,
+        2.0,
+        &data,
+        &config(WeightPolicy::Finetune, 1e-12),
+        Some(&init),
+        &mut rng,
+    )
+    .unwrap();
+    // Surviving weights still equal the trained values (lr ≈ 0).
+    let mut k = 0usize;
+    net.visit_params(&mut |p| {
+        if p.mask().is_some() {
+            for (v, v_trained) in p.value().data().iter().zip(trained[k].value.data()) {
+                if *v != 0.0 {
+                    assert!((*v - *v_trained).abs() < 1e-4);
+                }
+            }
+        }
+        k += 1;
+    });
+}

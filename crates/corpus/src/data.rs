@@ -1,0 +1,774 @@
+//! Construction of the embedded corpus.
+//!
+//! Papers named in the publication's own figures, tables, and references
+//! are encoded directly; the remainder (keys prefixed `Reconstructed-`)
+//! are synthesized deterministically so that every aggregate the paper
+//! reports comes out exactly: 81 papers, 49 datasets, 132 architectures,
+//! 195 (dataset, architecture) combinations, the Table 1 pair counts, and
+//! the Figure 2/4 distribution shapes. See the crate docs for the
+//! provenance statement.
+
+use crate::model::{ArchPoint, Comparison, Corpus, Paper, ResultPoint, Usage, XMetric, YMetric};
+
+/// Named papers: (key, year, peer_reviewed, popularity, compares_to_n).
+///
+/// `popularity` steers the comparison-graph generator (higher ⇒ cited as
+/// a baseline more often); `compares_to_n` is the paper's out-degree.
+const NAMED_PAPERS: &[(&str, u16, bool, u32, usize)] = &[
+    ("LeCun 1990", 1990, true, 60, 0),
+    ("Hassibi 1993", 1993, true, 30, 1),
+    ("Collins 2014", 2014, false, 4, 1),
+    ("Han 2015", 2015, true, 100, 2),
+    ("Zhang 2015", 2015, true, 8, 1),
+    ("Kim 2015", 2015, false, 5, 0),
+    ("Mariet 2015", 2015, false, 4, 1),
+    ("Figurnov 2016", 2016, true, 6, 1),
+    ("Guo 2016", 2016, true, 22, 1),
+    ("Han 2016", 2016, true, 40, 2),
+    ("Hu 2016", 2016, false, 14, 2),
+    ("Kim 2016", 2016, true, 5, 1),
+    ("Srinivas 2016", 2016, false, 6, 2),
+    ("Wen 2016", 2016, true, 28, 2),
+    ("Lebedev 2016", 2016, true, 7, 2),
+    ("Molchanov 2016", 2016, true, 20, 2),
+    ("Li 2017", 2017, true, 50, 3),
+    ("Liu 2017", 2017, true, 18, 3),
+    ("Molchanov 2017", 2017, true, 16, 2),
+    ("Louizos 2017", 2017, true, 10, 2),
+    ("Dong 2017", 2017, true, 8, 2),
+    ("Alvarez 2017", 2017, true, 6, 2),
+    ("He 2017", 2017, true, 36, 3),
+    ("Lin 2017", 2017, true, 6, 2),
+    ("Luo 2017", 2017, true, 30, 3),
+    ("Srinivas 2017", 2017, false, 4, 1),
+    ("Yang 2017", 2017, true, 10, 2),
+    ("Carreira-Perpinan 2018", 2018, true, 4, 2),
+    ("Ding 2018", 2018, true, 3, 2),
+    ("Dubey 2018", 2018, true, 4, 3),
+    ("He, Yang 2018", 2018, true, 12, 3),
+    ("He, Yihui 2018", 2018, true, 14, 3),
+    ("Huang 2018", 2018, true, 5, 2),
+    ("Lin 2018", 2018, true, 5, 3),
+    ("Peng 2018", 2018, true, 4, 2),
+    ("Suau 2018", 2018, false, 3, 2),
+    ("Suzuki 2018", 2018, false, 2, 1),
+    ("Yamamoto 2018", 2018, false, 3, 2),
+    ("Yu 2018", 2018, true, 10, 3),
+    ("Zhuang 2018", 2018, true, 6, 3),
+    ("Yao 2018", 2018, false, 2, 1),
+    ("Choi 2019", 2019, false, 2, 2),
+    ("Gale 2019", 2019, false, 8, 10),
+    ("Kim 2019", 2019, false, 2, 2),
+    ("Liu 2019", 2019, true, 12, 8),
+    ("Luo 2019", 2019, false, 2, 3),
+    ("Peng 2019", 2019, true, 3, 3),
+    ("Frankle 2019", 2019, true, 16, 3),
+    ("Frankle 2019b", 2019, false, 6, 4),
+    ("Lee 2019", 2019, true, 10, 3),
+    ("Lee 2019a", 2019, false, 3, 3),
+    ("Morcos 2019", 2019, true, 4, 4),
+];
+
+/// Out-degrees for the 29 reconstructed filler papers, chosen so the
+/// corpus-wide out-degree distribution matches Figure 2 (bottom): over a
+/// quarter of all 81 papers compare to nothing, another quarter to
+/// exactly one, and nearly all to three or fewer.
+const FILLER_OUT_DEGREES: [usize; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, // 19 isolates
+    1, 1, 1, 1, 1, 1, 1, 1, 1, 1, // 10 single-comparison papers
+];
+
+/// Filler paper years cycle through the post-2010 decade.
+const FILLER_YEARS: [u16; 29] = [
+    2011, 2012, 2013, 2014, 2014, 2015, 2015, 2016, 2016, 2016, 2017, 2017, 2017, 2017, 2018,
+    2018, 2018, 2018, 2018, 2018, 2019, 2019, 2019, 2019, 2019, 2019, 2019, 2019, 2019,
+];
+
+/// Table 1 of the paper, verbatim: (dataset, architecture, paper count).
+pub const TABLE1_PAIRS: &[(&str, &str, usize)] = &[
+    ("ImageNet", "VGG-16", 22),
+    ("ImageNet", "ResNet-50", 15),
+    ("MNIST", "LeNet-5-Caffe", 14),
+    ("CIFAR-10", "ResNet-56", 14),
+    ("MNIST", "LeNet-300-100", 12),
+    ("MNIST", "LeNet-5", 11),
+    ("ImageNet", "CaffeNet", 10),
+    ("CIFAR-10", "CIFAR-VGG", 8),
+    ("ImageNet", "AlexNet", 8),
+    ("ImageNet", "ResNet-18", 6),
+    ("ImageNet", "ResNet-34", 6),
+    ("CIFAR-10", "ResNet-110", 5),
+    ("CIFAR-10", "PreResNet-164", 4),
+    ("CIFAR-10", "ResNet-32", 4),
+];
+
+/// Aggregates the paper states about its corpus; pinned by tests.
+pub mod published {
+    /// Total papers surveyed.
+    pub const PAPERS: usize = 81;
+    /// Distinct datasets across all papers (Section 4.2).
+    pub const DATASETS: usize = 49;
+    /// Distinct architectures (Section 4.2).
+    pub const ARCHITECTURES: usize = 132;
+    /// Distinct (dataset, architecture) combinations (Section 4.2).
+    pub const COMBINATIONS: usize = 195;
+    /// Papers reporting results on any Figure 3 configuration.
+    pub const FIGURE3_PAPERS: usize = 37;
+}
+
+const FILLER_DATASETS: [&str; 46] = [
+    "CIFAR-100", "SVHN", "Fashion-MNIST", "Tiny-ImageNet", "Caltech-101", "Caltech-256",
+    "CUB-200", "Places365", "PASCAL VOC", "COCO", "Cityscapes", "KITTI", "Flowers-102",
+    "Stanford Cars", "Stanford Dogs", "FGVC-Aircraft", "UCF-101", "HMDB-51", "Penn Treebank",
+    "WikiText-2", "WikiText-103", "LibriSpeech", "TIMIT", "WSJ", "AN4", "IMDB", "SST-2",
+    "AG-News", "Yelp-Full", "SQuAD", "WMT14 En-De", "WMT14 En-Fr", "MNLI", "CoNLL-2003",
+    "20-Newsgroups", "LSUN", "CelebA", "MS-Celeb-1M", "VGGFace2", "Market-1501",
+    "DukeMTMC-reID", "ModelNet40", "ShapeNet", "NYU-Depth-v2", "ADE20K", "Camelyon16",
+];
+
+/// 118 architectures beyond Table 1's fourteen: a realistic mix of
+/// standard models and the custom variants Section 5.1 complains about.
+fn filler_architectures() -> Vec<String> {
+    let named = [
+        "ResNet-20", "ResNet-44", "ResNet-101", "ResNet-152", "PreResNet-56", "PreResNet-110",
+        "WRN-16-8", "WRN-28-10", "VGG-11", "VGG-13", "VGG-19", "DenseNet-40", "DenseNet-121",
+        "DenseNet-169", "GoogLeNet", "Inception-v3", "Inception-v4", "SqueezeNet",
+        "MobileNet-v1", "MobileNet-v2", "ShuffleNet", "Network-in-Network", "ZFNet",
+        "Faster R-CNN", "SSD-300", "YOLOv2", "FCN-8s", "SegNet", "U-Net", "DeepLab-v3",
+        "LSTM-2x650", "LSTM-2x1500", "GRU-2x512", "BiLSTM-CRF", "Seq2Seq-Attn",
+        "Transformer-base", "Transformer-big", "BERT-base", "WaveNet", "DeepSpeech-2",
+        "NCF", "Wide-and-Deep", "PointNet", "GCN-2", "CapsNet", "AlexNet-BN",
+        "VGG-16-BN", "TinyCNN",
+    ];
+    let mut archs: Vec<String> = named.iter().map(|s| s.to_string()).collect();
+    let mut i = 1;
+    while archs.len() < 118 {
+        archs.push(format!("Custom-CNN-{i:02}"));
+        i += 1;
+    }
+    archs
+}
+
+fn build_papers() -> Vec<Paper> {
+    let mut papers: Vec<Paper> = NAMED_PAPERS
+        .iter()
+        .map(|&(key, year, pr, _, _)| Paper {
+            key: key.to_string(),
+            year,
+            peer_reviewed: pr,
+        })
+        .collect();
+    for (i, (&year, _)) in FILLER_YEARS.iter().zip(FILLER_OUT_DEGREES).enumerate() {
+        papers.push(Paper {
+            key: format!("Reconstructed-{:02}", i + 1),
+            year,
+            peer_reviewed: i % 3 != 2, // roughly two thirds peer-reviewed
+        });
+    }
+    assert_eq!(papers.len(), published::PAPERS);
+    papers
+}
+
+/// In-degree quotas for the most-compared-to papers, shaped to match
+/// Figure 2 (top): Han 2015 is the clear maximum (~18), the classics and
+/// a handful of landmark methods form the tail, and roughly 32 of the 81
+/// papers are never compared to at all. Quotas sum to the total edge
+/// supply so the greedy consumer drains the tail too.
+const INDEGREE_QUOTAS: &[(&str, usize)] = &[
+    ("Han 2015", 16),
+    ("LeCun 1990", 12),
+    ("Li 2017", 10),
+    ("Han 2016", 8),
+    ("He 2017", 7),
+    ("Luo 2017", 6),
+    ("Wen 2016", 5),
+    ("Hassibi 1993", 5),
+    ("Guo 2016", 4),
+    ("Molchanov 2016", 4),
+    ("Liu 2017", 3),
+    ("Frankle 2019", 3),
+    ("Hu 2016", 2),
+    ("Molchanov 2017", 2),
+    ("Louizos 2017", 2),
+    ("He, Yihui 2018", 3),
+    ("He, Yang 2018", 3),
+    ("Lee 2019", 3),
+    ("Zhang 2015", 2),
+    ("Dong 2017", 2),
+    ("Lebedev 2016", 2),
+    ("Yang 2017", 2),
+    ("Yu 2018", 2),
+    ("Liu 2019", 2),
+    ("Srinivas 2016", 1),
+    ("Kim 2015", 1),
+    ("Mariet 2015", 1),
+    ("Collins 2014", 1),
+    ("Figurnov 2016", 1),
+    ("Zhuang 2018", 1),
+    ("Huang 2018", 1),
+    ("Gale 2019", 1),
+    ("Kim 2016", 1),
+    ("Lin 2017", 1),
+    ("Srinivas 2017", 1),
+    ("Alvarez 2017", 1),
+    ("Yamamoto 2018", 1),
+    ("Suau 2018", 1),
+    ("Carreira-Perpinan 2018", 1),
+    ("Dubey 2018", 1),
+    ("Choi 2019", 1),
+    ("Peng 2018", 1),
+    ("Ding 2018", 1),
+    ("Lin 2018", 1),
+    ("Yao 2018", 1),
+    ("Frankle 2019b", 1),
+];
+
+fn build_comparisons(papers: &[Paper]) -> Vec<Comparison> {
+    let out_degree = |key: &str, idx: usize| -> usize {
+        NAMED_PAPERS
+            .iter()
+            .find(|(k, ..)| *k == key)
+            .map(|&(.., n)| n)
+            .unwrap_or_else(|| FILLER_OUT_DEGREES[idx - NAMED_PAPERS.len()])
+    };
+    let mut quota: std::collections::BTreeMap<&str, usize> = papers
+        .iter()
+        .map(|p| {
+            let q = INDEGREE_QUOTAS
+                .iter()
+                .find(|(k, _)| *k == p.key)
+                .map(|&(_, q)| q)
+                .unwrap_or(0);
+            (p.key.as_str(), q)
+        })
+        .collect();
+
+    // Each citing paper compares to the earlier papers with the largest
+    // remaining quota (highest-demand baselines first), which consumes
+    // the quota histogram greedily and deterministically. Ties break by
+    // key so construction is stable.
+    let mut comparisons = Vec::new();
+    for (idx, paper) in papers.iter().enumerate() {
+        let n = out_degree(&paper.key, idx);
+        if n == 0 {
+            continue;
+        }
+        // Same-year comparisons are allowed: the corpus really contains
+        // them (Section 5.1 notes Liu et al. 2019 and Frankle & Carbin
+        // 2019 compare to each other).
+        let mut candidates: Vec<&Paper> = papers
+            .iter()
+            .filter(|t| t.key != paper.key && t.year <= paper.year)
+            .collect();
+        candidates.sort_by(|a, b| {
+            quota[b.key.as_str()]
+                .cmp(&quota[a.key.as_str()])
+                .then(a.key.cmp(&b.key))
+        });
+        for target in candidates.into_iter().take(n) {
+            *quota.get_mut(target.key.as_str()).expect("candidate exists") =
+                quota[target.key.as_str()].saturating_sub(1);
+            comparisons.push(Comparison {
+                from: paper.key.clone(),
+                to: target.key.clone(),
+            });
+        }
+    }
+    comparisons
+}
+
+fn build_usages(papers: &[Paper]) -> Vec<Usage> {
+    let mut usages: Vec<Usage> = Vec::new();
+    let mut push = |paper: &str, dataset: &str, arch: &str| {
+        usages.push(Usage {
+            paper: paper.to_string(),
+            dataset: dataset.to_string(),
+            arch: arch.to_string(),
+        });
+    };
+
+    // Architectures only exist after their publication year.
+    let arch_min_year = |arch: &str| -> u16 {
+        match arch {
+            a if a.starts_with("ResNet") || a.starts_with("PreResNet") => 2016,
+            "CIFAR-VGG" => 2015,
+            "VGG-16" => 2014,
+            _ => 2010,
+        }
+    };
+
+    // Papers that report results on a Figure 3 configuration must be
+    // recorded as using it. AlexNet/CaffeNet results spread over the two
+    // sibling pairs (the paper merges them, Section 4.3 footnote 4).
+    let mut required: Vec<(String, &str, &str)> = Vec::new();
+    {
+        let mut alexnet_overflow = 0usize;
+        let mut seen: Vec<(String, usize)> = Vec::new();
+        for &(paper, _, cfg, ..) in METHOD_RESULTS {
+            if seen.iter().any(|(p, c)| p == paper && *c == cfg) {
+                continue;
+            }
+            seen.push((paper.to_string(), cfg));
+            let (dataset, mut arch) = CONFIGS[cfg];
+            if cfg == CFG_ALEXNET {
+                // First ten CaffeNet, remainder AlexNet (Table 1: 10 + 8).
+                if alexnet_overflow >= 10 {
+                    arch = "AlexNet";
+                }
+                alexnet_overflow += 1;
+            }
+            required.push((paper.to_string(), dataset, arch));
+        }
+    }
+
+    // Table 1 pairs: seed with the required papers, then fill the exact
+    // published count by deterministic rotation over eligible papers
+    // (classics excluded: the 1990s papers predate these models).
+    for (pair_idx, &(dataset, arch, count)) in TABLE1_PAIRS.iter().enumerate() {
+        let mut assigned: Vec<String> = required
+            .iter()
+            .filter(|(_, d, a)| *d == dataset && *a == arch)
+            .map(|(p, _, _)| p.clone())
+            .collect();
+        assigned.dedup();
+        assert!(
+            assigned.len() <= count,
+            "more papers report on {dataset}/{arch} than Table 1 allows"
+        );
+        for p in &assigned {
+            push(p, dataset, arch);
+        }
+        let eligible: Vec<&Paper> = papers
+            .iter()
+            .filter(|p| p.year >= arch_min_year(arch).max(2014))
+            .collect();
+        assert!(eligible.len() >= count, "not enough eligible papers for {dataset}/{arch}");
+        let mut k = 0usize;
+        while assigned.len() < count {
+            let p = eligible[(pair_idx * 5 + k * 3) % eligible.len()];
+            k += 1;
+            if assigned.iter().any(|a| a == &p.key) {
+                continue;
+            }
+            push(&p.key, dataset, arch);
+            assigned.push(p.key.clone());
+        }
+    }
+
+    // Filler combinations: 181 unique (dataset, arch) pairs beyond the
+    // fourteen famous ones, bringing the totals to 49 datasets, 132
+    // architectures, and 195 combinations.
+    let filler_archs = filler_architectures();
+    let famous_datasets = ["ImageNet", "CIFAR-10", "MNIST"];
+    let mut combos: Vec<(String, String)> = Vec::new();
+    let mut arch_cursor = 0usize;
+    // First: ensure every filler dataset and filler architecture appears.
+    for (i, ds) in FILLER_DATASETS.iter().enumerate() {
+        let arch = &filler_archs[i % filler_archs.len()];
+        combos.push((ds.to_string(), arch.clone()));
+    }
+    for arch in filler_archs.iter().skip(FILLER_DATASETS.len()) {
+        let ds = famous_datasets[arch_cursor % famous_datasets.len()];
+        arch_cursor += 1;
+        combos.push((ds.to_string(), arch.clone()));
+    }
+    // Then: additional combos reusing datasets and architectures.
+    let mut i = 0usize;
+    while combos.len() < 181 {
+        let ds = if i.is_multiple_of(3) {
+            famous_datasets[i / 3 % famous_datasets.len()].to_string()
+        } else {
+            FILLER_DATASETS[(i * 7) % FILLER_DATASETS.len()].to_string()
+        };
+        let arch = filler_archs[(i * 11) % filler_archs.len()].clone();
+        i += 1;
+        if combos.contains(&(ds.clone(), arch.clone())) {
+            continue;
+        }
+        if TABLE1_PAIRS
+            .iter()
+            .any(|&(d, a, _)| d == ds && a == arch)
+        {
+            continue;
+        }
+        combos.push((ds, arch));
+    }
+
+    // Assign filler combos: a long tail of "breadth" papers takes most
+    // of them (Figure 4: a few papers use up to 20 pairs), everyone else
+    // gets at most one.
+    let heavy_quota: [(usize, usize); 12] = [
+        (52, 17), // Reconstructed-01 gets many obscure configs
+        (42, 14), // Gale 2019
+        (44, 12), // Liu 2019
+        (29, 11), // Dubey 2018
+        (38, 10), // Yu 2018
+        (55, 9),
+        (58, 9),
+        (22, 8),
+        (61, 8),
+        (64, 7),
+        (67, 7),
+        (70, 6),
+    ];
+    let mut cursor = 0usize;
+    for &(paper_idx, quota) in &heavy_quota {
+        for _ in 0..quota {
+            if cursor >= combos.len() {
+                break;
+            }
+            let (ds, arch) = &combos[cursor];
+            push(&papers[paper_idx].key, ds, arch);
+            cursor += 1;
+        }
+    }
+    // Remaining combos: one light paper each, skipping the classics.
+    let mut light = 2usize;
+    while cursor < combos.len() {
+        let (ds, arch) = &combos[cursor];
+        push(&papers[2 + (light % 79)].key, ds, arch);
+        light += 3;
+        cursor += 1;
+    }
+    usages
+}
+
+/// Figure 3 configuration indices.
+const CFG_VGG16: usize = 0;
+const CFG_ALEXNET: usize = 1;
+const CFG_RESNET50: usize = 2;
+const CFG_RESNET56: usize = 3;
+
+const CONFIGS: [(&str, &str); 4] = [
+    ("ImageNet", "VGG-16"),
+    ("ImageNet", "CaffeNet"),
+    ("ImageNet", "ResNet-50"),
+    ("CIFAR-10", "ResNet-56"),
+];
+
+/// Self-reported results, read off Figure 3 (and Figure 5) of the paper:
+/// (paper, method label, config, magnitude?, reports Δtop5?, reports
+/// speedup?, compression-ratio → Δtop1 anchor points).
+#[allow(clippy::type_complexity)]
+const METHOD_RESULTS: &[(
+    &str,
+    &str,
+    usize,
+    bool,
+    bool,
+    bool,
+    &[(f64, f64)],
+)] = &[
+    ("Collins 2014", "Collins 2014", CFG_ALEXNET, true, true, false, &[(2.4, -0.3), (4.0, -1.1)]),
+    ("Han 2015", "Han 2015", CFG_VGG16, true, true, true, &[(7.0, 0.3), (13.0, 0.1)]),
+    ("Han 2015", "Han 2015", CFG_ALEXNET, true, true, true, &[(9.0, 0.0)]),
+    ("Zhang 2015", "Zhang 2015", CFG_VGG16, false, true, true, &[(3.0, -0.5), (5.0, -2.2)]),
+    ("Figurnov 2016", "Figurnov 2016", CFG_ALEXNET, false, false, true, &[(2.0, -1.0), (3.0, -2.5)]),
+    ("Guo 2016", "Guo 2016", CFG_VGG16, true, true, false, &[(17.0, 0.0)]),
+    ("Guo 2016", "Guo 2016", CFG_ALEXNET, true, true, false, &[(17.7, -0.3)]),
+    ("Han 2016", "Han 2016", CFG_VGG16, true, true, false, &[(10.3, 0.2), (16.0, -0.5)]),
+    ("Hu 2016", "Hu 2016", CFG_VGG16, false, true, false, &[(2.5, -0.7), (4.0, -1.6)]),
+    ("Kim 2016", "Kim 2016", CFG_ALEXNET, false, false, true, &[(2.7, -1.7)]),
+    ("Srinivas 2016", "Srinivas 2016", CFG_ALEXNET, false, false, false, &[(1.5, -1.2)]),
+    ("Wen 2016", "Wen 2016", CFG_ALEXNET, false, false, true, &[(1.4, -0.4), (2.0, -1.3)]),
+    ("Alvarez 2017", "Alvarez 2017", CFG_RESNET50, false, true, false, &[(1.9, -0.9), (2.5, -2.2)]),
+    ("He 2017", "He 2017", CFG_VGG16, false, true, true, &[(2.0, 0.0), (4.0, -1.0), (5.0, -1.7)]),
+    ("He 2017", "He 2017, 3C", CFG_VGG16, false, true, true, &[(4.0, -0.3), (5.0, -1.0)]),
+    ("He 2017", "He 2017", CFG_RESNET50, false, true, true, &[(2.0, -1.4)]),
+    ("Li 2017", "Li 2017", CFG_RESNET56, true, false, true, &[(1.1, 0.02), (1.4, -0.02)]),
+    ("Lin 2017", "Lin 2017", CFG_ALEXNET, false, false, true, &[(2.0, -0.6), (3.0, -1.9)]),
+    ("Luo 2017", "Luo 2017", CFG_VGG16, false, true, true, &[(2.9, -0.5), (3.3, -1.0)]),
+    ("Luo 2017", "Luo 2017", CFG_RESNET50, false, true, true, &[(1.6, -0.8), (2.1, -1.5), (2.9, -3.1)]),
+    ("Srinivas 2017", "Srinivas 2017", CFG_VGG16, false, false, false, &[(5.0, -1.5)]),
+    ("Yang 2017", "Yang 2017", CFG_ALEXNET, false, true, false, &[(3.0, -0.6), (5.5, -1.9)]),
+    ("Carreira-Perpinan 2018", "Carreira-Perpinan 2018", CFG_RESNET56, false, false, false, &[(2.0, 0.3), (4.0, -0.6)]),
+    ("Ding 2018", "Ding 2018", CFG_RESNET56, false, false, true, &[(1.7, 0.1), (2.5, -0.8)]),
+    ("Dubey 2018", "Dubey 2018, AP+Coreset-A", CFG_ALEXNET, false, true, false, &[(12.5, -0.6)]),
+    ("Dubey 2018", "Dubey 2018, AP+Coreset-K", CFG_ALEXNET, false, true, false, &[(14.0, -1.0)]),
+    ("Dubey 2018", "Dubey 2018, AP+Coreset-S", CFG_ALEXNET, false, true, false, &[(15.0, -1.4)]),
+    ("Dubey 2018", "Dubey 2018, AP+Coreset-A", CFG_RESNET50, false, true, false, &[(4.2, -1.2)]),
+    ("Dubey 2018", "Dubey 2018, AP+Coreset-K", CFG_RESNET50, false, true, false, &[(4.6, -1.8)]),
+    ("Dubey 2018", "Dubey 2018, AP+Coreset-S", CFG_RESNET50, false, true, false, &[(5.0, -2.4)]),
+    ("He, Yang 2018", "He, Yang 2018", CFG_RESNET56, false, false, true, &[(1.7, -0.3), (2.5, -1.3)]),
+    ("He, Yang 2018", "He, Yang 2018, Fine-Tune", CFG_RESNET56, false, false, true, &[(1.7, 0.0), (2.5, -0.6)]),
+    ("He, Yihui 2018", "He, Yihui 2018", CFG_VGG16, false, true, true, &[(4.0, -0.4)]),
+    ("Huang 2018", "Huang 2018", CFG_RESNET50, false, true, false, &[(1.5, -0.7), (2.1, -2.0)]),
+    ("Lin 2018", "Lin 2018", CFG_RESNET50, false, true, true, &[(1.9, -0.5), (3.0, -2.8)]),
+    ("Peng 2018", "Peng 2018", CFG_VGG16, false, true, true, &[(3.0, -0.3), (4.5, -1.3)]),
+    ("Suau 2018", "Suau 2018, PFA-En", CFG_VGG16, false, true, false, &[(2.4, -0.2), (3.8, -1.1)]),
+    ("Suau 2018", "Suau 2018, PFA-KL", CFG_VGG16, false, true, false, &[(2.4, -0.4), (3.8, -1.5)]),
+    ("Suzuki 2018", "Suzuki 2018", CFG_RESNET56, false, false, false, &[(1.8, 0.4), (3.0, -0.2)]),
+    ("Yamamoto 2018", "Yamamoto 2018", CFG_RESNET50, false, true, true, &[(1.8, -0.6), (2.4, -1.5)]),
+    ("Yu 2018", "Yu 2018", CFG_ALEXNET, false, true, false, &[(1.8, -0.1), (2.8, -1.4)]),
+    ("Zhuang 2018", "Zhuang 2018", CFG_RESNET50, false, true, true, &[(1.8, -0.2), (2.9, -1.0)]),
+    ("Choi 2019", "Choi 2019", CFG_VGG16, false, true, true, &[(8.0, -0.8), (16.0, -3.5)]),
+    ("Gale 2019", "Gale 2019, Magnitude", CFG_RESNET50, true, false, false, &[(2.0, -0.4), (4.0, -1.6), (8.0, -4.5)]),
+    ("Gale 2019", "Gale 2019, Magnitude-v2", CFG_RESNET50, true, false, false, &[(2.0, -0.3), (4.0, -1.3), (8.0, -3.9)]),
+    ("Gale 2019", "Gale 2019, SparseVD", CFG_RESNET50, false, false, false, &[(2.0, -0.5), (4.0, -1.6), (8.0, -4.3)]),
+    ("Kim 2019", "Kim 2019", CFG_RESNET56, false, false, true, &[(2.0, 0.1), (4.0, -0.9)]),
+    ("Liu 2019", "Liu 2019, Scratch-B", CFG_RESNET50, false, true, true, &[(1.4, 0.2), (2.0, -0.5), (2.8, -1.2)]),
+    ("Liu 2019", "Liu 2019, Magnitude", CFG_RESNET50, true, false, false, &[(2.0, -0.4), (4.0, -1.5)]),
+    ("Luo 2019", "Luo 2019", CFG_RESNET50, false, true, true, &[(1.8, -0.9), (2.5, -2.0)]),
+    ("Peng 2019", "Peng 2019, CCP", CFG_RESNET56, false, false, true, &[(1.9, 0.2), (2.9, -0.4)]),
+    ("Peng 2019", "Peng 2019, CCP-AC", CFG_RESNET56, false, false, true, &[(1.9, 0.4), (2.9, -0.1)]),
+    ("Frankle 2019", "Frankle 2019, PruneAtEpoch=90", CFG_RESNET50, true, false, false, &[(2.0, -0.2), (4.0, -1.2), (6.0, -2.6)]),
+    ("Frankle 2019", "Frankle 2019, ResetToEpoch=10", CFG_RESNET50, true, false, false, &[(2.0, -0.4), (4.0, -1.8), (6.0, -3.6)]),
+    ("Hu 2016", "Hu 2016", CFG_RESNET56, false, false, false, &[(1.5, -0.4)]),
+];
+
+fn build_results() -> Vec<ResultPoint> {
+    let mut results = Vec::new();
+    for &(paper, method, cfg, magnitude, top5, speedup, points) in METHOD_RESULTS {
+        let (dataset, arch) = CONFIGS[cfg];
+        for &(x, y) in points {
+            results.push(ResultPoint {
+                paper: paper.to_string(),
+                method: method.to_string(),
+                dataset: dataset.to_string(),
+                arch: arch.to_string(),
+                x_metric: XMetric::CompressionRatio,
+                y_metric: YMetric::DeltaTop1,
+                x,
+                y,
+                magnitude_based: magnitude,
+            });
+            if top5 {
+                results.push(ResultPoint {
+                    paper: paper.to_string(),
+                    method: method.to_string(),
+                    dataset: dataset.to_string(),
+                    arch: arch.to_string(),
+                    x_metric: XMetric::CompressionRatio,
+                    y_metric: YMetric::DeltaTop5,
+                    x,
+                    y: y * 0.55 + 0.1,
+                    magnitude_based: magnitude,
+                });
+            }
+            if speedup {
+                // Unstructured pruning converts compression into less
+                // speedup than 1:1; structured methods approach parity.
+                let sx = 1.0 + (x - 1.0) * if magnitude { 0.35 } else { 0.75 };
+                results.push(ResultPoint {
+                    paper: paper.to_string(),
+                    method: method.to_string(),
+                    dataset: dataset.to_string(),
+                    arch: arch.to_string(),
+                    x_metric: XMetric::TheoreticalSpeedup,
+                    y_metric: YMetric::DeltaTop1,
+                    x: sx,
+                    y,
+                    magnitude_based: magnitude,
+                });
+                if top5 {
+                    results.push(ResultPoint {
+                        paper: paper.to_string(),
+                        method: method.to_string(),
+                        dataset: dataset.to_string(),
+                        arch: arch.to_string(),
+                        x_metric: XMetric::TheoreticalSpeedup,
+                        y_metric: YMetric::DeltaTop5,
+                        x: sx,
+                        y: y * 0.55 + 0.1,
+                        magnitude_based: magnitude,
+                    });
+                }
+            }
+        }
+    }
+    results
+}
+
+/// Dense-architecture reference points (Figure 1 sources: Tan & Le 2019
+/// and Bianco et al. 2018). Params and FLOPs in raw units.
+fn build_arch_points() -> Vec<ArchPoint> {
+    let rows: &[(&str, &str, f64, f64, f64, f64, u16)] = &[
+        ("MobileNet-v2", "MobileNet-v2 1.0", 3.5e6, 3.0e8, 71.9, 91.0, 2018),
+        ("MobileNet-v2", "MobileNet-v2 1.4", 6.9e6, 5.9e8, 74.7, 92.0, 2018),
+        ("ResNet", "ResNet-18", 11.7e6, 1.8e9, 69.8, 89.1, 2016),
+        ("ResNet", "ResNet-34", 21.8e6, 3.6e9, 73.3, 91.4, 2016),
+        ("ResNet", "ResNet-50", 25.6e6, 4.1e9, 76.1, 92.9, 2016),
+        ("ResNet", "ResNet-101", 44.5e6, 7.8e9, 77.4, 93.5, 2016),
+        ("ResNet", "ResNet-152", 60.2e6, 11.5e9, 78.3, 94.0, 2016),
+        ("VGG", "VGG-11", 132.9e6, 7.6e9, 69.0, 88.6, 2014),
+        ("VGG", "VGG-13", 133.0e6, 11.3e9, 69.9, 89.2, 2014),
+        ("VGG", "VGG-16", 138.4e6, 15.5e9, 71.6, 90.4, 2014),
+        ("VGG", "VGG-19", 143.7e6, 19.6e9, 72.4, 90.9, 2014),
+        ("EfficientNet", "EfficientNet-B0", 5.3e6, 3.9e8, 77.1, 93.3, 2019),
+        ("EfficientNet", "EfficientNet-B1", 7.8e6, 7.0e8, 79.1, 94.4, 2019),
+        ("EfficientNet", "EfficientNet-B3", 12.0e6, 1.8e9, 81.6, 95.7, 2019),
+        ("EfficientNet", "EfficientNet-B5", 30.0e6, 9.9e9, 83.6, 96.7, 2019),
+        ("EfficientNet", "EfficientNet-B7", 66.0e6, 3.7e10, 84.3, 97.0, 2019),
+    ];
+    rows.iter()
+        .map(|&(family, variant, params, flops, top1, top5, year)| ArchPoint {
+            family: family.to_string(),
+            variant: variant.to_string(),
+            params,
+            flops,
+            top1,
+            top5,
+            year,
+        })
+        .collect()
+}
+
+/// Builds the full corpus. Deterministic: two calls yield equal values.
+pub fn build_corpus() -> Corpus {
+    let papers = build_papers();
+    let comparisons = build_comparisons(&papers);
+    let usages = build_usages(&papers);
+    Corpus {
+        papers,
+        usages,
+        comparisons,
+        results: build_results(),
+        arch_points: build_arch_points(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn corpus_has_81_papers() {
+        assert_eq!(build_corpus().papers.len(), published::PAPERS);
+    }
+
+    #[test]
+    fn dataset_architecture_combination_totals_match_section_4_2() {
+        let c = build_corpus();
+        assert_eq!(c.datasets().len(), published::DATASETS, "{:?}", c.datasets());
+        assert_eq!(c.architectures().len(), published::ARCHITECTURES);
+        assert_eq!(c.combinations().len(), published::COMBINATIONS);
+    }
+
+    #[test]
+    fn table1_counts_are_exact() {
+        let c = build_corpus();
+        for &(dataset, arch, count) in TABLE1_PAIRS {
+            assert_eq!(
+                c.papers_using(dataset, arch),
+                count,
+                "{dataset}/{arch} should be used by {count} papers"
+            );
+        }
+    }
+
+    #[test]
+    fn non_table1_combos_stay_below_threshold() {
+        // Table 1 lists every pair used by ≥4 papers; all other pairs
+        // must therefore be used by at most 3.
+        let c = build_corpus();
+        for (ds, arch) in c.combinations() {
+            if TABLE1_PAIRS.iter().any(|&(d, a, _)| d == ds && a == arch) {
+                continue;
+            }
+            assert!(
+                c.papers_using(ds, arch) <= 3,
+                "{ds}/{arch} used by {} papers but absent from Table 1",
+                c.papers_using(ds, arch)
+            );
+        }
+    }
+
+    #[test]
+    fn comparison_edges_point_backwards_in_time() {
+        let c = build_corpus();
+        let year: HashMap<&str, u16> = c.papers.iter().map(|p| (p.key.as_str(), p.year)).collect();
+        for edge in &c.comparisons {
+            assert!(
+                year[edge.from.as_str()] >= year[edge.to.as_str()],
+                "{} compares to the future {}",
+                edge.from,
+                edge.to
+            );
+        }
+    }
+
+    #[test]
+    fn all_edges_stay_inside_corpus() {
+        // Section 3.1: "there is no pruning paper in our corpus that
+        // compares to any pruning paper outside of our corpus".
+        let c = build_corpus();
+        for edge in &c.comparisons {
+            assert!(c.paper(&edge.from).is_some());
+            assert!(c.paper(&edge.to).is_some());
+        }
+    }
+
+    #[test]
+    fn han_2015_is_the_most_compared_to_paper() {
+        let c = build_corpus();
+        let mut indeg: HashMap<&str, usize> = HashMap::new();
+        for e in &c.comparisons {
+            *indeg.entry(e.to.as_str()).or_default() += 1;
+        }
+        let max = indeg.iter().max_by_key(|(_, &v)| v).unwrap();
+        assert_eq!(*max.0, "Han 2015");
+        assert!(*max.1 >= 15, "Han 2015 in-degree {}", max.1);
+    }
+
+    #[test]
+    fn figure3_papers_count_matches() {
+        let c = build_corpus();
+        let mut papers: Vec<&str> = c.results.iter().map(|r| r.paper.as_str()).collect();
+        papers.sort_unstable();
+        papers.dedup();
+        assert_eq!(papers.len(), published::FIGURE3_PAPERS);
+    }
+
+    #[test]
+    fn results_reference_known_papers_and_configs() {
+        let c = build_corpus();
+        for r in &c.results {
+            assert!(c.paper(&r.paper).is_some(), "unknown paper {}", r.paper);
+            assert!(
+                CONFIGS.iter().any(|&(d, a)| d == r.dataset && a == r.arch),
+                "unexpected config {}/{}",
+                r.dataset,
+                r.arch
+            );
+            assert!(r.x >= 1.0, "efficiency {} below 1 in {}", r.x, r.method);
+            assert!(r.y.abs() < 15.0);
+        }
+    }
+
+    #[test]
+    fn result_papers_use_their_configs() {
+        // A paper reporting results on a config must also be recorded as
+        // using that (dataset, architecture) pair.
+        let c = build_corpus();
+        for r in &c.results {
+            let uses = c
+                .usages
+                .iter()
+                .any(|u| u.paper == r.paper && u.dataset == r.dataset && u.arch == r.arch);
+            if !uses {
+                // Allowed: CaffeNet results from papers recorded under
+                // AlexNet (the paper merges the two, Section 4.3 fn. 4).
+                assert_eq!(r.arch, "CaffeNet", "{} reports on unused config {}/{}", r.paper, r.dataset, r.arch);
+            }
+        }
+    }
+
+    #[test]
+    fn arch_points_cover_the_four_figure1_families() {
+        let c = build_corpus();
+        for family in ["MobileNet-v2", "ResNet", "VGG", "EfficientNet"] {
+            assert!(c.arch_points.iter().any(|p| p.family == family));
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = build_corpus();
+        let b = build_corpus();
+        assert_eq!(a.papers, b.papers);
+        assert_eq!(a.usages, b.usages);
+        assert_eq!(a.comparisons, b.comparisons);
+        assert_eq!(a.results, b.results);
+    }
+}

@@ -1,0 +1,295 @@
+//! Fragmentation analyses: Table 1, Figure 3's grouping, and Figure 4's
+//! histograms.
+
+use crate::model::{Corpus, ResultPoint, XMetric, YMetric};
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairCount {
+    /// Dataset name.
+    pub dataset: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Number of papers using the pair.
+    pub papers: usize,
+}
+
+/// Table 1: all (dataset, architecture) pairs used by at least
+/// `min_papers` papers, sorted by descending count (ties by name).
+pub fn pair_counts(corpus: &Corpus, min_papers: usize) -> Vec<PairCount> {
+    let mut rows: Vec<PairCount> = corpus
+        .combinations()
+        .into_iter()
+        .map(|(dataset, arch)| PairCount {
+            papers: corpus.papers_using(dataset, arch),
+            dataset: dataset.to_string(),
+            arch: arch.to_string(),
+        })
+        .filter(|r| r.papers >= min_papers)
+        .collect();
+    rows.sort_by(|a, b| {
+        b.papers
+            .cmp(&a.papers)
+            .then(a.dataset.cmp(&b.dataset))
+            .then(a.arch.cmp(&b.arch))
+    });
+    rows
+}
+
+/// One cell of Figure 3's grid: every self-reported curve for one
+/// (dataset, architecture, x-metric, y-metric) combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FragmentationCell {
+    /// Dataset name.
+    pub dataset: String,
+    /// Architecture name (CaffeNet and AlexNet merged, per the paper).
+    pub arch: String,
+    /// Efficiency metric.
+    pub x_metric: XMetric,
+    /// Quality metric.
+    pub y_metric: YMetric,
+    /// Per-method curves: (method label, sorted points).
+    pub curves: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+/// Groups self-reported results into Figure 3's grid for the four most
+/// common non-MNIST configurations.
+pub fn figure3_grid(corpus: &Corpus) -> Vec<FragmentationCell> {
+    let configs = [
+        ("ImageNet", "VGG-16"),
+        ("ImageNet", "CaffeNet"),
+        ("ImageNet", "ResNet-50"),
+        ("CIFAR-10", "ResNet-56"),
+    ];
+    let metric_pairs = [
+        (XMetric::CompressionRatio, YMetric::DeltaTop1),
+        (XMetric::CompressionRatio, YMetric::DeltaTop5),
+        (XMetric::TheoreticalSpeedup, YMetric::DeltaTop1),
+        (XMetric::TheoreticalSpeedup, YMetric::DeltaTop5),
+    ];
+    let mut grid = Vec::new();
+    for (x_metric, y_metric) in metric_pairs {
+        for (dataset, arch) in configs {
+            let mut curves: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+            for point in corpus.results.iter().filter(|r| {
+                r.dataset == dataset
+                    && r.arch == arch
+                    && r.x_metric == x_metric
+                    && r.y_metric == y_metric
+            }) {
+                match curves.iter_mut().find(|(m, _)| m == &point.method) {
+                    Some((_, pts)) => pts.push((point.x, point.y)),
+                    None => curves.push((point.method.clone(), vec![(point.x, point.y)])),
+                }
+            }
+            for (_, pts) in &mut curves {
+                pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            }
+            if !curves.is_empty() {
+                grid.push(FragmentationCell {
+                    dataset: dataset.to_string(),
+                    arch: arch.to_string(),
+                    x_metric,
+                    y_metric,
+                    curves,
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// A histogram over per-paper counts: `bars[k]` = number of papers with
+/// count `k`, split by peer review.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountHistogram {
+    /// `(count, peer_reviewed papers, other papers)` triplets.
+    pub bars: Vec<(usize, usize, usize)>,
+}
+
+/// Figure 4 (top): number of non-MNIST (dataset, architecture) pairs used
+/// by each paper.
+pub fn pairs_per_paper(corpus: &Corpus) -> CountHistogram {
+    let counts: Vec<(bool, usize)> = corpus
+        .papers
+        .iter()
+        .map(|p| {
+            let mut pairs: Vec<(&str, &str)> = corpus
+                .usages
+                .iter()
+                .filter(|u| u.paper == p.key && u.dataset != "MNIST")
+                .map(|u| (u.dataset.as_str(), u.arch.as_str()))
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            (p.peer_reviewed, pairs.len())
+        })
+        .collect();
+    histogram(&counts)
+}
+
+/// Figure 4 (bottom): number of points used to characterize each
+/// (method, configuration, metric-pair) tradeoff curve, excluding MNIST.
+pub fn points_per_curve(corpus: &Corpus) -> CountHistogram {
+    let mut curves: Vec<(&str, &str, &str, XMetric, YMetric, usize)> = Vec::new();
+    for r in corpus.results.iter().filter(|r| r.dataset != "MNIST") {
+        match curves.iter_mut().find(|(m, d, a, x, y, _)| {
+            *m == r.method && *d == r.dataset && *a == r.arch && *x == r.x_metric && *y == r.y_metric
+        }) {
+            Some(entry) => entry.5 += 1,
+            None => curves.push((&r.method, &r.dataset, &r.arch, r.x_metric, r.y_metric, 1)),
+        }
+    }
+    let peer: std::collections::HashMap<&str, bool> = corpus
+        .papers
+        .iter()
+        .map(|p| (p.key.as_str(), p.peer_reviewed))
+        .collect();
+    let by_method: std::collections::HashMap<&str, &str> = corpus
+        .results
+        .iter()
+        .map(|r| (r.method.as_str(), r.paper.as_str()))
+        .collect();
+    let counts: Vec<(bool, usize)> = curves
+        .iter()
+        .map(|(m, _, _, _, _, n)| (peer[by_method[m]], *n))
+        .collect();
+    histogram(&counts)
+}
+
+fn histogram(counts: &[(bool, usize)]) -> CountHistogram {
+    let max = counts.iter().map(|&(_, c)| c).max().unwrap_or(0);
+    CountHistogram {
+        bars: (0..=max)
+            .map(|k| {
+                let pr = counts.iter().filter(|&&(p, c)| p && c == k).count();
+                let other = counts.iter().filter(|&&(p, c)| !p && c == k).count();
+                (k, pr, other)
+            })
+            .collect(),
+    }
+}
+
+/// Fraction of results `points` whose method changes accuracy by less
+/// than `threshold` percentage points (Section 4.5's observation that
+/// reported differences are often under 1%).
+pub fn small_delta_fraction(points: &[ResultPoint], threshold: f64) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    points.iter().filter(|p| p.y.abs() < threshold).count() as f64 / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{build_corpus, published, TABLE1_PAIRS};
+
+    #[test]
+    fn table1_reproduces_exactly() {
+        let c = build_corpus();
+        let rows = pair_counts(&c, 4);
+        assert_eq!(rows.len(), TABLE1_PAIRS.len());
+        for &(dataset, arch, count) in TABLE1_PAIRS {
+            let row = rows
+                .iter()
+                .find(|r| r.dataset == dataset && r.arch == arch)
+                .unwrap_or_else(|| panic!("{dataset}/{arch} missing from Table 1"));
+            assert_eq!(row.papers, count);
+        }
+        // Sorted by descending count.
+        for w in rows.windows(2) {
+            assert!(w[0].papers >= w[1].papers);
+        }
+        // The most common pair is used by only 22/81 papers (Section 4.2).
+        assert_eq!(rows[0].papers, 22);
+        assert!(rows[0].papers * 3 < published::PAPERS, "no pair reaches a third of papers");
+    }
+
+    #[test]
+    fn min_papers_one_returns_all_combinations() {
+        let c = build_corpus();
+        assert_eq!(pair_counts(&c, 1).len(), published::COMBINATIONS);
+    }
+
+    #[test]
+    fn figure3_grid_has_rows_for_all_metric_pairs() {
+        let c = build_corpus();
+        let grid = figure3_grid(&c);
+        // Compression × ΔTop1 exists for all four configs.
+        let cr_top1: Vec<_> = grid
+            .iter()
+            .filter(|cell| {
+                cell.x_metric == XMetric::CompressionRatio && cell.y_metric == YMetric::DeltaTop1
+            })
+            .collect();
+        assert_eq!(cr_top1.len(), 4);
+        // ResNet-56 never reports ΔTop5 (CIFAR-10 has 10 classes) — the
+        // paper's grid likewise has no CIFAR Top-5 row entries.
+        assert!(!grid.iter().any(|cell| {
+            cell.arch == "ResNet-56" && cell.y_metric == YMetric::DeltaTop5
+        }));
+    }
+
+    #[test]
+    fn figure3_curves_are_sorted_and_nonempty() {
+        let c = build_corpus();
+        for cell in figure3_grid(&c) {
+            assert!(!cell.curves.is_empty());
+            for (_, pts) in &cell.curves {
+                assert!(!pts.is_empty());
+                for w in pts.windows(2) {
+                    assert!(w[0].0 <= w[1].0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_method_is_only_present_in_a_small_subset_of_cells() {
+        // Section 4.3: "A given method is only present in a small subset
+        // of plots".
+        let c = build_corpus();
+        let grid = figure3_grid(&c);
+        let cells_with = |method: &str| {
+            grid.iter()
+                .filter(|cell| cell.curves.iter().any(|(m, _)| m == method))
+                .count()
+        };
+        assert!(cells_with("Han 2015") <= grid.len() * 2 / 3);
+    }
+
+    #[test]
+    fn pairs_per_paper_mostly_three_or_fewer() {
+        // Figure 4 (top): "most papers report on three or fewer pairs".
+        let c = build_corpus();
+        let h = pairs_per_paper(&c);
+        let up_to_three: usize = h.bars.iter().take(4).map(|&(_, a, b)| a + b).sum();
+        let total: usize = h.bars.iter().map(|&(_, a, b)| a + b).sum();
+        assert_eq!(total, c.papers.len());
+        assert!(up_to_three * 2 > total, "{up_to_three}/{total}");
+        // Tail reaches well past 10 pairs (the paper's axis runs to 20).
+        assert!(h.bars.len() >= 15);
+    }
+
+    #[test]
+    fn points_per_curve_mostly_one_to_three() {
+        // Figure 4 (bottom): most curves have very few points; axis runs
+        // to 9.
+        let c = build_corpus();
+        let h = points_per_curve(&c);
+        let small: usize = h.bars.iter().take(4).map(|&(_, a, b)| a + b).sum();
+        let total: usize = h.bars.iter().map(|&(_, a, b)| a + b).sum();
+        assert!(small as f64 > 0.9 * total as f64);
+        assert!(h.bars.len() - 1 <= 9, "max points per curve {}", h.bars.len() - 1);
+    }
+
+    #[test]
+    fn many_reported_deltas_are_under_one_point() {
+        // Section 4.5: methods often differ by less than 1% accuracy.
+        let c = build_corpus();
+        let frac = small_delta_fraction(&c.results, 1.0);
+        assert!(frac > 0.3, "only {frac:.2} of deltas under 1pt");
+    }
+}

@@ -1,0 +1,152 @@
+//! The comparison graph and Figure 2's histograms.
+
+use crate::model::Corpus;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One histogram bar, split by peer-review status (Figure 2's stacking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegreeBar {
+    /// Degree value (number of comparisons).
+    pub degree: usize,
+    /// Papers with this degree that were peer-reviewed.
+    pub peer_reviewed: usize,
+    /// Papers with this degree that were not.
+    pub other: usize,
+}
+
+impl DegreeBar {
+    /// Total papers in the bar.
+    pub fn total(&self) -> usize {
+        self.peer_reviewed + self.other
+    }
+}
+
+/// Figure 2 (top): for each paper, how many *other* papers compare to it;
+/// histogrammed. Figure 2 (bottom): how many other papers each paper
+/// compares to; histogrammed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonHistograms {
+    /// "Number of papers comparing to a given paper" (in-degree).
+    pub compared_to_by: Vec<DegreeBar>,
+    /// "Number of papers a given paper compares to" (out-degree).
+    pub compares_to: Vec<DegreeBar>,
+}
+
+/// Computes both Figure 2 histograms from the corpus.
+pub fn comparison_histograms(corpus: &Corpus) -> ComparisonHistograms {
+    let mut indeg: HashMap<&str, usize> = HashMap::new();
+    let mut outdeg: HashMap<&str, usize> = HashMap::new();
+    for paper in &corpus.papers {
+        indeg.insert(&paper.key, 0);
+        outdeg.insert(&paper.key, 0);
+    }
+    for edge in &corpus.comparisons {
+        *indeg.entry(edge.to.as_str()).or_default() += 1;
+        *outdeg.entry(edge.from.as_str()).or_default() += 1;
+    }
+    let histogram = |degrees: &HashMap<&str, usize>| -> Vec<DegreeBar> {
+        let max = degrees.values().copied().max().unwrap_or(0);
+        (0..=max)
+            .map(|d| {
+                let mut bar = DegreeBar {
+                    degree: d,
+                    peer_reviewed: 0,
+                    other: 0,
+                };
+                for paper in &corpus.papers {
+                    if degrees[paper.key.as_str()] == d {
+                        if paper.peer_reviewed {
+                            bar.peer_reviewed += 1;
+                        } else {
+                            bar.other += 1;
+                        }
+                    }
+                }
+                bar
+            })
+            .collect()
+    };
+    ComparisonHistograms {
+        compared_to_by: histogram(&indeg),
+        compares_to: histogram(&outdeg),
+    }
+}
+
+/// Papers never compared to by any later paper (Section 4.1: "dozens of
+/// modern papers ... have never been compared to by any later study").
+pub fn never_compared_to(corpus: &Corpus) -> Vec<&str> {
+    corpus
+        .papers
+        .iter()
+        .filter(|p| !corpus.comparisons.iter().any(|e| e.to == p.key))
+        .map(|p| p.key.as_str())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::build_corpus;
+
+    #[test]
+    fn histogram_totals_cover_all_papers() {
+        let c = build_corpus();
+        let h = comparison_histograms(&c);
+        let top: usize = h.compared_to_by.iter().map(DegreeBar::total).sum();
+        let bottom: usize = h.compares_to.iter().map(DegreeBar::total).sum();
+        assert_eq!(top, c.papers.len());
+        assert_eq!(bottom, c.papers.len());
+    }
+
+    #[test]
+    fn degree_mass_equals_edge_count_on_both_sides() {
+        let c = build_corpus();
+        let h = comparison_histograms(&c);
+        let mass = |bars: &[DegreeBar]| -> usize {
+            bars.iter().map(|b| b.degree * b.total()).sum()
+        };
+        assert_eq!(mass(&h.compared_to_by), c.comparisons.len());
+        assert_eq!(mass(&h.compares_to), c.comparisons.len());
+    }
+
+    #[test]
+    fn quarter_of_papers_compare_to_nothing() {
+        // Section 4.1: "more than a fourth of our corpus does not compare
+        // to any previously proposed pruning method, and another fourth
+        // compares to only one".
+        let c = build_corpus();
+        let h = comparison_histograms(&c);
+        let zero = h.compares_to[0].total();
+        let one = h.compares_to[1].total();
+        assert!(zero * 4 > c.papers.len(), "{zero} papers compare to none");
+        assert!(one * 5 >= c.papers.len(), "{one} papers compare to one");
+        // "Nearly all papers compare to three or fewer."
+        let up_to_three: usize = h.compares_to.iter().take(4).map(DegreeBar::total).sum();
+        assert!(up_to_three as f64 >= 0.85 * c.papers.len() as f64);
+    }
+
+    #[test]
+    fn dozens_are_never_compared_to() {
+        let c = build_corpus();
+        let orphans = never_compared_to(&c);
+        // Figure 2 (top) shows ~32 of 81 papers with in-degree zero; the
+        // reconstruction lands in the same band.
+        assert!(
+            (30..=40).contains(&orphans.len()),
+            "{} orphans, expected ~32",
+            orphans.len()
+        );
+        // And they are consistent with the histogram's zero bar.
+        let h = comparison_histograms(&c);
+        assert_eq!(orphans.len(), h.compared_to_by[0].total());
+    }
+
+    #[test]
+    fn some_paper_is_compared_to_many_times() {
+        // Figure 2 (top) extends to ~18 on the x-axis.
+        let c = build_corpus();
+        let h = comparison_histograms(&c);
+        assert!(h.compared_to_by.len() >= 15, "max in-degree {}", h.compared_to_by.len() - 1);
+    }
+}

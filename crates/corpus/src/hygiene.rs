@@ -1,0 +1,157 @@
+//! Reporting-hygiene statistics: which papers follow which of the
+//! reporting practices the paper's Section 6 recommends.
+//!
+//! Figure 3's caption notes that, of all the self-reported results on the
+//! common configurations, only one (He, Yang 2018 on CIFAR-10) provides
+//! any measure of central tendency; Section 6 adds that compression and
+//! speedup — and Top-1 and Top-5 — should always be reported together.
+//! This module encodes the per-paper reporting facts and aggregates them.
+
+use crate::model::{Corpus, XMetric, YMetric};
+use serde::{Deserialize, Serialize};
+
+/// Reporting practices of one paper (as recoverable from the corpus'
+/// self-reported results plus the publication's own observations).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaperHygiene {
+    /// Citation key.
+    pub paper: String,
+    /// Reports any size metric (compression ratio / params).
+    pub reports_size: bool,
+    /// Reports any compute metric (speedup / FLOPs).
+    pub reports_compute: bool,
+    /// Reports Top-1 accuracy (or a change thereof).
+    pub reports_top1: bool,
+    /// Reports Top-5 accuracy (or a change thereof).
+    pub reports_top5: bool,
+    /// Reports error bars / standard deviations.
+    pub reports_std: bool,
+    /// Number of distinct operating points across all of the paper's
+    /// curves on the common configurations.
+    pub operating_points: usize,
+}
+
+/// Papers known to report a measure of central tendency on the common
+/// configurations. The publication found exactly one.
+const REPORTS_STD: &[&str] = &["He, Yang 2018"];
+
+/// Derives the hygiene record for every paper with self-reported results
+/// in the corpus.
+pub fn paper_hygiene(corpus: &Corpus) -> Vec<PaperHygiene> {
+    let mut papers: Vec<&str> = corpus.results.iter().map(|r| r.paper.as_str()).collect();
+    papers.sort_unstable();
+    papers.dedup();
+    papers
+        .into_iter()
+        .map(|paper| {
+            let rows: Vec<_> = corpus.results.iter().filter(|r| r.paper == paper).collect();
+            PaperHygiene {
+                paper: paper.to_string(),
+                reports_size: rows.iter().any(|r| r.x_metric == XMetric::CompressionRatio),
+                reports_compute: rows
+                    .iter()
+                    .any(|r| r.x_metric == XMetric::TheoreticalSpeedup),
+                reports_top1: rows.iter().any(|r| r.y_metric == YMetric::DeltaTop1),
+                reports_top5: rows.iter().any(|r| r.y_metric == YMetric::DeltaTop5),
+                reports_std: REPORTS_STD.contains(&paper),
+                operating_points: rows.len(),
+            }
+        })
+        .collect()
+}
+
+/// Aggregate hygiene statistics across the reporting papers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HygieneSummary {
+    /// Papers with any self-reported results on common configurations.
+    pub reporting_papers: usize,
+    /// Papers reporting both a size and a compute metric.
+    pub both_efficiency_metrics: usize,
+    /// Papers reporting both Top-1 and Top-5.
+    pub both_accuracy_metrics: usize,
+    /// Papers reporting any central-tendency measure.
+    pub with_central_tendency: usize,
+}
+
+/// Summarizes [`paper_hygiene`].
+pub fn hygiene_summary(corpus: &Corpus) -> HygieneSummary {
+    let rows = paper_hygiene(corpus);
+    HygieneSummary {
+        reporting_papers: rows.len(),
+        both_efficiency_metrics: rows
+            .iter()
+            .filter(|r| r.reports_size && r.reports_compute)
+            .count(),
+        both_accuracy_metrics: rows
+            .iter()
+            .filter(|r| r.reports_top1 && r.reports_top5)
+            .count(),
+        with_central_tendency: rows.iter().filter(|r| r.reports_std).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{build_corpus, published};
+
+    #[test]
+    fn every_reporting_paper_gets_a_record() {
+        let corpus = build_corpus();
+        let rows = paper_hygiene(&corpus);
+        assert_eq!(rows.len(), published::FIGURE3_PAPERS);
+    }
+
+    #[test]
+    fn exactly_one_paper_reports_central_tendency() {
+        // Figure 3's caption: "Standard deviations are shown for He 2018
+        // on CIFAR-10, which is the only result that provides any measure
+        // of central tendency."
+        let corpus = build_corpus();
+        let summary = hygiene_summary(&corpus);
+        assert_eq!(summary.with_central_tendency, 1);
+        let rows = paper_hygiene(&corpus);
+        let he = rows.iter().find(|r| r.paper == "He, Yang 2018").unwrap();
+        assert!(he.reports_std);
+    }
+
+    #[test]
+    fn many_papers_omit_one_of_the_two_efficiency_metrics() {
+        // Section 6: "there is no reason to report only one of these" —
+        // yet many papers do.
+        let corpus = build_corpus();
+        let summary = hygiene_summary(&corpus);
+        assert!(
+            summary.both_efficiency_metrics < summary.reporting_papers,
+            "{summary:?}"
+        );
+        assert!(summary.both_efficiency_metrics > 0);
+    }
+
+    #[test]
+    fn top5_reporting_is_partial() {
+        let corpus = build_corpus();
+        let summary = hygiene_summary(&corpus);
+        assert!(summary.both_accuracy_metrics < summary.reporting_papers);
+    }
+
+    #[test]
+    fn operating_points_are_counted() {
+        let corpus = build_corpus();
+        let rows = paper_hygiene(&corpus);
+        for row in &rows {
+            assert!(row.operating_points >= 1);
+        }
+        // Total points across papers equals the corpus result count.
+        let total: usize = rows.iter().map(|r| r.operating_points).sum();
+        assert_eq!(total, corpus.results.len());
+    }
+
+    #[test]
+    fn every_reporting_paper_reports_some_quality_metric() {
+        let corpus = build_corpus();
+        for row in paper_hygiene(&corpus) {
+            assert!(row.reports_top1 || row.reports_top5, "{}", row.paper);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! The pruning-literature corpus and the meta-analysis computations of
+//! *"What is the State of Neural Network Pruning?"* (Blalock et al.,
+//! MLSys 2020), Sections 3–5.
+//!
+//! The paper's first contribution is a meta-analysis over 81 pruning
+//! papers: who compares to whom (Figure 2), which (dataset, architecture)
+//! pairs are used (Table 1, Figure 4), how fragmented the self-reported
+//! results are (Figure 3), how pruned models compare to efficient dense
+//! architectures (Figure 1), and how much variation fine-tuning choices
+//! alone cause (Figure 5).
+//!
+//! # Data provenance
+//!
+//! The original hand-collected corpus data is not published in
+//! machine-readable form. This crate embeds a **calibrated
+//! reconstruction** (see [`data`]): papers that appear by name in the
+//! publication's figures and references are encoded faithfully (name,
+//! year, peer-review status, headline results read off the figures);
+//! the remainder of the corpus is synthesized deterministically so that
+//! every aggregate statistic the paper reports holds exactly —
+//! 81 papers, 49 datasets, 132 architectures, 195 (dataset, architecture)
+//! combinations, the Table 1 counts, and the comparison-graph shape
+//! (over ¼ of papers compare to no prior method, another ¼ to exactly
+//! one, dozens are never compared to). The *computations* over the corpus
+//! are the reproduction target; unit tests pin each aggregate to the
+//! published value.
+
+pub mod data;
+pub mod fragmentation;
+pub mod graph;
+pub mod hygiene;
+pub mod model;
+pub mod tradeoff;
+
+pub use model::{
+    ArchPoint, Comparison, Corpus, Paper, ResultPoint, Usage, XMetric, YMetric,
+};

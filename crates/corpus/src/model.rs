@@ -1,0 +1,210 @@
+//! Data model for the literature corpus.
+
+use serde::{Deserialize, Serialize};
+
+/// One paper in the corpus.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Paper {
+    /// Short citation key, e.g. `"Han 2015"`.
+    pub key: String,
+    /// Publication year.
+    pub year: u16,
+    /// Whether the paper was peer-reviewed (vs arXiv-only) — Figures 2
+    /// and 4 split on this.
+    pub peer_reviewed: bool,
+}
+
+/// A paper's use of one (dataset, architecture) pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Usage {
+    /// Citation key of the paper.
+    pub paper: String,
+    /// Dataset name, e.g. `"ImageNet"`.
+    pub dataset: String,
+    /// Architecture name, e.g. `"VGG-16"`.
+    pub arch: String,
+}
+
+/// A directed comparison: `from` (newer) experimentally compares against
+/// `to` (older).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Citation key of the comparing paper.
+    pub from: String,
+    /// Citation key of the compared-to paper.
+    pub to: String,
+}
+
+/// Efficiency metric on the x-axis of a tradeoff curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum XMetric {
+    /// Original size / compressed size.
+    CompressionRatio,
+    /// Original multiply-adds / pruned multiply-adds.
+    TheoreticalSpeedup,
+}
+
+/// Quality metric on the y-axis of a tradeoff curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum YMetric {
+    /// Change in Top-1 accuracy (percentage points vs the paper's own
+    /// baseline model).
+    DeltaTop1,
+    /// Change in Top-5 accuracy (percentage points).
+    DeltaTop5,
+}
+
+/// One self-reported operating point of one method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultPoint {
+    /// Citation key of the reporting paper.
+    pub paper: String,
+    /// Method label as it appears in figure legends (papers can report
+    /// several named methods).
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Efficiency metric.
+    pub x_metric: XMetric,
+    /// Quality metric.
+    pub y_metric: YMetric,
+    /// Efficiency value (e.g. compression ratio 4.0).
+    pub x: f64,
+    /// Quality value (e.g. −0.5 percentage points).
+    pub y: f64,
+    /// Whether the method prunes by weight magnitude (Figure 5 splits
+    /// magnitude variants from everything else).
+    pub magnitude_based: bool,
+}
+
+/// A dense (non-pruned) architecture's published operating point —
+/// Figure 1's family curves (values from Tan & Le 2019 and Bianco et al.
+/// 2018, the paper's stated sources).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchPoint {
+    /// Family name, e.g. `"ResNet"`.
+    pub family: String,
+    /// Variant, e.g. `"ResNet-50"`.
+    pub variant: String,
+    /// Parameter count.
+    pub params: f64,
+    /// Multiply-adds per forward pass.
+    pub flops: f64,
+    /// ImageNet Top-1 accuracy (%).
+    pub top1: f64,
+    /// ImageNet Top-5 accuracy (%).
+    pub top5: f64,
+    /// Publication year of the family.
+    pub year: u16,
+}
+
+/// The assembled corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    /// All 81 papers.
+    pub papers: Vec<Paper>,
+    /// Every (paper, dataset, architecture) usage.
+    pub usages: Vec<Usage>,
+    /// The directed comparison graph.
+    pub comparisons: Vec<Comparison>,
+    /// Self-reported tradeoff points.
+    pub results: Vec<ResultPoint>,
+    /// Dense-architecture reference points for Figure 1.
+    pub arch_points: Vec<ArchPoint>,
+}
+
+impl Corpus {
+    /// Looks up a paper by key.
+    pub fn paper(&self, key: &str) -> Option<&Paper> {
+        self.papers.iter().find(|p| p.key == key)
+    }
+
+    /// Distinct datasets used anywhere in the corpus.
+    pub fn datasets(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.usages.iter().map(|u| u.dataset.as_str()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Distinct architectures used anywhere in the corpus.
+    pub fn architectures(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.usages.iter().map(|u| u.arch.as_str()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Distinct (dataset, architecture) combinations.
+    pub fn combinations(&self) -> Vec<(&str, &str)> {
+        let mut v: Vec<(&str, &str)> = self
+            .usages
+            .iter()
+            .map(|u| (u.dataset.as_str(), u.arch.as_str()))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of papers using a given (dataset, architecture) pair.
+    pub fn papers_using(&self, dataset: &str, arch: &str) -> usize {
+        let mut papers: Vec<&str> = self
+            .usages
+            .iter()
+            .filter(|u| u.dataset == dataset && u.arch == arch)
+            .map(|u| u.paper.as_str())
+            .collect();
+        papers.sort_unstable();
+        papers.dedup();
+        papers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini() -> Corpus {
+        Corpus {
+            papers: vec![
+                Paper { key: "A 2015".into(), year: 2015, peer_reviewed: true },
+                Paper { key: "B 2017".into(), year: 2017, peer_reviewed: false },
+            ],
+            usages: vec![
+                Usage { paper: "A 2015".into(), dataset: "ImageNet".into(), arch: "VGG-16".into() },
+                Usage { paper: "B 2017".into(), dataset: "ImageNet".into(), arch: "VGG-16".into() },
+                Usage { paper: "B 2017".into(), dataset: "CIFAR-10".into(), arch: "ResNet-56".into() },
+            ],
+            comparisons: vec![Comparison { from: "B 2017".into(), to: "A 2015".into() }],
+            results: Vec::new(),
+            arch_points: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn lookup_and_counts() {
+        let c = mini();
+        assert_eq!(c.paper("A 2015").unwrap().year, 2015);
+        assert!(c.paper("missing").is_none());
+        assert_eq!(c.datasets(), vec!["CIFAR-10", "ImageNet"]);
+        assert_eq!(c.architectures().len(), 2);
+        assert_eq!(c.combinations().len(), 2);
+        assert_eq!(c.papers_using("ImageNet", "VGG-16"), 2);
+        assert_eq!(c.papers_using("CIFAR-10", "ResNet-56"), 1);
+        assert_eq!(c.papers_using("MNIST", "LeNet-5"), 0);
+    }
+
+    #[test]
+    fn duplicate_usages_count_once() {
+        let mut c = mini();
+        c.usages.push(Usage {
+            paper: "A 2015".into(),
+            dataset: "ImageNet".into(),
+            arch: "VGG-16".into(),
+        });
+        assert_eq!(c.papers_using("ImageNet", "VGG-16"), 2);
+    }
+}

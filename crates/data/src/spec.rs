@@ -1,0 +1,165 @@
+//! Dataset specifications and presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Which partition of a dataset to read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Split {
+    /// Training partition.
+    Train,
+    /// Held-out validation partition.
+    Val,
+}
+
+/// Full description of a synthetic vision dataset. Two specs with equal
+/// fields generate bit-identical data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Human-readable dataset name (appears in experiment reports).
+    pub name: String,
+    /// Image channels (1 = grayscale, 3 = RGB-like).
+    pub channels: usize,
+    /// Square image side length in pixels.
+    pub side: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Training-set size.
+    pub train_size: usize,
+    /// Validation-set size.
+    pub val_size: usize,
+    /// Standard deviation of additive pixel noise (difficulty knob).
+    pub noise_std: f32,
+    /// Standard deviation of per-sample structural jitter (phase/position).
+    pub jitter: f32,
+    /// Maximum random spatial shift in pixels (built-in augmentation).
+    pub max_shift: usize,
+    /// Master seed; all sample generation derives from it.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// MNIST stand-in: `1×16×16`, 10 classes, low noise. Deliberately
+    /// easy — like MNIST it is "possible to classify with over 99%
+    /// accuracy using simple models" (paper §4.2).
+    pub fn mnist_like(seed: u64) -> Self {
+        DatasetSpec {
+            name: "mnist-like".to_string(),
+            channels: 1,
+            side: 16,
+            classes: 10,
+            train_size: 1024,
+            val_size: 512,
+            noise_std: 0.15,
+            jitter: 0.1,
+            max_shift: 1,
+            seed,
+        }
+    }
+
+    /// CIFAR-10 stand-in: `3×16×16`, 10 classes, moderate noise.
+    pub fn cifar_like(seed: u64) -> Self {
+        DatasetSpec {
+            name: "cifar-like".to_string(),
+            channels: 3,
+            side: 16,
+            classes: 10,
+            train_size: 1024,
+            val_size: 512,
+            noise_std: 0.45,
+            jitter: 0.35,
+            max_shift: 2,
+            seed,
+        }
+    }
+
+    /// ImageNet stand-in: `3×24×24`, 60 classes, high noise; makes
+    /// Top-5 vs Top-1 accuracy meaningfully different.
+    pub fn imagenet_like(seed: u64) -> Self {
+        DatasetSpec {
+            name: "imagenet-like".to_string(),
+            channels: 3,
+            side: 24,
+            classes: 60,
+            train_size: 2048,
+            val_size: 768,
+            noise_std: 0.6,
+            jitter: 0.4,
+            max_shift: 2,
+            seed,
+        }
+    }
+
+    /// Shrinks train/val sizes by `factor` (for fast tests and criterion
+    /// benches); sizes never drop below one batch worth of samples.
+    pub fn scaled_down(mut self, factor: usize) -> Self {
+        assert!(factor > 0, "factor must be positive");
+        self.train_size = (self.train_size / factor).max(self.classes.max(16));
+        self.val_size = (self.val_size / factor).max(self.classes.max(16));
+        self
+    }
+
+    /// Number of samples in a split.
+    pub fn split_size(&self, split: Split) -> usize {
+        match split {
+            Split::Train => self.train_size,
+            Split::Val => self.val_size,
+        }
+    }
+
+    /// Validates invariants; called by the generator constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `classes < 2`.
+    pub(crate) fn validate(&self) {
+        assert!(self.channels > 0, "channels must be positive");
+        assert!(self.side >= 8, "side must be at least 8");
+        assert!(self.classes >= 2, "need at least two classes");
+        assert!(self.train_size >= self.classes, "train split smaller than class count");
+        assert!(self.val_size >= self.classes, "val split smaller than class count");
+        assert!(self.noise_std >= 0.0 && self.jitter >= 0.0);
+        assert!(self.max_shift < self.side / 2, "shift too large for image side");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        DatasetSpec::mnist_like(0).validate();
+        DatasetSpec::cifar_like(0).validate();
+        DatasetSpec::imagenet_like(0).validate();
+    }
+
+    #[test]
+    fn scaled_down_shrinks_but_keeps_minimum() {
+        let spec = DatasetSpec::cifar_like(0).scaled_down(100);
+        assert_eq!(spec.train_size, 16);
+        assert_eq!(spec.val_size, 16);
+    }
+
+    #[test]
+    fn split_sizes() {
+        let spec = DatasetSpec::mnist_like(1);
+        assert_eq!(spec.split_size(Split::Train), 1024);
+        assert_eq!(spec.split_size(Split::Val), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn one_class_rejected() {
+        let mut spec = DatasetSpec::mnist_like(0);
+        spec.classes = 1;
+        spec.validate();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = DatasetSpec::imagenet_like(9);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: DatasetSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

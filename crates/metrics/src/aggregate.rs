@@ -1,0 +1,88 @@
+//! Central-tendency aggregation across random seeds.
+//!
+//! The paper finds that only one out of 81 papers reports any measure of
+//! central tendency (Figure 3's caption); this module makes mean ± sample
+//! standard deviation the default shape of every reported number.
+
+use serde::{Deserialize, Serialize};
+
+/// A mean with its sample standard deviation and sample count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n − 1` denominator); 0 for `n = 1`.
+    pub std: f64,
+    /// Number of samples aggregated.
+    pub n: usize,
+}
+
+impl MeanStd {
+    /// Formats as `mean ± std` with the given precision.
+    pub fn to_pm_string(&self, precision: usize) -> String {
+        format!("{:.p$} ± {:.p$}", self.mean, self.std, p = precision)
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_pm_string(4))
+    }
+}
+
+/// Computes mean and sample standard deviation.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn mean_std(values: &[f64]) -> MeanStd {
+    assert!(!values.is_empty(), "mean_std of empty slice");
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let std = if n > 1 {
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    } else {
+        0.0
+    };
+    MeanStd { mean, std, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample_has_zero_std() {
+        let m = mean_std(&[3.5]);
+        assert_eq!(m.mean, 3.5);
+        assert_eq!(m.std, 0.0);
+        assert_eq!(m.n, 1);
+    }
+
+    #[test]
+    fn known_values() {
+        let m = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m.mean - 5.0).abs() < 1e-12);
+        // Sample std of this classic example is ~2.138.
+        assert!((m.std - 2.1380899).abs() < 1e-4);
+    }
+
+    #[test]
+    fn constant_series_has_zero_std() {
+        let m = mean_std(&[1.0; 10]);
+        assert_eq!(m.std, 0.0);
+    }
+
+    #[test]
+    fn display_formats_pm() {
+        let m = mean_std(&[1.0, 2.0]);
+        assert_eq!(m.to_pm_string(1), "1.5 ± 0.7");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        mean_std(&[]);
+    }
+}

@@ -1,0 +1,238 @@
+//! The paper's Section 5.2, as executable code: the *competing*
+//! definitions of "Pruned%", "compression ratio", "speedup", and "FLOPs"
+//! found across the literature, so the same pruned model can be reported
+//! under every convention side by side.
+//!
+//! The paper documents that "Pruned%" sometimes means the fraction
+//! *remaining* and sometimes the fraction *removed*; that "compression
+//! ratio" is used both as `original/compressed` and `1 − compressed/original`;
+//! and that FLOP counts for the same architecture differ by up to 4×
+//! between papers (371 MFLOPs vs 724 MFLOPs vs 1500 MFLOPs for AlexNet).
+//! This module reproduces those discrepancies mechanically.
+
+use crate::profile::ModelProfile;
+use serde::{Deserialize, Serialize};
+
+/// The ways the literature reports model-size reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SizeConvention {
+    /// `original / compressed` — the compression-literature definition
+    /// the paper endorses (Section 6).
+    RatioOriginalOverCompressed,
+    /// `1 − compressed/original` — widespread misuse of "compression
+    /// ratio" (Section 5.2).
+    FractionRemoved,
+    /// `compressed / original` — "Pruned%" meaning fraction *remaining*
+    /// (e.g. Suau et al. 2018).
+    FractionRemaining,
+}
+
+impl SizeConvention {
+    /// Evaluates the convention on a profile.
+    pub fn evaluate(&self, profile: &ModelProfile) -> f64 {
+        let remaining = profile.effective_params() as f64 / profile.total_params().max(1) as f64;
+        match self {
+            SizeConvention::RatioOriginalOverCompressed => 1.0 / remaining.max(f64::MIN_POSITIVE),
+            SizeConvention::FractionRemoved => 1.0 - remaining,
+            SizeConvention::FractionRemaining => remaining,
+        }
+    }
+
+    /// All conventions, for sweep reports.
+    pub const ALL: [SizeConvention; 3] = [
+        SizeConvention::RatioOriginalOverCompressed,
+        SizeConvention::FractionRemoved,
+        SizeConvention::FractionRemaining,
+    ];
+}
+
+/// The ways the literature counts "FLOPs" (Section 5.2 found a factor of
+/// four between papers for the same architecture).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlopConvention {
+    /// One multiply-add = one FLOP, convolutions and linear layers
+    /// (this crate's primary definition).
+    MultiplyAdds,
+    /// Multiplies and adds counted separately: 2 × multiply-adds.
+    MultiplyAndAddSeparately,
+    /// Convolutions only — papers motivated by conv-heavy vision models
+    /// often omit the fully-connected layers.
+    ConvolutionsOnly,
+    /// Convolutions only, multiplies and adds separate: the combination
+    /// producing the largest spread vs [`FlopConvention::MultiplyAdds`]
+    /// on FC-heavy models.
+    ConvolutionsOnlyDoubled,
+}
+
+impl FlopConvention {
+    /// Dense FLOPs of a profile under this convention.
+    pub fn dense_flops(&self, profile: &ModelProfile) -> f64 {
+        let conv: f64 = profile
+            .ops
+            .iter()
+            .filter(|o| is_conv(&o.weight_name))
+            .map(|o| o.dense_macs as f64)
+            .sum();
+        let all: f64 = profile.ops.iter().map(|o| o.dense_macs as f64).sum();
+        match self {
+            FlopConvention::MultiplyAdds => all,
+            FlopConvention::MultiplyAndAddSeparately => 2.0 * all,
+            FlopConvention::ConvolutionsOnly => conv,
+            FlopConvention::ConvolutionsOnlyDoubled => 2.0 * conv,
+        }
+    }
+
+    /// Effective (sparsity-scaled) FLOPs under this convention.
+    pub fn effective_flops(&self, profile: &ModelProfile) -> f64 {
+        let conv: f64 = profile
+            .ops
+            .iter()
+            .filter(|o| is_conv(&o.weight_name))
+            .map(|o| o.effective_macs)
+            .sum();
+        let all: f64 = profile.ops.iter().map(|o| o.effective_macs).sum();
+        match self {
+            FlopConvention::MultiplyAdds => all,
+            FlopConvention::MultiplyAndAddSeparately => 2.0 * all,
+            FlopConvention::ConvolutionsOnly => conv,
+            FlopConvention::ConvolutionsOnlyDoubled => 2.0 * conv,
+        }
+    }
+
+    /// Theoretical speedup under this convention.
+    pub fn speedup(&self, profile: &ModelProfile) -> f64 {
+        self.dense_flops(profile) / self.effective_flops(profile).max(1.0)
+    }
+
+    /// All conventions, for sweep reports.
+    pub const ALL: [FlopConvention; 4] = [
+        FlopConvention::MultiplyAdds,
+        FlopConvention::MultiplyAndAddSeparately,
+        FlopConvention::ConvolutionsOnly,
+        FlopConvention::ConvolutionsOnlyDoubled,
+    ];
+}
+
+fn is_conv(weight_name: &str) -> bool {
+    weight_name.contains("conv") || weight_name.contains("stem") || weight_name.contains("shortcut")
+}
+
+/// The same model reported under every convention — one row per
+/// convention pair, demonstrating how incomparable the raw numbers are.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AmbiguityReport {
+    /// (convention name, reported "compression" value).
+    pub size_rows: Vec<(String, f64)>,
+    /// (convention name, dense FLOPs, reported "speedup").
+    pub flop_rows: Vec<(String, f64, f64)>,
+    /// Largest dense-FLOP count divided by smallest across conventions.
+    pub flop_spread: f64,
+}
+
+/// Builds the ambiguity report for a (typically pruned) model profile.
+pub fn ambiguity_report(profile: &ModelProfile) -> AmbiguityReport {
+    let size_rows = SizeConvention::ALL
+        .iter()
+        .map(|c| (format!("{c:?}"), c.evaluate(profile)))
+        .collect();
+    let flop_rows: Vec<(String, f64, f64)> = FlopConvention::ALL
+        .iter()
+        .map(|c| (format!("{c:?}"), c.dense_flops(profile), c.speedup(profile)))
+        .collect();
+    let dense: Vec<f64> = flop_rows.iter().map(|r| r.1).filter(|&v| v > 0.0).collect();
+    let spread = if dense.is_empty() {
+        1.0
+    } else {
+        dense.iter().copied().fold(f64::MIN, f64::max)
+            / dense.iter().copied().fold(f64::MAX, f64::min)
+    };
+    AmbiguityReport {
+        size_rows,
+        flop_rows,
+        flop_spread: spread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_nn::{models, Network};
+    use sb_tensor::{Rng, Tensor};
+
+    fn half_pruned_lenet() -> impl Network {
+        let mut rng = Rng::seed_from(0);
+        let mut net = models::lenet5(1, 16, 10, &mut rng);
+        net.visit_params(&mut |p| {
+            if p.kind().prunable_by_default() {
+                p.set_mask(Tensor::from_fn(p.value().dims(), |i| (i % 2) as f32));
+            }
+        });
+        net
+    }
+
+    #[test]
+    fn size_conventions_disagree_on_the_same_model() {
+        let net = half_pruned_lenet();
+        let profile = ModelProfile::measure(&net);
+        let ratio = SizeConvention::RatioOriginalOverCompressed.evaluate(&profile);
+        let removed = SizeConvention::FractionRemoved.evaluate(&profile);
+        let remaining = SizeConvention::FractionRemaining.evaluate(&profile);
+        assert!(ratio > 1.5 && ratio < 2.5);
+        assert!((removed + remaining - 1.0).abs() < 1e-12);
+        // The same model "is" 1.97×, 0.49, and 0.51 depending on the paper.
+        assert!((ratio - 1.0 / remaining).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flop_conventions_span_a_wide_range() {
+        // LeNet-5 is FC-heavy, so conv-only vs doubled-all spans ~>2×,
+        // mirroring the paper's observed 4× spread on AlexNet.
+        let net = half_pruned_lenet();
+        let profile = ModelProfile::measure(&net);
+        let report = ambiguity_report(&profile);
+        assert!(report.flop_spread > 2.0, "spread {}", report.flop_spread);
+        assert_eq!(report.flop_rows.len(), 4);
+        assert_eq!(report.size_rows.len(), 3);
+    }
+
+    #[test]
+    fn primary_convention_matches_profile_methods() {
+        let net = half_pruned_lenet();
+        let profile = ModelProfile::measure(&net);
+        assert_eq!(
+            FlopConvention::MultiplyAdds.dense_flops(&profile),
+            profile.dense_macs() as f64
+        );
+        assert!(
+            (FlopConvention::MultiplyAdds.speedup(&profile) - profile.theoretical_speedup()).abs()
+                < 1e-9
+        );
+        assert!(
+            (SizeConvention::RatioOriginalOverCompressed.evaluate(&profile)
+                - profile.compression_ratio())
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn doubling_never_changes_speedup() {
+        // Counting multiplies and adds separately scales both numerator
+        // and denominator: the *ratio* is invariant — which is why the
+        // paper's recommended metrics are ratios.
+        let net = half_pruned_lenet();
+        let profile = ModelProfile::measure(&net);
+        let a = FlopConvention::MultiplyAdds.speedup(&profile);
+        let b = FlopConvention::MultiplyAndAddSeparately.speedup(&profile);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conv_only_speedup_differs_from_full_speedup() {
+        let net = half_pruned_lenet();
+        let profile = ModelProfile::measure(&net);
+        let full = FlopConvention::MultiplyAdds.dense_flops(&profile);
+        let conv = FlopConvention::ConvolutionsOnly.dense_flops(&profile);
+        assert!(conv < full);
+    }
+}

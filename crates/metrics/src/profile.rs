@@ -1,0 +1,280 @@
+//! Structural profiling of a network: parameter counts and MAC counts,
+//! sparsity-aware.
+
+use sb_nn::{Network, ParamKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-parameter size accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamProfile {
+    /// Parameter name.
+    pub name: String,
+    /// The parameter's role in its layer.
+    pub kind: ParamKind,
+    /// Total scalar count.
+    pub numel: usize,
+    /// Count of entries kept by the mask (equals `numel` when unmasked).
+    pub effective: usize,
+    /// Whether the parameter is a pruning candidate by kind.
+    pub prunable: bool,
+}
+
+/// Per-operation compute accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpProfile {
+    /// Name of the weight tensor driving this op.
+    pub weight_name: String,
+    /// Multiply-adds per sample at full density.
+    pub dense_macs: u64,
+    /// Multiply-adds per sample after scaling by the weight's nonzero
+    /// fraction.
+    pub effective_macs: f64,
+}
+
+/// A sparsity-aware structural snapshot of a network.
+///
+/// # Example
+///
+/// ```
+/// use sb_metrics::ModelProfile;
+/// use sb_nn::models;
+/// use sb_tensor::Rng;
+///
+/// let mut rng = Rng::seed_from(0);
+/// let net = models::lenet_300_100(256, 10, &mut rng);
+/// let profile = ModelProfile::measure(&net);
+/// assert_eq!(profile.compression_ratio(), 1.0); // dense model
+/// assert_eq!(profile.theoretical_speedup(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// One entry per parameter tensor, in visitation order.
+    pub params: Vec<ParamProfile>,
+    /// One entry per conv/linear op, in execution order.
+    pub ops: Vec<OpProfile>,
+}
+
+impl ModelProfile {
+    /// Profiles `network` as it currently stands (masks included).
+    pub fn measure(network: &dyn Network) -> Self {
+        let mut params = Vec::new();
+        let mut nnz_fraction: HashMap<String, f64> = HashMap::new();
+        network.visit_params_ref(&mut |p| {
+            if !p.kind().counts_as_parameter() {
+                return; // batch-norm running state is not a parameter
+            }
+            let effective = p.effective_params();
+            nnz_fraction.insert(
+                p.name().to_string(),
+                if p.numel() == 0 {
+                    1.0
+                } else {
+                    effective as f64 / p.numel() as f64
+                },
+            );
+            params.push(ParamProfile {
+                name: p.name().to_string(),
+                kind: p.kind(),
+                numel: p.numel(),
+                effective,
+                prunable: p.kind().prunable_by_default(),
+            });
+        });
+        let ops = network
+            .ops()
+            .into_iter()
+            .map(|op| {
+                let dense = op.dense_macs();
+                let q = nnz_fraction.get(op.weight_name()).copied().unwrap_or(1.0);
+                OpProfile {
+                    weight_name: op.weight_name().to_string(),
+                    dense_macs: dense,
+                    effective_macs: dense as f64 * q,
+                }
+            })
+            .collect();
+        ModelProfile { params, ops }
+    }
+
+    /// Total parameter count (dense).
+    pub fn total_params(&self) -> usize {
+        self.params.iter().map(|p| p.numel).sum()
+    }
+
+    /// Nonzero parameter count after masking.
+    pub fn effective_params(&self) -> usize {
+        self.params.iter().map(|p| p.effective).sum()
+    }
+
+    /// Parameter count of prunable tensors only.
+    pub fn prunable_params(&self) -> usize {
+        self.params.iter().filter(|p| p.prunable).map(|p| p.numel).sum()
+    }
+
+    /// Compression ratio: `total / effective` (paper Section 6 definition:
+    /// original size over new size; ≥ 1, with 1 meaning dense).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no parameters.
+    pub fn compression_ratio(&self) -> f64 {
+        let total = self.total_params();
+        assert!(total > 0, "model has no parameters");
+        total as f64 / (self.effective_params().max(1)) as f64
+    }
+
+    /// Fraction of parameters pruned, `1 − effective/total` — the *other*
+    /// common reporting convention (Section 5.2 notes the two are widely
+    /// confused; both are exposed here so harness code never re-derives
+    /// them inconsistently).
+    pub fn fraction_pruned(&self) -> f64 {
+        1.0 - self.effective_params() as f64 / self.total_params().max(1) as f64
+    }
+
+    /// Dense multiply-adds per sample.
+    pub fn dense_macs(&self) -> u64 {
+        self.ops.iter().map(|o| o.dense_macs).sum()
+    }
+
+    /// Effective multiply-adds per sample, scaling each op by its weight's
+    /// nonzero fraction.
+    pub fn effective_macs(&self) -> f64 {
+        self.ops.iter().map(|o| o.effective_macs).sum()
+    }
+
+    /// Theoretical speedup: dense MACs / effective MACs (paper Section 6
+    /// definition; ≥ 1 for pruned models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no conv/linear ops.
+    pub fn theoretical_speedup(&self) -> f64 {
+        let dense = self.dense_macs();
+        assert!(dense > 0, "model has no multiply-add-bearing ops");
+        dense as f64 / self.effective_macs().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_nn::{models, Network};
+    use sb_tensor::{Rng, Tensor};
+
+    fn masked_lenet(keep_every: usize) -> impl Network {
+        let mut rng = Rng::seed_from(0);
+        let mut net = models::lenet_300_100(64, 10, &mut rng);
+        net.visit_params(&mut |p| {
+            if p.kind().prunable_by_default() {
+                let mask = Tensor::from_fn(p.value().dims(), |i| {
+                    if i % keep_every == 0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                });
+                p.set_mask(mask);
+            }
+        });
+        net
+    }
+
+    #[test]
+    fn dense_model_has_unit_ratios() {
+        let mut rng = Rng::seed_from(0);
+        let net = models::lenet5(1, 16, 10, &mut rng);
+        let p = ModelProfile::measure(&net);
+        assert_eq!(p.compression_ratio(), 1.0);
+        assert_eq!(p.theoretical_speedup(), 1.0);
+        assert_eq!(p.fraction_pruned(), 0.0);
+    }
+
+    #[test]
+    fn masking_half_roughly_doubles_compression() {
+        let net = masked_lenet(2);
+        let p = ModelProfile::measure(&net);
+        // Biases stay dense, so compression is slightly under 2.
+        assert!(p.compression_ratio() > 1.8 && p.compression_ratio() < 2.0);
+        assert!(p.theoretical_speedup() > 1.8);
+    }
+
+    #[test]
+    fn compression_counts_unprunable_params() {
+        let net = masked_lenet(1_000_000); // prune essentially everything
+        let p = ModelProfile::measure(&net);
+        // Effective params are (almost) only the dense biases plus one
+        // weight entry per tensor.
+        let biases: usize = p
+            .params
+            .iter()
+            .filter(|q| !q.prunable)
+            .map(|q| q.numel)
+            .sum();
+        assert!(p.effective_params() >= biases);
+        assert!(p.effective_params() <= biases + p.params.len());
+    }
+
+    #[test]
+    fn speedup_weights_convs_by_spatial_extent() {
+        // Pruning an early (spatially large) conv should yield more
+        // speedup than the same parameter count from a linear layer —
+        // this is the Figure 6 phenomenon (compression and speedup are
+        // not interchangeable).
+        let mut rng = Rng::seed_from(1);
+        let mut net = models::lenet5(1, 16, 10, &mut rng);
+        // Prune conv1 completely.
+        net.visit_params(&mut |p| {
+            if p.name() == "conv1.weight" {
+                p.set_mask(Tensor::zeros(p.value().dims()));
+            }
+        });
+        let p_conv = ModelProfile::measure(&net);
+
+        let mut rng = Rng::seed_from(1);
+        let mut net2 = models::lenet5(1, 16, 10, &mut rng);
+        // Prune the same *number of parameters* out of fc1.
+        let conv1_numel = 6 * 25;
+        net2.visit_params(&mut |p| {
+            if p.name() == "fc1.weight" {
+                let mask = Tensor::from_fn(p.value().dims(), |i| {
+                    if i < conv1_numel {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                });
+                p.set_mask(mask);
+            }
+        });
+        let p_fc = ModelProfile::measure(&net2);
+
+        assert!(
+            (p_conv.compression_ratio() - p_fc.compression_ratio()).abs() < 1e-9,
+            "same compression by construction"
+        );
+        assert!(
+            p_conv.theoretical_speedup() > p_fc.theoretical_speedup() * 1.1,
+            "conv pruning speedup {} should dominate fc pruning speedup {}",
+            p_conv.theoretical_speedup(),
+            p_fc.theoretical_speedup()
+        );
+    }
+
+    #[test]
+    fn profile_is_serializable() {
+        let net = masked_lenet(4);
+        let p = ModelProfile::measure(&net);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ModelProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn fraction_pruned_complements_compression() {
+        let net = masked_lenet(4);
+        let p = ModelProfile::measure(&net);
+        let from_ratio = 1.0 - 1.0 / p.compression_ratio();
+        assert!((p.fraction_pruned() - from_ratio).abs() < 1e-12);
+    }
+}

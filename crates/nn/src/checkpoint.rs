@@ -1,0 +1,263 @@
+//! Checkpointing: persist and restore network weights (and masks).
+//!
+//! ShrinkBench's reproducibility story rests on *standardized pretrained
+//! weights*; this module provides the file format for them — a JSON
+//! encoding of [`ParamSnapshot`]s with a header guarding against loading
+//! a checkpoint into the wrong architecture.
+
+use crate::network::{Network, NetworkExt};
+use crate::param::ParamSnapshot;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// On-disk checkpoint: a format version, an architecture fingerprint, and
+/// the parameter snapshots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    version: u32,
+    fingerprint: Vec<(String, Vec<usize>)>,
+    params: Vec<ParamSnapshot>,
+}
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file is not a valid checkpoint.
+    Parse(serde_json::Error),
+    /// The checkpoint belongs to a different architecture.
+    FingerprintMismatch {
+        /// First differing parameter (name or shape), for diagnostics.
+        detail: String,
+    },
+    /// The checkpoint format version is unsupported.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CheckpointError::Parse(e) => write!(f, "checkpoint is not valid JSON: {e}"),
+            CheckpointError::FingerprintMismatch { detail } => {
+                write!(f, "checkpoint does not match this architecture: {detail}")
+            }
+            CheckpointError::UnsupportedVersion { found } => {
+                write!(f, "unsupported checkpoint version {found}")
+            }
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+const FORMAT_VERSION: u32 = 1;
+
+fn fingerprint_of(network: &dyn Network) -> Vec<(String, Vec<usize>)> {
+    let mut fp = Vec::new();
+    network.visit_params_ref(&mut |p| {
+        fp.push((p.name().to_string(), p.value().dims().to_vec()));
+    });
+    fp
+}
+
+impl Checkpoint {
+    /// Captures a network's current weights and masks.
+    pub fn capture(network: &dyn Network) -> Self {
+        Checkpoint {
+            version: FORMAT_VERSION,
+            fingerprint: fingerprint_of(network),
+            params: network.snapshot(),
+        }
+    }
+
+    /// Installs the checkpoint into `network`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::FingerprintMismatch`] when the
+    /// architecture differs (parameter names or shapes).
+    pub fn install(&self, network: &mut dyn Network) -> Result<(), CheckpointError> {
+        if self.version != FORMAT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                found: self.version,
+            });
+        }
+        let fp = fingerprint_of(network);
+        if fp.len() != self.fingerprint.len() {
+            return Err(CheckpointError::FingerprintMismatch {
+                detail: format!(
+                    "parameter count {} vs checkpoint {}",
+                    fp.len(),
+                    self.fingerprint.len()
+                ),
+            });
+        }
+        for (a, b) in fp.iter().zip(&self.fingerprint) {
+            if a != b {
+                return Err(CheckpointError::FingerprintMismatch {
+                    detail: format!("{:?} vs checkpoint {:?}", a, b),
+                });
+            }
+        }
+        network.restore(&self.params);
+        Ok(())
+    }
+
+    /// Writes the checkpoint as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_vec(self).map_err(CheckpointError::Parse)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or parse errors.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        serde_json::from_slice(&bytes).map_err(CheckpointError::Parse)
+    }
+}
+
+/// Convenience: `Checkpoint::capture(net).save(path)`.
+///
+/// # Errors
+///
+/// Propagates [`CheckpointError`].
+pub fn save_network(network: &dyn Network, path: &Path) -> Result<(), CheckpointError> {
+    Checkpoint::capture(network).save(path)
+}
+
+/// Convenience: load and install in one step.
+///
+/// # Errors
+///
+/// Propagates [`CheckpointError`].
+pub fn load_network(network: &mut dyn Network, path: &Path) -> Result<(), CheckpointError> {
+    Checkpoint::load(path)?.install(network)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use crate::network::Mode;
+    use sb_tensor::{Rng, Tensor};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sb-nn-checkpoint-{name}.json"))
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_outputs() {
+        let mut rng = Rng::seed_from(0);
+        let mut net = models::mlp(4, &[8], 3, &mut rng);
+        let x = Tensor::rand_normal(&[2, 4], 0.0, 1.0, &mut rng);
+        let y0 = net.forward(&x, Mode::Eval);
+        let path = tmp("roundtrip");
+        save_network(&net, &path).unwrap();
+
+        let mut other = models::mlp(4, &[8], 3, &mut Rng::seed_from(99));
+        assert_ne!(other.forward(&x, Mode::Eval), y0);
+        load_network(&mut other, &path).unwrap();
+        assert_eq!(other.forward(&x, Mode::Eval), y0);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn masks_survive_checkpointing() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = models::mlp(4, &[8], 3, &mut rng);
+        net.visit_params(&mut |p| {
+            if p.kind().prunable_by_default() {
+                p.set_mask(Tensor::from_fn(p.value().dims(), |i| (i % 2) as f32));
+            }
+        });
+        let path = tmp("masks");
+        save_network(&net, &path).unwrap();
+        let mut other = models::mlp(4, &[8], 3, &mut Rng::seed_from(2));
+        load_network(&mut other, &path).unwrap();
+        let mut masked = 0;
+        other.visit_params_ref(&mut |p| {
+            if p.mask().is_some() {
+                masked += 1;
+            }
+        });
+        assert!(masked > 0);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn wrong_architecture_is_rejected() {
+        let mut rng = Rng::seed_from(3);
+        let net = models::mlp(4, &[8], 3, &mut rng);
+        let path = tmp("wrong-arch");
+        save_network(&net, &path).unwrap();
+        let mut other = models::mlp(4, &[16], 3, &mut rng);
+        let err = load_network(&mut other, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::FingerprintMismatch { .. }));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn corrupt_file_is_a_parse_error() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, b"not json").unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(CheckpointError::Parse(_))
+        ));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(matches!(
+            Checkpoint::load(Path::new("/nonexistent/sb.json")),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut rng = Rng::seed_from(4);
+        let net = models::mlp(4, &[8], 3, &mut rng);
+        let mut cp = Checkpoint::capture(&net);
+        cp.version = 999;
+        let mut other = models::mlp(4, &[8], 3, &mut rng);
+        assert!(matches!(
+            cp.install(&mut other),
+            Err(CheckpointError::UnsupportedVersion { found: 999 })
+        ));
+    }
+}

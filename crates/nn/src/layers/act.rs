@@ -1,0 +1,121 @@
+//! Parameter-free layers: ReLU and Flatten.
+
+use crate::layers::Layer;
+use crate::network::Mode;
+use sb_tensor::Tensor;
+
+/// Rectified linear unit, `max(0, x)`, applied elementwise.
+#[derive(Debug, Clone, Default)]
+pub struct ReLU {
+    cached_mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        ReLU::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Train {
+            self.cached_mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
+        }
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self
+            .cached_mask
+            .take()
+            .expect("ReLU::backward called without a training-mode forward");
+        assert_eq!(
+            mask.len(),
+            grad_output.numel(),
+            "ReLU gradient size mismatch"
+        );
+        let mut out = grad_output.clone();
+        for (v, &keep) in out.data_mut().iter_mut().zip(&mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+}
+
+/// Reshapes `[N, C, H, W]` activations into `[N, C·H·W]` for the
+/// classifier head.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert!(
+            input.shape().ndim() >= 2,
+            "Flatten expects at least a batch dimension"
+        );
+        if mode == Mode::Train {
+            self.cached_dims = Some(input.dims().to_vec());
+        }
+        let n = input.dim(0);
+        let rest = input.numel() / n;
+        input.reshape(&[n, rest]).expect("element count preserved")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let dims = self
+            .cached_dims
+            .take()
+            .expect("Flatten::backward called without a training-mode forward");
+        grad_output.reshape(&dims).expect("element count preserved")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clips_negatives() {
+        let mut relu = ReLU::new();
+        let y = relu.forward(&Tensor::from_slice(&[-1.0, 0.0, 2.0]), Mode::Eval);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_gradient_gates_on_positive_input() {
+        let mut relu = ReLU::new();
+        relu.forward(&Tensor::from_slice(&[-1.0, 0.5, 0.0]), Mode::Train);
+        let dx = relu.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0]));
+        // Gradient flows only where input was strictly positive.
+        assert_eq!(dx.data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let y = fl.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[2, 12]);
+        let dx = fl.backward(&y);
+        assert_eq!(dx.dims(), x.dims());
+        assert_eq!(dx.data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "without a training-mode forward")]
+    fn relu_backward_requires_forward() {
+        ReLU::new().backward(&Tensor::zeros(&[1]));
+    }
+}

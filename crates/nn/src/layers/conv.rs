@@ -1,0 +1,235 @@
+//! 2-D convolution via im2col lowering.
+
+use crate::layers::Layer;
+use crate::network::{Mode, OpInfo};
+use crate::param::{Param, ParamKind};
+use sb_tensor::{col2im, im2col, Conv2dGeometry, Rng, Tensor};
+
+/// A 2-D convolution over `[N, C, H, W]` inputs with a fixed input
+/// geometry (models in this crate are built for a known input size, which
+/// lets FLOP accounting be static).
+///
+/// Weight layout is `[C_out, C_in·KH·KW]` (the im2col patch layout);
+/// `OpInfo` and pruning treat it as the standard 4-D kernel.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    out_channels: usize,
+    geom: Conv2dGeometry,
+    cached_cols: Option<Tensor>,
+    cached_batch: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_channels` is zero or the kernel does not fit the
+    /// input geometry.
+    pub fn new(name: &str, out_channels: usize, geom: Conv2dGeometry, rng: &mut Rng) -> Self {
+        assert!(out_channels > 0, "out_channels must be positive");
+        let _ = (geom.out_h(), geom.out_w()); // validate geometry eagerly
+        let patch = geom.patch_len();
+        let weight = Tensor::kaiming_normal(&[out_channels, patch], patch, rng);
+        Conv2d {
+            weight: Param::new(format!("{name}.weight"), ParamKind::ConvWeight, weight),
+            bias: Param::new(
+                format!("{name}.bias"),
+                ParamKind::Bias,
+                Tensor::zeros(&[out_channels]),
+            ),
+            out_channels,
+            geom,
+            cached_cols: None,
+            cached_batch: 0,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geometry(&self) -> &Conv2dGeometry {
+        &self.geom
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Output shape `[C_out, out_h, out_w]` for a single sample.
+    pub fn output_dims(&self) -> (usize, usize, usize) {
+        (self.out_channels, self.geom.out_h(), self.geom.out_w())
+    }
+
+    /// Reorders `[N·OH·OW, C]` rows into `[N, C, OH, OW]`.
+    fn rows_to_nchw(&self, rows: &Tensor, n: usize) -> Tensor {
+        let (c, oh, ow) = self.output_dims();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let data = rows.data();
+        for ni in 0..n {
+            for p in 0..oh * ow {
+                let row = (ni * oh * ow + p) * c;
+                for ci in 0..c {
+                    out[(ni * c + ci) * oh * ow + p] = data[row + ci];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow]).expect("shape computed above")
+    }
+
+    /// Reorders `[N, C, OH, OW]` into `[N·OH·OW, C]` rows.
+    fn nchw_to_rows(&self, x: &Tensor) -> Tensor {
+        let n = x.dim(0);
+        let (c, oh, ow) = self.output_dims();
+        let mut out = vec![0.0f32; n * oh * ow * c];
+        let data = x.data();
+        for ni in 0..n {
+            for ci in 0..c {
+                let chan = (ni * c + ci) * oh * ow;
+                for p in 0..oh * ow {
+                    out[(ni * oh * ow + p) * c + ci] = data[chan + p];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n * oh * ow, c]).expect("shape computed above")
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.shape().ndim(), 4, "Conv2d expects [N, C, H, W] input");
+        let n = input.dim(0);
+        let cols = im2col(input, &self.geom);
+        // rows: [N·OH·OW, patch] × [C_out, patch]ᵀ → [N·OH·OW, C_out]
+        let rows = cols
+            .matmul_transposed(self.weight.value())
+            .add_row_vector(self.bias.value());
+        if mode == Mode::Train {
+            self.cached_cols = Some(cols);
+            self.cached_batch = n;
+        }
+        self.rows_to_nchw(&rows, n)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cols = self
+            .cached_cols
+            .take()
+            .expect("Conv2d::backward called without a training-mode forward");
+        let n = self.cached_batch;
+        let dy_rows = self.nchw_to_rows(grad_output);
+        // dW = dyᵀ · cols → [C_out, patch]
+        let dw = dy_rows.transposed_matmul(&cols);
+        self.weight.grad_mut().add_scaled_in_place(&dw, 1.0);
+        let db = dy_rows.sum_axis0();
+        self.bias.grad_mut().add_scaled_in_place(&db, 1.0);
+        // dcols = dy · W → [N·OH·OW, patch]
+        let dcols = dy_rows.matmul(self.weight.value());
+        col2im(&dcols, n, &self.geom)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
+    fn ops(&self) -> Vec<OpInfo> {
+        vec![OpInfo::Conv2d {
+            weight_name: self.weight.name().to_string(),
+            out_channels: self.out_channels,
+            geom: self.geom,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(c: usize, h: usize, k: usize, s: usize, p: usize) -> Conv2dGeometry {
+        Conv2dGeometry {
+            in_channels: c,
+            in_h: h,
+            in_w: h,
+            kernel_h: k,
+            kernel_w: k,
+            stride: s,
+            padding: p,
+        }
+    }
+
+    #[test]
+    fn identity_1x1_conv_passes_through() {
+        let mut rng = Rng::seed_from(0);
+        let mut conv = Conv2d::new("c", 2, geom(2, 3, 1, 1, 0), &mut rng);
+        // Identity kernel: out channel i copies in channel i.
+        conv.weight
+            .value_mut()
+            .data_mut()
+            .copy_from_slice(&[1.0, 0.0, 0.0, 1.0]);
+        let x = Tensor::from_fn(&[1, 2, 3, 3], |i| i as f32);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), x.dims());
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn averaging_kernel_known_output() {
+        let mut rng = Rng::seed_from(0);
+        let mut conv = Conv2d::new("c", 1, geom(1, 3, 3, 1, 0), &mut rng);
+        conv.weight.value_mut().data_mut().fill(1.0 / 9.0);
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[1, 1, 1, 1]);
+        assert!((y.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bias_shifts_all_outputs() {
+        let mut rng = Rng::seed_from(0);
+        let mut conv = Conv2d::new("c", 1, geom(1, 2, 1, 1, 0), &mut rng);
+        conv.weight.value_mut().data_mut().fill(0.0);
+        conv.bias.value_mut().data_mut().fill(3.5);
+        let y = conv.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval);
+        assert!(y.data().iter().all(|&v| v == 3.5));
+    }
+
+    #[test]
+    fn stride_downsamples() {
+        let mut rng = Rng::seed_from(0);
+        let conv = Conv2d::new("c", 4, geom(2, 8, 3, 2, 1), &mut rng);
+        assert_eq!(conv.output_dims(), (4, 4, 4));
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let mut rng = Rng::seed_from(7);
+        let conv = Conv2d::new("c", 3, geom(2, 4, 3, 1, 1), &mut rng);
+        let x = Tensor::rand_normal(&[2, 3, 4, 4], 0.0, 1.0, &mut rng);
+        let rows = conv.nchw_to_rows(&x);
+        let back = conv.rows_to_nchw(&rows, 2);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a training-mode forward")]
+    fn backward_requires_forward() {
+        let mut rng = Rng::seed_from(0);
+        let mut conv = Conv2d::new("c", 1, geom(1, 2, 1, 1, 0), &mut rng);
+        conv.backward(&Tensor::zeros(&[1, 1, 2, 2]));
+    }
+
+    #[test]
+    fn ops_flops_match_formula() {
+        let mut rng = Rng::seed_from(0);
+        let conv = Conv2d::new("c", 8, geom(4, 8, 3, 1, 1), &mut rng);
+        let ops = conv.ops();
+        assert_eq!(ops[0].dense_macs(), (4 * 9) as u64 * 8 * 64);
+    }
+}

@@ -1,0 +1,142 @@
+//! Inverted dropout.
+
+use crate::layers::Layer;
+use crate::network::Mode;
+use sb_tensor::{Rng, Tensor};
+
+/// Inverted dropout: in training mode each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`; evaluation mode
+/// is the identity.
+///
+/// Dropout exists in this crate because Section 5.1 of the paper
+/// documents that many "VGG-16" results actually come from custom VGG
+/// variants with added dropout (or batch norm) — the
+/// `architecture-ambiguity` experiment rebuilds that situation.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: Rng,
+    cached_mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`, drawing its
+    /// masks from a stream seeded by `seed` (so training remains a pure
+    /// function of the experiment seeds).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout {
+            p,
+            rng: Rng::seed_from(seed ^ 0xD120_D120),
+            cached_mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        match mode {
+            Mode::Eval => input.clone(),
+            Mode::Train => {
+                if self.p == 0.0 {
+                    self.cached_mask = Some(vec![1.0; input.numel()]);
+                    return input.clone();
+                }
+                let keep_scale = 1.0 / (1.0 - self.p);
+                let mask: Vec<f32> = (0..input.numel())
+                    .map(|_| {
+                        if self.rng.coin(f64::from(self.p)) {
+                            0.0
+                        } else {
+                            keep_scale
+                        }
+                    })
+                    .collect();
+                let mut out = input.clone();
+                for (v, &m) in out.data_mut().iter_mut().zip(&mask) {
+                    *v *= m;
+                }
+                self.cached_mask = Some(mask);
+                out
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self
+            .cached_mask
+            .take()
+            .expect("Dropout::backward called without a training-mode forward");
+        assert_eq!(mask.len(), grad_output.numel(), "dropout gradient size mismatch");
+        let mut out = grad_output.clone();
+        for (v, &m) in out.data_mut().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        assert_eq!(d.forward(&x, Mode::Eval), x);
+    }
+
+    #[test]
+    fn train_zeroes_roughly_p_fraction() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, Mode::Train);
+        let zeros = y.count_zeros() as f32 / 10_000.0;
+        assert!((zeros - 0.3).abs() < 0.03, "zero fraction {zeros}");
+    }
+
+    #[test]
+    fn survivors_are_scaled_to_preserve_expectation() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[20_000]);
+        let y = d.forward(&x, Mode::Train);
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Survivors carry exactly 1/(1-p).
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_gates_same_units() {
+        let mut d = Dropout::new(0.5, 4);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, Mode::Train);
+        let dx = d.backward(&Tensor::ones(&[64]));
+        for (out, g) in y.data().iter().zip(dx.data()) {
+            assert_eq!(out, g, "forward and backward masks must agree");
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_in_train() {
+        let mut d = Dropout::new(0.0, 5);
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(d.forward(&x, Mode::Train), x);
+        assert_eq!(d.backward(&Tensor::ones(&[2])).data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn p_of_one_rejected() {
+        Dropout::new(1.0, 0);
+    }
+}

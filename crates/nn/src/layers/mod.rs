@@ -1,0 +1,57 @@
+//! Layers with hand-written forward and backward passes.
+//!
+//! Every layer caches whatever it needs during `forward(Mode::Train)` so
+//! that a subsequent `backward` can compute input gradients and accumulate
+//! parameter gradients. Gradient correctness of every layer is verified
+//! against central finite differences in `tests/gradcheck.rs`.
+
+mod act;
+mod conv;
+mod dropout;
+mod linear;
+mod norm;
+mod pool;
+mod residual;
+mod seq;
+
+pub use act::{Flatten, ReLU};
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use linear::Linear;
+pub use norm::BatchNorm2d;
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use residual::ResidualBlock;
+pub use seq::Sequential;
+
+use crate::network::{Mode, OpInfo};
+use crate::param::Param;
+use sb_tensor::Tensor;
+
+/// One differentiable operation with optional parameters.
+///
+/// The contract mirrors classic layer-wise backprop:
+///
+/// 1. `forward(x, Mode::Train)` computes the output and caches activations;
+/// 2. `backward(dy)` consumes the cache, **accumulates** parameter
+///    gradients, and returns the gradient with respect to the input.
+///
+/// Calling `backward` without a preceding training-mode `forward` on the
+/// same batch is a contract violation; layers panic with a clear message.
+pub trait Layer {
+    /// Computes the layer output.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Backpropagates; returns the gradient w.r.t. the layer input.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Visits this layer's parameters mutably (default: none).
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Visits this layer's parameters immutably (default: none).
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
+
+    /// Describes this layer's multiply-add-bearing ops (default: none).
+    fn ops(&self) -> Vec<OpInfo> {
+        Vec::new()
+    }
+}

@@ -1,0 +1,324 @@
+//! Batch normalization over the channel axis of `[N, C, H, W]` tensors.
+
+use crate::layers::Layer;
+use crate::network::Mode;
+use crate::param::{Param, ParamKind};
+use sb_tensor::Tensor;
+
+/// 2-D batch normalization (per-channel, over batch and spatial axes).
+///
+/// Training mode normalizes with batch statistics and updates exponential
+/// running averages; evaluation mode uses the running averages — the
+/// standard semantics whose subtle library-to-library differences the paper
+/// lists among confounding variables (Section 4.5). Ours is stated
+/// exactly: `running ← (1−m)·running + m·batch` with momentum `m = 0.1`,
+/// biased batch variance, `eps = 1e-5`.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    // Running statistics are `Param`s of kind `BnRunningStat` so that
+    // snapshots, restores, and checkpoints capture them — otherwise
+    // successive experiment cells silently share statistics, exactly the
+    // kind of confounder the paper is about. Optimizers skip this kind.
+    running_mean: Param,
+    running_var: Param,
+    channels: usize,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    dims: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with unit scale and zero shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(name: &str, channels: usize) -> Self {
+        assert!(channels > 0, "channels must be positive");
+        BatchNorm2d {
+            gamma: Param::new(
+                format!("{name}.gamma"),
+                ParamKind::BnScale,
+                Tensor::ones(&[channels]),
+            ),
+            beta: Param::new(
+                format!("{name}.beta"),
+                ParamKind::BnShift,
+                Tensor::zeros(&[channels]),
+            ),
+            running_mean: Param::new(
+                format!("{name}.running_mean"),
+                ParamKind::BnRunningStat,
+                Tensor::zeros(&[channels]),
+            ),
+            running_var: Param::new(
+                format!("{name}.running_var"),
+                ParamKind::BnRunningStat,
+                Tensor::ones(&[channels]),
+            ),
+            channels,
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Number of normalized channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The running mean estimate (used in eval mode).
+    pub fn running_mean(&self) -> &Tensor {
+        self.running_mean.value()
+    }
+
+    /// The running variance estimate (used in eval mode).
+    pub fn running_var(&self) -> &Tensor {
+        self.running_var.value()
+    }
+
+    fn check_input(&self, input: &Tensor) {
+        assert_eq!(
+            input.shape().ndim(),
+            4,
+            "BatchNorm2d expects [N, C, H, W] input"
+        );
+        assert_eq!(
+            input.dim(1),
+            self.channels,
+            "BatchNorm2d {} expects {} channels, got {}",
+            self.gamma.name(),
+            self.channels,
+            input.dim(1)
+        );
+    }
+}
+
+impl Layer for BatchNorm2d {
+    #[allow(clippy::needless_range_loop)] // several parallel buffers are indexed together
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        self.check_input(input);
+        let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+        let per_chan = n * h * w;
+        let spatial = h * w;
+        let mut out = input.clone();
+
+        match mode {
+            Mode::Train => {
+                let mut x_hat = input.clone();
+                let mut inv_std = vec![0.0f32; c];
+                for ci in 0..c {
+                    // Batch statistics over N, H, W.
+                    let mut mean = 0.0f32;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * spatial;
+                        mean += input.data()[base..base + spatial].iter().sum::<f32>();
+                    }
+                    mean /= per_chan as f32;
+                    let mut var = 0.0f32;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * spatial;
+                        var += input.data()[base..base + spatial]
+                            .iter()
+                            .map(|&v| (v - mean) * (v - mean))
+                            .sum::<f32>();
+                    }
+                    var /= per_chan as f32; // biased, like PyTorch's normalizer
+                    let istd = 1.0 / (var + self.eps).sqrt();
+                    inv_std[ci] = istd;
+
+                    self.running_mean.value_mut().data_mut()[ci] = (1.0 - self.momentum)
+                        * self.running_mean.value().data()[ci]
+                        + self.momentum * mean;
+                    self.running_var.value_mut().data_mut()[ci] = (1.0 - self.momentum)
+                        * self.running_var.value().data()[ci]
+                        + self.momentum * var;
+
+                    let g = self.gamma.value().data()[ci];
+                    let b = self.beta.value().data()[ci];
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * spatial;
+                        for off in base..base + spatial {
+                            let xh = (input.data()[off] - mean) * istd;
+                            x_hat.data_mut()[off] = xh;
+                            out.data_mut()[off] = g * xh + b;
+                        }
+                    }
+                }
+                self.cache = Some(BnCache {
+                    x_hat,
+                    inv_std,
+                    dims: input.dims().to_vec(),
+                });
+            }
+            Mode::Eval => {
+                for ci in 0..c {
+                    let mean = self.running_mean.value().data()[ci];
+                    let istd = 1.0 / (self.running_var.value().data()[ci] + self.eps).sqrt();
+                    let g = self.gamma.value().data()[ci];
+                    let b = self.beta.value().data()[ci];
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * spatial;
+                        for off in base..base + spatial {
+                            out.data_mut()[off] = g * (input.data()[off] - mean) * istd + b;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("BatchNorm2d::backward called without a training-mode forward");
+        assert_eq!(grad_output.dims(), &cache.dims[..], "gradient shape mismatch");
+        let (n, c, h, w) = (
+            cache.dims[0],
+            cache.dims[1],
+            cache.dims[2],
+            cache.dims[3],
+        );
+        let spatial = h * w;
+        let m = (n * spatial) as f32;
+        let mut dx = Tensor::zeros(grad_output.dims());
+
+        for ci in 0..c {
+            let g = self.gamma.value().data()[ci];
+            let istd = cache.inv_std[ci];
+            // Accumulate the three per-channel sums of the standard BN
+            // backward formula.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * spatial;
+                for off in base..base + spatial {
+                    let dy = grad_output.data()[off];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.x_hat.data()[off];
+                }
+            }
+            self.gamma.grad_mut().data_mut()[ci] += sum_dy_xhat;
+            self.beta.grad_mut().data_mut()[ci] += sum_dy;
+
+            for ni in 0..n {
+                let base = (ni * c + ci) * spatial;
+                for off in base..base + spatial {
+                    let dy = grad_output.data()[off];
+                    let xh = cache.x_hat.data()[off];
+                    dx.data_mut()[off] =
+                        g * istd / m * (m * dy - sum_dy - xh * sum_dy_xhat);
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.gamma);
+        f(&self.beta);
+        f(&self.running_mean);
+        f(&self.running_var);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_tensor::Rng;
+
+    #[test]
+    fn train_output_is_normalized() {
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let mut rng = Rng::seed_from(3);
+        let x = Tensor::rand_normal(&[4, 2, 3, 3], 5.0, 2.0, &mut rng);
+        let y = bn.forward(&x, Mode::Train);
+        // Per-channel mean ≈ 0, var ≈ 1.
+        let (n, c, s) = (4, 2, 9);
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                let base = (ni * c + ci) * s;
+                vals.extend_from_slice(&y.data()[base..base + s]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_move_toward_batch_stats() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        let x = Tensor::full(&[2, 1, 2, 2], 10.0);
+        bn.forward(&x, Mode::Train);
+        // running_mean moved 10% of the way from 0 toward 10.
+        assert!((bn.running_mean().data()[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        // Default running stats: mean 0, var 1 → eval is identity (γ=1, β=0).
+        let x = Tensor::from_fn(&[1, 1, 2, 2], |i| i as f32);
+        let y = bn.forward(&x, Mode::Eval);
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        bn.gamma.value_mut().data_mut()[0] = 2.0;
+        bn.beta.value_mut().data_mut()[0] = 1.0;
+        let x = Tensor::from_fn(&[1, 1, 2, 2], |i| i as f32);
+        let y = bn.forward(&x, Mode::Eval);
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((2.0 * a + 1.0 - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn backward_grad_sums_match_formula() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        let mut rng = Rng::seed_from(9);
+        let x = Tensor::rand_normal(&[2, 1, 2, 2], 0.0, 1.0, &mut rng);
+        bn.forward(&x, Mode::Train);
+        let dy = Tensor::ones(&[2, 1, 2, 2]);
+        let dx = bn.backward(&dy);
+        // With uniform dy, dβ = sum(dy) = 8 and dx sums to ~0 (mean
+        // subtraction kills the constant direction).
+        assert_eq!(bn.beta.grad().data()[0], 8.0);
+        assert!(dx.sum().abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a training-mode forward")]
+    fn backward_requires_train_forward() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        bn.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval);
+        bn.backward(&Tensor::zeros(&[1, 1, 2, 2]));
+    }
+}

@@ -1,0 +1,110 @@
+//! Softmax cross-entropy loss.
+
+use sb_tensor::Tensor;
+
+/// Result of a cross-entropy evaluation: the scalar loss, the gradient
+/// with respect to the logits, and the softmax probabilities (exposed so
+/// metrics can reuse them without recomputation — C-INTERMEDIATE).
+#[derive(Debug, Clone)]
+pub struct CrossEntropyOutput {
+    /// Mean negative log-likelihood over the batch.
+    pub loss: f32,
+    /// Gradient w.r.t. the logits, already divided by batch size.
+    pub grad_logits: Tensor,
+    /// Row-wise softmax probabilities `[N, C]`.
+    pub probs: Tensor,
+}
+
+/// Computes mean softmax cross-entropy between `logits [N, C]` and integer
+/// `labels` (length `N`).
+///
+/// The returned gradient is `(softmax(logits) - onehot(labels)) / N`, the
+/// exact gradient of the mean loss, ready to feed into
+/// [`Network::backward`](crate::Network::backward).
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D, `labels.len() != N`, or any label is out
+/// of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> CrossEntropyOutput {
+    assert_eq!(logits.shape().ndim(), 2, "cross_entropy expects [N, C] logits");
+    let (n, c) = (logits.dim(0), logits.dim(1));
+    assert_eq!(labels.len(), n, "label count must match batch size");
+    let log_probs = logits.log_softmax_rows();
+    let probs = log_probs.exp();
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let inv_n = 1.0 / n as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {label} out of range for {c} classes");
+        loss -= log_probs.data()[i * c + label];
+        grad.data_mut()[i * c + label] -= 1.0;
+    }
+    grad.scale_in_place(inv_n);
+    CrossEntropyOutput {
+        loss: loss * inv_n,
+        grad_logits: grad,
+        probs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let out = cross_entropy(&logits, &[0, 3]);
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = Tensor::zeros(&[1, 3]);
+        logits.data_mut()[1] = 10.0;
+        let out = cross_entropy(&logits, &[1]);
+        assert!(out.loss < 1e-3, "loss {}", out.loss);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0], &[2, 3]).unwrap();
+        let out = cross_entropy(&logits, &[2, 0]);
+        for i in 0..2 {
+            let row_sum: f32 = out.grad_logits.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(row_sum.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let base = Tensor::from_vec(vec![0.3, -0.7, 1.1], &[1, 3]).unwrap();
+        let labels = [1usize];
+        let out = cross_entropy(&base, &labels);
+        let eps = 1e-3;
+        for j in 0..3 {
+            let mut plus = base.clone();
+            plus.data_mut()[j] += eps;
+            let mut minus = base.clone();
+            minus.data_mut()[j] -= eps;
+            let num = (cross_entropy(&plus, &labels).loss - cross_entropy(&minus, &labels).loss)
+                / (2.0 * eps);
+            let ana = out.grad_logits.data()[j];
+            assert!((num - ana).abs() < 1e-3, "dim {j}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn probs_are_exposed() {
+        let logits = Tensor::zeros(&[1, 2]);
+        let out = cross_entropy(&logits, &[0]);
+        assert!((out.probs.data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        cross_entropy(&Tensor::zeros(&[1, 2]), &[5]);
+    }
+}

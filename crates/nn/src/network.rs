@@ -1,0 +1,190 @@
+//! The [`Network`] abstraction: a trainable model with named parameters.
+
+use crate::param::{Param, ParamSnapshot};
+use sb_tensor::{Conv2dGeometry, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Forward-pass mode. Affects batch normalization (batch statistics vs
+/// running statistics) and any other train-only behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Training: use batch statistics, update running averages.
+    Train,
+    /// Inference: use running statistics, no state updates.
+    Eval,
+}
+
+/// Description of one multiply-add-bearing operation in a network, used by
+/// `sb-metrics` to compute FLOP counts and theoretical speedups.
+///
+/// Only convolutions and linear layers are described: the paper defines
+/// theoretical speedup as the ratio of multiply-adds, and those two layer
+/// types carry essentially all multiply-adds in the studied architectures.
+/// (Section 5.2 of the paper documents that FLOP formulas vary up to 4×
+/// between papers; ours is stated precisely in `sb-metrics`.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpInfo {
+    /// A 2-D convolution.
+    Conv2d {
+        /// Name of the weight parameter this op reads.
+        weight_name: String,
+        /// Number of output channels.
+        out_channels: usize,
+        /// Input/kernel/stride/padding geometry.
+        geom: Conv2dGeometry,
+    },
+    /// A fully-connected layer.
+    Linear {
+        /// Name of the weight parameter this op reads.
+        weight_name: String,
+        /// Input feature count.
+        in_features: usize,
+        /// Output feature count.
+        out_features: usize,
+    },
+}
+
+impl OpInfo {
+    /// The name of the weight parameter driving this op.
+    pub fn weight_name(&self) -> &str {
+        match self {
+            OpInfo::Conv2d { weight_name, .. } => weight_name,
+            OpInfo::Linear { weight_name, .. } => weight_name,
+        }
+    }
+
+    /// Dense multiply-add count for a single input sample.
+    pub fn dense_macs(&self) -> u64 {
+        match self {
+            OpInfo::Conv2d {
+                out_channels, geom, ..
+            } => {
+                let per_pixel = geom.patch_len() as u64 * *out_channels as u64;
+                per_pixel * geom.out_h() as u64 * geom.out_w() as u64
+            }
+            OpInfo::Linear {
+                in_features,
+                out_features,
+                ..
+            } => (*in_features as u64) * (*out_features as u64),
+        }
+    }
+}
+
+/// A trainable model: forward/backward over batches plus visitation of all
+/// named parameters.
+///
+/// Implemented by [`Sequential`](crate::Sequential) and the model-zoo
+/// networks. Pruning (in the `shrinkbench` crate) operates purely through
+/// this trait — scoring reads parameters via [`Network::visit_params_ref`]
+/// and masks are installed via [`Network::visit_params`] — so any user
+/// model gains pruning support by implementing it.
+pub trait Network {
+    /// Computes logits `[N, num_classes]` for a batch.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Backpropagates a gradient with respect to the logits, accumulating
+    /// into each parameter's gradient buffer.
+    ///
+    /// Must be called after [`Network::forward`] with `Mode::Train` on the
+    /// same batch (layers cache activations).
+    fn backward(&mut self, grad_logits: &Tensor);
+
+    /// Visits every parameter mutably, in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Visits every parameter immutably, in the same stable order.
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param));
+
+    /// Describes the multiply-add-bearing ops in execution order.
+    fn ops(&self) -> Vec<OpInfo>;
+
+    /// Number of output classes.
+    fn num_classes(&self) -> usize;
+}
+
+/// Convenience helpers available on every [`Network`].
+pub trait NetworkExt: Network {
+    /// Zeroes all gradient accumulators.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Re-applies every installed mask (call after optimizer steps).
+    fn apply_masks(&mut self) {
+        self.visit_params(&mut |p| p.apply_mask());
+    }
+
+    /// Total scalar parameter count.
+    fn num_params(&self) -> usize {
+        let mut n = 0;
+        self.visit_params_ref(&mut |p| n += p.numel());
+        n
+    }
+
+    /// Snapshot of all parameter values and masks.
+    fn snapshot(&self) -> Vec<ParamSnapshot> {
+        let mut snaps = Vec::new();
+        self.visit_params_ref(&mut |p| snaps.push(p.snapshot()));
+        snaps
+    }
+
+    /// Restores a snapshot taken with [`NetworkExt::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not match the network's parameters
+    /// (count, order, names, or shapes).
+    fn restore(&mut self, snaps: &[ParamSnapshot]) {
+        let mut i = 0;
+        self.visit_params(&mut |p| {
+            assert!(i < snaps.len(), "snapshot has too few parameters");
+            p.restore(&snaps[i]);
+            i += 1;
+        });
+        assert_eq!(i, snaps.len(), "snapshot has too many parameters");
+    }
+
+    /// Collects `(name, shape)` for all parameters; useful in tests.
+    fn param_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        self.visit_params_ref(&mut |p| names.push(p.name().to_string()));
+        names
+    }
+}
+
+impl<N: Network + ?Sized> NetworkExt for N {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_macs_formula() {
+        let op = OpInfo::Conv2d {
+            weight_name: "w".into(),
+            out_channels: 8,
+            geom: Conv2dGeometry {
+                in_channels: 3,
+                in_h: 8,
+                in_w: 8,
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: 1,
+                padding: 1,
+            },
+        };
+        // patch = 27, pixels = 64, out channels = 8 → 27·8·64
+        assert_eq!(op.dense_macs(), 27 * 8 * 64);
+    }
+
+    #[test]
+    fn linear_macs_formula() {
+        let op = OpInfo::Linear {
+            weight_name: "w".into(),
+            in_features: 100,
+            out_features: 10,
+        };
+        assert_eq!(op.dense_macs(), 1000);
+    }
+}

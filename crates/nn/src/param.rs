@@ -1,0 +1,292 @@
+//! Named, maskable trainable parameters.
+
+use sb_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// The role a parameter plays in its layer; determines default
+/// prunability (only convolution and linear *weights* are pruned, matching
+/// the paper's experimental setup, which leaves biases and batch-norm
+/// parameters dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// Convolution kernel weight `[C_out, C_in, KH, KW]`.
+    ConvWeight,
+    /// Linear (fully-connected) weight `[out, in]`.
+    LinearWeight,
+    /// Additive bias.
+    Bias,
+    /// Batch-norm scale (gamma).
+    BnScale,
+    /// Batch-norm shift (beta).
+    BnShift,
+    /// Batch-norm running statistic (mean or variance): model *state*
+    /// that ships with the weights and must be captured by snapshots and
+    /// checkpoints, but is neither trained by optimizers nor counted as a
+    /// parameter by the size metrics.
+    BnRunningStat,
+}
+
+impl ParamKind {
+    /// Whether parameters of this kind are pruning candidates by default.
+    pub fn prunable_by_default(self) -> bool {
+        matches!(self, ParamKind::ConvWeight | ParamKind::LinearWeight)
+    }
+
+    /// Whether optimizers update parameters of this kind (running
+    /// statistics are updated by their layer's forward pass instead).
+    pub fn trainable(self) -> bool {
+        !matches!(self, ParamKind::BnRunningStat)
+    }
+
+    /// Whether this kind counts toward parameter totals in size metrics
+    /// (the literature counts weights, not batch-norm state).
+    pub fn counts_as_parameter(self) -> bool {
+        !matches!(self, ParamKind::BnRunningStat)
+    }
+}
+
+/// A named trainable tensor with its gradient accumulator and an optional
+/// binary pruning mask.
+///
+/// The mask is the paper's `M ∈ {0, 1}^|W|`: when present, the effective
+/// parameter is `M ⊙ W`. [`Param::apply_mask`] re-imposes the constraint
+/// and is called after every optimizer step, so a pruned entry can never
+/// drift away from zero during fine-tuning.
+#[derive(Debug, Clone)]
+pub struct Param {
+    name: String,
+    kind: ParamKind,
+    value: Tensor,
+    grad: Tensor,
+    mask: Option<Tensor>,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient and no mask.
+    pub fn new(name: impl Into<String>, kind: ParamKind, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param {
+            name: name.into(),
+            kind,
+            value,
+            grad,
+            mask: None,
+        }
+    }
+
+    /// Stable, path-like identifier (e.g. `"stage1.block0.conv1.weight"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter's role.
+    pub fn kind(&self) -> ParamKind {
+        self.kind
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Mutable value (used by optimizers).
+    pub fn value_mut(&mut self) -> &mut Tensor {
+        &mut self.value
+    }
+
+    /// Accumulated gradient.
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// Mutable gradient (used by backward passes to accumulate).
+    pub fn grad_mut(&mut self) -> &mut Tensor {
+        &mut self.grad
+    }
+
+    /// The pruning mask, if one has been installed.
+    pub fn mask(&self) -> Option<&Tensor> {
+        self.mask.as_ref()
+    }
+
+    /// Installs (or replaces) a pruning mask and immediately applies it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask shape differs from the value shape, or if the
+    /// mask contains entries other than 0.0 and 1.0.
+    pub fn set_mask(&mut self, mask: Tensor) {
+        assert_eq!(
+            mask.dims(),
+            self.value.dims(),
+            "mask shape {:?} does not match param {:?} of shape {:?}",
+            mask.dims(),
+            self.name,
+            self.value.dims()
+        );
+        assert!(
+            mask.data().iter().all(|&m| m == 0.0 || m == 1.0),
+            "mask for {:?} must be binary",
+            self.name
+        );
+        self.mask = Some(mask);
+        self.apply_mask();
+    }
+
+    /// Removes the mask (the parameter becomes fully dense again).
+    pub fn clear_mask(&mut self) {
+        self.mask = None;
+    }
+
+    /// Re-imposes `value ⊙= mask` (no-op when unmasked).
+    pub fn apply_mask(&mut self) {
+        if let Some(mask) = &self.mask {
+            self.value.mul_in_place(mask);
+        }
+    }
+
+    /// Zeroes the mask-allowed entries of the gradient too (keeps momentum
+    /// buffers from accumulating updates for pruned weights).
+    pub fn mask_grad(&mut self) {
+        if let Some(mask) = &self.mask {
+            self.grad.mul_in_place(mask);
+        }
+    }
+
+    /// Resets the gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Number of *effective* (unmasked) parameters: mask ones when masked,
+    /// total count otherwise.
+    pub fn effective_params(&self) -> usize {
+        match &self.mask {
+            Some(m) => m.data().iter().filter(|&&v| v == 1.0).count(),
+            None => self.numel(),
+        }
+    }
+
+    /// Captures the current value (and mask) for later restoration.
+    pub fn snapshot(&self) -> ParamSnapshot {
+        ParamSnapshot {
+            name: self.name.clone(),
+            value: self.value.clone(),
+            mask: self.mask.clone(),
+        }
+    }
+
+    /// Restores value and mask from a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's name or shape does not match.
+    pub fn restore(&mut self, snap: &ParamSnapshot) {
+        assert_eq!(snap.name, self.name, "snapshot name mismatch");
+        assert_eq!(
+            snap.value.dims(),
+            self.value.dims(),
+            "snapshot shape mismatch for {}",
+            self.name
+        );
+        self.value = snap.value.clone();
+        self.mask = snap.mask.clone();
+    }
+}
+
+/// A serializable capture of one parameter's value and mask, used for
+/// checkpointing pretrained weights ("Weights A" / "Weights B" in the
+/// paper's Figure 8 experiment) and for rewinding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSnapshot {
+    /// Parameter name the snapshot belongs to.
+    pub name: String,
+    /// Saved value.
+    pub value: Tensor,
+    /// Saved mask (if the parameter was pruned).
+    pub mask: Option<Tensor>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn param() -> Param {
+        Param::new(
+            "w",
+            ParamKind::LinearWeight,
+            Tensor::from_slice(&[1.0, -2.0, 3.0, -4.0]),
+        )
+    }
+
+    #[test]
+    fn prunability_defaults() {
+        assert!(ParamKind::ConvWeight.prunable_by_default());
+        assert!(ParamKind::LinearWeight.prunable_by_default());
+        assert!(!ParamKind::Bias.prunable_by_default());
+        assert!(!ParamKind::BnScale.prunable_by_default());
+    }
+
+    #[test]
+    fn set_mask_applies_immediately() {
+        let mut p = param();
+        p.set_mask(Tensor::from_slice(&[1.0, 0.0, 1.0, 0.0]));
+        assert_eq!(p.value().data(), &[1.0, 0.0, 3.0, 0.0]);
+        assert_eq!(p.effective_params(), 2);
+    }
+
+    #[test]
+    fn apply_mask_after_update_rezeroes() {
+        let mut p = param();
+        p.set_mask(Tensor::from_slice(&[1.0, 0.0, 1.0, 1.0]));
+        // Simulate an optimizer writing into a pruned slot.
+        p.value_mut().data_mut()[1] = 9.0;
+        p.apply_mask();
+        assert_eq!(p.value().data()[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be binary")]
+    fn non_binary_mask_rejected() {
+        param().set_mask(Tensor::from_slice(&[0.5, 1.0, 1.0, 1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "mask shape")]
+    fn wrong_shape_mask_rejected() {
+        param().set_mask(Tensor::from_slice(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn grad_masking() {
+        let mut p = param();
+        p.grad_mut().data_mut().copy_from_slice(&[1.0; 4]);
+        p.set_mask(Tensor::from_slice(&[0.0, 1.0, 0.0, 1.0]));
+        p.mask_grad();
+        assert_eq!(p.grad().data(), &[0.0, 1.0, 0.0, 1.0]);
+        p.zero_grad();
+        assert_eq!(p.grad().data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let mut p = param();
+        p.set_mask(Tensor::from_slice(&[1.0, 1.0, 0.0, 1.0]));
+        let snap = p.snapshot();
+        p.value_mut().data_mut().fill(7.0);
+        p.clear_mask();
+        p.restore(&snap);
+        assert_eq!(p.value().data(), &[1.0, -2.0, 0.0, -4.0]);
+        assert!(p.mask().is_some());
+    }
+
+    #[test]
+    fn effective_params_without_mask() {
+        assert_eq!(param().effective_params(), 4);
+    }
+}

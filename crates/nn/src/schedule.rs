@@ -1,0 +1,104 @@
+//! Learning-rate schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule mapping epoch index to a multiplier of the
+/// base learning rate.
+///
+/// The paper's reported experiments use a *fixed* schedule for fine-tuning
+/// (Appendix C.2); the other variants cover the pretraining runs and the
+/// scheduling axis of Section 2.3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    #[default]
+    Fixed,
+    /// Multiply by `gamma` every `every` epochs.
+    StepDecay {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Multiplicative decay factor.
+        gamma: f32,
+    },
+    /// Cosine annealing from 1 to ~0 over `total_epochs`.
+    Cosine {
+        /// Horizon over which to anneal.
+        total_epochs: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Multiplier to apply to the base learning rate at `epoch`
+    /// (0-indexed).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `StepDecay { every: 0, .. }` or `Cosine { total_epochs: 0 }`.
+    pub fn multiplier(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Fixed => 1.0,
+            LrSchedule::StepDecay { every, gamma } => {
+                assert!(every > 0, "StepDecay interval must be positive");
+                gamma.powi((epoch / every) as i32)
+            }
+            LrSchedule::Cosine { total_epochs } => {
+                assert!(total_epochs > 0, "Cosine horizon must be positive");
+                let t = (epoch.min(total_epochs) as f32) / total_epochs as f32;
+                0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        for e in 0..10 {
+            assert_eq!(LrSchedule::Fixed.multiplier(e), 1.0);
+        }
+    }
+
+    #[test]
+    fn step_decay_steps() {
+        let s = LrSchedule::StepDecay { every: 2, gamma: 0.1 };
+        assert_eq!(s.multiplier(0), 1.0);
+        assert_eq!(s.multiplier(1), 1.0);
+        assert!((s.multiplier(2) - 0.1).abs() < 1e-7);
+        assert!((s.multiplier(5) - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_starts_at_one_ends_at_zero() {
+        let s = LrSchedule::Cosine { total_epochs: 10 };
+        assert!((s.multiplier(0) - 1.0).abs() < 1e-6);
+        assert!(s.multiplier(10) < 1e-6);
+        assert!((s.multiplier(5) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_clamps_past_horizon() {
+        let s = LrSchedule::Cosine { total_epochs: 4 };
+        assert_eq!(s.multiplier(100), s.multiplier(4));
+    }
+
+    #[test]
+    fn monotone_nonincreasing() {
+        for s in [
+            LrSchedule::Fixed,
+            LrSchedule::StepDecay { every: 3, gamma: 0.5 },
+            LrSchedule::Cosine { total_epochs: 20 },
+        ] {
+            let mut prev = f32::INFINITY;
+            for e in 0..25 {
+                let m = s.multiplier(e);
+                assert!(m <= prev + 1e-6, "{s:?} increased at epoch {e}");
+                prev = m;
+            }
+        }
+    }
+}

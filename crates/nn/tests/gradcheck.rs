@@ -1,0 +1,242 @@
+//! Finite-difference gradient checks for every layer and for whole
+//! networks. These are the correctness foundation for the gradient-based
+//! pruning scores (weight × gradient) used by the ShrinkBench baselines.
+
+use sb_nn::{
+    models, AvgPool2d, BatchNorm2d, Conv2d, Layer, Linear, MaxPool2d, Mode, Network, NetworkExt,
+    ReLU, ResidualBlock, Sequential,
+};
+use sb_tensor::{Conv2dGeometry, Rng, Tensor};
+
+/// Scalar objective: elementwise product of the layer output with a fixed
+/// random tensor, summed. Its gradient w.r.t. the output is that tensor.
+fn loss_through(layer: &mut dyn Layer, x: &Tensor, probe: &Tensor) -> f32 {
+    layer.forward(x, Mode::Train).dot(probe)
+}
+
+/// Checks input gradients and all parameter gradients of `layer` at `x`
+/// against central finite differences.
+fn gradcheck(layer: &mut dyn Layer, x: &Tensor, eps: f32, tol: f32) {
+    let mut rng = Rng::seed_from(0xBEEF);
+    let y = layer.forward(x, Mode::Train);
+    let probe = Tensor::rand_normal(y.dims(), 0.0, 1.0, &mut rng);
+
+    // Analytic gradients.
+    layer.visit_params(&mut |p| p.zero_grad());
+    let _ = layer.forward(x, Mode::Train);
+    let dx = layer.backward(&probe);
+
+    // Input gradient check (sample coordinates to bound runtime).
+    let stride = (x.numel() / 24).max(1);
+    for i in (0..x.numel()).step_by(stride) {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let num = (loss_through(layer, &xp, &probe) - loss_through(layer, &xm, &probe))
+            / (2.0 * eps);
+        let ana = dx.data()[i];
+        assert!(
+            (num - ana).abs() <= tol * (1.0 + num.abs().max(ana.abs())),
+            "input grad mismatch at {i}: numeric {num} vs analytic {ana}"
+        );
+    }
+
+    // Parameter gradient check. Collect analytic grads first, since the
+    // perturbed re-evaluations below rewrite gradients are not run
+    // (we only call forward).
+    let mut names: Vec<String> = Vec::new();
+    let mut grads: Vec<Vec<f32>> = Vec::new();
+    layer.visit_params_ref(&mut |p| {
+        names.push(p.name().to_string());
+        grads.push(p.grad().data().to_vec());
+    });
+    for (pi, name) in names.iter().enumerate() {
+        let count = grads[pi].len();
+        let stride = (count / 12).max(1);
+        for i in (0..count).step_by(stride) {
+            let perturb = |layer: &mut dyn Layer, delta: f32, probe: &Tensor, x: &Tensor| {
+                let mut k = 0usize;
+                layer.visit_params(&mut |p| {
+                    if k == pi {
+                        p.value_mut().data_mut()[i] += delta;
+                    }
+                    k += 1;
+                });
+                let l = loss_through(layer, x, probe);
+                let mut k = 0usize;
+                layer.visit_params(&mut |p| {
+                    if k == pi {
+                        p.value_mut().data_mut()[i] -= delta;
+                    }
+                    k += 1;
+                });
+                l
+            };
+            let num = (perturb(layer, eps, &probe, x) - perturb(layer, -eps, &probe, x))
+                / (2.0 * eps);
+            let ana = grads[pi][i];
+            assert!(
+                (num - ana).abs() <= tol * (1.0 + num.abs().max(ana.abs())),
+                "param {name} grad mismatch at {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+}
+
+fn smooth_input(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = Rng::seed_from(seed);
+    // Keep values away from ReLU/maxpool kinks so finite differences are
+    // valid: resample anything within 0.05 of zero.
+    Tensor::from_fn(dims, |_| {
+        let mut v = rng.normal();
+        while v.abs() < 0.05 {
+            v = rng.normal();
+        }
+        v
+    })
+}
+
+#[test]
+fn linear_gradients() {
+    let mut rng = Rng::seed_from(1);
+    let mut layer = Linear::new("fc", 6, 4, &mut rng);
+    gradcheck(&mut layer, &smooth_input(&[3, 6], 2), 1e-2, 2e-2);
+}
+
+#[test]
+fn conv2d_gradients() {
+    let mut rng = Rng::seed_from(3);
+    let geom = Conv2dGeometry {
+        in_channels: 2,
+        in_h: 5,
+        in_w: 5,
+        kernel_h: 3,
+        kernel_w: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let mut layer = Conv2d::new("conv", 3, geom, &mut rng);
+    gradcheck(&mut layer, &smooth_input(&[2, 2, 5, 5], 4), 1e-2, 2e-2);
+}
+
+#[test]
+fn strided_conv2d_gradients() {
+    let mut rng = Rng::seed_from(5);
+    let geom = Conv2dGeometry {
+        in_channels: 2,
+        in_h: 6,
+        in_w: 6,
+        kernel_h: 3,
+        kernel_w: 3,
+        stride: 2,
+        padding: 1,
+    };
+    let mut layer = Conv2d::new("conv", 2, geom, &mut rng);
+    gradcheck(&mut layer, &smooth_input(&[1, 2, 6, 6], 6), 1e-2, 2e-2);
+}
+
+#[test]
+fn relu_gradients() {
+    let mut layer = ReLU::new();
+    gradcheck(&mut layer, &smooth_input(&[4, 7], 7), 1e-2, 2e-2);
+}
+
+#[test]
+fn maxpool_gradients() {
+    let mut layer = MaxPool2d::new(2, 2);
+    gradcheck(&mut layer, &smooth_input(&[2, 2, 4, 4], 8), 1e-3, 2e-2);
+}
+
+#[test]
+fn avgpool_gradients() {
+    let mut layer = AvgPool2d::new(2, 2);
+    gradcheck(&mut layer, &smooth_input(&[2, 2, 4, 4], 9), 1e-2, 2e-2);
+}
+
+#[test]
+fn batchnorm_gradients() {
+    let mut layer = BatchNorm2d::new("bn", 3);
+    gradcheck(&mut layer, &smooth_input(&[4, 3, 3, 3], 10), 1e-2, 3e-2);
+}
+
+#[test]
+fn residual_block_gradients() {
+    let mut rng = Rng::seed_from(11);
+    let mut layer = ResidualBlock::new("b", 2, 2, 4, 1, &mut rng);
+    gradcheck(&mut layer, &smooth_input(&[2, 2, 4, 4], 12), 1e-2, 4e-2);
+}
+
+#[test]
+fn downsampling_residual_block_gradients() {
+    let mut rng = Rng::seed_from(13);
+    let mut layer = ResidualBlock::new("b", 2, 4, 4, 2, &mut rng);
+    gradcheck(&mut layer, &smooth_input(&[2, 2, 4, 4], 14), 1e-2, 4e-2);
+}
+
+#[test]
+fn sequential_stack_gradients() {
+    let mut rng = Rng::seed_from(15);
+    let mut layer = Sequential::new()
+        .push(Linear::new("a", 5, 8, &mut rng))
+        .push(ReLU::new())
+        .push(Linear::new("b", 8, 3, &mut rng));
+    gradcheck(&mut layer, &smooth_input(&[4, 5], 16), 1e-2, 2e-2);
+}
+
+/// End-to-end: full cross-entropy loss gradient through a small CNN
+/// matches finite differences on the loss itself.
+#[test]
+fn end_to_end_loss_gradients() {
+    let mut rng = Rng::seed_from(17);
+    let mut net = models::lenet5(1, 8, 4, &mut rng);
+    let x = smooth_input(&[2, 1, 8, 8], 18);
+    let labels = vec![1usize, 3usize];
+
+    let loss_of = |net: &mut dyn Network, x: &Tensor| {
+        let logits = net.forward(x, Mode::Train);
+        sb_nn::cross_entropy(&logits, &labels).loss
+    };
+
+    net.zero_grads();
+    let logits = net.forward(&x, Mode::Train);
+    let out = sb_nn::cross_entropy(&logits, &labels);
+    net.backward(&out.grad_logits);
+
+    let mut names = Vec::new();
+    let mut grads: Vec<Vec<f32>> = Vec::new();
+    net.visit_params_ref(&mut |p| {
+        names.push(p.name().to_string());
+        grads.push(p.grad().data().to_vec());
+    });
+    let eps = 1e-2;
+    for (pi, name) in names.iter().enumerate().take(4) {
+        let stride = (grads[pi].len() / 6).max(1);
+        for i in (0..grads[pi].len()).step_by(stride) {
+            let mut eval = |delta: f32| {
+                let mut k = 0;
+                net.visit_params(&mut |p| {
+                    if k == pi {
+                        p.value_mut().data_mut()[i] += delta;
+                    }
+                    k += 1;
+                });
+                let l = loss_of(&mut net, &x);
+                let mut k = 0;
+                net.visit_params(&mut |p| {
+                    if k == pi {
+                        p.value_mut().data_mut()[i] -= delta;
+                    }
+                    k += 1;
+                });
+                l
+            };
+            let num = (eval(eps) - eval(-eps)) / (2.0 * eps);
+            let ana = grads[pi][i];
+            assert!(
+                (num - ana).abs() <= 3e-2 * (1.0 + num.abs().max(ana.abs())),
+                "{name}[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+}

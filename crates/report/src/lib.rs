@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! Reporting utilities: markdown tables, CSV writers, and ASCII line
+//! charts rendering tradeoff curves in a terminal.
+//!
+//! Every table and figure of the reproduction is ultimately emitted
+//! through this crate, so the formats stay consistent across the
+//! meta-analysis figures and the ShrinkBench experiment figures.
+
+mod chart;
+mod table;
+
+pub use chart::{AsciiChart, ChartSeries};
+pub use table::{write_csv, Table};

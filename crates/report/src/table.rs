@@ -1,0 +1,187 @@
+//! Markdown and CSV table rendering.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table that renders as GitHub-flavored
+/// markdown.
+///
+/// # Example
+///
+/// ```
+/// use sb_report::Table;
+///
+/// let mut t = Table::new(vec!["Dataset", "Papers"]);
+/// t.row(vec!["ImageNet".to_string(), "22".to_string()]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| ImageNet | 22"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<impl Into<String>>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} does not match {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as column-aligned markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (w, cell) in widths.iter().zip(cells) {
+                let _ = write!(out, " {cell:w$} |");
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{:-<1$}|", "", w + 2);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180-ish: quotes only when needed).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes a table to `path` as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_csv(table: &Table, path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, table.to_csv())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into(), "hello".into()]);
+        t.row(vec!["22".into(), "x,y".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_is_aligned() {
+        let md = sample().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("|--"));
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let csv = sample().to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    fn csv_escapes_quotes() {
+        let mut t = Table::new(vec!["c"]);
+        t.row(vec!["say \"hi\"".into()]);
+        assert!(t.to_csv().contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        Table::new(vec!["a", "b"]).row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let path = std::env::temp_dir().join("sb-report-test/out.csv");
+        write_csv(&sample(), &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("hello"));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(Table::new(vec!["x"]).is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+}

@@ -1,0 +1,273 @@
+//! Convolution lowering: `im2col` / `col2im` and output-geometry math.
+//!
+//! Convolutions in `sb-nn` are computed as matrix products over patch
+//! matrices: the input `[N, C, H, W]` is unfolded into a
+//! `[N·H_out·W_out, C·KH·KW]` patch matrix (`im2col`), multiplied by the
+//! reshaped kernel, and the backward pass folds gradients back with
+//! `col2im`. This keeps the only nontrivial indexing logic in one place.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Static geometry of a 2-D convolution (or pooling) window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dGeometry {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride along both spatial axes.
+    pub stride: usize,
+    /// Zero padding along both spatial axes.
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output height after the window sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel (plus padding) does not fit the input.
+    pub fn out_h(&self) -> usize {
+        out_extent(self.in_h, self.kernel_h, self.stride, self.padding)
+    }
+
+    /// Output width after the window sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel (plus padding) does not fit the input.
+    pub fn out_w(&self) -> usize {
+        out_extent(self.in_w, self.kernel_w, self.stride, self.padding)
+    }
+
+    /// Patch length: `in_channels · kernel_h · kernel_w`.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel_h * self.kernel_w
+    }
+}
+
+fn out_extent(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    let padded = input + 2 * padding;
+    assert!(
+        padded >= kernel,
+        "kernel {kernel} does not fit input {input} with padding {padding}"
+    );
+    assert!(stride > 0, "stride must be positive");
+    (padded - kernel) / stride + 1
+}
+
+/// Unfolds a batched image tensor `[N, C, H, W]` into a patch matrix
+/// `[N·out_h·out_w, C·kh·kw]`.
+///
+/// Row `(n·out_h + oy)·out_w + ox` holds the receptive field of output
+/// pixel `(oy, ox)` of sample `n`, channel-major. Out-of-bounds (padding)
+/// positions read as zero.
+///
+/// # Panics
+///
+/// Panics if `input` is not 4-D or its dims disagree with `geom`.
+pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
+    assert_eq!(input.shape().ndim(), 4, "im2col requires [N, C, H, W] input");
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    assert_eq!(c, geom.in_channels, "channel mismatch");
+    assert_eq!(h, geom.in_h, "height mismatch");
+    assert_eq!(w, geom.in_w, "width mismatch");
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let patch = geom.patch_len();
+    let mut out = vec![0.0f32; n * oh * ow * patch];
+    let data = input.data();
+    let (kh, kw) = (geom.kernel_h, geom.kernel_w);
+    let (stride, pad) = (geom.stride, geom.padding as isize);
+
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * patch;
+                let base_y = (oy * stride) as isize - pad;
+                let base_x = (ox * stride) as isize - pad;
+                for ci in 0..c {
+                    let chan = (ni * c + ci) * h * w;
+                    for ky in 0..kh {
+                        let iy = base_y + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // row stays zero (padding)
+                        }
+                        let src_row = chan + iy as usize * w;
+                        let dst = row + (ci * kh + ky) * kw;
+                        for kx in 0..kw {
+                            let ix = base_x + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out[dst + kx] = data[src_row + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n * oh * ow, patch]).expect("shape computed above")
+}
+
+/// Folds a patch-matrix gradient `[N·out_h·out_w, C·kh·kw]` back into an
+/// image gradient `[N, C, H, W]`, accumulating overlapping contributions.
+///
+/// This is the exact adjoint of [`im2col`]: positions that were read `k`
+/// times during unfolding receive the sum of their `k` gradient copies.
+///
+/// # Panics
+///
+/// Panics if `cols` dims disagree with `geom` for batch size `n`.
+pub fn col2im(cols: &Tensor, n: usize, geom: &Conv2dGeometry) -> Tensor {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let patch = geom.patch_len();
+    assert_eq!(
+        cols.dims(),
+        &[n * oh * ow, patch],
+        "col2im input shape mismatch"
+    );
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    let mut out = vec![0.0f32; n * c * h * w];
+    let data = cols.data();
+    let (kh, kw) = (geom.kernel_h, geom.kernel_w);
+    let (stride, pad) = (geom.stride, geom.padding as isize);
+
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * patch;
+                let base_y = (oy * stride) as isize - pad;
+                let base_x = (ox * stride) as isize - pad;
+                for ci in 0..c {
+                    let chan = (ni * c + ci) * h * w;
+                    for ky in 0..kh {
+                        let iy = base_y + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let dst_row = chan + iy as usize * w;
+                        let src = row + (ci * kh + ky) * kw;
+                        for kx in 0..kw {
+                            let ix = base_x + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out[dst_row + ix as usize] += data[src + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, h, w]).expect("shape computed above")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> Conv2dGeometry {
+        Conv2dGeometry {
+            in_channels: c,
+            in_h: h,
+            in_w: w,
+            kernel_h: k,
+            kernel_w: k,
+            stride: s,
+            padding: p,
+        }
+    }
+
+    #[test]
+    fn output_extent_math() {
+        assert_eq!(geom(1, 5, 5, 3, 1, 0).out_h(), 3);
+        assert_eq!(geom(1, 5, 5, 3, 1, 1).out_h(), 5);
+        assert_eq!(geom(1, 6, 6, 3, 2, 1).out_h(), 3);
+        assert_eq!(geom(1, 4, 4, 1, 1, 0).out_h(), 4);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: patch matrix is just a flattened reordering.
+        let x = Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let g = geom(2, 2, 2, 1, 1, 0);
+        let cols = im2col(&x, &g);
+        assert_eq!(cols.dims(), &[4, 2]);
+        // Row for pixel (0,0): channels [x[0,0,0,0], x[0,1,0,0]] = [0, 4]
+        assert_eq!(cols.data()[0..2], [0.0, 4.0]);
+    }
+
+    #[test]
+    fn im2col_known_patch() {
+        let x = Tensor::from_vec((1..=9).map(|i| i as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let g = geom(1, 3, 3, 2, 1, 0);
+        let cols = im2col(&x, &g);
+        assert_eq!(cols.dims(), &[4, 4]);
+        // Top-left patch is [1,2,4,5].
+        assert_eq!(cols.data()[0..4], [1.0, 2.0, 4.0, 5.0]);
+        // Bottom-right patch is [5,6,8,9].
+        assert_eq!(cols.data()[12..16], [5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn im2col_padding_reads_zero() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let g = geom(1, 2, 2, 3, 1, 1);
+        let cols = im2col(&x, &g);
+        // Output pixel (0, 0) has top row and left column padded out.
+        let first = &cols.data()[0..9];
+        assert_eq!(first, &[0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y: the defining
+        // property of an adjoint, which is exactly what backprop requires.
+        let g = geom(2, 4, 4, 3, 1, 1);
+        let x = Tensor::from_fn(&[1, 2, 4, 4], |i| ((i * 37 % 11) as f32) - 5.0);
+        let cols_shape = [g.out_h() * g.out_w(), g.patch_len()];
+        let y = Tensor::from_fn(&cols_shape, |i| ((i * 13 % 7) as f32) - 3.0);
+        let lhs = im2col(&x, &g).dot(&y);
+        let rhs = x.flatten().dot(&col2im(&y, 1, &g).flatten());
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_accumulates_overlaps() {
+        // With a 2x2 kernel stride 1 on 3x3 input, the center pixel is
+        // covered by all 4 patches.
+        let g = geom(1, 3, 3, 2, 1, 0);
+        let cols = Tensor::ones(&[4, 4]);
+        let img = col2im(&cols, 1, &g);
+        assert_eq!(img.at(&[0, 0, 1, 1]), 4.0);
+        assert_eq!(img.at(&[0, 0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_kernel_panics() {
+        geom(1, 2, 2, 5, 1, 0).out_h();
+    }
+
+    #[test]
+    fn multi_batch_rows_are_independent() {
+        let x0 = Tensor::from_fn(&[1, 1, 3, 3], |i| i as f32);
+        let x1 = Tensor::from_fn(&[1, 1, 3, 3], |i| (i as f32) * 10.0);
+        let mut both = Vec::new();
+        both.extend_from_slice(x0.data());
+        both.extend_from_slice(x1.data());
+        let x = Tensor::from_vec(both, &[2, 1, 3, 3]).unwrap();
+        let g = geom(1, 3, 3, 3, 1, 0);
+        let cols = im2col(&x, &g);
+        assert_eq!(cols.dims(), &[2, 9]);
+        assert_eq!(cols.row(0).data(), x0.data());
+        assert_eq!(cols.row(1).data(), x1.data());
+    }
+}

@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for fallible tensor construction and reshaping.
+///
+/// Most tensor *operations* treat shape mismatches as programmer error and
+/// panic with a descriptive message (the convention used by `ndarray` and
+/// other numerics crates); [`TensorError`] is reserved for the
+/// construction-time paths where the data originates outside the program
+/// (e.g. deserialized checkpoints) and recovery is meaningful.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the product of the
+    /// requested dimensions.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A reshape was requested whose element count differs from the
+    /// tensor's current element count.
+    ReshapeMismatch {
+        /// The tensor's current shape.
+        from: Vec<usize>,
+        /// The requested shape.
+        to: Vec<usize>,
+    },
+    /// A shape with a zero-sized dimension was provided where a non-empty
+    /// tensor is required.
+    EmptyShape,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape requiring {expected} elements"
+            ),
+            TensorError::ReshapeMismatch { from, to } => write!(
+                f,
+                "cannot reshape tensor of shape {from:?} into {to:?}: element counts differ"
+            ),
+            TensorError::EmptyShape => write!(f, "shape must have at least one element"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 4,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('6') && msg.contains('4'), "{msg}");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

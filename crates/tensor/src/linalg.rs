@@ -1,0 +1,204 @@
+//! Matrix multiplication kernels.
+//!
+//! A cache-friendly `ikj` loop order with a transposed-operand variant; no
+//! unsafe, no SIMD intrinsics. These are the hot kernels for both linear
+//! layers and (via im2col) convolutions.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Matrix product of two 2-D tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the inner dimensions differ.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matmul lhs must be 2-D");
+        assert_eq!(rhs.shape().ndim(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (k2, n) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(
+            k, k2,
+            "matmul inner dimensions differ: {} vs {}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = vec![0.0f32; m * n];
+        let a = self.data();
+        let b = rhs.data();
+        // ikj order: the innermost loop walks both `b` and `out` rows
+        // contiguously, which is what keeps this usable on CPU.
+        for i in 0..m {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).expect("shape computed above")
+    }
+
+    /// `self × rhsᵀ` for 2-D tensors: `[m, k] × ([n, k])ᵀ → [m, n]`.
+    ///
+    /// Equivalent to `self.matmul(&rhs.transpose2())` without materializing
+    /// the transpose; used by backward passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the shared dimension differs.
+    pub fn matmul_transposed(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matmul_transposed lhs must be 2-D");
+        assert_eq!(rhs.shape().ndim(), 2, "matmul_transposed rhs must be 2-D");
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (n, k2) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(
+            k, k2,
+            "matmul_transposed shared dimensions differ: {} vs {}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = vec![0.0f32; m * n];
+        let a = self.data();
+        let b = rhs.data();
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).expect("shape computed above")
+    }
+
+    /// `selfᵀ × rhs` for 2-D tensors: `([k, m])ᵀ × [k, n] → [m, n]`.
+    ///
+    /// Used to compute weight gradients (`xᵀ · dy`) without materializing
+    /// the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the leading dimensions differ.
+    pub fn transposed_matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "transposed_matmul lhs must be 2-D");
+        assert_eq!(rhs.shape().ndim(), 2, "transposed_matmul rhs must be 2-D");
+        let (k, m) = (self.dim(0), self.dim(1));
+        let (k2, n) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(
+            k, k2,
+            "transposed_matmul leading dimensions differ: {} vs {}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = vec![0.0f32; m * n];
+        let a = self.data();
+        let b = rhs.data();
+        for kk in 0..k {
+            let a_row = &a[kk * m..(kk + 1) * m];
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).expect("shape computed above")
+    }
+
+    /// Matrix–vector product `[m, k] × [k] → [m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not 2-D or dimensions are incompatible.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matvec lhs must be 2-D");
+        let (m, k) = (self.dim(0), self.dim(1));
+        assert_eq!(v.numel(), k, "matvec dimensions differ");
+        let mut out = vec![0.0f32; m];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data()[i * k..(i + 1) * k]
+                .iter()
+                .zip(v.data())
+                .map(|(&a, &b)| a * b)
+                .sum();
+        }
+        Tensor::from_vec(out, &[m]).expect("shape computed above")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_vec((0..9).map(|i| i as f32).collect(), &[3, 3]).unwrap();
+        assert_eq!(a.matmul(&Tensor::eye(3)).data(), a.data());
+        assert_eq!(Tensor::eye(3).matmul(&a).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap();
+        let b = Tensor::from_vec((0..12).map(|i| (i as f32) * 0.5).collect(), &[4, 3]).unwrap();
+        let fast = a.matmul_transposed(&b);
+        let slow = a.matmul(&b.transpose2());
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn transposed_matmul_matches_explicit() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[3, 2]).unwrap();
+        let b = Tensor::from_vec((0..12).map(|i| (i as f32) * 0.25).collect(), &[3, 4]).unwrap();
+        let fast = a.transposed_matmul(&b);
+        let slow = a.transpose2().matmul(&b);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap();
+        let v = Tensor::from_slice(&[1.0, 0.5, -1.0]);
+        let mv = a.matvec(&v);
+        let mm = a.matmul(&v.reshape(&[3, 1]).unwrap());
+        assert_eq!(mv.data(), mm.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_rejects_incompatible() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_skips_zeros_correctly() {
+        // Sparse lhs exercises the `aik == 0` fast path.
+        let a = Tensor::from_vec(vec![0.0, 2.0, 0.0, 0.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[2, 2]).unwrap();
+        assert_eq!(a.matmul(&b).data(), &[2.0, 2.0, 0.0, 0.0]);
+    }
+}

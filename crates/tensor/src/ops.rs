@@ -1,0 +1,294 @@
+//! Elementwise and scalar operations on [`Tensor`].
+//!
+//! All binary elementwise operations require identical shapes (there is no
+//! general broadcasting; the one deliberate exception is
+//! [`Tensor::add_row_vector`], which is what bias addition needs).
+
+use crate::tensor::Tensor;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+impl Tensor {
+    /// Elementwise binary map: `out[i] = f(self[i], other[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn zip_map(&self, other: &Tensor, mut f: impl FnMut(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "elementwise op requires equal shapes: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let data = self
+            .data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::from_vec(data, self.dims()).expect("shape preserved")
+    }
+
+    /// Elementwise unary map: `out[i] = f(self[i])`.
+    pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Tensor {
+        let data = self.data().iter().map(|&a| f(a)).collect();
+        Tensor::from_vec(data, self.dims()).expect("shape preserved")
+    }
+
+    /// In-place elementwise unary map.
+    pub fn map_in_place(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in self.data_mut() {
+            *v = f(*v);
+        }
+    }
+
+    /// In-place `self[i] += alpha * other[i]` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_scaled_in_place(&mut self, other: &Tensor, alpha: f32) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "axpy requires equal shapes: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place elementwise multiply: `self[i] *= other[i]`.
+    ///
+    /// This is the mask-application primitive used by pruning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mul_in_place(&mut self, other: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "elementwise multiply requires equal shapes: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a *= b;
+        }
+    }
+
+    /// In-place multiply by a scalar.
+    pub fn scale_in_place(&mut self, alpha: f32) {
+        for v in self.data_mut() {
+            *v *= alpha;
+        }
+    }
+
+    /// Returns `self * alpha`.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|v| v * alpha)
+    }
+
+    /// Returns `self + alpha` (scalar offset).
+    pub fn offset(&self, alpha: f32) -> Tensor {
+        self.map(|v| v + alpha)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise natural exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        self.map(f32::ln)
+    }
+
+    /// Elementwise clamp to `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|v| v.clamp(lo, hi))
+    }
+
+    /// Adds a length-`C` row vector to every row of an `[N, C]` tensor.
+    ///
+    /// This is the broadcast pattern needed by bias addition in linear
+    /// layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not 2-D or `vector` length differs from the
+    /// row width.
+    pub fn add_row_vector(&self, vector: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "add_row_vector requires 2-D input");
+        let (n, c) = (self.dim(0), self.dim(1));
+        assert_eq!(
+            vector.numel(),
+            c,
+            "row vector length {} does not match row width {c}",
+            vector.numel()
+        );
+        let mut out = self.clone();
+        for i in 0..n {
+            for j in 0..c {
+                out.data_mut()[i * c + j] += vector.data()[j];
+            }
+        }
+        out
+    }
+
+    /// Dot product with another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "dot requires equal shapes: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        self.data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn norm_sq(&self) -> f32 {
+        self.data().iter().map(|&v| v * v).sum()
+    }
+
+    /// L2 norm of all elements.
+    pub fn norm(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+}
+
+macro_rules! impl_binary_op {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait<&Tensor> for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                self.zip_map(rhs, |a, b| a $op b)
+            }
+        }
+        impl $trait<Tensor> for Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: Tensor) -> Tensor {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+impl_binary_op!(Add, add, +);
+impl_binary_op!(Sub, sub, -);
+impl_binary_op!(Mul, mul, *);
+impl_binary_op!(Div, div, /);
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.map(|v| -v)
+    }
+}
+
+impl Neg for Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        -&self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_slice(v)
+    }
+
+    #[test]
+    fn add_sub_mul_div() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!((&a + &b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!((&b - &a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!((&a * &b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!((&b / &a).data(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal shapes")]
+    fn mismatched_shapes_panic() {
+        let _ = &t(&[1.0]) + &t(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = t(&[1.0, -2.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, -4.0]);
+        assert_eq!(a.offset(1.0).data(), &[2.0, -1.0]);
+        assert_eq!(a.abs().data(), &[1.0, 2.0]);
+        assert_eq!((-&a).data(), &[-1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1.0, 1.0]);
+        a.add_scaled_in_place(&t(&[2.0, 3.0]), 0.5);
+        assert_eq!(a.data(), &[2.0, 2.5]);
+    }
+
+    #[test]
+    fn mask_multiply_zeroes_entries() {
+        let mut w = t(&[1.0, 2.0, 3.0]);
+        w.mul_in_place(&t(&[1.0, 0.0, 1.0]));
+        assert_eq!(w.data(), &[1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn add_row_vector_broadcasts() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = t(&[10.0, 20.0]);
+        let y = x.add_row_vector(&b);
+        assert_eq!(y.data(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = t(&[3.0, 4.0]);
+        assert_eq!(a.dot(&a), 25.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.norm(), 5.0);
+    }
+
+    #[test]
+    fn clamp_limits_range() {
+        assert_eq!(t(&[-2.0, 0.5, 3.0]).clamp(-1.0, 1.0).data(), &[-1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn map_in_place_applies() {
+        let mut a = t(&[1.0, 4.0]);
+        a.map_in_place(|v| v * v);
+        assert_eq!(a.data(), &[1.0, 16.0]);
+    }
+}

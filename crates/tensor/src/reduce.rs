@@ -1,0 +1,237 @@
+//! Reductions and softmax-style row operations.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn mean(&self) -> f32 {
+        assert!(self.numel() > 0, "mean of empty tensor");
+        self.sum() / self.numel() as f32
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn max(&self) -> f32 {
+        assert!(self.numel() > 0, "max of empty tensor");
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn min(&self) -> f32 {
+        assert!(self.numel() > 0, "min of empty tensor");
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Flat index of the maximum element (first occurrence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(self.numel() > 0, "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data().iter().enumerate() {
+            if v > self.data()[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// For a 2-D `[n, c]` tensor, the per-row argmax as a `Vec` of column
+    /// indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.shape().ndim(), 2, "argmax_rows requires 2-D input");
+        let (n, c) = (self.dim(0), self.dim(1));
+        (0..n)
+            .map(|i| {
+                let row = &self.data()[i * c..(i + 1) * c];
+                let mut best = 0;
+                for (j, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// For a 2-D `[n, c]` tensor, the column indices of the `k` largest
+    /// entries per row, in descending order of value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or `k` exceeds the row width.
+    pub fn topk_rows(&self, k: usize) -> Vec<Vec<usize>> {
+        assert_eq!(self.shape().ndim(), 2, "topk_rows requires 2-D input");
+        let (n, c) = (self.dim(0), self.dim(1));
+        assert!(k <= c, "k={k} exceeds row width {c}");
+        (0..n)
+            .map(|i| {
+                let row = &self.data()[i * c..(i + 1) * c];
+                let mut idx: Vec<usize> = (0..c).collect();
+                idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
+                idx.truncate(k);
+                idx
+            })
+            .collect()
+    }
+
+    /// Sum over axis 0 of a 2-D tensor: `[n, c] → [c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn sum_axis0(&self) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "sum_axis0 requires 2-D input");
+        let (n, c) = (self.dim(0), self.dim(1));
+        let mut out = vec![0.0f32; c];
+        for i in 0..n {
+            for (o, &v) in out.iter_mut().zip(&self.data()[i * c..(i + 1) * c]) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(out, &[c]).expect("shape computed above")
+    }
+
+    /// Numerically stable row-wise softmax of a 2-D `[n, c]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "softmax_rows requires 2-D input");
+        let (n, c) = (self.dim(0), self.dim(1));
+        let mut out = self.clone();
+        for i in 0..n {
+            let row = &mut out.data_mut()[i * c..(i + 1) * c];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                z += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= z;
+            }
+        }
+        out
+    }
+
+    /// Numerically stable row-wise log-softmax of a 2-D `[n, c]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn log_softmax_rows(&self) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "log_softmax_rows requires 2-D input");
+        let (n, c) = (self.dim(0), self.dim(1));
+        let mut out = self.clone();
+        for i in 0..n {
+            let row = &mut out.data_mut()[i * c..(i + 1) * c];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let log_z = row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln() + m;
+            for v in row.iter_mut() {
+                *v -= log_z;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_mean_max_min() {
+        let t = Tensor::from_slice(&[1.0, -2.0, 3.0, 6.0]);
+        assert_eq!(t.sum(), 8.0);
+        assert_eq!(t.mean(), 2.0);
+        assert_eq!(t.max(), 6.0);
+        assert_eq!(t.min(), -2.0);
+    }
+
+    #[test]
+    fn argmax_first_occurrence() {
+        let t = Tensor::from_slice(&[1.0, 5.0, 5.0, 2.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn argmax_rows_per_row() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, 9.0, 3.0], &[2, 2]).unwrap();
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn topk_rows_descending() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.3], &[1, 4]).unwrap();
+        assert_eq!(t.topk_rows(2), vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn sum_axis0_column_sums() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.sum_axis0().data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let s = t.softmax_rows();
+        for i in 0..2 {
+            let row_sum: f32 = s.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let b = a.offset(100.0);
+        let (sa, sb) = (a.softmax_rows(), b.softmax_rows());
+        for (x, y) in sa.data().iter().zip(sb.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let t = Tensor::from_vec(vec![0.5, -1.5, 2.0], &[1, 3]).unwrap();
+        let ls = t.log_softmax_rows();
+        let s = t.softmax_rows();
+        for (l, p) in ls.data().iter().zip(s.data()) {
+            assert!((l.exp() - p).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 1000.0], &[1, 2]).unwrap();
+        let s = t.softmax_rows();
+        assert!((s.data()[0] - 0.5).abs() < 1e-6);
+        assert!(!s.has_non_finite());
+    }
+}

@@ -1,0 +1,256 @@
+//! Compressed sparse row (CSR) matrices and sparse–dense products.
+//!
+//! The paper's Section 2.1 observes that unstructured pruning yields a
+//! network that "may not be arranged in a fashion conducive to speedups
+//! using modern libraries and hardware". This module makes that claim
+//! measurable in-repo: convert a pruned weight matrix to CSR, run the
+//! actual sparse kernel, and compare wall-clock against the dense matmul —
+//! the *realized* counterpart of `sb-metrics`' theoretical speedup
+//! (exercised by the `realized-speedup` Criterion benchmark).
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix in compressed-sparse-row format.
+///
+/// # Example
+///
+/// ```
+/// use sb_tensor::{SparseMatrix, Tensor};
+///
+/// let dense = Tensor::from_vec(vec![1.0, 0.0, 0.0, 2.0], &[2, 2])?;
+/// let sparse = SparseMatrix::from_dense(&dense);
+/// assert_eq!(sparse.nnz(), 2);
+/// assert_eq!(sparse.to_dense(), dense);
+/// # Ok::<(), sb_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[i]..row_ptr[i+1]` indexes the entries of row `i`.
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseMatrix {
+    /// Builds a CSR matrix from a dense 2-D tensor, dropping exact zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` is not 2-D or has more than `u32::MAX` columns
+    /// or entries per row table.
+    pub fn from_dense(dense: &Tensor) -> Self {
+        assert_eq!(dense.shape().ndim(), 2, "CSR requires a 2-D tensor");
+        let (rows, cols) = (dense.dim(0), dense.dim(1));
+        assert!(cols <= u32::MAX as usize, "too many columns for u32 indices");
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0u32);
+        for r in 0..rows {
+            let row = &dense.data()[r * cols..(r + 1) * cols];
+            for (c, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len() as u32);
+        }
+        SparseMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries that are nonzero.
+    pub fn density(&self) -> f64 {
+        if self.rows * self.cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Materializes back to a dense tensor.
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(&[self.rows, self.cols]);
+        for r in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            for k in lo..hi {
+                out.data_mut()[r * self.cols + self.col_idx[k] as usize] = self.values[k];
+            }
+        }
+        out
+    }
+
+    /// Storage bytes of this CSR representation (values + column indices
+    /// + row pointers).
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() * 4 + self.col_idx.len() * 4 + self.row_ptr.len() * 4
+    }
+
+    /// Sparse × dense product: `self [m, k] × rhs [k, n] → [m, n]`.
+    ///
+    /// Cost is proportional to `nnz × n` — this is the kernel whose
+    /// wall-clock, compared against [`Tensor::matmul`], measures the
+    /// *realized* speedup of unstructured pruning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is not 2-D or its row count differs from
+    /// `self.cols()`.
+    pub fn matmul_dense(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(rhs.shape().ndim(), 2, "rhs must be 2-D");
+        assert_eq!(
+            rhs.dim(0),
+            self.cols,
+            "inner dimensions differ: {}x{} × {}x{}",
+            self.rows,
+            self.cols,
+            rhs.dim(0),
+            rhs.dim(1)
+        );
+        let n = rhs.dim(1);
+        let mut out = vec![0.0f32; self.rows * n];
+        let rhs_data = rhs.data();
+        for r in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            let out_row = &mut out[r * n..(r + 1) * n];
+            for k in lo..hi {
+                let v = self.values[k];
+                let rhs_row = &rhs_data[self.col_idx[k] as usize * n..][..n];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += v * b;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[self.rows, n]).expect("shape computed above")
+    }
+
+    /// Sparse × vector product: `self [m, k] × v [k] → [m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.numel() != self.cols()`.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(v.numel(), self.cols, "vector length mismatch");
+        let mut out = vec![0.0f32; self.rows];
+        for r in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            let mut acc = 0.0f32;
+            for k in lo..hi {
+                acc += self.values[k] * v.data()[self.col_idx[k] as usize];
+            }
+            out[r] = acc;
+        }
+        Tensor::from_vec(out, &[self.rows]).expect("shape computed above")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Rng;
+
+    fn random_sparse(rows: usize, cols: usize, density: f64, seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from(seed);
+        Tensor::from_fn(&[rows, cols], |_| {
+            if rng.coin(density) {
+                rng.normal()
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn round_trip_preserves_dense() {
+        let dense = random_sparse(7, 11, 0.3, 1);
+        let sparse = SparseMatrix::from_dense(&dense);
+        assert_eq!(sparse.to_dense(), dense);
+        assert_eq!(sparse.nnz(), dense.count_nonzero());
+    }
+
+    #[test]
+    fn sparse_matmul_matches_dense_matmul() {
+        let mut rng = Rng::seed_from(2);
+        let w = random_sparse(8, 12, 0.25, 3);
+        let x = Tensor::rand_normal(&[12, 5], 0.0, 1.0, &mut rng);
+        let sparse = SparseMatrix::from_dense(&w);
+        let fast = sparse.matmul_dense(&x);
+        let slow = w.matmul(&x);
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let mut rng = Rng::seed_from(4);
+        let w = random_sparse(6, 9, 0.4, 5);
+        let v = Tensor::rand_normal(&[9], 0.0, 1.0, &mut rng);
+        let sparse = SparseMatrix::from_dense(&w);
+        let fast = sparse.matvec(&v);
+        let slow = w.matvec(&v);
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_works() {
+        let dense = Tensor::zeros(&[3, 4]);
+        let sparse = SparseMatrix::from_dense(&dense);
+        assert_eq!(sparse.nnz(), 0);
+        assert_eq!(sparse.density(), 0.0);
+        let x = Tensor::ones(&[4, 2]);
+        assert_eq!(sparse.matmul_dense(&x), Tensor::zeros(&[3, 2]));
+    }
+
+    #[test]
+    fn density_and_storage_accounting() {
+        let dense = random_sparse(10, 10, 0.5, 6);
+        let sparse = SparseMatrix::from_dense(&dense);
+        let expected_density = dense.count_nonzero() as f64 / 100.0;
+        assert!((sparse.density() - expected_density).abs() < 1e-12);
+        assert_eq!(
+            sparse.storage_bytes(),
+            sparse.nnz() * 8 + (10 + 1) * 4
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn mismatched_product_panics() {
+        let sparse = SparseMatrix::from_dense(&Tensor::ones(&[2, 3]));
+        sparse.matmul_dense(&Tensor::ones(&[4, 2]));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let sparse = SparseMatrix::from_dense(&random_sparse(4, 4, 0.5, 7));
+        let json = serde_json::to_string(&sparse).unwrap();
+        let back: SparseMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sparse);
+    }
+}

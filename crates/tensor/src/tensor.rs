@@ -1,0 +1,385 @@
+use crate::error::TensorError;
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// `Tensor` is the single numerical container used throughout
+/// `shrinkbench-rs`: network weights, activations, gradients, and pruning
+/// masks are all `Tensor`s. Data is always contiguous, which keeps every
+/// kernel a simple loop over `data()` and makes masking (elementwise
+/// multiply) trivially correct.
+///
+/// # Example
+///
+/// ```
+/// use sb_tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// assert_eq!(t.numel(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        Tensor {
+            shape: Shape::new(dims),
+            data: vec![0.0; Shape::new(dims).numel()],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let numel = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; numel],
+        }
+    }
+
+    /// Creates a square identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor that takes ownership of `data`, interpreting it in
+    /// row-major order with the given dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the product of `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.numel() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a 1-D tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            shape: Shape::new(&[data.len()]),
+            data: data.to_vec(),
+        }
+    }
+
+    /// Creates a tensor by evaluating `f` at every flat index.
+    pub fn from_fn(dims: &[usize], f: impl FnMut(usize) -> f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.numel()).map(f).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension list shorthand for `shape().dims()`.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Size of one axis. Shorthand for `shape().dim(axis)`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.shape.dim(axis)
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Read-only view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Value at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Sets the value at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a copy with a new shape holding the same elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ReshapeMismatch`] if element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Self, TensorError> {
+        let new_shape = Shape::new(dims);
+        if new_shape.numel() != self.numel() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.dims().to_vec(),
+                to: dims.to_vec(),
+            });
+        }
+        Ok(Tensor {
+            shape: new_shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Reshapes in place (no data movement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if element counts differ; use [`Tensor::reshape`] for the
+    /// fallible form.
+    pub fn reshape_in_place(&mut self, dims: &[usize]) {
+        let new_shape = Shape::new(dims);
+        assert_eq!(
+            new_shape.numel(),
+            self.numel(),
+            "cannot reshape {} elements into shape {new_shape}",
+            self.numel()
+        );
+        self.shape = new_shape;
+    }
+
+    /// Flattens to 1-D, preserving order.
+    pub fn flatten(&self) -> Self {
+        Tensor {
+            shape: Shape::new(&[self.numel()]),
+            data: self.data.clone(),
+        }
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose2(&self) -> Self {
+        assert_eq!(self.shape.ndim(), 2, "transpose2 requires a 2-D tensor");
+        let (r, c) = (self.dim(0), self.dim(1));
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    /// Copies row `i` of a 2-D tensor into a new 1-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or `i` is out of bounds.
+    pub fn row(&self, i: usize) -> Self {
+        assert_eq!(self.shape.ndim(), 2, "row requires a 2-D tensor");
+        let c = self.dim(1);
+        Tensor::from_slice(&self.data[i * c..(i + 1) * c])
+    }
+
+    /// Stacks 1-D tensors of equal length into a 2-D tensor (one per row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or lengths differ.
+    pub fn stack_rows(rows: &[Tensor]) -> Self {
+        assert!(!rows.is_empty(), "stack_rows requires at least one row");
+        let width = rows[0].numel();
+        let mut data = Vec::with_capacity(rows.len() * width);
+        for row in rows {
+            assert_eq!(row.numel(), width, "all rows must have equal length");
+            data.extend_from_slice(row.data());
+        }
+        Tensor {
+            shape: Shape::new(&[rows.len(), width]),
+            data,
+        }
+    }
+
+    /// Number of elements with value exactly `0.0`.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|&&v| v == 0.0).count()
+    }
+
+    /// Number of elements with value not equal to `0.0`.
+    pub fn count_nonzero(&self) -> usize {
+        self.numel() - self.count_zeros()
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+impl Default for Tensor {
+    /// An empty scalar-shaped tensor containing `0.0`.
+    fn default() -> Self {
+        Tensor::zeros(&[])
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        const MAX: usize = 8;
+        write!(f, "[")?;
+        for (i, v) in self.data.iter().take(MAX).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.numel() > MAX {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Tensor::zeros(&[2, 2]);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        let o = Tensor::ones(&[3]);
+        assert!(o.data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let e = Tensor::eye(3);
+        assert_eq!(e.at(&[0, 0]), 1.0);
+        assert_eq!(e.at(&[0, 1]), 0.0);
+        assert_eq!(e.at(&[2, 2]), 1.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+        assert_eq!(
+            Tensor::from_vec(vec![1.0; 5], &[2, 3]),
+            Err(TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5
+            })
+        );
+    }
+
+    #[test]
+    fn at_and_set_round_trip() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 7.5);
+        assert_eq!(t.at(&[1, 2]), 7.5);
+        assert_eq!(t.data()[5], 7.5);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn transpose2_swaps_indices() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let tt = t.transpose2();
+        assert_eq!(tt.dims(), &[3, 2]);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(t.at(&[i, j]), tt.at(&[j, i]));
+            }
+        }
+    }
+
+    #[test]
+    fn stack_rows_concatenates() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 4.0]);
+        let s = Tensor::stack_rows(&[a, b]);
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn zero_counting() {
+        let t = Tensor::from_slice(&[0.0, 1.0, 0.0, -2.0]);
+        assert_eq!(t.count_zeros(), 2);
+        assert_eq!(t.count_nonzero(), 2);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut t = Tensor::zeros(&[2]);
+        assert!(!t.has_non_finite());
+        t.data_mut()[0] = f32::NAN;
+        assert!(t.has_non_finite());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Tensor::from_vec(vec![1.5, -2.5, 0.0, 4.0], &[2, 2]).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let t = Tensor::zeros(&[100]);
+        let s = t.to_string();
+        assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn row_extracts_slice() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.row(1).data(), &[3.0, 4.0]);
+    }
+}

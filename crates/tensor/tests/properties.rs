@@ -1,0 +1,170 @@
+//! Property-based tests for tensor algebra invariants.
+
+use proptest::prelude::*;
+use sb_tensor::{col2im, im2col, Conv2dGeometry, Rng, Tensor};
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn addition_commutes(a in tensor_strategy(24), b in tensor_strategy(24)) {
+        let ta = Tensor::from_vec(a, &[4, 6]).unwrap();
+        let tb = Tensor::from_vec(b, &[4, 6]).unwrap();
+        prop_assert_eq!(&ta + &tb, &tb + &ta);
+    }
+
+    #[test]
+    fn addition_associates_up_to_eps(
+        a in tensor_strategy(16), b in tensor_strategy(16), c in tensor_strategy(16)
+    ) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        let tc = Tensor::from_slice(&c);
+        let lhs = &(&ta + &tb) + &tc;
+        let rhs = &ta + &(&tb + &tc);
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in tensor_strategy(12), b in tensor_strategy(12), k in -10.0f32..10.0) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        let lhs = (&ta + &tb).scale(k);
+        let rhs = &ta.scale(k) + &tb.scale(k);
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() <= 1e-2 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn double_transpose_is_identity(a in tensor_strategy(20)) {
+        let t = Tensor::from_vec(a, &[4, 5]).unwrap();
+        prop_assert_eq!(t.transpose2().transpose2(), t);
+    }
+
+    #[test]
+    fn matmul_matches_naive(a in tensor_strategy(12), b in tensor_strategy(20)) {
+        let ta = Tensor::from_vec(a, &[3, 4]).unwrap();
+        let tb = Tensor::from_vec(b, &[4, 5]).unwrap();
+        let c = ta.matmul(&tb);
+        for i in 0..3 {
+            for j in 0..5 {
+                let mut acc = 0.0f64;
+                for k in 0..4 {
+                    acc += ta.at(&[i, k]) as f64 * tb.at(&[k, j]) as f64;
+                }
+                prop_assert!(
+                    (c.at(&[i, j]) as f64 - acc).abs() <= 1e-2 * (1.0 + acc.abs()),
+                    "({}, {}): {} vs {}", i, j, c.at(&[i, j]), acc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identities(a in tensor_strategy(12), b in tensor_strategy(20)) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let ta = Tensor::from_vec(a, &[3, 4]).unwrap();
+        let tb = Tensor::from_vec(b, &[4, 5]).unwrap();
+        let lhs = ta.matmul(&tb).transpose2();
+        let rhs = tb.transpose2().matmul(&ta.transpose2());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() <= 1e-2 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in tensor_strategy(30)) {
+        let t = Tensor::from_vec(a, &[5, 6]).unwrap();
+        let s = t.softmax_rows();
+        for i in 0..5 {
+            let row = &s.data()[i * 6..(i + 1) * 6];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_sum(a in tensor_strategy(24)) {
+        let t = Tensor::from_vec(a, &[2, 12]).unwrap();
+        let r = t.reshape(&[4, 6]).unwrap();
+        prop_assert_eq!(t.sum(), r.sum());
+    }
+
+    #[test]
+    fn mask_multiply_is_idempotent(a in tensor_strategy(16), seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        let mask = Tensor::from_fn(&[16], |_| if rng.coin(0.5) { 1.0 } else { 0.0 });
+        let mut w = Tensor::from_slice(&a);
+        w.mul_in_place(&mask);
+        let once = w.clone();
+        w.mul_in_place(&mask);
+        prop_assert_eq!(w, once);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(seed in 0u64..500, pad in 0usize..2, stride in 1usize..3) {
+        let g = Conv2dGeometry {
+            in_channels: 2, in_h: 5, in_w: 5,
+            kernel_h: 3, kernel_w: 3, stride, padding: pad,
+        };
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::rand_normal(&[2, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let cols_dims = [2 * g.out_h() * g.out_w(), g.patch_len()];
+        let y = Tensor::rand_normal(&cols_dims, 0.0, 1.0, &mut rng);
+        let lhs = im2col(&x, &g).dot(&y) as f64;
+        let rhs = x.flatten().dot(&col2im(&y, 2, &g).flatten()) as f64;
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn count_zeros_plus_nonzero_is_numel(a in tensor_strategy(32)) {
+        let t = Tensor::from_slice(&a);
+        prop_assert_eq!(t.count_zeros() + t.count_nonzero(), t.numel());
+    }
+
+    #[test]
+    fn serde_json_round_trip(a in tensor_strategy(10)) {
+        let t = Tensor::from_vec(a, &[2, 5]).unwrap();
+        let s = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&s).unwrap();
+        prop_assert_eq!(back, t);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sparse_round_trip_any_density(seed in 0u64..2000, density in 0.0f64..1.0) {
+        let mut rng = Rng::seed_from(seed);
+        let dense = Tensor::from_fn(&[6, 9], |_| {
+            if rng.coin(density) { rng.normal() } else { 0.0 }
+        });
+        let sparse = sb_tensor::SparseMatrix::from_dense(&dense);
+        prop_assert_eq!(sparse.to_dense(), dense.clone());
+        prop_assert_eq!(sparse.nnz(), dense.count_nonzero());
+    }
+
+    #[test]
+    fn sparse_matmul_agrees_with_dense(seed in 0u64..2000, density in 0.05f64..0.95) {
+        let mut rng = Rng::seed_from(seed);
+        let w = Tensor::from_fn(&[5, 8], |_| {
+            if rng.coin(density) { rng.normal() } else { 0.0 }
+        });
+        let x = Tensor::rand_normal(&[8, 4], 0.0, 1.0, &mut rng);
+        let sparse = sb_tensor::SparseMatrix::from_dense(&w);
+        let fast = sparse.matmul_dense(&x);
+        let slow = w.matmul(&x);
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((a - b).abs() <= 1e-3 * (1.0 + b.abs()));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Exploring the literature corpus behind the paper's meta-analysis:
+//! Table 1, the comparison graph, and the headline fragmentation numbers
+//! from Sections 3–5.
+//!
+//! ```text
+//! cargo run --release --example corpus_analysis
+//! ```
+
+use sb_corpus::data::build_corpus;
+use sb_corpus::{fragmentation, graph, tradeoff};
+use sb_report::Table;
+
+fn main() {
+    let corpus = build_corpus();
+
+    println!(
+        "corpus: {} papers, {} datasets, {} architectures, {} (dataset, architecture) combinations\n",
+        corpus.papers.len(),
+        corpus.datasets().len(),
+        corpus.architectures().len(),
+        corpus.combinations().len()
+    );
+
+    // Table 1.
+    let mut table = Table::new(vec!["Dataset", "Architecture", "Papers"]);
+    for row in fragmentation::pair_counts(&corpus, 4) {
+        table.row(vec![row.dataset, row.arch, row.papers.to_string()]);
+    }
+    println!("{}", table.to_markdown());
+
+    // The comparison graph.
+    let h = graph::comparison_histograms(&corpus);
+    let total = corpus.papers.len();
+    let zero = h.compares_to[0].total();
+    let one = h.compares_to[1].total();
+    println!("comparison graph: {} directed comparison edges", corpus.comparisons.len());
+    println!(
+        "  {zero}/{total} papers compare to no previously proposed method ({}%)",
+        zero * 100 / total
+    );
+    println!("  {one}/{total} papers compare to exactly one ({}%)", one * 100 / total);
+    let orphans = graph::never_compared_to(&corpus);
+    println!("  {} papers have never been compared to by later work", orphans.len());
+    println!(
+        "  most-compared-to papers: {:?}",
+        {
+            let mut indeg: Vec<(&str, usize)> = corpus
+                .papers
+                .iter()
+                .map(|p| {
+                    (
+                        p.key.as_str(),
+                        corpus.comparisons.iter().filter(|e| e.to == p.key).count(),
+                    )
+                })
+                .collect();
+            indeg.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            indeg.truncate(3);
+            indeg
+        }
+    );
+
+    // Fragmentation headlines.
+    let small = fragmentation::small_delta_fraction(&corpus.results, 1.0);
+    println!(
+        "\nself-reported results: {} points; {:.0}% change accuracy by < 1 percentage point",
+        corpus.results.len(),
+        small * 100.0
+    );
+
+    // Figure 5's spread comparison.
+    let f5 = tradeoff::figure5(&corpus);
+    println!(
+        "ResNet-50/ImageNet: accuracy spread across magnitude-pruning *variants*: {:.1} pts; across distinct methods: {:.1} pts",
+        tradeoff::vertical_spread(&f5.magnitude_methods),
+        tradeoff::vertical_spread(&f5.other_methods)
+    );
+    println!("→ fine-tuning / implementation choices rival method choice (paper §4.5).");
+}

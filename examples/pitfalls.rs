@@ -1,0 +1,105 @@
+//! Reproduces (in miniature) the paper's Section 7.3 pitfall: evaluating
+//! two pruning methods on *different initial models* can reverse their
+//! apparent ranking, and reporting Δ-accuracy does not fix it.
+//!
+//! Two ResNet-20 models are trained with different optimizer settings
+//! ("Weights A": Adam 1e-3, "Weights B": Adam 1e-4, as in the paper).
+//! Global magnitude pruning on Weights B is then compared against
+//! layerwise magnitude pruning on Weights A — the cross-model comparison
+//! a careless reading of two different papers would make.
+//!
+//! ```text
+//! cargo run --release --example pitfalls
+//! ```
+
+use sb_data::{batches_of, DatasetSpec, Split, SyntheticVision};
+use sb_nn::{models, Adam, TrainConfig, Trainer};
+use sb_tensor::Rng;
+use shrinkbench::{
+    prune_and_finetune, FinetuneConfig, GlobalMagnitude, LayerMagnitude, Strategy,
+};
+
+fn pretrain(data: &SyntheticVision, lr: f32) -> models::Model {
+    let mut rng = Rng::seed_from(21);
+    let spec = data.spec();
+    let mut net = models::resnet_cifar(20, spec.channels, spec.side, spec.classes, 4, &mut rng);
+    let mut optimizer = Adam::new(lr);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 8,
+        ..TrainConfig::default()
+    });
+    let val = batches_of(data, Split::Val, 64, None, false);
+    let mut epoch_rng = Rng::seed_from(22);
+    trainer
+        .fit(
+            &mut net,
+            &mut optimizer,
+            |_| {
+                let mut fork = epoch_rng.fork(0);
+                batches_of(data, Split::Train, 64, Some(&mut fork), false)
+            },
+            &val,
+        )
+        .expect("training should not diverge");
+    net
+}
+
+fn sweep(
+    data: &SyntheticVision,
+    weights: &models::Model,
+    strategy: &dyn Strategy,
+    label: &str,
+) -> Vec<(f64, f32, f32)> {
+    use sb_nn::NetworkExt;
+    let snapshot = weights.snapshot();
+    let config = FinetuneConfig {
+        epochs: 2,
+        ..FinetuneConfig::default()
+    };
+    let mut rows = Vec::new();
+    for ratio in [1.0, 4.0, 16.0, 64.0] {
+        let spec = data.spec();
+        let mut rng_model = Rng::seed_from(21);
+        let mut net =
+            models::resnet_cifar(20, spec.channels, spec.side, spec.classes, 4, &mut rng_model);
+        net.restore(&snapshot);
+        let mut rng = Rng::seed_from(5);
+        let result = prune_and_finetune(&mut net, strategy, ratio, data, &config, &mut rng)
+            .expect("pruning should succeed");
+        rows.push((
+            result.compression,
+            result.after_finetune.top1,
+            result.before_finetune.top1,
+        ));
+    }
+    println!("\n{label}:");
+    println!("{:>12} {:>10} {:>10}", "compression", "top1", "Δ top1");
+    let base = rows[0].1; // ratio 1.0 ≈ the dense model
+    for (c, top1, _) in &rows {
+        println!("{c:>11.1}× {top1:>10.3} {:>+10.3}", top1 - base);
+    }
+    rows
+}
+
+fn main() {
+    let data = SyntheticVision::new(DatasetSpec::cifar_like(9).scaled_down(2));
+    let weights_a = pretrain(&data, 1e-3);
+    let weights_b = pretrain(&data, 1e-4);
+
+    let global_b = sweep(&data, &weights_b, &GlobalMagnitude, "Global Magnitude on Weights B");
+    let layer_a = sweep(&data, &weights_a, &LayerMagnitude, "Layerwise Magnitude on Weights A");
+    let global_a = sweep(&data, &weights_a, &GlobalMagnitude, "Global Magnitude on Weights A");
+
+    println!("\n--- The pitfall ---");
+    println!(
+        "At high compression, comparing Global-on-B (top1 {:.3}) against Layer-on-A (top1 {:.3})",
+        global_b.last().unwrap().1,
+        layer_a.last().unwrap().1
+    );
+    println!(
+        "conflates the method with the initial model; held on the SAME weights A, Global gives {:.3}.",
+        global_a.last().unwrap().1
+    );
+    println!("Conclusion (paper §7.3): comparisons are only meaningful from identical initial models,");
+    println!("and reporting accuracy *changes* instead of absolute accuracy does not deconfound them.");
+}
