@@ -1,4 +1,4 @@
-//! One Criterion benchmark per paper artifact.
+//! One wall-clock benchmark per paper artifact.
 //!
 //! Table 1 and Figures 1–5 are benchmarked at full fidelity (they are
 //! pure computations over the embedded corpus). Figures 6–18 are
@@ -6,9 +6,9 @@
 //! (prune → fine-tune → evaluate) grid cell of the experiment backing the
 //! figure, at micro scale — so `cargo bench` terminates in minutes while
 //! still exercising the exact code path `expfig <figure>` runs. The full
-//! grids are regenerated with `expfig`, not Criterion.
+//! grids are regenerated with `expfig`, not the bench harness.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sb_bench::timer::{BatchSize, Timer};
 use sb_bench::configs::{experiment_config, Scale};
 use sb_corpus::data::build_corpus;
 use sb_corpus::{fragmentation, graph, tradeoff};
@@ -18,7 +18,7 @@ use sb_tensor::Rng;
 use shrinkbench::experiment::ExperimentRunner;
 use shrinkbench::prune_and_finetune;
 
-fn bench_meta_analysis_artifacts(c: &mut Criterion) {
+fn bench_meta_analysis_artifacts(c: &mut Timer) {
     let corpus = build_corpus();
     c.bench_function("table1", |b| {
         b.iter(|| std::hint::black_box(fragmentation::pair_counts(&corpus, 4)))
@@ -49,7 +49,7 @@ fn bench_meta_analysis_artifacts(c: &mut Criterion) {
 }
 
 /// One grid cell of the experiment backing a figure, shrunk hard.
-fn bench_cell(c: &mut Criterion, bench_name: &str, experiment_id: &str, strategy_index: usize) {
+fn bench_cell(c: &mut Timer, bench_name: &str, experiment_id: &str, strategy_index: usize) {
     let mut cfg = experiment_config(experiment_id, Scale::Quick)
         .unwrap_or_else(|| panic!("unknown experiment {experiment_id}"));
     cfg.data_scale *= 4; // even smaller than quick
@@ -82,7 +82,7 @@ fn bench_cell(c: &mut Criterion, bench_name: &str, experiment_id: &str, strategy
     group.finish();
 }
 
-fn bench_experiment_figures(c: &mut Criterion) {
+fn bench_experiment_figures(c: &mut Timer) {
     // fig6 / fig17 / fig18 share the imagenet-resnet18 workload.
     bench_cell(c, "fig6-fig17-fig18-cell", "imagenet-resnet18", 0);
     // fig7 / fig9 / fig10 share cifar-vgg; fig13/fig14 share resnet56.
@@ -97,5 +97,9 @@ fn bench_experiment_figures(c: &mut Criterion) {
     bench_cell(c, "ablation-structured-cell", "ablation-structured", 0);
 }
 
-criterion_group!(benches, bench_meta_analysis_artifacts, bench_experiment_figures);
-criterion_main!(benches);
+fn main() {
+    let mut timer = Timer::new();
+    bench_meta_analysis_artifacts(&mut timer);
+    bench_experiment_figures(&mut timer);
+    timer.finish();
+}

@@ -1,11 +1,11 @@
 //! Microbenchmarks for the numerical substrate: the kernels whose cost
 //! dominates every experiment in the reproduction.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sb_bench::timer::{BatchSize, Timer};
 use sb_nn::{models, Layer, Mode, Network};
 use sb_tensor::{im2col, Conv2dGeometry, Rng, Tensor};
 
-fn bench_matmul(c: &mut Criterion) {
+fn bench_matmul(c: &mut Timer) {
     let mut group = c.benchmark_group("matmul");
     for &n in &[32usize, 64, 128] {
         let mut rng = Rng::seed_from(0);
@@ -21,7 +21,7 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_im2col(c: &mut Criterion) {
+fn bench_im2col(c: &mut Timer) {
     let geom = Conv2dGeometry {
         in_channels: 8,
         in_h: 16,
@@ -29,7 +29,8 @@ fn bench_im2col(c: &mut Criterion) {
         kernel_h: 3,
         kernel_w: 3,
         stride: 1,
-        padding: 1,
+        padding_h: 1,
+        padding_w: 1,
     };
     let mut rng = Rng::seed_from(1);
     let x = Tensor::rand_normal(&[8, 8, 16, 16], 0.0, 1.0, &mut rng);
@@ -38,7 +39,7 @@ fn bench_im2col(c: &mut Criterion) {
     });
 }
 
-fn bench_conv_forward_backward(c: &mut Criterion) {
+fn bench_conv_forward_backward(c: &mut Timer) {
     let geom = Conv2dGeometry {
         in_channels: 8,
         in_h: 16,
@@ -46,7 +47,8 @@ fn bench_conv_forward_backward(c: &mut Criterion) {
         kernel_h: 3,
         kernel_w: 3,
         stride: 1,
-        padding: 1,
+        padding_h: 1,
+        padding_w: 1,
     };
     let mut rng = Rng::seed_from(2);
     let x = Tensor::rand_normal(&[8, 8, 16, 16], 0.0, 1.0, &mut rng);
@@ -67,7 +69,7 @@ fn bench_conv_forward_backward(c: &mut Criterion) {
     });
 }
 
-fn bench_model_forward(c: &mut Criterion) {
+fn bench_model_forward(c: &mut Timer) {
     let mut rng = Rng::seed_from(3);
     let x = Tensor::rand_normal(&[16, 3, 16, 16], 0.0, 1.0, &mut rng);
     let mut group = c.benchmark_group("model-forward");
@@ -83,11 +85,11 @@ fn bench_model_forward(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_matmul,
-    bench_im2col,
-    bench_conv_forward_backward,
-    bench_model_forward
-);
-criterion_main!(benches);
+fn main() {
+    let mut timer = Timer::new();
+    bench_matmul(&mut timer);
+    bench_im2col(&mut timer);
+    bench_conv_forward_backward(&mut timer);
+    bench_model_forward(&mut timer);
+    timer.finish();
+}

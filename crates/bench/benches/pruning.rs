@@ -1,7 +1,7 @@
 //! Microbenchmarks for the pruning primitives: scoring, mask
 //! construction, mask application, and profiling.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sb_bench::timer::{BatchSize, Timer};
 use sb_metrics::ModelProfile;
 use sb_tensor::{Rng, Tensor};
 use shrinkbench::masks::{keep_fraction_for_compression, masks_from_scores};
@@ -16,7 +16,7 @@ fn pretrainedish() -> sb_nn::models::Model {
     sb_nn::models::cifar_vgg(3, 16, 10, 8, &mut rng)
 }
 
-fn bench_strategy_prune(c: &mut Criterion) {
+fn bench_strategy_prune(c: &mut Timer) {
     let mut group = c.benchmark_group("prune-cifar-vgg-w8");
     group.sample_size(20);
     let mut rng = Rng::seed_from(1);
@@ -54,7 +54,7 @@ fn bench_strategy_prune(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_mask_construction(c: &mut Criterion) {
+fn bench_mask_construction(c: &mut Timer) {
     let mut rng = Rng::seed_from(3);
     let mut scores: BTreeMap<String, Tensor> = BTreeMap::new();
     for i in 0..8 {
@@ -72,7 +72,7 @@ fn bench_mask_construction(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_profile_and_targeting(c: &mut Criterion) {
+fn bench_profile_and_targeting(c: &mut Timer) {
     let net = pretrainedish();
     c.bench_function("model-profile-measure", |bench| {
         bench.iter(|| std::hint::black_box(ModelProfile::measure(&net)))
@@ -88,10 +88,10 @@ fn bench_profile_and_targeting(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_strategy_prune,
-    bench_mask_construction,
-    bench_profile_and_targeting
-);
-criterion_main!(benches);
+fn main() {
+    let mut timer = Timer::new();
+    bench_strategy_prune(&mut timer);
+    bench_mask_construction(&mut timer);
+    bench_profile_and_targeting(&mut timer);
+    timer.finish();
+}

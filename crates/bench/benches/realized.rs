@@ -5,7 +5,7 @@
 //! is exploited perfectly; Section 2.1 warns it is not. These benchmarks
 //! measure how much of the theoretical speedup the real kernel delivers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sb_bench::timer::Timer;
 use sb_tensor::{Rng, SparseMatrix, Tensor};
 
 fn random_sparse(rows: usize, cols: usize, density: f64, seed: u64) -> Tensor {
@@ -19,7 +19,7 @@ fn random_sparse(rows: usize, cols: usize, density: f64, seed: u64) -> Tensor {
     })
 }
 
-fn bench_realized_speedup(c: &mut Criterion) {
+fn bench_realized_speedup(c: &mut Timer) {
     let mut group = c.benchmark_group("realized-speedup-256x256xb32");
     let mut rng = Rng::seed_from(0);
     let x = Tensor::rand_normal(&[256, 32], 0.0, 1.0, &mut rng);
@@ -37,5 +37,8 @@ fn bench_realized_speedup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_realized_speedup);
-criterion_main!(benches);
+fn main() {
+    let mut timer = Timer::new();
+    bench_realized_speedup(&mut timer);
+    timer.finish();
+}

@@ -21,5 +21,6 @@
 
 pub mod configs;
 pub mod figures;
+pub mod timer;
 
 pub use configs::{experiment_config, Scale};

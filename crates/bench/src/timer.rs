@@ -1,0 +1,287 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! The workspace builds hermetically — no registry access — so the
+//! benches cannot depend on Criterion. This module provides the small
+//! slice of its API the benches actually use: named benchmarks, groups,
+//! `iter`/`iter_batched`, and a per-benchmark report of wall-clock time
+//! per iteration. Each bench target keeps `harness = false` and drives a
+//! [`Timer`] from its own `main`.
+//!
+//! Methodology: a short warm-up, then timing batches whose sizes grow
+//! until the measurement budget is spent. The estimate reported is the
+//! *minimum* mean-per-iteration across batches — the standard trick for
+//! rejecting scheduler noise, which only ever adds time. Budgets are
+//! tunable via `SB_BENCH_WARMUP_MS` and `SB_BENCH_BUDGET_MS` so CI can
+//! run the benches as smoke tests in milliseconds.
+
+use std::time::{Duration, Instant};
+
+/// Mirror of Criterion's batch-size hint. The harness sizes batches by
+/// measured cost, so the hint only selects how many setup calls are
+/// amortized per timing batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup is cheap relative to the routine; batch freely.
+    SmallInput,
+    /// Setup is comparable to the routine; keep batches small.
+    LargeInput,
+    /// Time one routine call per setup call.
+    PerIteration,
+}
+
+fn env_ms(name: &str, default_ms: u64) -> Duration {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map_or(Duration::from_millis(default_ms), Duration::from_millis)
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id, `group/name` for grouped benchmarks.
+    pub id: String,
+    /// Best (minimum across batches) mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Total iterations timed.
+    pub iterations: u64,
+}
+
+impl Measurement {
+    fn human_time(&self) -> String {
+        let ns = self.ns_per_iter;
+        if ns < 1_000.0 {
+            format!("{ns:.1} ns")
+        } else if ns < 1_000_000.0 {
+            format!("{:.2} µs", ns / 1_000.0)
+        } else if ns < 1_000_000_000.0 {
+            format!("{:.2} ms", ns / 1_000_000.0)
+        } else {
+            format!("{:.3} s", ns / 1_000_000_000.0)
+        }
+    }
+}
+
+/// The benchmark driver: registers measurements and prints the report.
+#[derive(Debug)]
+pub struct Timer {
+    warmup: Duration,
+    budget: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer::new()
+    }
+}
+
+impl Timer {
+    /// A driver with budgets from `SB_BENCH_WARMUP_MS` /
+    /// `SB_BENCH_BUDGET_MS` (defaults: 100 ms warm-up, 400 ms
+    /// measurement per benchmark).
+    pub fn new() -> Self {
+        Timer {
+            warmup: env_ms("SB_BENCH_WARMUP_MS", 100),
+            budget: env_ms("SB_BENCH_BUDGET_MS", 400),
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = name.into();
+        let mut bencher = Bencher {
+            warmup: self.warmup,
+            budget: self.budget,
+            best_ns: f64::INFINITY,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let m = Measurement {
+            id,
+            ns_per_iter: bencher.best_ns,
+            iterations: bencher.iterations,
+        };
+        eprintln!("{:<44} {:>12}  ({} iters)", m.id, m.human_time(), m.iterations);
+        self.results.push(m);
+    }
+
+    /// Starts a named group; benchmarks run inside it get `group/name`
+    /// ids.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            timer: self,
+            prefix: name.into(),
+        }
+    }
+
+    /// All measurements registered so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Prints the final summary table.
+    pub fn finish(&self) {
+        eprintln!("\n{} benchmarks, best mean per iteration:", self.results.len());
+        for m in &self.results {
+            eprintln!("  {:<44} {:>12}", m.id, m.human_time());
+        }
+    }
+}
+
+/// A named benchmark group (prefixes ids; Criterion-compatible shape).
+#[derive(Debug)]
+pub struct Group<'a> {
+    timer: &'a mut Timer,
+    prefix: String,
+}
+
+impl Group<'_> {
+    /// Accepted for source compatibility; the harness sizes batches by
+    /// wall-clock budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark under the group prefix.
+    pub fn bench_function(&mut self, name: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        let id = format!("{}/{}", self.prefix, name);
+        self.timer.bench_function(id, f);
+    }
+
+    /// Ends the group (no-op; exists to mirror Criterion).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warmup: Duration,
+    budget: Duration,
+    best_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm up while estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Aim for ~10 timing batches within the budget.
+        let batch = ((self.budget.as_nanos() as f64 / 10.0 / est_ns).ceil() as u64).max(1);
+        let deadline = Instant::now() + self.budget;
+        let mut batches = 0u32;
+        while Instant::now() < deadline || batches == 0 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            self.best_ns = self.best_ns.min(ns);
+            self.iterations += batch;
+            batches += 1;
+        }
+    }
+
+    /// Times `routine` over values produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut warm_ns: u128 = 0;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            warm_ns += t.elapsed().as_nanos();
+            warm_iters += 1;
+        }
+        let est_ns = (warm_ns as f64 / warm_iters as f64).max(1.0);
+
+        let target_iters = ((self.budget.as_nanos() as f64 / est_ns).ceil() as u64).clamp(1, 1_000_000);
+        for _ in 0..target_iters {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            let ns = t.elapsed().as_nanos() as f64;
+            self.best_ns = self.best_ns.min(ns);
+            self.iterations += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_timer() -> Timer {
+        Timer {
+            warmup: Duration::from_millis(1),
+            budget: Duration::from_millis(5),
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn iter_produces_positive_estimate() {
+        let mut timer = fast_timer();
+        timer.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        let m = &timer.results()[0];
+        assert!(m.ns_per_iter.is_finite() && m.ns_per_iter > 0.0);
+        assert!(m.iterations > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup_cost() {
+        let mut timer = fast_timer();
+        timer.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 1024],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        let m = &timer.results()[0];
+        assert!(m.ns_per_iter.is_finite() && m.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut timer = fast_timer();
+        {
+            let mut group = timer.benchmark_group("g");
+            group.sample_size(10);
+            group.bench_function("inner", |b| b.iter(|| 1 + 1));
+            group.finish();
+        }
+        assert_eq!(timer.results()[0].id, "g/inner");
+    }
+
+    #[test]
+    fn human_times_cover_magnitudes() {
+        let m = |ns: f64| Measurement {
+            id: String::new(),
+            ns_per_iter: ns,
+            iterations: 1,
+        };
+        assert!(m(5.0).human_time().ends_with("ns"));
+        assert!(m(5_000.0).human_time().ends_with("µs"));
+        assert!(m(5_000_000.0).human_time().ends_with("ms"));
+        assert!(m(5_000_000_000.0).human_time().ends_with(" s"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Structure-preserving greedy shrinking.
+//!
+//! Shrinkers here are deliberately conservative: a `Vec` never changes
+//! length and a tuple never loses a component, because the workspace's
+//! properties bake structural invariants (tensor shapes, batch sizes)
+//! into the generated value. Shrinking only moves numeric leaves toward
+//! zero, which keeps almost every generated input inside its generator's
+//! domain while still collapsing failing cases to readable witnesses.
+
+/// Produces candidate "smaller" values for greedy shrinking.
+///
+/// The default impl produces nothing, which is always sound: shrinking is
+/// an optimization for failure readability, not correctness.
+pub trait Shrink: Sized {
+    /// Candidate simpler values, most aggressive first. Each candidate
+    /// must be different from `self`, or greedy shrinking could loop
+    /// (the driver also hard-caps total steps as a backstop).
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! unsigned_shrink {
+    ($($ty:ty),*) => {$(
+        impl Shrink for $ty {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                }
+                let half = self / 2;
+                if half != 0 && half != *self {
+                    out.push(half);
+                }
+                let dec = self.saturating_sub(1);
+                if dec != 0 && dec != half && dec != *self {
+                    out.push(dec);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+unsigned_shrink!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! signed_shrink {
+    ($($ty:ty),*) => {$(
+        impl Shrink for $ty {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                }
+                if *self < 0 {
+                    // Try the positive mirror: sign bugs shrink to clean
+                    // witnesses.
+                    let abs = self.checked_abs().unwrap_or(*self);
+                    if abs != *self && abs != 0 {
+                        out.push(abs);
+                    }
+                }
+                let half = self / 2;
+                if half != 0 && half != *self && !out.contains(&half) {
+                    out.push(half);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+signed_shrink!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! float_shrink {
+    ($($ty:ty),*) => {$(
+        impl Shrink for $ty {
+            fn shrink(&self) -> Vec<Self> {
+                // Compare by bits so -0.0 and 0.0 are distinct and NaN
+                // (never equal to itself) cannot cause an infinite loop.
+                let bits = self.to_bits();
+                let mut out: Vec<$ty> = Vec::new();
+                let mut push = |v: $ty| {
+                    if v.to_bits() != bits && !out.iter().any(|o| o.to_bits() == v.to_bits()) {
+                        out.push(v);
+                    }
+                };
+                push(0.0);
+                if self.is_finite() {
+                    push(self.trunc());
+                    push(self / 2.0);
+                    if *self < 0.0 {
+                        push(-self);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+float_shrink!(f32, f64);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for char {}
+
+impl Shrink for String {}
+
+/// Length-preserving: shrinks elements in place, never removes them.
+/// Candidates are capped so wide vectors do not explode the greedy
+/// search; the cap trades shrink quality for bounded runtime.
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        const MAX_CANDIDATES: usize = 64;
+        let mut out = Vec::new();
+        for (i, item) in self.iter().enumerate() {
+            for replacement in item.shrink().into_iter().take(2) {
+                let mut candidate = self.clone();
+                candidate[i] = replacement;
+                out.push(candidate);
+                if out.len() >= MAX_CANDIDATES {
+                    return out;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(value) => {
+                let mut out = vec![None];
+                out.extend(value.shrink().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+macro_rules! tuple_shrink {
+    ($(($($t:ident / $idx:tt),+)),*) => {$(
+        impl<$($t: Shrink + Clone),+> Shrink for ($($t,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for replacement in self.$idx.shrink() {
+                        let mut candidate = self.clone();
+                        candidate.$idx = replacement;
+                        out.push(candidate);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_shrink!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_shrink_toward_zero_without_self() {
+        assert_eq!(100u64.shrink(), vec![0, 50, 99]);
+        assert!(0u64.shrink().is_empty());
+        assert_eq!((-8i32).shrink(), vec![0, 8, -4]);
+        let f = 6.5f32.shrink();
+        assert!(f.contains(&0.0) && f.contains(&6.0) && f.contains(&3.25));
+        assert!(!f.contains(&6.5));
+    }
+
+    #[test]
+    fn nan_shrinks_only_to_zero_like_candidates() {
+        let candidates = f64::NAN.shrink();
+        assert!(!candidates.is_empty());
+        assert!(candidates.iter().all(|c| !c.is_nan()), "{candidates:?}");
+    }
+
+    #[test]
+    fn vec_shrink_preserves_length() {
+        let v = vec![3.0f32, -1.0, 0.5];
+        for candidate in v.shrink() {
+            assert_eq!(candidate.len(), v.len());
+            assert_ne!(candidate, v);
+        }
+        assert!(!v.shrink().is_empty());
+    }
+
+    #[test]
+    fn all_zero_vec_has_no_candidates() {
+        let v = vec![0.0f32; 4];
+        assert!(v.shrink().is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_changes_one_component_at_a_time() {
+        let t = (4usize, -2.0f64);
+        for (a, b) in t.shrink() {
+            let changed = usize::from(a != t.0) + usize::from(b.to_bits() != t.1.to_bits());
+            assert_eq!(changed, 1, "candidate ({a}, {b}) changed {changed} components");
+        }
+    }
+
+    #[test]
+    fn candidate_lists_are_bounded() {
+        let wide = vec![9.0f32; 10_000];
+        assert!(wide.shrink().len() <= 64);
+    }
+}

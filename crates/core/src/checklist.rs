@@ -9,10 +9,10 @@
 
 use crate::experiment::{DatasetKind, ExperimentConfig, RunRecord};
 use crate::strategy::StrategyKind;
-use serde::{Deserialize, Serialize};
+use sb_json::json_struct;
 
 /// One checklist line.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChecklistItem {
     /// The requirement, paraphrased from Appendix B.
     pub requirement: String,
@@ -22,12 +22,16 @@ pub struct ChecklistItem {
     pub detail: String,
 }
 
+json_struct!(ChecklistItem { requirement, satisfied, detail });
+
 /// A scored checklist.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChecklistReport {
     /// All evaluated items.
     pub items: Vec<ChecklistItem>,
 }
+
+json_struct!(ChecklistReport { items });
 
 impl ChecklistReport {
     /// Number of satisfied items.

@@ -17,13 +17,13 @@ use sb_nn::{
     TrainConfig, Trainer,
 };
 use sb_tensor::Rng;
-use serde::{Deserialize, Serialize};
+use sb_json::{json_enum, json_struct, FromJson, Json, JsonError, ToJson};
 use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
 
 /// Which synthetic dataset an experiment runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetKind {
     /// [`DatasetSpec::mnist_like`].
     MnistLike,
@@ -32,6 +32,8 @@ pub enum DatasetKind {
     /// [`DatasetSpec::imagenet_like`].
     ImagenetLike,
 }
+
+json_enum!(DatasetKind { MnistLike, CifarLike, ImagenetLike });
 
 impl DatasetKind {
     /// Materializes the spec, shrunken by `scale` (1 = full size).
@@ -59,7 +61,7 @@ impl DatasetKind {
 }
 
 /// Which architecture an experiment prunes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ModelKind {
     /// [`models::lenet_300_100`].
     Lenet300_100,
@@ -88,6 +90,79 @@ pub enum ModelKind {
         /// Stem channel count (original: 64).
         base_width: usize,
     },
+}
+
+impl ToJson for ModelKind {
+    fn to_json(&self) -> Json {
+        // Externally tagged, matching the layout the previous serde-based
+        // format wrote: unit variants as strings, payload variants as
+        // single-key objects.
+        let tagged = |name: &str, fields: Vec<(String, Json)>| {
+            Json::Obj(vec![(name.to_string(), Json::Obj(fields))])
+        };
+        match self {
+            ModelKind::Lenet300_100 => Json::Str("Lenet300_100".to_string()),
+            ModelKind::Lenet5 => Json::Str("Lenet5".to_string()),
+            ModelKind::CifarVgg { base_width } => tagged(
+                "CifarVgg",
+                vec![("base_width".to_string(), base_width.to_json())],
+            ),
+            ModelKind::CifarVggVariant { base_width } => tagged(
+                "CifarVggVariant",
+                vec![("base_width".to_string(), base_width.to_json())],
+            ),
+            ModelKind::ResNetCifar { depth, base_width } => tagged(
+                "ResNetCifar",
+                vec![
+                    ("depth".to_string(), depth.to_json()),
+                    ("base_width".to_string(), base_width.to_json()),
+                ],
+            ),
+            ModelKind::ResNet18 { base_width } => tagged(
+                "ResNet18",
+                vec![("base_width".to_string(), base_width.to_json())],
+            ),
+        }
+    }
+}
+
+impl FromJson for ModelKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Json::Str(s) = v {
+            return match s.as_str() {
+                "Lenet300_100" => Ok(ModelKind::Lenet300_100),
+                "Lenet5" => Ok(ModelKind::Lenet5),
+                other => Err(JsonError::UnknownVariant {
+                    name: other.to_string(),
+                }),
+            };
+        }
+        if let Some(body) = v.get("CifarVgg") {
+            return Ok(ModelKind::CifarVgg {
+                base_width: sb_json::field(body, "base_width")?,
+            });
+        }
+        if let Some(body) = v.get("CifarVggVariant") {
+            return Ok(ModelKind::CifarVggVariant {
+                base_width: sb_json::field(body, "base_width")?,
+            });
+        }
+        if let Some(body) = v.get("ResNetCifar") {
+            return Ok(ModelKind::ResNetCifar {
+                depth: sb_json::field(body, "depth")?,
+                base_width: sb_json::field(body, "base_width")?,
+            });
+        }
+        if let Some(body) = v.get("ResNet18") {
+            return Ok(ModelKind::ResNet18 {
+                base_width: sb_json::field(body, "base_width")?,
+            });
+        }
+        Err(JsonError::Mismatch {
+            expected: "ModelKind variant".to_string(),
+            found: v.type_name().to_string(),
+        })
+    }
 }
 
 impl ModelKind {
@@ -145,7 +220,7 @@ impl ModelKind {
 }
 
 /// How the initial ("pretrained") model is obtained.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PretrainConfig {
     /// Training epochs to convergence.
     pub epochs: usize,
@@ -160,6 +235,8 @@ pub struct PretrainConfig {
     pub patience: Option<usize>,
 }
 
+json_struct!(PretrainConfig { epochs, optimizer, batch_size, weights_seed, patience });
+
 impl Default for PretrainConfig {
     fn default() -> Self {
         PretrainConfig {
@@ -173,7 +250,7 @@ impl Default for PretrainConfig {
 }
 
 /// A full experiment grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// Unique identifier (cache key and report title).
     pub id: String,
@@ -198,8 +275,21 @@ pub struct ExperimentConfig {
     pub finetune: FinetuneConfig,
 }
 
+json_struct!(ExperimentConfig {
+    id,
+    dataset,
+    data_scale,
+    data_seed,
+    model,
+    strategies,
+    compressions,
+    seeds,
+    pretrain,
+    finetune
+});
+
 /// One grid cell's outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
     /// Experiment id this record belongs to.
     pub experiment: String,
@@ -226,8 +316,22 @@ pub struct RunRecord {
     pub pretrain_top5: f32,
 }
 
+json_struct!(RunRecord {
+    experiment,
+    strategy,
+    target_compression,
+    seed,
+    compression,
+    speedup,
+    top1,
+    top5,
+    top1_before_finetune,
+    pretrain_top1,
+    pretrain_top5
+});
+
 /// Mean ± std summary of one (strategy, compression) cell across seeds.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CellSummary {
     /// Strategy legend label.
     pub strategy: String,
@@ -243,6 +347,8 @@ pub struct CellSummary {
     pub top5: MeanStd,
 }
 
+json_struct!(CellSummary { strategy, target_compression, compression, speedup, top1, top5 });
+
 /// Executes experiment grids with JSON result caching.
 #[derive(Debug, Clone, Default)]
 pub struct ExperimentRunner {
@@ -252,11 +358,12 @@ pub struct ExperimentRunner {
     pub verbose: bool,
 }
 
-#[derive(Serialize, Deserialize)]
 struct CacheFile {
     config: ExperimentConfig,
     records: Vec<RunRecord>,
 }
+
+json_struct!(CacheFile { config, records });
 
 impl ExperimentRunner {
     /// Creates a runner caching into `dir`.
@@ -336,7 +443,7 @@ impl ExperimentRunner {
     pub fn run(&self, config: &ExperimentConfig) -> Vec<RunRecord> {
         if let Some(path) = self.cache_path(&config.id) {
             if let Ok(bytes) = fs::read(&path) {
-                if let Ok(cache) = serde_json::from_slice::<CacheFile>(&bytes) {
+                if let Ok(cache) = sb_json::from_slice::<CacheFile>(&bytes) {
                     if &cache.config == config {
                         if self.verbose {
                             eprintln!("[{}] loaded {} cached records", config.id, cache.records.len());
@@ -422,7 +529,7 @@ impl ExperimentRunner {
                 config: config.clone(),
                 records: records.clone(),
             };
-            if let Ok(json) = serde_json::to_vec_pretty(&cache) {
+            if let Ok(json) = sb_json::to_string_pretty(&cache) {
                 let _ = fs::write(&path, json);
             }
         }

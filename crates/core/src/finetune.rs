@@ -17,10 +17,10 @@ use sb_nn::{
     TrainConfig, Trainer,
 };
 use sb_tensor::Rng;
-use serde::{Deserialize, Serialize};
+use sb_json::{json_enum, json_struct, FromJson, Json, JsonError, ToJson};
 
 /// Which optimizer fine-tuning (or pretraining) uses.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OptimizerKind {
     /// SGD with Nesterov momentum 0.9 (the paper's ImageNet fine-tuning
     /// setup, Appendix C.2).
@@ -33,6 +33,40 @@ pub enum OptimizerKind {
         /// Base learning rate.
         lr: f32,
     },
+}
+
+impl ToJson for OptimizerKind {
+    fn to_json(&self) -> Json {
+        match self {
+            OptimizerKind::SgdNesterov { lr } => Json::Obj(vec![(
+                "SgdNesterov".to_string(),
+                Json::Obj(vec![("lr".to_string(), lr.to_json())]),
+            )]),
+            OptimizerKind::Adam { lr } => Json::Obj(vec![(
+                "Adam".to_string(),
+                Json::Obj(vec![("lr".to_string(), lr.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for OptimizerKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(body) = v.get("SgdNesterov") {
+            return Ok(OptimizerKind::SgdNesterov {
+                lr: sb_json::field(body, "lr")?,
+            });
+        }
+        if let Some(body) = v.get("Adam") {
+            return Ok(OptimizerKind::Adam {
+                lr: sb_json::field(body, "lr")?,
+            });
+        }
+        Err(JsonError::Mismatch {
+            expected: "OptimizerKind variant (SgdNesterov or Adam)".to_string(),
+            found: v.type_name().to_string(),
+        })
+    }
 }
 
 impl OptimizerKind {
@@ -48,7 +82,7 @@ impl OptimizerKind {
 }
 
 /// One-shot vs iterative pruning (the "scheduling" axis of Section 2.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScheduleKind {
     /// Prune to the target ratio in a single step, then fine-tune.
     OneShot,
@@ -60,9 +94,41 @@ pub enum ScheduleKind {
     },
 }
 
+impl ToJson for ScheduleKind {
+    fn to_json(&self) -> Json {
+        match self {
+            ScheduleKind::OneShot => Json::Str("OneShot".to_string()),
+            ScheduleKind::Iterative { iterations } => Json::Obj(vec![(
+                "Iterative".to_string(),
+                Json::Obj(vec![("iterations".to_string(), iterations.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for ScheduleKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Json::Str(s) = v {
+            if s == "OneShot" {
+                return Ok(ScheduleKind::OneShot);
+            }
+            return Err(JsonError::UnknownVariant { name: s.clone() });
+        }
+        if let Some(body) = v.get("Iterative") {
+            return Ok(ScheduleKind::Iterative {
+                iterations: sb_json::field(body, "iterations")?,
+            });
+        }
+        Err(JsonError::Mismatch {
+            expected: "ScheduleKind variant (OneShot or Iterative)".to_string(),
+            found: v.type_name().to_string(),
+        })
+    }
+}
+
 /// What weights training starts from after masks are installed — the
 /// "fine-tuning" axis of the paper's Section 2.3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[derive(Default)]
 pub enum WeightPolicy {
     /// Continue from the trained weights (the near-universal default).
@@ -77,9 +143,10 @@ pub enum WeightPolicy {
     Reinitialize,
 }
 
+json_enum!(WeightPolicy { Finetune, RewindToInit, Reinitialize });
 
 /// Configuration for [`prune_and_finetune`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FinetuneConfig {
     /// Fine-tuning epochs (total across iterations).
     pub epochs: usize,
@@ -95,10 +162,22 @@ pub struct FinetuneConfig {
     pub flatten_input: bool,
     /// Whether to exclude the classifier layer from pruning.
     pub exclude_classifier: bool,
-    /// What weights post-pruning training starts from.
-    #[serde(default)]
+    /// What weights post-pruning training starts from. Defaults when the
+    /// field is absent, so configs written before this axis existed still
+    /// parse.
     pub weight_policy: WeightPolicy,
 }
+
+json_struct!(FinetuneConfig {
+    epochs,
+    batch_size,
+    optimizer,
+    schedule,
+    patience,
+    flatten_input,
+    exclude_classifier;
+    weight_policy
+});
 
 impl Default for FinetuneConfig {
     /// The paper's CIFAR-10 fine-tuning setup scaled to this substrate:
@@ -118,7 +197,7 @@ impl Default for FinetuneConfig {
 }
 
 /// Everything measured from one prune + fine-tune run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PruneFinetuneResult {
     /// Compression requested.
     pub target_compression: f64,
@@ -134,6 +213,15 @@ pub struct PruneFinetuneResult {
     /// Number of fine-tuning epochs actually run.
     pub epochs_run: usize,
 }
+
+json_struct!(PruneFinetuneResult {
+    target_compression,
+    compression,
+    speedup,
+    before_finetune,
+    after_finetune,
+    epochs_run
+});
 
 /// Runs Algorithm 1 on an already-trained network.
 ///
@@ -436,7 +524,7 @@ mod tests {
         let result =
             prune_and_finetune(&mut net, &GlobalMagnitude, 2.0, &data, &quick_config(), &mut rng)
                 .unwrap();
-        let json = serde_json::to_string(&result).unwrap();
+        let json = sb_json::to_string(&result).unwrap();
         assert!(json.contains("compression"));
     }
 }

@@ -1,12 +1,12 @@
 //! The pruning-strategy abstraction and the paper's five baselines.
 
 use sb_tensor::{Rng, Tensor};
-use serde::{Deserialize, Serialize};
+use sb_json::json_enum;
 
 /// Whether scores are ranked across the whole network or within each
 /// parameter tensor (paper Section 2.3, "Scoring": local vs global
 /// comparison).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scope {
     /// Rank all prunable weights against each other.
     Global,
@@ -14,6 +14,8 @@ pub enum Scope {
     /// fraction.
     Layerwise,
 }
+
+json_enum!(Scope { Global, Layerwise });
 
 /// A view of one prunable parameter handed to [`Strategy::score`].
 #[derive(Debug)]
@@ -194,7 +196,7 @@ impl Strategy for RandomPruning {
 
 /// Serializable identifier for the built-in strategies, used by
 /// experiment configurations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StrategyKind {
     /// [`GlobalMagnitude`].
     GlobalMagnitude,
@@ -211,6 +213,16 @@ pub enum StrategyKind {
     /// [`crate::structured::FilterNorm`] — structured filter pruning.
     FilterNorm,
 }
+
+json_enum!(StrategyKind {
+    GlobalMagnitude,
+    LayerMagnitude,
+    GlobalGradient,
+    LayerGradient,
+    Random,
+    RandomLayerwise,
+    FilterNorm,
+});
 
 impl StrategyKind {
     /// All five baselines reported in the paper's Figure 7.
@@ -317,10 +329,10 @@ mod tests {
     }
 
     #[test]
-    fn kind_round_trips_through_serde() {
+    fn kind_round_trips_through_json() {
         for kind in StrategyKind::FIGURE7 {
-            let json = serde_json::to_string(&kind).unwrap();
-            let back: StrategyKind = serde_json::from_str(&json).unwrap();
+            let json = sb_json::to_string(&kind).unwrap();
+            let back: StrategyKind = sb_json::from_str(&json).unwrap();
             assert_eq!(back, kind);
         }
     }

@@ -2,10 +2,10 @@
 //! histograms.
 
 use crate::model::{Corpus, ResultPoint, XMetric, YMetric};
-use serde::{Deserialize, Serialize};
+use sb_json::json_struct;
 
 /// One row of Table 1.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PairCount {
     /// Dataset name.
     pub dataset: String,
@@ -14,6 +14,8 @@ pub struct PairCount {
     /// Number of papers using the pair.
     pub papers: usize,
 }
+
+json_struct!(PairCount { dataset, arch, papers });
 
 /// Table 1: all (dataset, architecture) pairs used by at least
 /// `min_papers` papers, sorted by descending count (ties by name).
@@ -39,7 +41,7 @@ pub fn pair_counts(corpus: &Corpus, min_papers: usize) -> Vec<PairCount> {
 
 /// One cell of Figure 3's grid: every self-reported curve for one
 /// (dataset, architecture, x-metric, y-metric) combination.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FragmentationCell {
     /// Dataset name.
     pub dataset: String,
@@ -52,6 +54,8 @@ pub struct FragmentationCell {
     /// Per-method curves: (method label, sorted points).
     pub curves: Vec<(String, Vec<(f64, f64)>)>,
 }
+
+json_struct!(FragmentationCell { dataset, arch, x_metric, y_metric, curves });
 
 /// Groups self-reported results into Figure 3's grid for the four most
 /// common non-MNIST configurations.
@@ -102,11 +106,13 @@ pub fn figure3_grid(corpus: &Corpus) -> Vec<FragmentationCell> {
 
 /// A histogram over per-paper counts: `bars[k]` = number of papers with
 /// count `k`, split by peer review.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CountHistogram {
     /// `(count, peer_reviewed papers, other papers)` triplets.
     pub bars: Vec<(usize, usize, usize)>,
 }
+
+json_struct!(CountHistogram { bars });
 
 /// Figure 4 (top): number of non-MNIST (dataset, architecture) pairs used
 /// by each paper.

@@ -1,11 +1,11 @@
 //! The comparison graph and Figure 2's histograms.
 
 use crate::model::Corpus;
-use serde::{Deserialize, Serialize};
+use sb_json::json_struct;
 use std::collections::HashMap;
 
 /// One histogram bar, split by peer-review status (Figure 2's stacking).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DegreeBar {
     /// Degree value (number of comparisons).
     pub degree: usize,
@@ -14,6 +14,8 @@ pub struct DegreeBar {
     /// Papers with this degree that were not.
     pub other: usize,
 }
+
+json_struct!(DegreeBar { degree, peer_reviewed, other });
 
 impl DegreeBar {
     /// Total papers in the bar.
@@ -25,13 +27,15 @@ impl DegreeBar {
 /// Figure 2 (top): for each paper, how many *other* papers compare to it;
 /// histogrammed. Figure 2 (bottom): how many other papers each paper
 /// compares to; histogrammed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonHistograms {
     /// "Number of papers comparing to a given paper" (in-degree).
     pub compared_to_by: Vec<DegreeBar>,
     /// "Number of papers a given paper compares to" (out-degree).
     pub compares_to: Vec<DegreeBar>,
 }
+
+json_struct!(ComparisonHistograms { compared_to_by, compares_to });
 
 /// Computes both Figure 2 histograms from the corpus.
 pub fn comparison_histograms(corpus: &Corpus) -> ComparisonHistograms {

@@ -8,11 +8,11 @@
 //! This module encodes the per-paper reporting facts and aggregates them.
 
 use crate::model::{Corpus, XMetric, YMetric};
-use serde::{Deserialize, Serialize};
+use sb_json::json_struct;
 
 /// Reporting practices of one paper (as recoverable from the corpus'
 /// self-reported results plus the publication's own observations).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PaperHygiene {
     /// Citation key.
     pub paper: String,
@@ -30,6 +30,16 @@ pub struct PaperHygiene {
     /// curves on the common configurations.
     pub operating_points: usize,
 }
+
+json_struct!(PaperHygiene {
+    paper,
+    reports_size,
+    reports_compute,
+    reports_top1,
+    reports_top5,
+    reports_std,
+    operating_points
+});
 
 /// Papers known to report a measure of central tendency on the common
 /// configurations. The publication found exactly one.
@@ -61,7 +71,7 @@ pub fn paper_hygiene(corpus: &Corpus) -> Vec<PaperHygiene> {
 }
 
 /// Aggregate hygiene statistics across the reporting papers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HygieneSummary {
     /// Papers with any self-reported results on common configurations.
     pub reporting_papers: usize,
@@ -72,6 +82,13 @@ pub struct HygieneSummary {
     /// Papers reporting any central-tendency measure.
     pub with_central_tendency: usize,
 }
+
+json_struct!(HygieneSummary {
+    reporting_papers,
+    both_efficiency_metrics,
+    both_accuracy_metrics,
+    with_central_tendency
+});
 
 /// Summarizes [`paper_hygiene`].
 pub fn hygiene_summary(corpus: &Corpus) -> HygieneSummary {

@@ -1,9 +1,9 @@
 //! Data model for the literature corpus.
 
-use serde::{Deserialize, Serialize};
+use sb_json::{json_enum, json_struct};
 
 /// One paper in the corpus.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Paper {
     /// Short citation key, e.g. `"Han 2015"`.
     pub key: String,
@@ -14,8 +14,10 @@ pub struct Paper {
     pub peer_reviewed: bool,
 }
 
+json_struct!(Paper { key, year, peer_reviewed });
+
 /// A paper's use of one (dataset, architecture) pair.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Usage {
     /// Citation key of the paper.
     pub paper: String,
@@ -25,9 +27,11 @@ pub struct Usage {
     pub arch: String,
 }
 
+json_struct!(Usage { paper, dataset, arch });
+
 /// A directed comparison: `from` (newer) experimentally compares against
 /// `to` (older).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Comparison {
     /// Citation key of the comparing paper.
     pub from: String,
@@ -35,8 +39,10 @@ pub struct Comparison {
     pub to: String,
 }
 
+json_struct!(Comparison { from, to });
+
 /// Efficiency metric on the x-axis of a tradeoff curve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum XMetric {
     /// Original size / compressed size.
     CompressionRatio,
@@ -44,8 +50,10 @@ pub enum XMetric {
     TheoreticalSpeedup,
 }
 
+json_enum!(XMetric { CompressionRatio, TheoreticalSpeedup });
+
 /// Quality metric on the y-axis of a tradeoff curve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum YMetric {
     /// Change in Top-1 accuracy (percentage points vs the paper's own
     /// baseline model).
@@ -54,8 +62,10 @@ pub enum YMetric {
     DeltaTop5,
 }
 
+json_enum!(YMetric { DeltaTop1, DeltaTop5 });
+
 /// One self-reported operating point of one method.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResultPoint {
     /// Citation key of the reporting paper.
     pub paper: String,
@@ -79,10 +89,22 @@ pub struct ResultPoint {
     pub magnitude_based: bool,
 }
 
+json_struct!(ResultPoint {
+    paper,
+    method,
+    dataset,
+    arch,
+    x_metric,
+    y_metric,
+    x,
+    y,
+    magnitude_based
+});
+
 /// A dense (non-pruned) architecture's published operating point —
 /// Figure 1's family curves (values from Tan & Le 2019 and Bianco et al.
 /// 2018, the paper's stated sources).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArchPoint {
     /// Family name, e.g. `"ResNet"`.
     pub family: String,
@@ -100,8 +122,10 @@ pub struct ArchPoint {
     pub year: u16,
 }
 
+json_struct!(ArchPoint { family, variant, params, flops, top1, top5, year });
+
 /// The assembled corpus.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Corpus {
     /// All 81 papers.
     pub papers: Vec<Paper>,
@@ -114,6 +138,8 @@ pub struct Corpus {
     /// Dense-architecture reference points for Figure 1.
     pub arch_points: Vec<ArchPoint>,
 }
+
+json_struct!(Corpus { papers, usages, comparisons, results, arch_points });
 
 impl Corpus {
     /// Looks up a paper by key.

@@ -2,16 +2,18 @@
 //! families) and Figure 5 (fine-tuning variation vs method variation).
 
 use crate::model::{Corpus, XMetric, YMetric};
-use serde::{Deserialize, Serialize};
+use sb_json::json_struct;
 
 /// A named series of `(x, y)` points, sorted by `x`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label.
     pub label: String,
     /// Sorted points.
     pub points: Vec<(f64, f64)>,
 }
+
+json_struct!(Series { label, points });
 
 impl Series {
     fn sorted(label: String, mut points: Vec<(f64, f64)>) -> Self {
@@ -22,7 +24,7 @@ impl Series {
 
 /// One panel of Figure 1: x is parameters or FLOPs, y is Top-1 or Top-5
 /// accuracy; series are dense families plus pruned versions of each.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure1Panel {
     /// `"params"` or `"flops"`.
     pub x_axis: &'static str,
@@ -31,6 +33,10 @@ pub struct Figure1Panel {
     /// Dense family curves and pruned-model curves.
     pub series: Vec<Series>,
 }
+
+// `&'static str` axes cannot be deserialized; panels are write-only
+// artifacts consumed by the report renderer.
+json_struct!(serialize_only Figure1Panel { x_axis, y_axis, series });
 
 /// Median initial size/FLOPs per ImageNet architecture, used by the
 /// paper's normalization (footnote 1): reported compression fractions are
@@ -144,13 +150,15 @@ pub fn figure1(corpus: &Corpus) -> Vec<Figure1Panel> {
 /// Figure 5's two plots: ResNet-50 on ImageNet, absolute Top-1 vs number
 /// of parameters; magnitude-based variants on top, all other methods
 /// below.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure5 {
     /// Curves for methods that prune by weight magnitude.
     pub magnitude_methods: Vec<Series>,
     /// Curves for all other methods.
     pub other_methods: Vec<Series>,
 }
+
+json_struct!(Figure5 { magnitude_methods, other_methods });
 
 /// Computes Figure 5 from the corpus.
 pub fn figure5(corpus: &Corpus) -> Figure5 {

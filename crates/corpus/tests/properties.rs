@@ -1,0 +1,223 @@
+//! Property-based tests for the meta-analysis corpus, on the in-repo
+//! `sb-check` harness. The corpus itself is fixed data, so the properties
+//! randomize over *queries* (thresholds) and *sub-corpora* (random paper
+//! subsets with consistently filtered edges and results): every analysis
+//! must hold on any well-formed corpus, not just the shipped one.
+
+use sb_check::{check, prop_assert, prop_assert_eq, Config, Rng};
+use sb_corpus::data::build_corpus;
+use sb_corpus::fragmentation::{pair_counts, pairs_per_paper, small_delta_fraction};
+use sb_corpus::graph::{comparison_histograms, never_compared_to, DegreeBar};
+use sb_corpus::hygiene::{hygiene_summary, paper_hygiene};
+use sb_corpus::Corpus;
+
+/// Pinned suite seed for replayable failures.
+const SUITE: u64 = 0x7E45_0007;
+
+fn cfg() -> Config {
+    Config::new(SUITE)
+}
+
+/// A random sub-corpus: keep each paper with probability ~2/3, then drop
+/// every usage, comparison, and result that mentions a removed paper.
+fn sub_corpus(seed: u64) -> Corpus {
+    let full = build_corpus();
+    let mut rng = Rng::seed_from(seed);
+    let keep: Vec<String> = full
+        .papers
+        .iter()
+        .filter(|_| rng.coin(0.66))
+        .map(|p| p.key.clone())
+        .collect();
+    let kept = |key: &str| keep.iter().any(|k| k == key);
+    Corpus {
+        papers: full.papers.iter().filter(|p| kept(&p.key)).cloned().collect(),
+        usages: full.usages.iter().filter(|u| kept(&u.paper)).cloned().collect(),
+        comparisons: full
+            .comparisons
+            .iter()
+            .filter(|c| kept(&c.from) && kept(&c.to))
+            .cloned()
+            .collect(),
+        results: full.results.iter().filter(|r| kept(&r.paper)).cloned().collect(),
+        arch_points: full.arch_points.clone(),
+    }
+}
+
+#[test]
+fn pair_counts_respect_threshold_and_sort_descending() {
+    check(
+        "corpus::pair_counts_respect_threshold_and_sort_descending",
+        cfg(),
+        |rng| (rng.next_u64(), rng.below(8)),
+        |&(seed, min_papers)| {
+            let c = sub_corpus(seed);
+            let rows = pair_counts(&c, min_papers);
+            for w in rows.windows(2) {
+                prop_assert!(w[0].papers >= w[1].papers);
+            }
+            for row in &rows {
+                prop_assert!(row.papers >= min_papers);
+                prop_assert_eq!(row.papers, c.papers_using(&row.dataset, &row.arch));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn pair_counts_are_monotone_in_threshold() {
+    check(
+        "corpus::pair_counts_are_monotone_in_threshold",
+        cfg(),
+        |rng| (rng.next_u64(), rng.below(6)),
+        |&(seed, t)| {
+            // Raising the threshold can only drop rows, never add or
+            // reorder the survivors.
+            let c = sub_corpus(seed);
+            let loose = pair_counts(&c, t);
+            let tight = pair_counts(&c, t + 1);
+            prop_assert!(tight.len() <= loose.len());
+            // Tight rows must be a prefix of loose rows.
+            prop_assert_eq!(&loose[..tight.len()], &tight[..]);
+            // Threshold 0 enumerates every combination exactly once.
+            prop_assert_eq!(pair_counts(&c, 0).len(), c.combinations().len());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn comparison_histogram_bars_partition_the_papers() {
+    check(
+        "corpus::comparison_histogram_bars_partition_the_papers",
+        cfg(),
+        |rng| rng.next_u64(),
+        |&seed| {
+            let c = sub_corpus(seed);
+            let h = comparison_histograms(&c);
+            for bars in [&h.compared_to_by, &h.compares_to] {
+                let total: usize = bars.iter().map(DegreeBar::total).sum();
+                prop_assert_eq!(total, c.papers.len());
+                for (d, bar) in bars.iter().enumerate() {
+                    prop_assert_eq!(bar.degree, d);
+                }
+                // Degree mass equals edge count: Σ degree·papers == |E|.
+                let mass: usize = bars.iter().map(|b| b.degree * b.total()).sum();
+                prop_assert_eq!(mass, c.comparisons.len());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn never_compared_to_is_exactly_indegree_zero() {
+    check(
+        "corpus::never_compared_to_is_exactly_indegree_zero",
+        cfg(),
+        |rng| rng.next_u64(),
+        |&seed| {
+            let c = sub_corpus(seed);
+            let orphans = never_compared_to(&c);
+            for p in &c.papers {
+                let indeg = c.comparisons.iter().filter(|e| e.to == p.key).count();
+                prop_assert!(
+                    orphans.contains(&p.key.as_str()) == (indeg == 0),
+                    "paper {} indegree {}",
+                    p.key,
+                    indeg
+                );
+            }
+            // Cross-check against the degree-0 histogram bar.
+            let h = comparison_histograms(&c);
+            let bar0 = h.compared_to_by.first().map(DegreeBar::total).unwrap_or(0);
+            prop_assert_eq!(orphans.len(), bar0);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn hygiene_has_one_record_per_reporting_paper() {
+    check(
+        "corpus::hygiene_has_one_record_per_reporting_paper",
+        cfg(),
+        |rng| rng.next_u64(),
+        |&seed| {
+            let c = sub_corpus(seed);
+            let rows = paper_hygiene(&c);
+            let mut reporting: Vec<&str> = c.results.iter().map(|r| r.paper.as_str()).collect();
+            reporting.sort_unstable();
+            reporting.dedup();
+            prop_assert_eq!(rows.len(), reporting.len());
+            // Operating points across records partition the result rows.
+            let points: usize = rows.iter().map(|r| r.operating_points).sum();
+            prop_assert_eq!(points, c.results.len());
+            let summary = hygiene_summary(&c);
+            prop_assert_eq!(summary.reporting_papers, rows.len());
+            prop_assert!(summary.both_efficiency_metrics <= summary.reporting_papers);
+            prop_assert!(summary.both_accuracy_metrics <= summary.reporting_papers);
+            prop_assert!(summary.with_central_tendency <= summary.reporting_papers);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn pairs_per_paper_histogram_covers_every_paper() {
+    check(
+        "corpus::pairs_per_paper_histogram_covers_every_paper",
+        cfg(),
+        |rng| rng.next_u64(),
+        |&seed| {
+            let c = sub_corpus(seed);
+            let h = pairs_per_paper(&c);
+            let total: usize = h.bars.iter().map(|&(_, pr, other)| pr + other).sum();
+            prop_assert_eq!(total, c.papers.len());
+            for (k, &(count, _, _)) in h.bars.iter().enumerate() {
+                prop_assert_eq!(count, k);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn small_delta_fraction_is_monotone_and_bounded() {
+    check(
+        "corpus::small_delta_fraction_is_monotone_and_bounded",
+        cfg(),
+        |rng| (rng.next_u64(), rng.uniform(0.0, 3.0) as f64),
+        |&(seed, t)| {
+            let c = sub_corpus(seed);
+            let lo = small_delta_fraction(&c.results, t);
+            let hi = small_delta_fraction(&c.results, t + 0.5);
+            prop_assert!((0.0..=1.0).contains(&lo));
+            prop_assert!((0.0..=1.0).contains(&hi));
+            prop_assert!(lo <= hi + 1e-12, "fraction not monotone: {} > {}", lo, hi);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn corpus_round_trips_through_json() {
+    check(
+        "corpus::corpus_round_trips_through_json",
+        cfg(),
+        |rng| rng.next_u64(),
+        |&seed| {
+            let c = sub_corpus(seed);
+            let s = sb_json::to_string(&c).unwrap();
+            let back: Corpus = sb_json::from_str(&s).unwrap();
+            // Corpus has no PartialEq; its element types all do.
+            prop_assert_eq!(&back.papers, &c.papers);
+            prop_assert_eq!(&back.usages, &c.usages);
+            prop_assert_eq!(&back.comparisons, &c.comparisons);
+            prop_assert_eq!(&back.results, &c.results);
+            prop_assert_eq!(&back.arch_points, &c.arch_points);
+            Ok(())
+        },
+    );
+}

@@ -1,9 +1,9 @@
 //! Dataset specifications and presets.
 
-use serde::{Deserialize, Serialize};
+use sb_json::{json_enum, json_struct};
 
 /// Which partition of a dataset to read.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Split {
     /// Training partition.
     Train,
@@ -11,9 +11,11 @@ pub enum Split {
     Val,
 }
 
+json_enum!(Split { Train, Val });
+
 /// Full description of a synthetic vision dataset. Two specs with equal
 /// fields generate bit-identical data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Human-readable dataset name (appears in experiment reports).
     pub name: String,
@@ -36,6 +38,19 @@ pub struct DatasetSpec {
     /// Master seed; all sample generation derives from it.
     pub seed: u64,
 }
+
+json_struct!(DatasetSpec {
+    name,
+    channels,
+    side,
+    classes,
+    train_size,
+    val_size,
+    noise_std,
+    jitter,
+    max_shift,
+    seed,
+});
 
 impl DatasetSpec {
     /// MNIST stand-in: `1×16×16`, 10 classes, low noise. Deliberately
@@ -156,10 +171,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let spec = DatasetSpec::imagenet_like(9);
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: DatasetSpec = serde_json::from_str(&json).unwrap();
+        let json = sb_json::to_string(&spec).unwrap();
+        let back: DatasetSpec = sb_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
     }
 }

@@ -1,77 +1,129 @@
-//! Property-based tests for dataset determinism and loader correctness.
+//! Property-based tests for dataset determinism and loader correctness,
+//! on the in-repo `sb-check` harness.
 
-use proptest::prelude::*;
+use sb_check::{check, prop_assert, prop_assert_eq, Config};
 use sb_data::{batches_of, DatasetSpec, Split, SyntheticVision};
 use sb_tensor::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Pinned suite seed for replayable failures.
+const SUITE: u64 = 0x7E45_0003;
 
-    #[test]
-    fn any_sample_is_deterministic(seed in 0u64..1000, idx in 0usize..64) {
-        let spec = DatasetSpec::cifar_like(seed).scaled_down(16);
-        let a = SyntheticVision::new(spec.clone());
-        let b = SyntheticVision::new(spec);
-        prop_assert_eq!(a.sample(Split::Train, idx), b.sample(Split::Train, idx));
-        prop_assert_eq!(a.sample(Split::Val, idx % 16), b.sample(Split::Val, idx % 16));
-    }
+fn cfg() -> Config {
+    Config::new(SUITE)
+}
 
-    #[test]
-    fn labels_always_in_range(seed in 0u64..1000, idx in 0usize..64) {
-        let data = SyntheticVision::new(DatasetSpec::mnist_like(seed).scaled_down(16));
-        let (_, label) = data.sample(Split::Train, idx);
-        prop_assert!(label < data.spec().classes);
-    }
+#[test]
+fn any_sample_is_deterministic() {
+    check(
+        "data::any_sample_is_deterministic",
+        cfg(),
+        |rng| (rng.below(1000) as u64, rng.below(64)),
+        |(seed, idx)| {
+            let spec = DatasetSpec::cifar_like(*seed).scaled_down(16);
+            let a = SyntheticVision::new(spec.clone());
+            let b = SyntheticVision::new(spec);
+            prop_assert_eq!(a.sample(Split::Train, *idx), b.sample(Split::Train, *idx));
+            prop_assert_eq!(a.sample(Split::Val, idx % 16), b.sample(Split::Val, idx % 16));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn batches_partition_the_split(seed in 0u64..500, batch in 1usize..40) {
-        let data = SyntheticVision::new(DatasetSpec::mnist_like(seed).scaled_down(16));
-        let batches = batches_of(&data, Split::Val, batch, None, false);
-        let total: usize = batches.iter().map(|(_, l)| l.len()).sum();
-        prop_assert_eq!(total, data.len(Split::Val));
-        for (x, labels) in &batches {
-            prop_assert_eq!(x.dim(0), labels.len());
-            prop_assert!(labels.len() <= batch);
-            prop_assert!(!x.has_non_finite());
-        }
-    }
+#[test]
+fn labels_always_in_range() {
+    check(
+        "data::labels_always_in_range",
+        cfg(),
+        |rng| (rng.below(1000) as u64, rng.below(64)),
+        |(seed, idx)| {
+            let data = SyntheticVision::new(DatasetSpec::mnist_like(*seed).scaled_down(16));
+            let (_, label) = data.sample(Split::Train, *idx);
+            prop_assert!(label < data.spec().classes);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn shuffled_batches_preserve_label_multiset(seed in 0u64..500, shuffle_seed in 0u64..500) {
-        let data = SyntheticVision::new(DatasetSpec::cifar_like(seed).scaled_down(16));
-        let mut rng = Rng::seed_from(shuffle_seed);
-        let shuffled = batches_of(&data, Split::Train, 16, Some(&mut rng), false);
-        let plain = batches_of(&data, Split::Train, 16, None, false);
-        let collect = |bs: &[(sb_tensor::Tensor, Vec<usize>)]| {
-            let mut v: Vec<usize> = bs.iter().flat_map(|(_, l)| l.clone()).collect();
-            v.sort_unstable();
-            v
-        };
-        prop_assert_eq!(collect(&shuffled), collect(&plain));
-    }
+#[test]
+fn batches_partition_the_split() {
+    check(
+        "data::batches_partition_the_split",
+        cfg(),
+        |rng| (rng.below(500) as u64, rng.below(39) + 1),
+        |(seed, batch)| {
+            let data = SyntheticVision::new(DatasetSpec::mnist_like(*seed).scaled_down(16));
+            let batches = batches_of(&data, Split::Val, *batch, None, false);
+            let total: usize = batches.iter().map(|(_, l)| l.len()).sum();
+            prop_assert_eq!(total, data.len(Split::Val));
+            for (x, labels) in &batches {
+                prop_assert_eq!(x.dim(0), labels.len());
+                prop_assert!(labels.len() <= *batch);
+                prop_assert!(!x.has_non_finite());
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn flattened_batches_match_image_batches(seed in 0u64..200) {
-        let data = SyntheticVision::new(DatasetSpec::mnist_like(seed).scaled_down(16));
-        let flat = batches_of(&data, Split::Val, 8, None, true);
-        let img = batches_of(&data, Split::Val, 8, None, false);
-        prop_assert_eq!(flat.len(), img.len());
-        for ((xf, lf), (xi, li)) in flat.iter().zip(&img) {
-            prop_assert_eq!(lf, li);
-            prop_assert_eq!(xf.data(), xi.data());
-        }
-    }
+#[test]
+fn shuffled_batches_preserve_label_multiset() {
+    check(
+        "data::shuffled_batches_preserve_label_multiset",
+        cfg(),
+        |rng| (rng.below(500) as u64, rng.below(500) as u64),
+        |(seed, shuffle_seed)| {
+            let data = SyntheticVision::new(DatasetSpec::cifar_like(*seed).scaled_down(16));
+            let mut rng = Rng::seed_from(*shuffle_seed);
+            let shuffled = batches_of(&data, Split::Train, 16, Some(&mut rng), false);
+            let plain = batches_of(&data, Split::Train, 16, None, false);
+            let collect = |bs: &[(sb_tensor::Tensor, Vec<usize>)]| {
+                let mut v: Vec<usize> = bs.iter().flat_map(|(_, l)| l.clone()).collect();
+                v.sort_unstable();
+                v
+            };
+            prop_assert_eq!(collect(&shuffled), collect(&plain));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn batch_rows_equal_individual_samples(seed in 0u64..200, batch in 2usize..16) {
-        let data = SyntheticVision::new(DatasetSpec::cifar_like(seed).scaled_down(16));
-        let batches = batches_of(&data, Split::Train, batch, None, false);
-        let (x, labels) = &batches[0];
-        let feat = x.numel() / x.dim(0);
-        for (row, &label) in labels.iter().enumerate() {
-            let (img, l) = data.sample(Split::Train, row);
-            prop_assert_eq!(l, label);
-            prop_assert_eq!(&x.data()[row * feat..(row + 1) * feat], img.data());
-        }
-    }
+#[test]
+fn flattened_batches_match_image_batches() {
+    check(
+        "data::flattened_batches_match_image_batches",
+        cfg(),
+        |rng| rng.below(200) as u64,
+        |&seed| {
+            let data = SyntheticVision::new(DatasetSpec::mnist_like(seed).scaled_down(16));
+            let flat = batches_of(&data, Split::Val, 8, None, true);
+            let img = batches_of(&data, Split::Val, 8, None, false);
+            prop_assert_eq!(flat.len(), img.len());
+            for ((xf, lf), (xi, li)) in flat.iter().zip(&img) {
+                prop_assert_eq!(lf, li);
+                prop_assert_eq!(xf.data(), xi.data());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn batch_rows_equal_individual_samples() {
+    check(
+        "data::batch_rows_equal_individual_samples",
+        cfg(),
+        |rng| (rng.below(200) as u64, rng.below(14) + 2),
+        |(seed, batch)| {
+            let data = SyntheticVision::new(DatasetSpec::cifar_like(*seed).scaled_down(16));
+            let batches = batches_of(&data, Split::Train, *batch, None, false);
+            let (x, labels) = &batches[0];
+            let feat = x.numel() / x.dim(0);
+            for (row, &label) in labels.iter().enumerate() {
+                let (img, l) = data.sample(Split::Train, row);
+                prop_assert_eq!(l, label);
+                prop_assert_eq!(&x.data()[row * feat..(row + 1) * feat], img.data());
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,475 @@
+//! Typed conversion between Rust values and [`Json`], plus the
+//! [`json_struct!`]/[`json_enum!`] macros the workspace uses instead of
+//! derive macros.
+
+use crate::value::{Json, JsonError};
+
+/// Converts a value into a [`Json`] tree.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Reconstructs a value from a [`Json`] tree.
+pub trait FromJson: Sized {
+    /// Converts the JSON value, reporting shape mismatches as errors.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+
+    /// The value to use when an object field is absent entirely, if this
+    /// type tolerates absence. Only `Option<T>` does (yielding `None`);
+    /// everything else reports [`JsonError::MissingField`].
+    #[doc(hidden)]
+    fn if_missing() -> Option<Self> {
+        None
+    }
+}
+
+fn mismatch(expected: &str, found: &Json) -> JsonError {
+    JsonError::Mismatch {
+        expected: expected.to_string(),
+        found: found.type_name().to_string(),
+    }
+}
+
+fn in_field(name: &str, source: JsonError) -> JsonError {
+    JsonError::InField {
+        name: name.to_string(),
+        source: Box::new(source),
+    }
+}
+
+/// Reads a required object field. `Option<T>` fields treat an absent key
+/// as `None`; any other type reports [`JsonError::MissingField`].
+///
+/// # Errors
+///
+/// Missing non-optional field, or a conversion error wrapped in
+/// [`JsonError::InField`] naming the field.
+pub fn field<T: FromJson>(v: &Json, name: &str) -> Result<T, JsonError> {
+    match v.get(name) {
+        Some(value) => T::from_json(value).map_err(|e| in_field(name, e)),
+        None => T::if_missing().ok_or_else(|| JsonError::MissingField {
+            name: name.to_string(),
+        }),
+    }
+}
+
+/// Reads an object field, substituting `default` when the key is absent.
+///
+/// # Errors
+///
+/// Returns a conversion error (wrapped in [`JsonError::InField`]) if the
+/// key is present but has the wrong shape.
+pub fn field_or<T: FromJson>(v: &Json, name: &str, default: T) -> Result<T, JsonError> {
+    match v.get(name) {
+        Some(value) => T::from_json(value).map_err(|e| in_field(name, e)),
+        None => Ok(default),
+    }
+}
+
+/// Like [`field_or`] with `T::default()` — the equivalent of serde's
+/// `#[serde(default)]`.
+///
+/// # Errors
+///
+/// Returns a conversion error (wrapped in [`JsonError::InField`]) if the
+/// key is present but has the wrong shape.
+pub fn field_or_default<T: FromJson + Default>(v: &Json, name: &str) -> Result<T, JsonError> {
+    field_or(v, name, T::default())
+}
+
+// ---------------------------------------------------------------------------
+// Scalar impls
+// ---------------------------------------------------------------------------
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_bool().ok_or_else(|| mismatch("bool", v))
+    }
+}
+
+macro_rules! int_impls {
+    ($($ty:ty),*) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i128)
+            }
+        }
+
+        impl FromJson for $ty {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let i = v.as_int().ok_or_else(|| mismatch("integer", v))?;
+                <$ty>::try_from(i).map_err(|_| JsonError::Mismatch {
+                    expected: stringify!($ty).to_string(),
+                    found: format!("out-of-range integer {i}"),
+                })
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64().ok_or_else(|| mismatch("number", v))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        // f32 -> f64 widening is exact, so the shortest-round-trip f64
+        // rendering also parses back to the same f32.
+        Json::Float(f64::from(*self))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64().map(|f| f as f32).ok_or_else(|| mismatch("number", v))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_str().map(str::to_string).ok_or_else(|| mismatch("string", v))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let items = v.as_arr().ok_or_else(|| mismatch("array", v))?;
+        items.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(value) => value.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+
+    fn if_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+macro_rules! tuple_impls {
+    ($($len:literal => ($($t:ident / $idx:tt),+)),*) => {$(
+        impl<$($t: ToJson),+> ToJson for ($($t,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+
+        impl<$($t: FromJson),+> FromJson for ($($t,)+) {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let items = v.as_arr().ok_or_else(|| mismatch("array", v))?;
+                if items.len() != $len {
+                    return Err(JsonError::Mismatch {
+                        expected: format!("array of length {}", $len),
+                        found: format!("array of length {}", items.len()),
+                    });
+                }
+                Ok(($($t::from_json(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls!(
+    2 => (A / 0, B / 1),
+    3 => (A / 0, B / 1, C / 2),
+    4 => (A / 0, B / 1, C / 2, D / 3)
+);
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Implements [`ToJson`] and [`FromJson`] for a struct with named fields,
+/// serializing it as a JSON object in field order.
+///
+/// Fields after a `;` separator fall back to `Default::default()` when the
+/// key is absent (serde's `#[serde(default)]`). The `serialize_only`
+/// prefix emits only the [`ToJson`] impl, for structs holding types that
+/// cannot be deserialized (e.g. `&'static str`).
+///
+/// ```
+/// use sb_json::json_struct;
+///
+/// #[derive(Debug, PartialEq, Default)]
+/// struct Config {
+///     epochs: usize,
+///     lr: f64,
+///     label: String,
+/// }
+/// json_struct!(Config { epochs, lr; label });
+///
+/// let c: Config = sb_json::from_str(r#"{"epochs":3,"lr":0.1}"#).unwrap();
+/// assert_eq!(c, Config { epochs: 3, lr: 0.1, label: String::new() });
+/// ```
+#[macro_export]
+macro_rules! json_struct {
+    ($ty:ty { $($req:ident),* $(,)? $(; $($opt:ident),* $(,)?)? }) => {
+        $crate::json_struct!(serialize_only $ty { $($req),* $(; $($opt),*)? });
+
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                if !matches!(v, $crate::Json::Obj(_)) {
+                    return Err($crate::JsonError::Mismatch {
+                        expected: concat!("object (", stringify!($ty), ")").to_string(),
+                        found: v.type_name().to_string(),
+                    });
+                }
+                Ok(Self {
+                    $($req: $crate::field(v, stringify!($req))?,)*
+                    $($($opt: $crate::field_or_default(v, stringify!($opt))?,)*)?
+                })
+            }
+        }
+    };
+    (serialize_only $ty:ty { $($req:ident),* $(,)? $(; $($opt:ident),* $(,)?)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((
+                        stringify!($req).to_string(),
+                        $crate::ToJson::to_json(&self.$req),
+                    ),)*
+                    $($((
+                        stringify!($opt).to_string(),
+                        $crate::ToJson::to_json(&self.$opt),
+                    ),)*)?
+                ])
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`] and [`FromJson`] for a fieldless enum, encoding
+/// each variant as its name string (serde's externally-tagged unit form).
+///
+/// ```
+/// use sb_json::json_enum;
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Split { Train, Val }
+/// json_enum!(Split { Train, Val });
+///
+/// assert_eq!(sb_json::to_string(&Split::Val).unwrap(), "\"Val\"");
+/// assert_eq!(sb_json::from_str::<Split>("\"Train\"").unwrap(), Split::Train);
+/// ```
+#[macro_export]
+macro_rules! json_enum {
+    ($ty:ty { $($variant:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                let name = match self {
+                    $(Self::$variant => stringify!($variant),)+
+                };
+                $crate::Json::Str(name.to_string())
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                let name = v.as_str().ok_or_else(|| $crate::JsonError::Mismatch {
+                    expected: concat!("string (", stringify!($ty), " variant)").to_string(),
+                    found: v.type_name().to_string(),
+                })?;
+                match name {
+                    $(stringify!($variant) => Ok(Self::$variant),)+
+                    _ => Err($crate::JsonError::UnknownVariant {
+                        name: name.to_string(),
+                    }),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Default)]
+    struct Sample {
+        count: usize,
+        ratio: f64,
+        name: String,
+        tags: Vec<String>,
+        patience: Option<usize>,
+        policy: String,
+    }
+    json_struct!(Sample {
+        count,
+        ratio,
+        name,
+        tags,
+        patience;
+        policy
+    });
+
+    #[derive(Debug, PartialEq)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+    json_enum!(Kind { Alpha, Beta });
+
+    fn sample() -> Sample {
+        Sample {
+            count: 3,
+            ratio: 0.5,
+            name: "net".to_string(),
+            tags: vec!["a".to_string(), "b".to_string()],
+            patience: Some(7),
+            policy: "finetune".to_string(),
+        }
+    }
+
+    #[test]
+    fn struct_round_trip_preserves_field_order() {
+        let text = crate::to_string(&sample()).unwrap();
+        assert_eq!(
+            text,
+            r#"{"count":3,"ratio":0.5,"name":"net","tags":["a","b"],"patience":7,"policy":"finetune"}"#
+        );
+        let back: Sample = crate::from_str(&text).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn optional_section_defaults_when_absent() {
+        let back: Sample = crate::from_str(
+            r#"{"count":1,"ratio":1.5,"name":"x","tags":[],"patience":null}"#,
+        )
+        .unwrap();
+        assert_eq!(back.policy, "");
+        assert_eq!(back.patience, None);
+    }
+
+    #[test]
+    fn option_fields_tolerate_absence_entirely() {
+        let back: Sample =
+            crate::from_str(r#"{"count":1,"ratio":1.5,"name":"x","tags":[]}"#).unwrap();
+        assert_eq!(back.patience, None);
+    }
+
+    #[test]
+    fn missing_required_field_is_an_error() {
+        let err = crate::from_str::<Sample>(r#"{"count":1}"#).unwrap_err();
+        assert!(matches!(err, JsonError::MissingField { ref name } if name == "ratio"), "{err}");
+    }
+
+    #[test]
+    fn wrong_shape_is_named() {
+        let err =
+            crate::from_str::<Sample>(r#"{"count":"three","ratio":1.0,"name":"x","tags":[]}"#)
+                .unwrap_err();
+        assert_eq!(err.to_string(), "in field `count`: expected integer, found string");
+    }
+
+    #[test]
+    fn enum_round_trip_and_unknown_variant() {
+        assert_eq!(crate::to_string(&Kind::Beta).unwrap(), "\"Beta\"");
+        assert_eq!(crate::from_str::<Kind>("\"Alpha\"").unwrap(), Kind::Alpha);
+        let err = crate::from_str::<Kind>("\"Gamma\"").unwrap_err();
+        assert!(matches!(err, JsonError::UnknownVariant { ref name } if name == "Gamma"));
+    }
+
+    #[test]
+    fn out_of_range_integers_are_rejected() {
+        assert!(crate::from_str::<u8>("256").is_err());
+        assert!(crate::from_str::<usize>("-1").is_err());
+        assert_eq!(crate::from_str::<i64>("-9").unwrap(), -9);
+    }
+
+    #[test]
+    fn nested_tuple_containers_round_trip() {
+        let curves: Vec<(String, Vec<(f64, f64)>)> = vec![
+            ("m1".to_string(), vec![(1.0, 0.9), (2.0, 0.8)]),
+            ("m2".to_string(), vec![]),
+        ];
+        let text = crate::to_string(&curves).unwrap();
+        assert_eq!(text, r#"[["m1",[[1,0.9],[2,0.8]]],["m2",[]]]"#);
+        let back: Vec<(String, Vec<(f64, f64)>)> = crate::from_str(&text).unwrap();
+        assert_eq!(back, curves);
+    }
+
+    #[test]
+    fn tuple_length_mismatch_is_an_error() {
+        assert!(crate::from_str::<(f64, f64)>("[1,2,3]").is_err());
+        assert!(crate::from_str::<(usize, usize, usize)>("[1,2]").is_err());
+    }
+}

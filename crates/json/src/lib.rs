@@ -1,0 +1,220 @@
+//! Zero-dependency JSON for the hermetic `shrinkbench-rs` workspace.
+//!
+//! The paper this repo reproduces (Blalock et al., MLSys 2020) argues that
+//! pruning research fails to replicate because its artifacts depend on
+//! unpinned, unavailable infrastructure. This crate removes the workspace's
+//! last external serialization dependency: it provides a [`Json`] value
+//! type, a strict parser, a deterministic serializer, and a lightweight
+//! [`ToJson`]/[`FromJson`] trait pair that the rest of the workspace uses
+//! where `serde`/`serde_json` used to sit.
+//!
+//! Design points:
+//!
+//! - **Determinism.** Objects preserve insertion order (`Vec` of pairs, no
+//!   hashing), and numbers are formatted with Rust's shortest round-trip
+//!   `Display`, so the same value always serializes to the same bytes —
+//!   the property the workspace's bit-identical-metrics tests rely on.
+//! - **Strictness.** `NaN`/`Infinity` are rejected at serialization time
+//!   ([`JsonError::NonFiniteNumber`]) instead of producing invalid JSON.
+//! - **Integers are exact.** Integer literals are kept as `i128` (covering
+//!   all of `u64`/`i64`), so 64-bit seeds round-trip without `f64` loss.
+//!
+//! # Example
+//!
+//! ```
+//! use sb_json::{FromJson, Json, ToJson};
+//!
+//! let v = vec![1.5f32, -2.0, 0.25];
+//! let text = sb_json::to_string(&v).unwrap();
+//! assert_eq!(text, "[1.5,-2,0.25]");
+//! let back: Vec<f32> = sb_json::from_str(&text).unwrap();
+//! assert_eq!(back, v);
+//! ```
+
+mod convert;
+mod parse;
+mod ser;
+mod value;
+
+pub use convert::{field, field_or, field_or_default, FromJson, ToJson};
+pub use parse::parse;
+pub use value::{Json, JsonError};
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Returns [`JsonError::NonFiniteNumber`] if the value contains NaN or an
+/// infinity anywhere.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, JsonError> {
+    value.to_json().render(false)
+}
+
+/// Serializes a value to human-readable, two-space-indented JSON.
+///
+/// # Errors
+///
+/// Returns [`JsonError::NonFiniteNumber`] if the value contains NaN or an
+/// infinity anywhere.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, JsonError> {
+    value.to_json().render(true)
+}
+
+/// Serializes a value to compact JSON bytes.
+///
+/// # Errors
+///
+/// Returns [`JsonError::NonFiniteNumber`] on NaN/infinity.
+pub fn to_vec<T: ToJson + ?Sized>(value: &T) -> Result<Vec<u8>, JsonError> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns a parse error for malformed JSON or a conversion error when the
+/// JSON shape does not match `T`.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&parse(text)?)
+}
+
+/// Parses a value from JSON bytes (must be UTF-8).
+///
+/// # Errors
+///
+/// Returns [`JsonError::Parse`] for invalid UTF-8 or malformed JSON, and a
+/// conversion error when the JSON shape does not match `T`.
+pub fn from_slice<T: FromJson>(bytes: &[u8]) -> Result<T, JsonError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| JsonError::Parse {
+        offset: e.valid_up_to(),
+        message: "input is not valid UTF-8".to_string(),
+    })?;
+    from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_object_round_trip() {
+        let text = r#"{"a":{"b":[1,2.5,null,true],"c":"x"},"d":{}}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.render(false).unwrap(), text);
+    }
+
+    #[test]
+    fn pretty_output_reparses_to_same_value() {
+        let v = parse(r#"{"rows":[{"k":1},{"k":2}],"name":"t"}"#).unwrap();
+        let pretty = v.render(true).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn float_formatting_is_shortest_round_trip() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1");
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+        assert_eq!(to_string(&1.5f32).unwrap(), "1.5");
+        let tricky = 0.1f32 + 0.2f32;
+        let back: f32 = from_str(&to_string(&tricky).unwrap()).unwrap();
+        assert_eq!(back, tricky);
+        let tiny = 1e-40f64;
+        let back: f64 = from_str(&to_string(&tiny).unwrap()).unwrap();
+        assert_eq!(back, tiny);
+    }
+
+    #[test]
+    fn nan_and_infinity_are_rejected() {
+        assert!(matches!(
+            to_string(&f64::NAN),
+            Err(JsonError::NonFiniteNumber)
+        ));
+        assert!(matches!(
+            to_string(&f32::INFINITY),
+            Err(JsonError::NonFiniteNumber)
+        ));
+        assert!(matches!(
+            to_string(&vec![0.0f64, f64::NEG_INFINITY]),
+            Err(JsonError::NonFiniteNumber)
+        ));
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        let s = "quote \" backslash \\ newline \n tab \t unicode \u{1F600} nul \u{0} bell \u{7}";
+        let text = to_string(s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_parse() {
+        // 😀 is U+1F600 = 😀 as a surrogate pair.
+        let back: String = from_str(r#""😀""#).unwrap();
+        assert_eq!(back, "\u{1F600}");
+        assert!(from_str::<String>(r#""\uD83D""#).is_err(), "lone surrogate");
+    }
+
+    #[test]
+    fn u64_seeds_round_trip_exactly() {
+        for seed in [0u64, 1, u64::MAX, 0xA11CE, (1 << 53) + 1] {
+            let text = to_string(&seed).unwrap();
+            let back: u64 = from_str(&text).unwrap();
+            assert_eq!(back, seed, "seed {seed} corrupted through JSON");
+        }
+    }
+
+    #[test]
+    fn option_and_missing_fields() {
+        let v = parse(r#"{"a":1}"#).unwrap();
+        let a: Option<i64> = field(&v, "a").unwrap();
+        assert_eq!(a, Some(1));
+        let b: Option<i64> = field(&v, "b").unwrap();
+        assert_eq!(b, None);
+        assert!(field::<i64>(&v, "b").is_err(), "missing non-optional field");
+    }
+
+    #[test]
+    fn type_mismatch_errors_name_the_field() {
+        let v = parse(r#"{"epochs":"three"}"#).unwrap();
+        let err = field::<usize>(&v, "epochs").unwrap_err();
+        assert!(err.to_string().contains("epochs"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_malformed_input() {
+        assert!(parse("{} extra").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("01").is_err());
+        assert!(parse("+1").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded_not_a_stack_overflow() {
+        let deep = "[".repeat(5000) + &"]".repeat(5000);
+        assert!(parse(&deep).is_err(), "must refuse pathological nesting");
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let text = r#"{"z":1,"a":2,"m":3}"#;
+        assert_eq!(parse(text).unwrap().render(false).unwrap(), text);
+    }
+
+    #[test]
+    fn tuples_encode_as_arrays() {
+        let v = ("name".to_string(), 3usize, 2.5f64);
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, r#"["name",3,2.5]"#);
+        let back: (String, usize, f64) = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+}

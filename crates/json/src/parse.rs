@@ -1,0 +1,342 @@
+//! A strict recursive-descent JSON parser.
+//!
+//! Accepts exactly the RFC 8259 grammar: no trailing commas, no comments,
+//! no leading zeros, no bare `NaN`/`Infinity`. Nesting depth is bounded so
+//! adversarial input cannot overflow the stack.
+
+use crate::value::{Json, JsonError};
+
+/// Maximum array/object nesting depth accepted by [`parse`].
+const MAX_DEPTH: usize = 256;
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns [`JsonError::Parse`] with a byte offset for malformed input,
+/// trailing non-whitespace, or nesting deeper than 256 levels.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError::Parse {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("invalid literal (expected `{word}`)")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            out.push(self.unicode_escape()?);
+                            continue; // unicode_escape advanced pos itself
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.error("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so boundaries
+                    // are valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).expect("valid UTF-8"));
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    /// Reads the 4 hex digits after `\u` (and a trailing surrogate pair if
+    /// needed), returning the decoded char. `pos` must sit on the first
+    /// hex digit; it ends one past the last consumed digit.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: require `\uXXXX` low surrogate.
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let low = self.hex4()?;
+                if !(0xDC00..0xE000).contains(&low) {
+                    return Err(self.error("invalid low surrogate"));
+                }
+                let code = 0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00);
+                return char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"));
+            }
+            return Err(self.error("lone high surrogate"));
+        }
+        if (0xDC00..0xE000).contains(&first) {
+            return Err(self.error("lone low surrogate"));
+        }
+        char::from_u32(first).ok_or_else(|| self.error("invalid unicode escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
+                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                _ => return Err(self.error("expected 4 hex digits in \\u escape")),
+            };
+            code = code * 16 + d;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("invalid number")),
+        }
+        if matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(self.error("leading zeros are not allowed"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected digits after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected digits in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII");
+        if !is_float && text != "-0" {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Json::Int(i));
+            }
+            // Integer wider than i128: fall through to lossy f64.
+        }
+        // `-0` keeps its sign bit by staying a float.
+        let f: f64 = text
+            .parse()
+            .map_err(|_| self.error("number out of range"))?;
+        if !f.is_finite() {
+            return Err(self.error("number overflows f64"));
+        }
+        Ok(Json::Float(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(parse("0").unwrap(), Json::Int(0));
+        assert_eq!(parse("2.5e2").unwrap(), Json::Float(250.0));
+        assert_eq!(parse("1e-3").unwrap(), Json::Float(0.001));
+        assert_eq!(parse(r#""hi""#).unwrap(), Json::Str("hi".to_string()));
+    }
+
+    #[test]
+    fn integers_beyond_f64_precision_stay_exact() {
+        let v = parse("9007199254740993").unwrap(); // 2^53 + 1
+        assert_eq!(v, Json::Int(9007199254740993));
+        assert_eq!(parse("18446744073709551615").unwrap(), Json::Int(u64::MAX as i128));
+    }
+
+    #[test]
+    fn structures_parse() {
+        let v = parse(r#"{"a": [1, {"b": null}], "c": ""}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Json::Str(String::new())));
+        let a = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(a[0], Json::Int(1));
+        assert_eq!(a[1].get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn escapes_decode() {
+        let v = parse(r#""a\n\t\"\\\/A😀""#).unwrap();
+        assert_eq!(v, Json::Str("a\n\t\"\\/A\u{1F600}".to_string()));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        match parse("[1, oops]").unwrap_err() {
+            JsonError::Parse { offset, .. } => assert_eq!(offset, 4),
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_number_edge_cases() {
+        assert!(parse("1.").is_err());
+        assert!(parse(".5").is_err());
+        assert!(parse("1e").is_err());
+        assert!(parse("--1").is_err());
+        assert!(parse("1e999").is_err(), "overflow to infinity must fail");
+    }
+}

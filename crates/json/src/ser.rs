@@ -1,0 +1,160 @@
+//! Deterministic JSON serialization.
+//!
+//! Numbers use Rust's shortest round-trip `Display` formatting; objects
+//! render in insertion order. Together these make serialization a pure
+//! function of the value — the property the workspace's determinism tests
+//! assert on.
+
+use crate::value::{Json, JsonError};
+use std::fmt::Write as _;
+
+impl Json {
+    /// Renders the value to a string, compact (`pretty = false`) or
+    /// two-space-indented.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError::NonFiniteNumber`] if any [`Json::Float`] is
+    /// NaN or infinite.
+    pub fn render(&self, pretty: bool) -> Result<String, JsonError> {
+        let mut out = String::new();
+        write_value(&mut out, self, pretty, 0)?;
+        Ok(out)
+    }
+}
+
+fn write_value(out: &mut String, v: &Json, pretty: bool, indent: usize) -> Result<(), JsonError> {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Json::Float(f) => {
+            if !f.is_finite() {
+                return Err(JsonError::NonFiniteNumber);
+            }
+            // Rust's Display for f64 is the shortest string that parses
+            // back to the same bit pattern; it never prints `inf`/`NaN`
+            // here because of the guard above.
+            let _ = write!(out, "{f}");
+        }
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    newline_indent(out, indent + 1);
+                }
+                write_value(out, item, pretty, indent + 1)?;
+            }
+            if pretty {
+                newline_indent(out, indent);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (key, value)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    newline_indent(out, indent + 1);
+                }
+                write_string(out, key);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, value, pretty, indent + 1)?;
+            }
+            if pretty {
+                newline_indent(out, indent);
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Json::Obj(vec![
+            ("a".to_string(), Json::Arr(vec![Json::Int(1), Json::Float(2.5)])),
+            ("b".to_string(), Json::Str("x\"y".to_string())),
+        ]);
+        assert_eq!(v.render(false).unwrap(), r#"{"a":[1,2.5],"b":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Json::Obj(vec![("a".to_string(), Json::Arr(vec![Json::Int(1)]))]);
+        assert_eq!(v.render(true).unwrap(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        let v = Json::Str("\u{1}\u{1f}".to_string());
+        assert_eq!(v.render(false).unwrap(), "\"\\u0001\\u001f\"");
+    }
+
+    #[test]
+    fn non_finite_floats_error() {
+        assert_eq!(
+            Json::Arr(vec![Json::Float(f64::NAN)]).render(false),
+            Err(JsonError::NonFiniteNumber)
+        );
+    }
+
+    #[test]
+    fn negative_zero_round_trips() {
+        let s = Json::Float(-0.0).render(false).unwrap();
+        assert_eq!(s, "-0");
+        let back = crate::parse(&s).unwrap();
+        assert_eq!(back.as_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+    }
+}

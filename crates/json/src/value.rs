@@ -1,0 +1,195 @@
+//! The [`Json`] value type and error enum.
+
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Objects are stored as an insertion-ordered `Vec` of key/value pairs, so
+/// serialization is deterministic: the same sequence of inserts always
+/// renders to the same bytes. Integer literals are kept exact in an
+/// `i128` (wide enough for every `u64` seed) instead of being folded into
+/// `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer literal (no decimal point or exponent).
+    Int(i128),
+    /// A floating-point number. Finite by construction when parsed;
+    /// serialization rejects non-finite values.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object; `None` for absent keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Int(i) => Some(i as f64),
+            Json::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact integer, if it is an integer literal.
+    pub fn as_int(&self) -> Option<i128> {
+        match *self {
+            Json::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) => "integer",
+            Json::Float(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// Errors from parsing, serialization, or typed conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonError {
+    /// The input text is not valid JSON.
+    Parse {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Serialization met a NaN or infinity, which JSON cannot represent.
+    NonFiniteNumber,
+    /// A typed conversion found the wrong JSON shape.
+    Mismatch {
+        /// What the conversion needed (e.g. `"integer"`).
+        expected: String,
+        /// What it found (e.g. `"string"`).
+        found: String,
+    },
+    /// A required object field was absent.
+    MissingField {
+        /// The field name.
+        name: String,
+    },
+    /// An enum tag string matched no known variant.
+    UnknownVariant {
+        /// The offending tag.
+        name: String,
+    },
+    /// A conversion error, wrapped with the field it occurred under.
+    InField {
+        /// The field name.
+        name: String,
+        /// The underlying error.
+        source: Box<JsonError>,
+    },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse { offset, message } => {
+                write!(f, "JSON parse error at byte {offset}: {message}")
+            }
+            JsonError::NonFiniteNumber => {
+                write!(f, "cannot serialize NaN or infinity as JSON")
+            }
+            JsonError::Mismatch { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            JsonError::MissingField { name } => write!(f, "missing field `{name}`"),
+            JsonError::UnknownVariant { name } => write!(f, "unknown variant `{name}`"),
+            JsonError::InField { name, source } => write!(f, "in field `{name}`: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JsonError::InField { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_finds_keys_in_order_independent_way() {
+        let v = Json::Obj(vec![
+            ("a".to_string(), Json::Int(1)),
+            ("b".to_string(), Json::Null),
+        ]);
+        assert_eq!(v.get("b"), Some(&Json::Null));
+        assert_eq!(v.get("c"), None);
+        assert_eq!(Json::Int(3).get("a"), None);
+    }
+
+    #[test]
+    fn accessors_reject_wrong_shapes() {
+        assert_eq!(Json::Str("x".to_string()).as_f64(), None);
+        assert_eq!(Json::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Json::Float(2.5).as_int(), None);
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn errors_display_context() {
+        let e = JsonError::InField {
+            name: "epochs".to_string(),
+            source: Box::new(JsonError::Mismatch {
+                expected: "integer".to_string(),
+                found: "string".to_string(),
+            }),
+        };
+        assert_eq!(e.to_string(), "in field `epochs`: expected integer, found string");
+    }
+}

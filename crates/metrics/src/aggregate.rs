@@ -4,10 +4,10 @@
 //! central tendency (Figure 3's caption); this module makes mean ± sample
 //! standard deviation the default shape of every reported number.
 
-use serde::{Deserialize, Serialize};
+use sb_json::json_struct;
 
 /// A mean with its sample standard deviation and sample count.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeanStd {
     /// Sample mean.
     pub mean: f64,
@@ -16,6 +16,8 @@ pub struct MeanStd {
     /// Number of samples aggregated.
     pub n: usize,
 }
+
+json_struct!(MeanStd { mean, std, n });
 
 impl MeanStd {
     /// Formats as `mean ± std` with the given precision.

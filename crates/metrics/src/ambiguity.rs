@@ -11,10 +11,10 @@
 //! This module reproduces those discrepancies mechanically.
 
 use crate::profile::ModelProfile;
-use serde::{Deserialize, Serialize};
+use sb_json::{json_enum, json_struct};
 
 /// The ways the literature reports model-size reduction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SizeConvention {
     /// `original / compressed` — the compression-literature definition
     /// the paper endorses (Section 6).
@@ -26,6 +26,12 @@ pub enum SizeConvention {
     /// (e.g. Suau et al. 2018).
     FractionRemaining,
 }
+
+json_enum!(SizeConvention {
+    RatioOriginalOverCompressed,
+    FractionRemoved,
+    FractionRemaining,
+});
 
 impl SizeConvention {
     /// Evaluates the convention on a profile.
@@ -48,7 +54,7 @@ impl SizeConvention {
 
 /// The ways the literature counts "FLOPs" (Section 5.2 found a factor of
 /// four between papers for the same architecture).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlopConvention {
     /// One multiply-add = one FLOP, convolutions and linear layers
     /// (this crate's primary definition).
@@ -63,6 +69,13 @@ pub enum FlopConvention {
     /// on FC-heavy models.
     ConvolutionsOnlyDoubled,
 }
+
+json_enum!(FlopConvention {
+    MultiplyAdds,
+    MultiplyAndAddSeparately,
+    ConvolutionsOnly,
+    ConvolutionsOnlyDoubled,
+});
 
 impl FlopConvention {
     /// Dense FLOPs of a profile under this convention.
@@ -119,7 +132,7 @@ fn is_conv(weight_name: &str) -> bool {
 
 /// The same model reported under every convention — one row per
 /// convention pair, demonstrating how incomparable the raw numbers are.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AmbiguityReport {
     /// (convention name, reported "compression" value).
     pub size_rows: Vec<(String, f64)>,
@@ -128,6 +141,8 @@ pub struct AmbiguityReport {
     /// Largest dense-FLOP count divided by smallest across conventions.
     pub flop_spread: f64,
 }
+
+json_struct!(AmbiguityReport { size_rows, flop_rows, flop_spread });
 
 /// Builds the ambiguity report for a (typically pruned) model profile.
 pub fn ambiguity_report(profile: &ModelProfile) -> AmbiguityReport {

@@ -1,12 +1,12 @@
 //! Structural profiling of a network: parameter counts and MAC counts,
 //! sparsity-aware.
 
+use sb_json::json_struct;
 use sb_nn::{Network, ParamKind};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Per-parameter size accounting.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParamProfile {
     /// Parameter name.
     pub name: String,
@@ -20,8 +20,10 @@ pub struct ParamProfile {
     pub prunable: bool,
 }
 
+json_struct!(ParamProfile { name, kind, numel, effective, prunable });
+
 /// Per-operation compute accounting.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OpProfile {
     /// Name of the weight tensor driving this op.
     pub weight_name: String,
@@ -31,6 +33,8 @@ pub struct OpProfile {
     /// fraction.
     pub effective_macs: f64,
 }
+
+json_struct!(OpProfile { weight_name, dense_macs, effective_macs });
 
 /// A sparsity-aware structural snapshot of a network.
 ///
@@ -47,13 +51,15 @@ pub struct OpProfile {
 /// assert_eq!(profile.compression_ratio(), 1.0); // dense model
 /// assert_eq!(profile.theoretical_speedup(), 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelProfile {
     /// One entry per parameter tensor, in visitation order.
     pub params: Vec<ParamProfile>,
     /// One entry per conv/linear op, in execution order.
     pub ops: Vec<OpProfile>,
 }
+
+json_struct!(ModelProfile { params, ops });
 
 impl ModelProfile {
     /// Profiles `network` as it currently stands (masks included).
@@ -265,8 +271,8 @@ mod tests {
     fn profile_is_serializable() {
         let net = masked_lenet(4);
         let p = ModelProfile::measure(&net);
-        let json = serde_json::to_string(&p).unwrap();
-        let back: ModelProfile = serde_json::from_str(&json).unwrap();
+        let json = sb_json::to_string(&p).unwrap();
+        let back: ModelProfile = sb_json::from_str(&json).unwrap();
         assert_eq!(back, p);
     }
 

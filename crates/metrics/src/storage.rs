@@ -8,10 +8,10 @@
 //! the corpus' most-compared-to papers). This module quantifies the gap.
 
 use crate::profile::ModelProfile;
-use serde::{Deserialize, Serialize};
+use sb_json::{json_enum, json_struct};
 
 /// How a (possibly sparse) weight tensor is encoded on disk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StorageFormat {
     /// Dense `f32` array: zeros are stored explicitly.
     DenseF32,
@@ -22,6 +22,8 @@ pub enum StorageFormat {
     /// plus `f32` values.
     SparseDelta4,
 }
+
+json_enum!(StorageFormat { DenseF32, SparseCoo32, SparseDelta4 });
 
 impl StorageFormat {
     /// Bytes to store a tensor with `numel` slots of which `nnz` are
@@ -74,13 +76,15 @@ pub fn model_bytes(profile: &ModelProfile, format: StorageFormat) -> f64 {
 
 /// The storage story of one pruned model: parameter compression vs byte
 /// compression under each encoding.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StorageReport {
     /// Parameter-count compression (the paper's headline metric).
     pub parameter_compression: f64,
     /// `(format, bytes, byte-compression vs dense f32)` rows.
     pub rows: Vec<(String, f64, f64)>,
 }
+
+json_struct!(StorageReport { parameter_compression, rows });
 
 /// Builds the storage report for a profile.
 pub fn storage_report(profile: &ModelProfile) -> StorageReport {
@@ -107,7 +111,7 @@ pub fn storage_report(profile: &ModelProfile) -> StorageReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sb_nn::{models, Network, NetworkExt};
+    use sb_nn::{models, Network};
     use sb_tensor::{Rng, Tensor};
 
     fn pruned_lenet(keep_every: usize) -> ModelProfile {

@@ -1,0 +1,288 @@
+//! Property-based tests for metric invariants: aggregation, the paper's
+//! Section 5 convention ambiguities, and storage accounting. Runs on the
+//! in-repo `sb-check` harness with a pinned, replayable suite seed.
+
+use sb_check::{check, prop_assert, prop_assert_eq, Config, Rng};
+use sb_metrics::{
+    mean_std, model_bytes, storage_report, FlopConvention, MeanStd, ModelProfile, OpProfile,
+    ParamProfile, SizeConvention, StorageFormat,
+};
+use sb_nn::ParamKind;
+
+/// Pinned suite seed for replayable failures.
+const SUITE: u64 = 0x7E45_0005;
+
+fn cfg() -> Config {
+    Config::new(SUITE)
+}
+
+/// A random pruned-model profile: a few conv/linear weight tensors (with
+/// `effective ≤ numel`) plus matching ops whose effective MACs scale with
+/// the weight's surviving fraction. Built from a seed inside each
+/// property so the generated value stays `Shrink`-able (`u64`).
+fn profile_from(seed: u64) -> ModelProfile {
+    let mut rng = Rng::seed_from(seed);
+    let rng = &mut rng;
+    let layers = rng.below(4) + 1;
+    let mut params = Vec::new();
+    let mut ops = Vec::new();
+    for i in 0..layers {
+        let is_conv = rng.coin(0.5);
+        let name = if is_conv {
+            format!("conv{i}.weight")
+        } else {
+            format!("fc{i}.weight")
+        };
+        let numel = rng.below(4000) + 16;
+        let effective = rng.below(numel + 1);
+        params.push(ParamProfile {
+            name: name.clone(),
+            kind: if is_conv {
+                ParamKind::ConvWeight
+            } else {
+                ParamKind::LinearWeight
+            },
+            numel,
+            effective,
+            prunable: true,
+        });
+        // Biases are never pruned; they keep totals honest.
+        params.push(ParamProfile {
+            name: format!("{}.bias", &name[..name.len() - 7]),
+            kind: ParamKind::Bias,
+            numel: rng.below(64) + 1,
+            effective: 0,
+            prunable: false,
+        });
+        let dense_macs = (rng.below(100_000) + 100) as u64;
+        let q = effective as f64 / numel as f64;
+        ops.push(OpProfile {
+            weight_name: name,
+            dense_macs,
+            effective_macs: dense_macs as f64 * q,
+        });
+    }
+    // Unprunable params report effective == numel in real profiles.
+    for p in &mut params {
+        if !p.prunable {
+            p.effective = p.numel;
+        }
+    }
+    ModelProfile { params, ops }
+}
+
+fn gen_samples(rng: &mut Rng) -> Vec<f64> {
+    let n = rng.below(12) + 1;
+    (0..n).map(|_| rng.uniform(-50.0, 50.0) as f64).collect()
+}
+
+#[test]
+fn mean_lies_between_min_and_max() {
+    check(
+        "metrics::mean_lies_between_min_and_max",
+        cfg(),
+        gen_samples,
+        |xs| {
+            let m = mean_std(xs);
+            let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m.mean >= lo - 1e-9 && m.mean <= hi + 1e-9);
+            prop_assert!(m.std >= 0.0);
+            prop_assert_eq!(m.n, xs.len());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn mean_std_is_shift_invariant_in_std() {
+    check(
+        "metrics::mean_std_is_shift_invariant_in_std",
+        cfg(),
+        |rng| (gen_samples(rng), rng.uniform(-100.0, 100.0) as f64),
+        |(xs, c)| {
+            let base = mean_std(xs);
+            let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+            let m = mean_std(&shifted);
+            prop_assert!((m.mean - (base.mean + c)).abs() <= 1e-6 * (1.0 + base.mean.abs()));
+            prop_assert!((m.std - base.std).abs() <= 1e-6 * (1.0 + base.std));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn mean_std_scales_covariantly() {
+    check(
+        "metrics::mean_std_scales_covariantly",
+        cfg(),
+        |rng| (gen_samples(rng), rng.uniform(-4.0, 4.0) as f64),
+        |(xs, k)| {
+            let base = mean_std(xs);
+            let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+            let m = mean_std(&scaled);
+            prop_assert!((m.mean - base.mean * k).abs() <= 1e-6 * (1.0 + (base.mean * k).abs()));
+            prop_assert!((m.std - base.std * k.abs()).abs() <= 1e-6 * (1.0 + base.std * k.abs()));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn mean_std_round_trips_through_json() {
+    check(
+        "metrics::mean_std_round_trips_through_json",
+        cfg(),
+        gen_samples,
+        |xs| {
+            let m = mean_std(xs);
+            let s = sb_json::to_string(&m).unwrap();
+            let back: MeanStd = sb_json::from_str(&s).unwrap();
+            prop_assert_eq!(back, m);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn size_conventions_are_mutually_consistent() {
+    check(
+        "metrics::size_conventions_are_mutually_consistent",
+        cfg(),
+        |rng| rng.next_u64(),
+        |&seed| {
+            let profile = &profile_from(seed);
+            let ratio = SizeConvention::RatioOriginalOverCompressed.evaluate(profile);
+            let removed = SizeConvention::FractionRemoved.evaluate(profile);
+            let remaining = SizeConvention::FractionRemaining.evaluate(profile);
+            prop_assert!((removed + remaining - 1.0).abs() < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&remaining));
+            if remaining > 0.0 {
+                prop_assert!(
+                    (ratio * remaining - 1.0).abs() < 1e-9,
+                    "ratio {} × remaining {} ≠ 1",
+                    ratio,
+                    remaining
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn flop_conventions_double_and_subset_as_documented() {
+    check(
+        "metrics::flop_conventions_double_and_subset_as_documented",
+        cfg(),
+        |rng| rng.next_u64(),
+        |&seed| {
+            let profile = &profile_from(seed);
+            let all = FlopConvention::MultiplyAdds.dense_flops(profile);
+            let doubled = FlopConvention::MultiplyAndAddSeparately.dense_flops(profile);
+            let conv = FlopConvention::ConvolutionsOnly.dense_flops(profile);
+            let conv2 = FlopConvention::ConvolutionsOnlyDoubled.dense_flops(profile);
+            prop_assert!((doubled - 2.0 * all).abs() < 1e-6);
+            prop_assert!((conv2 - 2.0 * conv).abs() < 1e-6);
+            // Convolution subsets can never exceed the whole.
+            prop_assert!(conv <= all + 1e-9);
+            // Effective ≤ dense for every convention (pruning only
+            // removes work), so speedups are ≥ 1 once above the 1-FLOP
+            // floor.
+            for convention in FlopConvention::ALL {
+                prop_assert!(
+                    convention.effective_flops(profile) <= convention.dense_flops(profile) + 1e-9
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn storage_bytes_are_monotone_in_nnz() {
+    check(
+        "metrics::storage_bytes_are_monotone_in_nnz",
+        cfg(),
+        |rng| {
+            let numel = rng.below(10_000) + 16;
+            let a = rng.below(numel + 1);
+            let b = rng.below(numel + 1);
+            (numel, a.min(b), a.max(b))
+        },
+        |&(numel, lo, hi)| {
+            for format in StorageFormat::ALL {
+                let b_lo = format.bytes(numel, lo);
+                let b_hi = format.bytes(numel, hi);
+                prop_assert!(b_lo >= 0.0 && b_hi >= 0.0);
+                prop_assert!(
+                    b_lo <= b_hi + 1e-9,
+                    "{:?}: bytes({}, {}) = {} > bytes({}, {}) = {}",
+                    format,
+                    numel,
+                    lo,
+                    b_lo,
+                    numel,
+                    hi,
+                    b_hi
+                );
+            }
+            // Dense cost never depends on sparsity.
+            prop_assert_eq!(
+                StorageFormat::DenseF32.bytes(numel, lo),
+                StorageFormat::DenseF32.bytes(numel, hi)
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn storage_report_rows_are_self_consistent() {
+    check(
+        "metrics::storage_report_rows_are_self_consistent",
+        cfg(),
+        |rng| rng.next_u64(),
+        |&seed| {
+            let profile = &profile_from(seed);
+            let report = storage_report(profile);
+            prop_assert_eq!(report.rows.len(), StorageFormat::ALL.len());
+            let dense_unpruned: f64 =
+                profile.params.iter().map(|p| 4.0 * p.numel as f64).sum();
+            for (name, bytes, compression) in &report.rows {
+                prop_assert!(!name.is_empty());
+                prop_assert!(*bytes >= 0.0);
+                let expected = dense_unpruned / bytes.max(1.0);
+                prop_assert!(
+                    (compression - expected).abs() <= 1e-9 * (1.0 + expected),
+                    "{}: {} vs {}",
+                    name,
+                    compression,
+                    expected
+                );
+            }
+            // The report's dense row equals model_bytes under DenseF32.
+            let dense_row = &report.rows[0];
+            prop_assert!(
+                (dense_row.1 - model_bytes(profile, StorageFormat::DenseF32)).abs() < 1e-9
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn profile_round_trips_through_json() {
+    check(
+        "metrics::profile_round_trips_through_json",
+        cfg(),
+        |rng| rng.next_u64(),
+        |&seed| {
+            let profile = &profile_from(seed);
+            let s = sb_json::to_string(profile).unwrap();
+            let back: ModelProfile = sb_json::from_str(&s).unwrap();
+            prop_assert_eq!(&back, profile);
+            Ok(())
+        },
+    );
+}

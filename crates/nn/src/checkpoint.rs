@@ -7,19 +7,21 @@
 
 use crate::network::{Network, NetworkExt};
 use crate::param::ParamSnapshot;
-use serde::{Deserialize, Serialize};
+use sb_json::json_struct;
 use std::error::Error;
 use std::fmt;
 use std::path::Path;
 
 /// On-disk checkpoint: a format version, an architecture fingerprint, and
 /// the parameter snapshots.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Checkpoint {
     version: u32,
     fingerprint: Vec<(String, Vec<usize>)>,
     params: Vec<ParamSnapshot>,
 }
+
+json_struct!(Checkpoint { version, fingerprint, params });
 
 /// Errors from checkpoint I/O.
 #[derive(Debug)]
@@ -27,7 +29,7 @@ pub enum CheckpointError {
     /// Filesystem failure.
     Io(std::io::Error),
     /// The file is not a valid checkpoint.
-    Parse(serde_json::Error),
+    Parse(sb_json::JsonError),
     /// The checkpoint belongs to a different architecture.
     FingerprintMismatch {
         /// First differing parameter (name or shape), for diagnostics.
@@ -133,7 +135,7 @@ impl Checkpoint {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let json = serde_json::to_vec(self).map_err(CheckpointError::Parse)?;
+        let json = sb_json::to_vec(self).map_err(CheckpointError::Parse)?;
         std::fs::write(path, json)?;
         Ok(())
     }
@@ -145,7 +147,7 @@ impl Checkpoint {
     /// Returns I/O or parse errors.
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
         let bytes = std::fs::read(path)?;
-        serde_json::from_slice(&bytes).map_err(CheckpointError::Parse)
+        sb_json::from_slice(&bytes).map_err(CheckpointError::Parse)
     }
 }
 

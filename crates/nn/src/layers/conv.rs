@@ -160,7 +160,8 @@ mod tests {
             kernel_h: k,
             kernel_w: k,
             stride: s,
-            padding: p,
+            padding_h: p,
+            padding_w: p,
         }
     }
 

@@ -44,7 +44,8 @@ impl ResidualBlock {
             kernel_h: 3,
             kernel_w: 3,
             stride,
-            padding: 1,
+            padding_h: 1,
+            padding_w: 1,
         };
         let out_side = g1.out_h();
         let g2 = Conv2dGeometry {
@@ -54,7 +55,8 @@ impl ResidualBlock {
             kernel_h: 3,
             kernel_w: 3,
             stride: 1,
-            padding: 1,
+            padding_h: 1,
+            padding_w: 1,
         };
         let needs_projection = stride != 1 || in_channels != out_channels;
         let projection = needs_projection.then(|| {
@@ -65,7 +67,8 @@ impl ResidualBlock {
                 kernel_h: 1,
                 kernel_w: 1,
                 stride,
-                padding: 0,
+                padding_h: 0,
+                padding_w: 0,
             };
             (
                 Conv2d::new(&format!("{name}.shortcut.conv"), out_channels, gp, rng),

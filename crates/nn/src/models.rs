@@ -85,7 +85,8 @@ fn conv_geom(c: usize, side: usize, k: usize, stride: usize, pad: usize) -> Conv
         kernel_h: k,
         kernel_w: k,
         stride,
-        padding: pad,
+        padding_h: pad,
+        padding_w: pad,
     }
 }
 

@@ -1,8 +1,8 @@
 //! The [`Network`] abstraction: a trainable model with named parameters.
 
 use crate::param::{Param, ParamSnapshot};
+use sb_json::{FromJson, Json, JsonError, ToJson};
 use sb_tensor::{Conv2dGeometry, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// Forward-pass mode. Affects batch normalization (batch statistics vs
 /// running statistics) and any other train-only behaviour.
@@ -22,7 +22,7 @@ pub enum Mode {
 /// types carry essentially all multiply-adds in the studied architectures.
 /// (Section 5.2 of the paper documents that FLOP formulas vary up to 4×
 /// between papers; ours is stated precisely in `sb-metrics`.)
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum OpInfo {
     /// A 2-D convolution.
     Conv2d {
@@ -42,6 +42,60 @@ pub enum OpInfo {
         /// Output feature count.
         out_features: usize,
     },
+}
+
+impl ToJson for OpInfo {
+    fn to_json(&self) -> Json {
+        match self {
+            OpInfo::Conv2d {
+                weight_name,
+                out_channels,
+                geom,
+            } => Json::Obj(vec![(
+                "Conv2d".to_string(),
+                Json::Obj(vec![
+                    ("weight_name".to_string(), weight_name.to_json()),
+                    ("out_channels".to_string(), out_channels.to_json()),
+                    ("geom".to_string(), geom.to_json()),
+                ]),
+            )]),
+            OpInfo::Linear {
+                weight_name,
+                in_features,
+                out_features,
+            } => Json::Obj(vec![(
+                "Linear".to_string(),
+                Json::Obj(vec![
+                    ("weight_name".to_string(), weight_name.to_json()),
+                    ("in_features".to_string(), in_features.to_json()),
+                    ("out_features".to_string(), out_features.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for OpInfo {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(body) = v.get("Conv2d") {
+            return Ok(OpInfo::Conv2d {
+                weight_name: sb_json::field(body, "weight_name")?,
+                out_channels: sb_json::field(body, "out_channels")?,
+                geom: sb_json::field(body, "geom")?,
+            });
+        }
+        if let Some(body) = v.get("Linear") {
+            return Ok(OpInfo::Linear {
+                weight_name: sb_json::field(body, "weight_name")?,
+                in_features: sb_json::field(body, "in_features")?,
+                out_features: sb_json::field(body, "out_features")?,
+            });
+        }
+        Err(JsonError::Mismatch {
+            expected: "OpInfo variant (Conv2d or Linear)".to_string(),
+            found: v.type_name().to_string(),
+        })
+    }
 }
 
 impl OpInfo {
@@ -171,7 +225,8 @@ mod tests {
                 kernel_h: 3,
                 kernel_w: 3,
                 stride: 1,
-                padding: 1,
+                padding_h: 1,
+                padding_w: 1,
             },
         };
         // patch = 27, pixels = 64, out channels = 8 → 27·8·64

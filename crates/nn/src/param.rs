@@ -1,13 +1,13 @@
 //! Named, maskable trainable parameters.
 
+use sb_json::{json_enum, json_struct};
 use sb_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// The role a parameter plays in its layer; determines default
 /// prunability (only convolution and linear *weights* are pruned, matching
 /// the paper's experimental setup, which leaves biases and batch-norm
 /// parameters dense).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ParamKind {
     /// Convolution kernel weight `[C_out, C_in, KH, KW]`.
     ConvWeight,
@@ -25,6 +25,15 @@ pub enum ParamKind {
     /// parameter by the size metrics.
     BnRunningStat,
 }
+
+json_enum!(ParamKind {
+    ConvWeight,
+    LinearWeight,
+    Bias,
+    BnScale,
+    BnShift,
+    BnRunningStat,
+});
 
 impl ParamKind {
     /// Whether parameters of this kind are pruning candidates by default.
@@ -202,7 +211,7 @@ impl Param {
 /// A serializable capture of one parameter's value and mask, used for
 /// checkpointing pretrained weights ("Weights A" / "Weights B" in the
 /// paper's Figure 8 experiment) and for rewinding.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParamSnapshot {
     /// Parameter name the snapshot belongs to.
     pub name: String,
@@ -211,6 +220,8 @@ pub struct ParamSnapshot {
     /// Saved mask (if the parameter was pruned).
     pub mask: Option<Tensor>,
 }
+
+json_struct!(ParamSnapshot { name, value, mask });
 
 #[cfg(test)]
 mod tests {

@@ -1,6 +1,6 @@
 //! Learning-rate schedules.
 
-use serde::{Deserialize, Serialize};
+use sb_json::{FromJson, Json, JsonError, ToJson};
 
 /// A learning-rate schedule mapping epoch index to a multiplier of the
 /// base learning rate.
@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// The paper's reported experiments use a *fixed* schedule for fine-tuning
 /// (Appendix C.2); the other variants cover the pretraining runs and the
 /// scheduling axis of Section 2.3.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[derive(Default)]
 pub enum LrSchedule {
     /// Constant learning rate.
@@ -26,6 +26,55 @@ pub enum LrSchedule {
         /// Horizon over which to anneal.
         total_epochs: usize,
     },
+}
+
+impl ToJson for LrSchedule {
+    fn to_json(&self) -> Json {
+        // Externally tagged, mirroring the serde convention the on-disk
+        // caches used before the hermetic migration.
+        match *self {
+            LrSchedule::Fixed => Json::Str("Fixed".to_string()),
+            LrSchedule::StepDecay { every, gamma } => Json::Obj(vec![(
+                "StepDecay".to_string(),
+                Json::Obj(vec![
+                    ("every".to_string(), every.to_json()),
+                    ("gamma".to_string(), gamma.to_json()),
+                ]),
+            )]),
+            LrSchedule::Cosine { total_epochs } => Json::Obj(vec![(
+                "Cosine".to_string(),
+                Json::Obj(vec![("total_epochs".to_string(), total_epochs.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for LrSchedule {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(tag) = v.as_str() {
+            return match tag {
+                "Fixed" => Ok(LrSchedule::Fixed),
+                other => Err(JsonError::UnknownVariant {
+                    name: other.to_string(),
+                }),
+            };
+        }
+        if let Some(body) = v.get("StepDecay") {
+            return Ok(LrSchedule::StepDecay {
+                every: sb_json::field(body, "every")?,
+                gamma: sb_json::field(body, "gamma")?,
+            });
+        }
+        if let Some(body) = v.get("Cosine") {
+            return Ok(LrSchedule::Cosine {
+                total_epochs: sb_json::field(body, "total_epochs")?,
+            });
+        }
+        Err(JsonError::Mismatch {
+            expected: "LrSchedule variant".to_string(),
+            found: v.type_name().to_string(),
+        })
+    }
 }
 
 impl LrSchedule {

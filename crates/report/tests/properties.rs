@@ -1,0 +1,214 @@
+//! Property-based tests for the report formats: markdown/CSV tables and
+//! ASCII charts, on the in-repo `sb-check` harness.
+
+use sb_check::{check, prop_assert, prop_assert_eq, Config, Rng};
+use sb_report::{AsciiChart, ChartSeries, Table};
+
+/// Pinned suite seed for replayable failures.
+const SUITE: u64 = 0x7E45_0006;
+
+fn cfg() -> Config {
+    Config::new(SUITE)
+}
+
+/// A random cell, occasionally containing the characters CSV must quote.
+fn gen_cell(rng: &mut Rng) -> String {
+    let len = rng.below(8);
+    let mut s = String::new();
+    for _ in 0..len {
+        let c = match rng.below(10) {
+            0 => ',',
+            1 => '"',
+            2 => ' ',
+            k => (b'a' + (k as u8 - 3)) as char,
+        };
+        s.push(c);
+    }
+    s
+}
+
+/// Column count, then rows of cells (all rows the same width, as the
+/// experiment harness always produces).
+fn gen_table_data(rng: &mut Rng) -> (Vec<String>, Vec<Vec<String>>) {
+    let cols = rng.below(4) + 1;
+    let headers = (0..cols).map(|c| format!("col{c}")).collect();
+    let rows = (0..rng.below(6))
+        .map(|_| (0..cols).map(|_| gen_cell(rng)).collect())
+        .collect();
+    (headers, rows)
+}
+
+fn build(headers: &[String], rows: &[Vec<String>]) -> Table {
+    let mut t = Table::new(headers.to_vec());
+    for r in rows {
+        t.row(r.clone());
+    }
+    t
+}
+
+fn gen_points(rng: &mut Rng) -> Vec<(f64, f64)> {
+    (0..rng.below(12))
+        .map(|_| {
+            (
+                rng.uniform(0.1, 1000.0) as f64,
+                rng.uniform(-100.0, 100.0) as f64,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn csv_has_one_line_per_row_plus_header() {
+    check(
+        "report::csv_has_one_line_per_row_plus_header",
+        cfg(),
+        gen_table_data,
+        |(headers, rows)| {
+            let t = build(headers, rows);
+            prop_assert_eq!(t.len(), rows.len());
+            prop_assert_eq!(t.is_empty(), rows.is_empty());
+            let csv = t.to_csv();
+            // Quoted cells embed no raw newlines here, so lines == rows+1.
+            prop_assert_eq!(csv.lines().count(), rows.len() + 1);
+            prop_assert!(csv.ends_with('\n'));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn csv_quotes_exactly_the_cells_that_need_it() {
+    check(
+        "report::csv_quotes_exactly_the_cells_that_need_it",
+        cfg(),
+        gen_table_data,
+        |(headers, rows)| {
+            let t = build(headers, rows);
+            let csv = t.to_csv();
+            for (line, row) in csv.lines().skip(1).zip(rows) {
+                for cell in row {
+                    if cell.contains(',') || cell.contains('"') {
+                        let quoted = format!("\"{}\"", cell.replace('"', "\"\""));
+                        prop_assert!(
+                            line.contains(&quoted),
+                            "line {:?} missing quoted form of {:?}",
+                            line,
+                            cell
+                        );
+                    } else {
+                        prop_assert!(line.contains(cell.as_str()));
+                    }
+                }
+                // Unquoted commas delimit fields; a well-formed line has
+                // at least cols-1 commas.
+                prop_assert!(line.matches(',').count() >= headers.len() - 1);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn markdown_rows_align_and_contain_every_cell() {
+    check(
+        "report::markdown_rows_align_and_contain_every_cell",
+        cfg(),
+        gen_table_data,
+        |(headers, rows)| {
+            let t = build(headers, rows);
+            let md = t.to_markdown();
+            let lines: Vec<&str> = md.lines().collect();
+            // header + separator + one line per row
+            prop_assert_eq!(lines.len(), rows.len() + 2);
+            // Column-aligned: every line is the same width and is piped.
+            let width = lines[0].len();
+            for line in &lines {
+                prop_assert_eq!(line.len(), width);
+                prop_assert!(line.starts_with('|') && line.ends_with('|'));
+            }
+            prop_assert!(lines[1].chars().all(|c| c == '|' || c == '-'));
+            for (line, row) in lines.iter().skip(2).zip(rows) {
+                for cell in row {
+                    prop_assert!(line.contains(cell.as_str()));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn chart_renders_any_finite_points_without_panic() {
+    check(
+        "report::chart_renders_any_finite_points_without_panic",
+        cfg(),
+        |rng| (gen_points(rng), gen_points(rng), rng.coin(0.5)),
+        |(a, b, log_x)| {
+            let chart = AsciiChart::new("tradeoff", 40, 10)
+                .log_x(*log_x)
+                .axis_labels("compression", "Δ top-1")
+                .series(ChartSeries::new("magnitude", a.clone()))
+                .series(ChartSeries::new("random", b.clone()));
+            let out = chart.render();
+            prop_assert!(out.starts_with("== tradeoff ==\n"));
+            if a.is_empty() && b.is_empty() {
+                prop_assert!(out.contains("(no data)"));
+            } else {
+                // Legend and axes appear whenever there is data.
+                prop_assert!(out.contains("magnitude") || out.contains("random"));
+                prop_assert!(out.contains("compression"));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn chart_drops_non_finite_points_instead_of_failing() {
+    check(
+        "report::chart_drops_non_finite_points_instead_of_failing",
+        cfg(),
+        gen_points,
+        |pts| {
+            // Splice non-finite values into a copy; render must behave as
+            // if they were absent.
+            let mut dirty = pts.clone();
+            dirty.push((f64::NAN, 1.0));
+            dirty.push((2.0, f64::INFINITY));
+            dirty.push((f64::NEG_INFINITY, f64::NAN));
+            let clean_out = AsciiChart::new("t", 30, 8)
+                .series(ChartSeries::new("s", pts.clone()))
+                .render();
+            let dirty_out = AsciiChart::new("t", 30, 8)
+                .series(ChartSeries::new("s", dirty))
+                .render();
+            prop_assert_eq!(dirty_out, clean_out);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn single_point_charts_render_with_padded_ranges() {
+    check(
+        "report::single_point_charts_render_with_padded_ranges",
+        cfg(),
+        |rng| {
+            (
+                rng.uniform(0.5, 100.0) as f64,
+                rng.uniform(-50.0, 50.0) as f64,
+            )
+        },
+        |&(x, y)| {
+            // Degenerate x/y ranges are padded rather than dividing by
+            // zero.
+            let out = AsciiChart::new("point", 20, 6)
+                .series(ChartSeries::new("s", vec![(x, y)]))
+                .render();
+            prop_assert!(out.starts_with("== point ==\n"));
+            prop_assert!(!out.contains("(no data)"));
+            prop_assert!(out.lines().count() > 3);
+            Ok(())
+        },
+    );
+}

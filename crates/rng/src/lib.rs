@@ -1,0 +1,318 @@
+//! Zero-dependency deterministic random number generation.
+//!
+//! All stochastic behaviour in `shrinkbench-rs` flows through [`Rng`]: a
+//! SplitMix64-seeded xoshiro256++ generator with the sampling helpers the
+//! workspace needs (uniform, Box–Muller normal, Bernoulli, Fisher–Yates).
+//! The paper this repo reproduces (Blalock et al., MLSys 2020) argues that
+//! pruning experiments fail to replicate because their randomness is
+//! unpinned; here the algorithm lives in-repo, so a seed written in a
+//! results file today reproduces the same stream on any future toolchain —
+//! there is no external `rand` crate whose stream definition can drift
+//! between versions.
+//!
+//! # Example
+//!
+//! ```
+//! use sb_rng::Rng;
+//!
+//! let mut a = Rng::seed_from(42);
+//! let mut b = Rng::seed_from(42);
+//! assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+//! ```
+
+/// Advances a SplitMix64 state and returns the next output.
+///
+/// This is the standard seed-expansion generator (Steele, Lea & Flood
+/// 2014). It is also a good 64-bit mixing function, which is how
+/// `sb-check` derives independent per-case seeds from a suite seed.
+pub fn split_mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes a seed and a salt into a decorrelated 64-bit value.
+///
+/// Used to derive per-case or per-stream seeds: nearby `(seed, salt)`
+/// pairs (e.g. consecutive case indices) map to unrelated outputs.
+pub fn mix(seed: u64, salt: u64) -> u64 {
+    let mut state = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    split_mix64(&mut state)
+}
+
+/// A deterministic random source for initialization and sampling.
+///
+/// The core generator is xoshiro256++ (Blackman & Vigna 2019): 256 bits of
+/// state, period 2^256 − 1, and fast enough that sampling never shows up
+/// in profiles. Every call site takes `&mut Rng` explicitly — there is no
+/// thread-local hidden state.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The 256-bit state is filled from four SplitMix64 outputs, the
+    /// seeding procedure the xoshiro authors recommend; it guarantees a
+    /// nonzero state for every seed.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng {
+            state: [
+                split_mix64(&mut sm),
+                split_mix64(&mut sm),
+                split_mix64(&mut sm),
+                split_mix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++ scrambler).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// Derives an independent child generator; used to give each
+    /// layer/sample its own stream so adding layers does not perturb
+    /// unrelated draws.
+    pub fn fork(&mut self, salt: u64) -> Rng {
+        let base = self.next_u64();
+        Rng::seed_from(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// A uniform `f64` in `[0, 1)` built from the top 53 bits.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "uniform requires lo < hi, got [{lo}, {hi})");
+        let r = self.unit_f64();
+        let v = (f64::from(lo) + r * (f64::from(hi) - f64::from(lo))) as f32;
+        // f64 -> f32 rounding can land exactly on `hi`; keep the interval
+        // half-open by folding that (probability ~2^-53) case back to `lo`.
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f32 {
+        let u1: f32 = self.uniform(f32::EPSILON, 1.0);
+        let u2: f32 = self.uniform(0.0, 1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Normal sample with given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// Uses rejection from the largest multiple of `n` below 2^64, so the
+    /// distribution is exactly uniform (no modulo bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        let n = n as u64;
+        let zone = u64::MAX - (u64::MAX % n) - 1;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return (v % n) as usize;
+            }
+        }
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    pub fn coin(&mut self, p: f64) -> bool {
+        self.unit_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_mix64_matches_reference_vector() {
+        // Published test vector for SplitMix64 with seed 0.
+        let mut state = 0u64;
+        assert_eq!(split_mix64(&mut state), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(split_mix64(&mut state), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(split_mix64(&mut state), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from(7);
+        let mut b = Rng::seed_from(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_later_use() {
+        let mut parent1 = Rng::seed_from(3);
+        let mut child1 = parent1.fork(1);
+        let mut parent2 = Rng::seed_from(3);
+        let mut child2 = parent2.fork(1);
+        let _ = parent2.uniform(0.0, 1.0);
+        assert_eq!(child1.uniform(0.0, 1.0), child2.uniform(0.0, 1.0));
+    }
+
+    #[test]
+    fn forks_with_different_salts_differ() {
+        let mut parent = Rng::seed_from(9);
+        let state = parent.clone();
+        let mut a = parent.fork(1);
+        let mut b = state.clone().fork(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_stays_in_half_open_interval() {
+        let mut rng = Rng::seed_from(5);
+        for _ in 0..10_000 {
+            let v = rng.uniform(-2.5, 3.5);
+            assert!((-2.5..3.5).contains(&v), "{v} out of range");
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_plausible() {
+        let mut rng = Rng::seed_from(23);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| f64::from(rng.uniform(0.0, 1.0))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = Rng::seed_from(11);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers_all_residues() {
+        let mut rng = Rng::seed_from(5);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.below(10);
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some residue never drawn");
+    }
+
+    #[test]
+    fn coin_frequency_tracks_p() {
+        let mut rng = Rng::seed_from(29);
+        let hits = (0..20_000).filter(|_| rng.coin(0.3)).count();
+        let freq = hits as f64 / 20_000.0;
+        assert!((freq - 0.3).abs() < 0.02, "freq {freq}");
+        assert!(!(0..100).any(|_| rng.coin(0.0)));
+        assert!((0..100).all(|_| rng.coin(1.0)));
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = Rng::seed_from(13);
+        let mut p = rng.permutation(50);
+        p.sort_unstable();
+        assert_eq!(p, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mix_decorrelates_consecutive_salts() {
+        let a = mix(42, 0);
+        let b = mix(42, 1);
+        assert_ne!(a, b);
+        // Streams seeded from mixed values should differ immediately.
+        assert_ne!(
+            Rng::seed_from(a).next_u64(),
+            Rng::seed_from(b).next_u64()
+        );
+    }
+
+    #[test]
+    fn stream_is_pinned_against_regressions() {
+        // Golden values for this exact generator (SplitMix64 seeding +
+        // xoshiro256++). If this test fails, the stream definition changed
+        // and every recorded experiment seed in the repo is invalidated —
+        // do not "fix" the expectations without understanding why.
+        let mut rng = Rng::seed_from(0);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let mut again = Rng::seed_from(0);
+        let same: Vec<u64> = (0..4).map(|_| again.next_u64()).collect();
+        assert_eq!(got, same);
+        // Golden prefix (filled in from the first vetted run):
+        assert_eq!(got, GOLDEN_SEED0);
+    }
+
+    const GOLDEN_SEED0: [u64; 4] = [
+        0x53175D61490B23DF,
+        0x61DA6F3DC380D507,
+        0x5C0FDF91EC9A7BFC,
+        0x02EEBF8C3BBE5E1A,
+    ];
+}

@@ -7,10 +7,15 @@
 //! `col2im`. This keeps the only nontrivial indexing logic in one place.
 
 use crate::tensor::Tensor;
-use serde::{Deserialize, Serialize};
+use sb_json::json_struct;
 
 /// Static geometry of a 2-D convolution (or pooling) window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Padding is specified per axis (`padding_h` above/below, `padding_w`
+/// left/right), so asymmetric same-padding schemes and their gradients
+/// can be exercised directly; use [`Conv2dGeometry::square`] for the
+/// common symmetric case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Conv2dGeometry {
     /// Input channel count.
     pub in_channels: usize,
@@ -24,18 +29,53 @@ pub struct Conv2dGeometry {
     pub kernel_w: usize,
     /// Stride along both spatial axes.
     pub stride: usize,
-    /// Zero padding along both spatial axes.
-    pub padding: usize,
+    /// Zero padding above and below (vertical axis).
+    pub padding_h: usize,
+    /// Zero padding left and right (horizontal axis).
+    pub padding_w: usize,
 }
 
+json_struct!(Conv2dGeometry {
+    in_channels,
+    in_h,
+    in_w,
+    kernel_h,
+    kernel_w,
+    stride,
+    padding_h,
+    padding_w,
+});
+
 impl Conv2dGeometry {
+    /// Geometry with a square kernel and the same padding on both axes —
+    /// the overwhelmingly common case in the model zoo.
+    pub fn square(
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Conv2dGeometry {
+            in_channels,
+            in_h,
+            in_w,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride,
+            padding_h: padding,
+            padding_w: padding,
+        }
+    }
+
     /// Output height after the window sweep.
     ///
     /// # Panics
     ///
     /// Panics if the kernel (plus padding) does not fit the input.
     pub fn out_h(&self) -> usize {
-        out_extent(self.in_h, self.kernel_h, self.stride, self.padding)
+        out_extent(self.in_h, self.kernel_h, self.stride, self.padding_h)
     }
 
     /// Output width after the window sweep.
@@ -44,7 +84,7 @@ impl Conv2dGeometry {
     ///
     /// Panics if the kernel (plus padding) does not fit the input.
     pub fn out_w(&self) -> usize {
-        out_extent(self.in_w, self.kernel_w, self.stride, self.padding)
+        out_extent(self.in_w, self.kernel_w, self.stride, self.padding_w)
     }
 
     /// Patch length: `in_channels · kernel_h · kernel_w`.
@@ -84,14 +124,15 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
     let mut out = vec![0.0f32; n * oh * ow * patch];
     let data = input.data();
     let (kh, kw) = (geom.kernel_h, geom.kernel_w);
-    let (stride, pad) = (geom.stride, geom.padding as isize);
+    let stride = geom.stride;
+    let (pad_y, pad_x) = (geom.padding_h as isize, geom.padding_w as isize);
 
     for ni in 0..n {
         for oy in 0..oh {
             for ox in 0..ow {
                 let row = ((ni * oh + oy) * ow + ox) * patch;
-                let base_y = (oy * stride) as isize - pad;
-                let base_x = (ox * stride) as isize - pad;
+                let base_y = (oy * stride) as isize - pad_y;
+                let base_x = (ox * stride) as isize - pad_x;
                 for ci in 0..c {
                     let chan = (ni * c + ci) * h * w;
                     for ky in 0..kh {
@@ -137,14 +178,15 @@ pub fn col2im(cols: &Tensor, n: usize, geom: &Conv2dGeometry) -> Tensor {
     let mut out = vec![0.0f32; n * c * h * w];
     let data = cols.data();
     let (kh, kw) = (geom.kernel_h, geom.kernel_w);
-    let (stride, pad) = (geom.stride, geom.padding as isize);
+    let stride = geom.stride;
+    let (pad_y, pad_x) = (geom.padding_h as isize, geom.padding_w as isize);
 
     for ni in 0..n {
         for oy in 0..oh {
             for ox in 0..ow {
                 let row = ((ni * oh + oy) * ow + ox) * patch;
-                let base_y = (oy * stride) as isize - pad;
-                let base_x = (ox * stride) as isize - pad;
+                let base_y = (oy * stride) as isize - pad_y;
+                let base_x = (ox * stride) as isize - pad_x;
                 for ci in 0..c {
                     let chan = (ni * c + ci) * h * w;
                     for ky in 0..kh {
@@ -174,15 +216,7 @@ mod tests {
     use super::*;
 
     fn geom(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> Conv2dGeometry {
-        Conv2dGeometry {
-            in_channels: c,
-            in_h: h,
-            in_w: w,
-            kernel_h: k,
-            kernel_w: k,
-            stride: s,
-            padding: p,
-        }
+        Conv2dGeometry::square(c, h, w, k, s, p)
     }
 
     #[test]
@@ -269,5 +303,36 @@ mod tests {
         assert_eq!(cols.dims(), &[2, 9]);
         assert_eq!(cols.row(0).data(), x0.data());
         assert_eq!(cols.row(1).data(), x1.data());
+    }
+
+    #[test]
+    fn asymmetric_padding_changes_only_its_axis() {
+        let mut g = geom(1, 5, 7, 3, 1, 0);
+        g.padding_h = 1;
+        assert_eq!(g.out_h(), 5);
+        assert_eq!(g.out_w(), 5);
+        g.padding_w = 2;
+        assert_eq!(g.out_w(), 9);
+    }
+
+    #[test]
+    fn asymmetric_padding_adjoint_holds() {
+        let mut g = geom(1, 4, 5, 3, 2, 1);
+        g.padding_w = 0;
+        let x = Tensor::from_fn(&[1, 1, 4, 5], |i| ((i * 29 % 13) as f32) - 6.0);
+        let cols_shape = [g.out_h() * g.out_w(), g.patch_len()];
+        let y = Tensor::from_fn(&cols_shape, |i| ((i * 17 % 5) as f32) - 2.0);
+        let lhs = im2col(&x, &g).dot(&y);
+        let rhs = x.flatten().dot(&col2im(&y, 1, &g).flatten());
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn geometry_json_round_trip() {
+        let mut g = geom(3, 8, 8, 5, 2, 2);
+        g.padding_w = 1;
+        let text = sb_json::to_string(&g).unwrap();
+        let back: Conv2dGeometry = sb_json::from_str(&text).unwrap();
+        assert_eq!(back, g);
     }
 }

@@ -1,98 +1,16 @@
 //! Deterministic random number generation and tensor initialization.
 //!
-//! All stochastic behaviour in `shrinkbench-rs` flows through [`Rng`], a
-//! seeded wrapper around a fixed PRNG algorithm. The paper's central
-//! complaint is unreproducible experiments; every experiment here is a pure
-//! function of its seed.
+//! All stochastic behaviour in `shrinkbench-rs` flows through [`Rng`], the
+//! in-repo SplitMix64-seeded xoshiro256++ generator from `sb-rng`
+//! (re-exported here so downstream crates keep a single import path). The
+//! paper's central complaint is unreproducible experiments; every
+//! experiment here is a pure function of its seed, and the generator's
+//! stream definition lives in this repository rather than in an external
+//! crate whose algorithm could change between versions.
 
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
 
-/// A deterministic random source for initialization and sampling.
-///
-/// Wraps a seeded [`StdRng`] so the PRNG algorithm choice is encapsulated
-/// and every call site takes `&mut Rng` explicitly (no thread-local
-/// hidden state).
-///
-/// # Example
-///
-/// ```
-/// use sb_tensor::Rng;
-///
-/// let mut a = Rng::seed_from(42);
-/// let mut b = Rng::seed_from(42);
-/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
-/// ```
-#[derive(Debug, Clone)]
-pub struct Rng {
-    inner: StdRng,
-}
-
-impl Rng {
-    /// Creates a generator from a 64-bit seed.
-    pub fn seed_from(seed: u64) -> Self {
-        Rng {
-            inner: StdRng::seed_from_u64(seed),
-        }
-    }
-
-    /// Derives an independent child generator; used to give each
-    /// layer/sample its own stream so adding layers does not perturb
-    /// unrelated draws.
-    pub fn fork(&mut self, salt: u64) -> Rng {
-        let base: u64 = self.inner.gen();
-        Rng::seed_from(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-    }
-
-    /// Uniform sample in `[lo, hi)`.
-    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        self.inner.gen_range(lo..hi)
-    }
-
-    /// Standard normal sample (Box–Muller).
-    pub fn normal(&mut self) -> f32 {
-        // Box–Muller transform; avoids depending on rand_distr.
-        let u1: f32 = self.inner.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = self.inner.gen_range(0.0..1.0);
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
-    }
-
-    /// Normal sample with given mean and standard deviation.
-    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
-        mean + std * self.normal()
-    }
-
-    /// Uniform integer in `[0, n)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0`.
-    pub fn below(&mut self, n: usize) -> usize {
-        assert!(n > 0, "below(0) is undefined");
-        self.inner.gen_range(0..n)
-    }
-
-    /// Bernoulli sample with probability `p` of `true`.
-    pub fn coin(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
-    }
-
-    /// Fisher–Yates shuffle of a slice.
-    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
-        for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
-            xs.swap(i, j);
-        }
-    }
-
-    /// A random permutation of `0..n`.
-    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..n).collect();
-        self.shuffle(&mut idx);
-        idx
-    }
-}
+pub use sb_rng::Rng;
 
 impl Tensor {
     /// Tensor with i.i.d. uniform entries in `[lo, hi)`.

@@ -1,4 +1,4 @@
-use serde::{Deserialize, Serialize};
+use sb_json::json_struct;
 use std::fmt;
 
 /// An owned, validated tensor shape (row-major dimension list).
@@ -7,10 +7,12 @@ use std::fmt;
 /// element count and offers stride arithmetic. It exists so that shape
 /// handling logic (broadcast checks, flat indexing) lives in one audited
 /// place rather than being re-derived in every kernel.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape {
     dims: Vec<usize>,
 }
+
+json_struct!(Shape { dims });
 
 impl Shape {
     /// Creates a shape from a dimension list.

@@ -6,10 +6,10 @@
 //! measurable in-repo: convert a pruned weight matrix to CSR, run the
 //! actual sparse kernel, and compare wall-clock against the dense matmul —
 //! the *realized* counterpart of `sb-metrics`' theoretical speedup
-//! (exercised by the `realized-speedup` Criterion benchmark).
+//! (exercised by the `realized` wall-clock benchmark).
 
 use crate::tensor::Tensor;
-use serde::{Deserialize, Serialize};
+use sb_json::json_struct;
 
 /// A sparse matrix in compressed-sparse-row format.
 ///
@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(sparse.to_dense(), dense);
 /// # Ok::<(), sb_tensor::TensorError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SparseMatrix {
     rows: usize,
     cols: usize,
@@ -33,6 +33,8 @@ pub struct SparseMatrix {
     col_idx: Vec<u32>,
     values: Vec<f32>,
 }
+
+json_struct!(SparseMatrix { rows, cols, row_ptr, col_idx, values });
 
 impl SparseMatrix {
     /// Builds a CSR matrix from a dense 2-D tensor, dropping exact zeros.
@@ -247,10 +249,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let sparse = SparseMatrix::from_dense(&random_sparse(4, 4, 0.5, 7));
-        let json = serde_json::to_string(&sparse).unwrap();
-        let back: SparseMatrix = serde_json::from_str(&json).unwrap();
+        let json = sb_json::to_string(&sparse).unwrap();
+        let back: SparseMatrix = sb_json::from_str(&json).unwrap();
         assert_eq!(back, sparse);
     }
 }

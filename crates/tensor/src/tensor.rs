@@ -1,6 +1,6 @@
 use crate::error::TensorError;
 use crate::shape::Shape;
-use serde::{Deserialize, Serialize};
+use sb_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// A dense, contiguous, row-major `f32` tensor.
@@ -20,10 +20,35 @@ use std::fmt;
 /// assert_eq!(t.shape().dims(), &[2, 3]);
 /// assert_eq!(t.numel(), 6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+}
+
+impl ToJson for Tensor {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("shape".to_string(), self.shape.to_json()),
+            ("data".to_string(), self.data.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Tensor {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let shape: Shape = sb_json::field(v, "shape")?;
+        let data: Vec<f32> = sb_json::field(v, "data")?;
+        // Reject inconsistent documents instead of constructing a tensor
+        // that violates the shape/data-length invariant.
+        if data.len() != shape.numel() {
+            return Err(JsonError::Mismatch {
+                expected: format!("{} data values for shape {:?}", shape.numel(), shape.dims()),
+                found: format!("{} data values", data.len()),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
 }
 
 impl Tensor {
@@ -363,11 +388,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let t = Tensor::from_vec(vec![1.5, -2.5, 0.0, 4.0], &[2, 2]).unwrap();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Tensor = serde_json::from_str(&json).unwrap();
+        let json = sb_json::to_string(&t).unwrap();
+        let back: Tensor = sb_json::from_str(&json).unwrap();
         assert_eq!(back, t);
+        // Inconsistent shape/data must be rejected, not constructed.
+        assert!(sb_json::from_str::<Tensor>(r#"{"shape":{"dims":[3]},"data":[1,2]}"#).is_err());
     }
 
     #[test]

@@ -1,170 +1,311 @@
-//! Property-based tests for tensor algebra invariants.
+//! Property-based tests for tensor algebra invariants, on the in-repo
+//! `sb-check` harness. Every failure message carries an `SB_CHECK_SEED`
+//! that replays the exact case.
 
-use proptest::prelude::*;
-use sb_tensor::{col2im, im2col, Conv2dGeometry, Rng, Tensor};
+use sb_check::{check, prop_assert, prop_assert_eq, Config, Rng};
+use sb_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
 
-fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(-100.0f32..100.0, len)
+/// Pinned suite seed: every property below derives its per-case seeds
+/// from this value, so failures reproduce across machines.
+const SUITE: u64 = 0x7E45_0001;
+
+fn cfg() -> Config {
+    Config::new(SUITE)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn vec_in(rng: &mut Rng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.uniform(-100.0, 100.0)).collect()
+}
 
-    #[test]
-    fn addition_commutes(a in tensor_strategy(24), b in tensor_strategy(24)) {
-        let ta = Tensor::from_vec(a, &[4, 6]).unwrap();
-        let tb = Tensor::from_vec(b, &[4, 6]).unwrap();
-        prop_assert_eq!(&ta + &tb, &tb + &ta);
-    }
+#[test]
+fn addition_commutes() {
+    check(
+        "tensor::addition_commutes",
+        cfg(),
+        |rng| (vec_in(rng, 24), vec_in(rng, 24)),
+        |(a, b)| {
+            let ta = Tensor::from_vec(a.clone(), &[4, 6]).unwrap();
+            let tb = Tensor::from_vec(b.clone(), &[4, 6]).unwrap();
+            prop_assert_eq!(&ta + &tb, &tb + &ta);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn addition_associates_up_to_eps(
-        a in tensor_strategy(16), b in tensor_strategy(16), c in tensor_strategy(16)
-    ) {
-        let ta = Tensor::from_slice(&a);
-        let tb = Tensor::from_slice(&b);
-        let tc = Tensor::from_slice(&c);
-        let lhs = &(&ta + &tb) + &tc;
-        let rhs = &ta + &(&tb + &tc);
-        for (x, y) in lhs.data().iter().zip(rhs.data()) {
-            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()));
-        }
-    }
-
-    #[test]
-    fn scale_distributes_over_add(a in tensor_strategy(12), b in tensor_strategy(12), k in -10.0f32..10.0) {
-        let ta = Tensor::from_slice(&a);
-        let tb = Tensor::from_slice(&b);
-        let lhs = (&ta + &tb).scale(k);
-        let rhs = &ta.scale(k) + &tb.scale(k);
-        for (x, y) in lhs.data().iter().zip(rhs.data()) {
-            prop_assert!((x - y).abs() <= 1e-2 * (1.0 + x.abs()));
-        }
-    }
-
-    #[test]
-    fn double_transpose_is_identity(a in tensor_strategy(20)) {
-        let t = Tensor::from_vec(a, &[4, 5]).unwrap();
-        prop_assert_eq!(t.transpose2().transpose2(), t);
-    }
-
-    #[test]
-    fn matmul_matches_naive(a in tensor_strategy(12), b in tensor_strategy(20)) {
-        let ta = Tensor::from_vec(a, &[3, 4]).unwrap();
-        let tb = Tensor::from_vec(b, &[4, 5]).unwrap();
-        let c = ta.matmul(&tb);
-        for i in 0..3 {
-            for j in 0..5 {
-                let mut acc = 0.0f64;
-                for k in 0..4 {
-                    acc += ta.at(&[i, k]) as f64 * tb.at(&[k, j]) as f64;
-                }
-                prop_assert!(
-                    (c.at(&[i, j]) as f64 - acc).abs() <= 1e-2 * (1.0 + acc.abs()),
-                    "({}, {}): {} vs {}", i, j, c.at(&[i, j]), acc
-                );
+#[test]
+fn addition_associates_up_to_eps() {
+    check(
+        "tensor::addition_associates_up_to_eps",
+        cfg(),
+        |rng| (vec_in(rng, 16), vec_in(rng, 16), vec_in(rng, 16)),
+        |(a, b, c)| {
+            let ta = Tensor::from_slice(a);
+            let tb = Tensor::from_slice(b);
+            let tc = Tensor::from_slice(c);
+            let lhs = &(&ta + &tb) + &tc;
+            let rhs = &ta + &(&tb + &tc);
+            for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                prop_assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()));
             }
-        }
-    }
-
-    #[test]
-    fn matmul_transpose_identities(a in tensor_strategy(12), b in tensor_strategy(20)) {
-        // (A·B)ᵀ == Bᵀ·Aᵀ
-        let ta = Tensor::from_vec(a, &[3, 4]).unwrap();
-        let tb = Tensor::from_vec(b, &[4, 5]).unwrap();
-        let lhs = ta.matmul(&tb).transpose2();
-        let rhs = tb.transpose2().matmul(&ta.transpose2());
-        for (x, y) in lhs.data().iter().zip(rhs.data()) {
-            prop_assert!((x - y).abs() <= 1e-2 * (1.0 + x.abs()));
-        }
-    }
-
-    #[test]
-    fn softmax_rows_are_distributions(a in tensor_strategy(30)) {
-        let t = Tensor::from_vec(a, &[5, 6]).unwrap();
-        let s = t.softmax_rows();
-        for i in 0..5 {
-            let row = &s.data()[i * 6..(i + 1) * 6];
-            let sum: f32 = row.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
-            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
-        }
-    }
-
-    #[test]
-    fn reshape_preserves_sum(a in tensor_strategy(24)) {
-        let t = Tensor::from_vec(a, &[2, 12]).unwrap();
-        let r = t.reshape(&[4, 6]).unwrap();
-        prop_assert_eq!(t.sum(), r.sum());
-    }
-
-    #[test]
-    fn mask_multiply_is_idempotent(a in tensor_strategy(16), seed in 0u64..1000) {
-        let mut rng = Rng::seed_from(seed);
-        let mask = Tensor::from_fn(&[16], |_| if rng.coin(0.5) { 1.0 } else { 0.0 });
-        let mut w = Tensor::from_slice(&a);
-        w.mul_in_place(&mask);
-        let once = w.clone();
-        w.mul_in_place(&mask);
-        prop_assert_eq!(w, once);
-    }
-
-    #[test]
-    fn im2col_col2im_adjoint(seed in 0u64..500, pad in 0usize..2, stride in 1usize..3) {
-        let g = Conv2dGeometry {
-            in_channels: 2, in_h: 5, in_w: 5,
-            kernel_h: 3, kernel_w: 3, stride, padding: pad,
-        };
-        let mut rng = Rng::seed_from(seed);
-        let x = Tensor::rand_normal(&[2, 2, 5, 5], 0.0, 1.0, &mut rng);
-        let cols_dims = [2 * g.out_h() * g.out_w(), g.patch_len()];
-        let y = Tensor::rand_normal(&cols_dims, 0.0, 1.0, &mut rng);
-        let lhs = im2col(&x, &g).dot(&y) as f64;
-        let rhs = x.flatten().dot(&col2im(&y, 2, &g).flatten()) as f64;
-        prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
-    }
-
-    #[test]
-    fn count_zeros_plus_nonzero_is_numel(a in tensor_strategy(32)) {
-        let t = Tensor::from_slice(&a);
-        prop_assert_eq!(t.count_zeros() + t.count_nonzero(), t.numel());
-    }
-
-    #[test]
-    fn serde_json_round_trip(a in tensor_strategy(10)) {
-        let t = Tensor::from_vec(a, &[2, 5]).unwrap();
-        let s = serde_json::to_string(&t).unwrap();
-        let back: Tensor = serde_json::from_str(&s).unwrap();
-        prop_assert_eq!(back, t);
-    }
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn scale_distributes_over_add() {
+    check(
+        "tensor::scale_distributes_over_add",
+        cfg(),
+        |rng| (vec_in(rng, 12), vec_in(rng, 12), rng.uniform(-10.0, 10.0)),
+        |(a, b, k)| {
+            let ta = Tensor::from_slice(a);
+            let tb = Tensor::from_slice(b);
+            let lhs = (&ta + &tb).scale(*k);
+            let rhs = &ta.scale(*k) + &tb.scale(*k);
+            for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                prop_assert!((x - y).abs() <= 1e-2 * (1.0 + x.abs()));
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sparse_round_trip_any_density(seed in 0u64..2000, density in 0.0f64..1.0) {
-        let mut rng = Rng::seed_from(seed);
-        let dense = Tensor::from_fn(&[6, 9], |_| {
-            if rng.coin(density) { rng.normal() } else { 0.0 }
-        });
-        let sparse = sb_tensor::SparseMatrix::from_dense(&dense);
-        prop_assert_eq!(sparse.to_dense(), dense.clone());
-        prop_assert_eq!(sparse.nnz(), dense.count_nonzero());
-    }
+#[test]
+fn double_transpose_is_identity() {
+    check(
+        "tensor::double_transpose_is_identity",
+        cfg(),
+        |rng| vec_in(rng, 20),
+        |a| {
+            let t = Tensor::from_vec(a.clone(), &[4, 5]).unwrap();
+            prop_assert_eq!(t.transpose2().transpose2(), t);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sparse_matmul_agrees_with_dense(seed in 0u64..2000, density in 0.05f64..0.95) {
-        let mut rng = Rng::seed_from(seed);
-        let w = Tensor::from_fn(&[5, 8], |_| {
-            if rng.coin(density) { rng.normal() } else { 0.0 }
-        });
-        let x = Tensor::rand_normal(&[8, 4], 0.0, 1.0, &mut rng);
-        let sparse = sb_tensor::SparseMatrix::from_dense(&w);
-        let fast = sparse.matmul_dense(&x);
-        let slow = w.matmul(&x);
-        for (a, b) in fast.data().iter().zip(slow.data()) {
-            prop_assert!((a - b).abs() <= 1e-3 * (1.0 + b.abs()));
-        }
-    }
+#[test]
+fn matmul_matches_naive() {
+    check(
+        "tensor::matmul_matches_naive",
+        cfg(),
+        |rng| (vec_in(rng, 12), vec_in(rng, 20)),
+        |(a, b)| {
+            let ta = Tensor::from_vec(a.clone(), &[3, 4]).unwrap();
+            let tb = Tensor::from_vec(b.clone(), &[4, 5]).unwrap();
+            let c = ta.matmul(&tb);
+            for i in 0..3 {
+                for j in 0..5 {
+                    let mut acc = 0.0f64;
+                    for k in 0..4 {
+                        acc += ta.at(&[i, k]) as f64 * tb.at(&[k, j]) as f64;
+                    }
+                    prop_assert!(
+                        (c.at(&[i, j]) as f64 - acc).abs() <= 1e-2 * (1.0 + acc.abs()),
+                        "({}, {}): {} vs {}",
+                        i,
+                        j,
+                        c.at(&[i, j]),
+                        acc
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn matmul_transpose_identities() {
+    check(
+        "tensor::matmul_transpose_identities",
+        cfg(),
+        |rng| (vec_in(rng, 12), vec_in(rng, 20)),
+        |(a, b)| {
+            // (A·B)ᵀ == Bᵀ·Aᵀ
+            let ta = Tensor::from_vec(a.clone(), &[3, 4]).unwrap();
+            let tb = Tensor::from_vec(b.clone(), &[4, 5]).unwrap();
+            let lhs = ta.matmul(&tb).transpose2();
+            let rhs = tb.transpose2().matmul(&ta.transpose2());
+            for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                prop_assert!((x - y).abs() <= 1e-2 * (1.0 + x.abs()));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn softmax_rows_are_distributions() {
+    check(
+        "tensor::softmax_rows_are_distributions",
+        cfg(),
+        |rng| vec_in(rng, 30),
+        |a| {
+            let t = Tensor::from_vec(a.clone(), &[5, 6]).unwrap();
+            let s = t.softmax_rows();
+            for i in 0..5 {
+                let row = &s.data()[i * 6..(i + 1) * 6];
+                let sum: f32 = row.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4);
+                prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn reshape_preserves_sum() {
+    check(
+        "tensor::reshape_preserves_sum",
+        cfg(),
+        |rng| vec_in(rng, 24),
+        |a| {
+            let t = Tensor::from_vec(a.clone(), &[2, 12]).unwrap();
+            let r = t.reshape(&[4, 6]).unwrap();
+            prop_assert_eq!(t.sum(), r.sum());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn mask_multiply_is_idempotent() {
+    check(
+        "tensor::mask_multiply_is_idempotent",
+        cfg(),
+        |rng| (vec_in(rng, 16), rng.below(1000) as u64),
+        |(a, seed)| {
+            let mut rng = Rng::seed_from(*seed);
+            let mask = Tensor::from_fn(&[16], |_| if rng.coin(0.5) { 1.0 } else { 0.0 });
+            let mut w = Tensor::from_slice(a);
+            w.mul_in_place(&mask);
+            let once = w.clone();
+            w.mul_in_place(&mask);
+            prop_assert_eq!(w, once);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn im2col_col2im_adjoint() {
+    check(
+        "tensor::im2col_col2im_adjoint",
+        cfg(),
+        |rng| {
+            (
+                rng.below(500) as u64,
+                (rng.below(2), rng.below(2)), // independent pad_h / pad_w
+                rng.below(2) + 1,
+            )
+        },
+        |(seed, (pad_h, pad_w), stride)| {
+            let g = Conv2dGeometry {
+                in_channels: 2,
+                in_h: 5,
+                in_w: 5,
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: *stride,
+                padding_h: *pad_h,
+                padding_w: *pad_w,
+            };
+            let mut rng = Rng::seed_from(*seed);
+            let x = Tensor::rand_normal(&[2, 2, 5, 5], 0.0, 1.0, &mut rng);
+            let cols_dims = [2 * g.out_h() * g.out_w(), g.patch_len()];
+            let y = Tensor::rand_normal(&cols_dims, 0.0, 1.0, &mut rng);
+            let lhs = im2col(&x, &g).dot(&y) as f64;
+            let rhs = x.flatten().dot(&col2im(&y, 2, &g).flatten()) as f64;
+            prop_assert!(
+                (lhs - rhs).abs() <= 1e-2 * (1.0 + lhs.abs()),
+                "{} vs {}",
+                lhs,
+                rhs
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn count_zeros_plus_nonzero_is_numel() {
+    check(
+        "tensor::count_zeros_plus_nonzero_is_numel",
+        cfg(),
+        |rng| vec_in(rng, 32),
+        |a| {
+            let t = Tensor::from_slice(a);
+            prop_assert_eq!(t.count_zeros() + t.count_nonzero(), t.numel());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn json_round_trip() {
+    check(
+        "tensor::json_round_trip",
+        cfg(),
+        |rng| vec_in(rng, 10),
+        |a| {
+            let t = Tensor::from_vec(a.clone(), &[2, 5]).unwrap();
+            let s = sb_json::to_string(&t).unwrap();
+            let back: Tensor = sb_json::from_str(&s).unwrap();
+            prop_assert_eq!(back, t);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn sparse_round_trip_any_density() {
+    check(
+        "tensor::sparse_round_trip_any_density",
+        cfg(),
+        |rng| (rng.below(2000) as u64, rng.uniform(0.0, 1.0) as f64),
+        |(seed, density)| {
+            let mut rng = Rng::seed_from(*seed);
+            let dense = Tensor::from_fn(&[6, 9], |_| {
+                if rng.coin(*density) {
+                    rng.normal()
+                } else {
+                    0.0
+                }
+            });
+            let sparse = sb_tensor::SparseMatrix::from_dense(&dense);
+            prop_assert_eq!(sparse.to_dense(), dense.clone());
+            prop_assert_eq!(sparse.nnz(), dense.count_nonzero());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn sparse_matmul_agrees_with_dense() {
+    check(
+        "tensor::sparse_matmul_agrees_with_dense",
+        cfg(),
+        |rng| (rng.below(2000) as u64, rng.uniform(0.05, 0.95) as f64),
+        |(seed, density)| {
+            let mut rng = Rng::seed_from(*seed);
+            let w = Tensor::from_fn(&[5, 8], |_| {
+                if rng.coin(*density) {
+                    rng.normal()
+                } else {
+                    0.0
+                }
+            });
+            let x = Tensor::rand_normal(&[8, 4], 0.0, 1.0, &mut rng);
+            let sparse = sb_tensor::SparseMatrix::from_dense(&w);
+            let fast = sparse.matmul_dense(&x);
+            let slow = w.matmul(&x);
+            for (a, b) in fast.data().iter().zip(slow.data()) {
+                prop_assert!((a - b).abs() <= 1e-3 * (1.0 + b.abs()));
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 CI entry point for shrinkbench-rs.
+#
+# The workspace is hermetic: every dependency is an in-repo path crate
+# (see the root Cargo.toml [workspace.dependencies]), so the whole build
+# and test cycle must succeed with zero network access. `--offline` (and
+# CARGO_NET_OFFLINE as a belt-and-suspenders for subprocesses) turns any
+# accidental registry dependency into a hard failure instead of a fetch.
+#
+# This script is the definition of "tests pass" for the repo: run it
+# before merging anything.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release --offline
+cargo test -q --offline

@@ -212,3 +212,42 @@ fn all_model_kinds_survive_pruning_round() {
         );
     }
 }
+
+/// Workspace-level determinism down to the serialized bytes: the same
+/// tiny prune → fine-tune run, executed twice from the same seeds, must
+/// produce **bit-identical** metrics JSON, and that JSON must survive an
+/// `sb-json` round-trip byte-for-byte. This is the contract the
+/// experiment cache and every reported figure rely on.
+#[test]
+fn metrics_json_is_bit_identical_across_reruns() {
+    let run = || {
+        let data = tiny_dataset();
+        let spec = data.spec().clone();
+        let mut weights_rng = Rng::seed_from(7);
+        let mut net = ModelKind::Lenet300_100.build(&spec, &mut weights_rng);
+        let mut rng = Rng::seed_from(8);
+        let result = prune_and_finetune(
+            &mut net,
+            &GlobalMagnitude,
+            4.0,
+            &data,
+            &FinetuneConfig {
+                epochs: 1,
+                patience: None,
+                flatten_input: true,
+                ..FinetuneConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        sb_json::to_string_pretty(&result).unwrap()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same seeds must serialize identically");
+
+    // Round-trip: parse back and re-serialize; floats must reproduce
+    // exactly (sb-json prints shortest-round-trip decimals).
+    let parsed: shrinkbench::PruneFinetuneResult = sb_json::from_str(&first).unwrap();
+    assert_eq!(sb_json::to_string_pretty(&parsed).unwrap(), first);
+}
