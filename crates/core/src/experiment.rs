@@ -16,10 +16,12 @@ use sb_nn::{
     evaluate, models, EarlyStopping, EvalMetrics, LrSchedule, NetworkExt, ParamSnapshot,
     TrainConfig, Trainer,
 };
+use sb_runtime::{JobQueue, JobSpec};
 use sb_tensor::Rng;
 use sb_json::{json_enum, json_struct, FromJson, Json, JsonError, ToJson};
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which synthetic dataset an experiment runs on.
@@ -365,6 +367,41 @@ struct CacheFile {
 
 json_struct!(CacheFile { config, records });
 
+/// One persisted grid cell: the record plus the fingerprint of the
+/// configuration it was computed under, so a cell file left behind by a
+/// *different* grid definition can never be resumed by mistake.
+struct CellCacheFile {
+    fingerprint: String,
+    record: RunRecord,
+}
+
+json_struct!(CellCacheFile { fingerprint, record });
+
+/// Outcome of a grid run, including how much of it was resumed from the
+/// per-cell cache rather than recomputed.
+#[derive(Debug, Clone)]
+pub struct GridRunSummary {
+    /// One record per (strategy, compression, seed) cell, in grid order.
+    pub records: Vec<RunRecord>,
+    /// Cells loaded from cache (whole-grid or per-cell) without training.
+    pub resumed: usize,
+    /// Cells actually computed in this run.
+    pub computed: usize,
+}
+
+/// FNV-1a 64-bit over the config's canonical JSON, as a hex string.
+/// (Hex rather than a JSON number: sb-json numbers are f64-backed, which
+/// cannot represent every u64 exactly.)
+fn config_fingerprint(config: &ExperimentConfig) -> String {
+    let text = sb_json::to_string(config).expect("config serializes");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
 impl ExperimentRunner {
     /// Creates a runner caching into `dir`.
     pub fn with_cache(dir: impl Into<PathBuf>) -> Self {
@@ -441,6 +478,24 @@ impl ExperimentRunner {
 
     /// Runs (or loads from cache) the full grid.
     pub fn run(&self, config: &ExperimentConfig) -> Vec<RunRecord> {
+        self.run_with_summary(config).records
+    }
+
+    /// Runs the grid, reporting how many cells were resumed from cache.
+    ///
+    /// Cells are submitted to a [`JobQueue`] in grid order (strategy ×
+    /// compression × seed) and joined in that same order, so the record
+    /// vector — and everything serialized from it — is identical for any
+    /// `SB_RUNTIME_THREADS`. Each cell is a pure function of the config:
+    /// the model is rebuilt from `weights_seed` and restored from the
+    /// pretrained snapshot inside the job, so no RNG or parameter state
+    /// leaks between cells regardless of execution order.
+    ///
+    /// With a cache directory set, every finished cell is persisted as
+    /// `{id}.cells/cell-s{si}-c{ci}-r{wi}.json` tagged with the config's
+    /// fingerprint; an interrupted grid rerun loads those cells instead of
+    /// retraining them.
+    pub fn run_with_summary(&self, config: &ExperimentConfig) -> GridRunSummary {
         if let Some(path) = self.cache_path(&config.id) {
             if let Ok(bytes) = fs::read(&path) {
                 if let Ok(cache) = sb_json::from_slice::<CacheFile>(&bytes) {
@@ -448,16 +503,21 @@ impl ExperimentRunner {
                         if self.verbose {
                             eprintln!("[{}] loaded {} cached records", config.id, cache.records.len());
                         }
-                        return cache.records;
+                        let resumed = cache.records.len();
+                        return GridRunSummary { records: cache.records, resumed, computed: 0 };
                     }
                 }
             }
         }
 
-        let data = SyntheticVision::new(config.dataset.spec(config.data_scale, config.data_seed));
+        let data = Arc::new(SyntheticVision::new(
+            config.dataset.spec(config.data_scale, config.data_seed),
+        ));
         let t0 = Instant::now();
-        let (mut net, pre_metrics, snapshot, init_snapshot) =
+        let (_net, pre_metrics, snapshot, init_snapshot) =
             Self::pretrain_with_init(config, &data);
+        let snapshot = Arc::new(snapshot);
+        let init_snapshot = Arc::new(init_snapshot);
         if self.verbose {
             eprintln!(
                 "[{}] pretrained {} on {}: top1 {:.3} top5 {:.3} ({:?})",
@@ -473,52 +533,81 @@ impl ExperimentRunner {
         let mut finetune = config.finetune.clone();
         finetune.flatten_input = config.model.flatten_input();
 
-        let mut records = Vec::new();
-        for kind in &config.strategies {
-            let strategy = kind.build();
-            for &compression in &config.compressions {
-                for &seed in &config.seeds {
-                    let t = Instant::now();
-                    net.restore(&snapshot);
-                    let mut rng = Rng::seed_from(seed ^ 0x5EED_0000);
-                    let result = prune_and_retrain(
-                        &mut net,
-                        strategy.as_ref(),
-                        compression,
-                        &data,
-                        &finetune,
-                        Some(&init_snapshot),
-                        &mut rng,
-                    )
-                    .unwrap_or_else(|e| panic!("pruning failed in {}: {e}", config.id));
-                    if self.verbose {
-                        eprintln!(
-                            "[{}] {} c={:<5} seed={} → top1 {:.3} (pre-ft {:.3}, speedup {:.2}×) ({:?})",
-                            config.id,
-                            strategy.label(),
-                            compression,
-                            seed,
-                            result.after_finetune.top1,
-                            result.before_finetune.top1,
-                            result.speedup,
-                            t.elapsed()
-                        );
+        let fingerprint = config_fingerprint(config);
+        let cell_dir = self.cache_dir.as_ref().map(|d| d.join(format!("{}.cells", config.id)));
+        if let Some(dir) = &cell_dir {
+            let _ = fs::create_dir_all(dir);
+        }
+
+        // Submit every cell in grid order; cached cells short-circuit to
+        // `Done`. Joining the handles in the same order reassembles the
+        // exact sequential record vector.
+        enum Slot {
+            Done(RunRecord),
+            Pending(sb_runtime::JobHandle<RunRecord>),
+        }
+        let queue = JobQueue::new();
+        let mut slots = Vec::new();
+        let mut resumed = 0usize;
+        for (si, kind) in config.strategies.iter().enumerate() {
+            for (ci, &compression) in config.compressions.iter().enumerate() {
+                for (wi, &seed) in config.seeds.iter().enumerate() {
+                    let cell_path = cell_dir
+                        .as_ref()
+                        .map(|d| d.join(format!("cell-s{si}-c{ci}-r{wi}.json")));
+                    if let Some(path) = &cell_path {
+                        if let Ok(bytes) = fs::read(path) {
+                            if let Ok(cell) = sb_json::from_slice::<CellCacheFile>(&bytes) {
+                                if cell.fingerprint == fingerprint {
+                                    resumed += 1;
+                                    slots.push(Slot::Done(cell.record));
+                                    continue;
+                                }
+                            }
+                        }
                     }
-                    records.push(RunRecord {
-                        experiment: config.id.clone(),
-                        strategy: strategy.label(),
-                        target_compression: compression,
+                    let job = CellJob {
+                        id: config.id.clone(),
+                        model: config.model.clone(),
+                        strategy: kind.clone(),
+                        compression,
                         seed,
-                        compression: result.compression,
-                        speedup: result.speedup,
-                        top1: result.after_finetune.top1,
-                        top5: result.after_finetune.top5,
-                        top1_before_finetune: result.before_finetune.top1,
-                        pretrain_top1: pre_metrics.top1,
-                        pretrain_top5: pre_metrics.top5,
-                    });
+                        weights_seed: config.pretrain.weights_seed,
+                        finetune: finetune.clone(),
+                        data: Arc::clone(&data),
+                        snapshot: Arc::clone(&snapshot),
+                        init_snapshot: Arc::clone(&init_snapshot),
+                        pre_metrics,
+                        fingerprint: fingerprint.clone(),
+                        cell_path,
+                        verbose: self.verbose,
+                    };
+                    let spec = JobSpec::new()
+                        .label(format!("{}:cell-s{si}-c{ci}-r{wi}", config.id));
+                    slots.push(Slot::Pending(queue.submit(spec, move |_ctx| job.run())));
                 }
             }
+        }
+
+        let total = slots.len();
+        let mut records = Vec::with_capacity(total);
+        for slot in slots {
+            match slot {
+                Slot::Done(record) => records.push(record),
+                Slot::Pending(handle) => records.push(
+                    handle
+                        .join()
+                        .unwrap_or_else(|e| panic!("pruning failed in {}: {e}", config.id)),
+                ),
+            }
+        }
+        let computed = total - resumed;
+        if self.verbose {
+            eprintln!(
+                "[{}] grid complete: {computed} computed, {resumed} resumed ({:?})",
+                config.id,
+                t0.elapsed()
+            );
         }
 
         if let Some(path) = self.cache_path(&config.id) {
@@ -533,7 +622,87 @@ impl ExperimentRunner {
                 let _ = fs::write(&path, json);
             }
         }
-        records
+        GridRunSummary { records, resumed, computed }
+    }
+}
+
+/// Everything one grid cell needs, owned, so the cell can run on any
+/// worker at any time. Rebuilding the model from `weights_seed` and
+/// restoring the pretrained snapshot (which includes BatchNorm running
+/// stats — they are parameters) makes the cell a pure function of this
+/// struct; the previous in-place sequential loop let layer-internal RNG
+/// state (e.g. dropout streams) leak from one cell into the next.
+struct CellJob {
+    id: String,
+    model: ModelKind,
+    strategy: StrategyKind,
+    compression: f64,
+    seed: u64,
+    weights_seed: u64,
+    finetune: FinetuneConfig,
+    data: Arc<SyntheticVision>,
+    snapshot: Arc<Vec<ParamSnapshot>>,
+    init_snapshot: Arc<Vec<ParamSnapshot>>,
+    pre_metrics: EvalMetrics,
+    fingerprint: String,
+    cell_path: Option<PathBuf>,
+    verbose: bool,
+}
+
+impl CellJob {
+    fn run(&self) -> Result<RunRecord, String> {
+        let t = Instant::now();
+        let mut weights_rng = Rng::seed_from(self.weights_seed);
+        let mut net = self.model.build(self.data.spec(), &mut weights_rng);
+        net.restore(&self.snapshot);
+        let strategy = self.strategy.build();
+        let mut rng = Rng::seed_from(self.seed ^ 0x5EED_0000);
+        let result = prune_and_retrain(
+            &mut net,
+            strategy.as_ref(),
+            self.compression,
+            &self.data,
+            &self.finetune,
+            Some(&self.init_snapshot),
+            &mut rng,
+        )
+        .map_err(|e| e.to_string())?;
+        if self.verbose {
+            eprintln!(
+                "[{}] {} c={:<5} seed={} → top1 {:.3} (pre-ft {:.3}, speedup {:.2}×) ({:?})",
+                self.id,
+                strategy.label(),
+                self.compression,
+                self.seed,
+                result.after_finetune.top1,
+                result.before_finetune.top1,
+                result.speedup,
+                t.elapsed()
+            );
+        }
+        let record = RunRecord {
+            experiment: self.id.clone(),
+            strategy: strategy.label(),
+            target_compression: self.compression,
+            seed: self.seed,
+            compression: result.compression,
+            speedup: result.speedup,
+            top1: result.after_finetune.top1,
+            top5: result.after_finetune.top5,
+            top1_before_finetune: result.before_finetune.top1,
+            pretrain_top1: self.pre_metrics.top1,
+            pretrain_top5: self.pre_metrics.top5,
+        };
+        if let Some(path) = &self.cell_path {
+            let cell = CellCacheFile {
+                fingerprint: self.fingerprint.clone(),
+                record: record.clone(),
+            };
+            if let Ok(json) = sb_json::to_string_pretty(&cell) {
+                let _ = fs::write(path, json);
+            }
+        }
+        Ok(record)
     }
 }
 
@@ -639,6 +808,34 @@ mod tests {
         cfg2.compressions = vec![4.0];
         let c = runner.run(&cfg2);
         assert_ne!(a.len(), c.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_grid_resumes_from_cell_cache() {
+        let dir = std::env::temp_dir().join("shrinkbench-test-cell-resume");
+        let _ = fs::remove_dir_all(&dir);
+        let runner = ExperimentRunner::with_cache(&dir);
+        let cfg = tiny_config("t5");
+        let first = runner.run_with_summary(&cfg);
+        assert_eq!(first.computed, 8);
+        assert_eq!(first.resumed, 0);
+
+        // Simulate a mid-run kill: the whole-grid result never landed and
+        // one cell is missing, but the other cells survive on disk.
+        fs::remove_file(dir.join("t5.json")).unwrap();
+        fs::remove_file(dir.join("t5.cells").join("cell-s1-c1-r1.json")).unwrap();
+
+        let second = runner.run_with_summary(&cfg);
+        assert_eq!(second.resumed, 7, "surviving cells must not retrain");
+        assert_eq!(second.computed, 1);
+        assert_eq!(second.records, first.records);
+
+        // A different grid definition must not resume these cells.
+        let mut cfg2 = cfg.clone();
+        cfg2.finetune.epochs = 2;
+        let third = runner.run_with_summary(&cfg2);
+        assert_eq!(third.resumed, 0, "stale-fingerprint cells must be recomputed");
         let _ = fs::remove_dir_all(&dir);
     }
 

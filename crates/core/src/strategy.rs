@@ -55,7 +55,7 @@ pub struct ScoreEntry<'a> {
 ///     }
 /// }
 /// ```
-pub trait Strategy {
+pub trait Strategy: Send {
     /// Human-readable method name used in reports and figure legends.
     fn label(&self) -> String;
 

@@ -51,23 +51,23 @@ pub fn paper_hygiene(corpus: &Corpus) -> Vec<PaperHygiene> {
     let mut papers: Vec<&str> = corpus.results.iter().map(|r| r.paper.as_str()).collect();
     papers.sort_unstable();
     papers.dedup();
-    papers
-        .into_iter()
-        .map(|paper| {
-            let rows: Vec<_> = corpus.results.iter().filter(|r| r.paper == paper).collect();
-            PaperHygiene {
-                paper: paper.to_string(),
-                reports_size: rows.iter().any(|r| r.x_metric == XMetric::CompressionRatio),
-                reports_compute: rows
-                    .iter()
-                    .any(|r| r.x_metric == XMetric::TheoreticalSpeedup),
-                reports_top1: rows.iter().any(|r| r.y_metric == YMetric::DeltaTop1),
-                reports_top5: rows.iter().any(|r| r.y_metric == YMetric::DeltaTop5),
-                reports_std: REPORTS_STD.contains(&paper),
-                operating_points: rows.len(),
-            }
-        })
-        .collect()
+    // Per-paper scans are independent; fan them out over the runtime pool.
+    // Results come back in item (= sorted paper) order, so the output is
+    // identical to the sequential map for any SB_RUNTIME_THREADS.
+    sb_runtime::map_items(papers, |_i, paper| {
+        let rows: Vec<_> = corpus.results.iter().filter(|r| r.paper == paper).collect();
+        PaperHygiene {
+            paper: paper.to_string(),
+            reports_size: rows.iter().any(|r| r.x_metric == XMetric::CompressionRatio),
+            reports_compute: rows
+                .iter()
+                .any(|r| r.x_metric == XMetric::TheoreticalSpeedup),
+            reports_top1: rows.iter().any(|r| r.y_metric == YMetric::DeltaTop1),
+            reports_top5: rows.iter().any(|r| r.y_metric == YMetric::DeltaTop5),
+            reports_std: REPORTS_STD.contains(&paper),
+            operating_points: rows.len(),
+        }
+    })
 }
 
 /// Aggregate hygiene statistics across the reporting papers.

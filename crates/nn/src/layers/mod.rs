@@ -37,7 +37,7 @@ use sb_tensor::Tensor;
 ///
 /// Calling `backward` without a preceding training-mode `forward` on the
 /// same batch is a contract violation; layers panic with a clear message.
-pub trait Layer {
+pub trait Layer: Send {
     /// Computes the layer output.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
 

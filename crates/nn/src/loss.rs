@@ -32,14 +32,26 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> CrossEntropyOutput {
     assert_eq!(labels.len(), n, "label count must match batch size");
     let log_probs = logits.log_softmax_rows();
     let probs = log_probs.exp();
-    let mut loss = 0.0f32;
     let mut grad = probs.clone();
     let inv_n = 1.0 / n as f32;
-    for (i, &label) in labels.iter().enumerate() {
-        assert!(label < c, "label {label} out of range for {c} classes");
-        loss -= log_probs.data()[i * c + label];
-        grad.data_mut()[i * c + label] -= 1.0;
-    }
+    // Fixed 64-row blocks (independent of worker count): each task edits
+    // its own grad rows and returns a partial loss; partials fold in block
+    // order, so the f32 total is identical for any SB_RUNTIME_THREADS.
+    const ROW_CHUNK: usize = 64;
+    let lp = log_probs.data();
+    let partials = sb_runtime::map_chunks_mut(grad.data_mut(), ROW_CHUNK * c, |ci, block| {
+        let row0 = ci * ROW_CHUNK;
+        let mut part = 0.0f32;
+        for (r, grad_row) in block.chunks_mut(c).enumerate() {
+            let i = row0 + r;
+            let label = labels[i];
+            assert!(label < c, "label {label} out of range for {c} classes");
+            part -= lp[i * c + label];
+            grad_row[label] -= 1.0;
+        }
+        part
+    });
+    let loss: f32 = partials.into_iter().fold(0.0, |acc, part| acc + part);
     grad.scale_in_place(inv_n);
     CrossEntropyOutput {
         loss: loss * inv_n,

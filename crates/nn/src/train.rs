@@ -236,14 +236,31 @@ pub fn evaluate(network: &mut dyn Network, batches: &[Batch]) -> EvalMetrics {
         loss_sum += out.loss as f64 * labels.len() as f64;
         let k = 5.min(network.num_classes());
         let topk = logits.topk_rows(k);
-        for (i, &label) in labels.iter().enumerate() {
-            if topk[i][0] == label {
-                top1_hits += 1;
-            }
-            if topk[i].contains(&label) {
-                top5_hits += 1;
-            }
-        }
+        // Hit counting fans out over fixed 64-row blocks; integer partials
+        // fold in block order (counts are order-independent anyway, but the
+        // runtime contract keeps even float folds reproducible).
+        let (b1, b5) = sb_runtime::parallel_for(
+            labels.len(),
+            64,
+            |rows| {
+                let mut h1 = 0usize;
+                let mut h5 = 0usize;
+                for i in rows {
+                    let label = labels[i];
+                    if topk[i][0] == label {
+                        h1 += 1;
+                    }
+                    if topk[i].contains(&label) {
+                        h5 += 1;
+                    }
+                }
+                (h1, h5)
+            },
+            (0usize, 0usize),
+            |(a1, a5), (h1, h5)| (a1 + h1, a5 + h5),
+        );
+        top1_hits += b1;
+        top5_hits += b5;
         samples += labels.len();
     }
     assert!(samples > 0, "evaluate requires at least one sample");

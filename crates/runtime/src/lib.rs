@@ -1,0 +1,131 @@
+//! sb-runtime: deterministic work-stealing executor for shrinkbench-rs.
+//!
+//! The crate provides three layers:
+//!
+//! 1. [`Pool`] — a work-stealing thread pool (per-worker deques plus a
+//!    global injector, parked idle workers, panic capture/propagation)
+//!    exposing [`Pool::scope`]/[`Scope::spawn`] for structured borrowing
+//!    tasks and [`Pool::spawn`] for detached ones.
+//! 2. [`parallel_for`] and the `map_*` helpers — data-parallel loops with
+//!    **deterministic ordered reduction**: work is decomposed into chunks
+//!    that depend only on the problem shape, per-chunk results are
+//!    committed into submission-order slots, and reductions fold in chunk
+//!    order, so output is bit-identical for any worker count (including 1,
+//!    which runs the same decomposition inline).
+//! 3. [`JobQueue`] — a job scheduler with per-job retry, deadline, and
+//!    cancellation, used by `sb-core`'s experiment grid for resumable
+//!    multi-cell runs.
+//!
+//! # Thread-count resolution
+//!
+//! [`effective_parallelism`] resolves, in priority order:
+//! a process-wide programmatic override ([`set_thread_override`]) >
+//! the `SB_RUNTIME_THREADS` environment variable (read once per process) >
+//! [`std::thread::available_parallelism`]. A value of 1 short-circuits all
+//! helpers to exact inline sequential execution — no pool is touched.
+//!
+//! # Determinism contract
+//!
+//! *Scheduling* is nondeterministic; *results* are not. Callers supply
+//! pure per-chunk closures and chunk sizes derived only from the problem
+//! shape; the runtime guarantees each task runs exactly once and that
+//! results are observed in submission order. Under that contract, every
+//! computation in this workspace produces byte-identical artifacts for
+//! `SB_RUNTIME_THREADS=1` and `=N`, which `scripts/ci.sh` enforces by
+//! running the suite under both.
+
+#![warn(missing_docs)]
+
+mod parallel;
+mod pool;
+mod queue;
+
+pub use parallel::{for_each_chunk_mut, map_chunks, map_chunks_mut, map_items, parallel_for};
+pub use pool::{Pool, Scope};
+pub use queue::{JobContext, JobError, JobHandle, JobQueue, JobSpec};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide thread-count override; 0 means "unset". A plain global
+/// (not thread-local) so pool workers and the submitting thread agree.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the effective thread count for the whole process, taking
+/// precedence over `SB_RUNTIME_THREADS`. `None` clears the override.
+///
+/// Intended for tests that compare runs at different thread counts within
+/// one process. Because the runtime's results are bit-identical for any
+/// worker count, concurrent tests racing on this global only change how
+/// work is scheduled, never what is computed.
+pub fn set_thread_override(threads: Option<usize>) {
+    let v = match threads {
+        Some(n) => {
+            assert!(n > 0, "thread override must be positive");
+            n
+        }
+        None => 0,
+    };
+    THREAD_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let raw = std::env::var("SB_RUNTIME_THREADS").ok()?;
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!(
+                    "sb-runtime: ignoring invalid SB_RUNTIME_THREADS={raw:?} (want a positive integer)"
+                );
+                None
+            }
+        }
+    })
+}
+
+/// The number of threads the runtime will use for parallel work:
+/// programmatic override > `SB_RUNTIME_THREADS` > available parallelism.
+///
+/// When this returns 1, every helper in the crate runs inline on the
+/// calling thread with no pool involvement at all.
+pub fn effective_parallelism() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => {}
+        n => return n,
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The lazily created process-wide pool backing the parallel helpers and
+/// the default [`JobQueue`]. Sized once, at first parallel use, from
+/// [`effective_parallelism`] (minimum 2 — a 1-thread resolution never
+/// reaches the pool). Later override changes reuse the same pool: worker
+/// count affects only scheduling, never results.
+pub(crate) fn global_pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(effective_parallelism().max(2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_takes_precedence_and_clears() {
+        set_thread_override(Some(3));
+        assert_eq!(effective_parallelism(), 3);
+        set_thread_override(None);
+        assert!(effective_parallelism() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_override_is_rejected() {
+        set_thread_override(Some(0));
+    }
+}

@@ -1,0 +1,336 @@
+//! Job scheduling with retry, deadline, and cancellation.
+//!
+//! A [`JobQueue`] submits independent fallible jobs to a [`Pool`] and
+//! returns a [`JobHandle`] per job. Handles are joined **in whatever
+//! order the caller chooses** — `sb-core`'s experiment grid joins them in
+//! submission order, which is how grid output stays deterministic even
+//! though jobs finish in any order.
+//!
+//! Each job runs under a [`JobSpec`] policy:
+//! - **retries** — a job returning `Err` (or panicking) is re-run up to
+//!   `retries` extra times before the error is published;
+//! - **deadline** — measured from submission; once exceeded, no further
+//!   attempt starts and the job resolves to [`JobError::DeadlineExceeded`];
+//! - **cancellation** — [`JobHandle::cancel`] flips a shared flag; a job
+//!   that has not started yet resolves to [`JobError::Cancelled`] without
+//!   running, and a running job can poll [`JobContext::is_cancelled`] to
+//!   stop early.
+
+use crate::pool::{panic_message, Pool};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-job execution policy: an optional label plus retry, deadline, and
+/// (via the handle) cancellation behaviour.
+#[derive(Clone, Debug, Default)]
+pub struct JobSpec {
+    label: String,
+    retries: u32,
+    deadline: Option<Duration>,
+}
+
+impl JobSpec {
+    /// A spec with no retries, no deadline, and an empty label.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Names the job; the label is echoed on the handle and in errors.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Re-runs a failing or panicking job up to `retries` extra times.
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Refuses to start any attempt once `deadline` has elapsed since
+    /// submission. Attempts already running are not interrupted.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a job did not produce a value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The job was cancelled before (or between) attempts; it never ran
+    /// to completion.
+    Cancelled,
+    /// The job's deadline elapsed before an attempt could start.
+    DeadlineExceeded,
+    /// The job panicked on its final attempt; the payload's message.
+    Panicked(String),
+    /// The job returned `Err` on its final attempt.
+    Failed {
+        /// How many attempts ran (initial try + retries).
+        attempts: u32,
+        /// The final attempt's error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Cancelled => write!(f, "job cancelled"),
+            JobError::DeadlineExceeded => write!(f, "job deadline exceeded"),
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::Failed { attempts, message } => {
+                write!(f, "job failed after {attempts} attempt(s): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Handed to each job attempt: the attempt number and a cancellation
+/// probe for long-running jobs that want to stop early.
+pub struct JobContext {
+    cancelled: Arc<AtomicBool>,
+    attempt: u32,
+}
+
+impl JobContext {
+    /// 1 for the first try, 2 for the first retry, and so on.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// True once [`JobHandle::cancel`] has been called. Jobs are not
+    /// interrupted preemptively; polling this is cooperative.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+}
+
+struct JobState<T> {
+    slot: Mutex<Option<Result<T, JobError>>>,
+    cv: Condvar,
+    cancelled: Arc<AtomicBool>,
+}
+
+impl<T> JobState<T> {
+    fn publish(&self, result: Result<T, JobError>) {
+        let mut slot = self.slot.lock().unwrap();
+        debug_assert!(slot.is_none(), "job result published twice");
+        *slot = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// The caller's side of a submitted job: cancel it, poll it, or block
+/// until its result is available.
+pub struct JobHandle<T> {
+    label: String,
+    state: Arc<JobState<T>>,
+}
+
+impl<T> JobHandle<T> {
+    /// The label given in the job's [`JobSpec`].
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Requests cancellation. An attempt that has not started will never
+    /// run; a running attempt sees it via [`JobContext::is_cancelled`].
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// True once the job has resolved (to a value or an error).
+    pub fn is_finished(&self) -> bool {
+        self.state.slot.lock().unwrap().is_some()
+    }
+
+    /// Blocks until the job resolves and returns its result.
+    pub fn join(self) -> Result<T, JobError> {
+        let mut slot = self.state.slot.lock().unwrap();
+        while slot.is_none() {
+            slot = self.state.cv.wait(slot).unwrap();
+        }
+        slot.take().expect("loop exits only when the slot is filled")
+    }
+}
+
+enum Backend {
+    /// Run jobs synchronously at submit time (1-thread resolution).
+    Inline,
+    /// Spawn onto the process-wide pool.
+    Global,
+    /// Spawn onto a caller-owned pool.
+    Owned(Arc<Pool>),
+}
+
+/// Submits jobs to a thread pool and hands back [`JobHandle`]s.
+pub struct JobQueue {
+    backend: Backend,
+}
+
+impl JobQueue {
+    /// A queue on the runtime's default execution: inline synchronous
+    /// jobs when [`crate::effective_parallelism`] is 1 (exact sequential
+    /// behaviour), otherwise the shared global pool.
+    pub fn new() -> Self {
+        let backend = if crate::effective_parallelism() == 1 {
+            Backend::Inline
+        } else {
+            Backend::Global
+        };
+        JobQueue { backend }
+    }
+
+    /// A queue that always spawns onto `pool`, regardless of the
+    /// process-wide thread settings.
+    pub fn on(pool: Arc<Pool>) -> Self {
+        JobQueue { backend: Backend::Owned(pool) }
+    }
+
+    /// Submits a job. The closure is attempted up to `1 + retries` times
+    /// per its [`JobSpec`]; the handle resolves to the first `Ok`, or to
+    /// the final attempt's error.
+    pub fn submit<T, F>(&self, spec: JobSpec, job: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: Fn(&JobContext) -> Result<T, String> + Send + 'static,
+    {
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(JobState {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+            cancelled: Arc::clone(&cancelled),
+        });
+        let handle = JobHandle { label: spec.label.clone(), state: Arc::clone(&state) };
+        let submitted = Instant::now();
+        let run = move || state.publish(run_attempts(&spec, &cancelled, submitted, &job));
+        match &self.backend {
+            Backend::Inline => run(),
+            Backend::Global => crate::global_pool().spawn(run),
+            Backend::Owned(pool) => pool.spawn(run),
+        }
+        handle
+    }
+}
+
+impl Default for JobQueue {
+    fn default() -> Self {
+        JobQueue::new()
+    }
+}
+
+fn run_attempts<T, F>(
+    spec: &JobSpec,
+    cancelled: &Arc<AtomicBool>,
+    submitted: Instant,
+    job: &F,
+) -> Result<T, JobError>
+where
+    F: Fn(&JobContext) -> Result<T, String>,
+{
+    let attempts = spec.retries + 1;
+    let mut last = JobError::Failed { attempts: 0, message: "job never attempted".into() };
+    for attempt in 1..=attempts {
+        if cancelled.load(Ordering::SeqCst) {
+            return Err(JobError::Cancelled);
+        }
+        if let Some(deadline) = spec.deadline {
+            if submitted.elapsed() > deadline {
+                return Err(JobError::DeadlineExceeded);
+            }
+        }
+        let ctx = JobContext { cancelled: Arc::clone(cancelled), attempt };
+        match catch_unwind(AssertUnwindSafe(|| job(&ctx))) {
+            Ok(Ok(value)) => return Ok(value),
+            Ok(Err(message)) => last = JobError::Failed { attempts: attempt, message },
+            Err(payload) => last = JobError::Panicked(panic_message(payload.as_ref())),
+        }
+    }
+    Err(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn submitted_job_resolves_with_value() {
+        let queue = JobQueue::new();
+        let handle = queue.submit(JobSpec::new().label("answer"), |_| Ok(42u32));
+        assert_eq!(handle.label(), "answer");
+        assert_eq!(handle.join(), Ok(42));
+    }
+
+    #[test]
+    fn failing_job_is_retried_then_reports_attempts() {
+        let queue = JobQueue::on(Arc::new(Pool::new(1)));
+        let tries = Arc::new(AtomicU32::new(0));
+        let tries_in = Arc::clone(&tries);
+        let handle = queue.submit(JobSpec::new().retries(2), move |ctx| {
+            tries_in.fetch_add(1, Ordering::SeqCst);
+            Err::<(), _>(format!("attempt {}", ctx.attempt()))
+        });
+        assert_eq!(
+            handle.join(),
+            Err(JobError::Failed { attempts: 3, message: "attempt 3".into() })
+        );
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_failure() {
+        let queue = JobQueue::on(Arc::new(Pool::new(1)));
+        let handle = queue.submit(JobSpec::new().retries(3), move |ctx| {
+            if ctx.attempt() < 3 {
+                Err("transient".into())
+            } else {
+                Ok(ctx.attempt())
+            }
+        });
+        assert_eq!(handle.join(), Ok(3));
+    }
+
+    #[test]
+    fn panic_in_job_surfaces_as_error() {
+        let queue = JobQueue::on(Arc::new(Pool::new(1)));
+        let handle = queue.submit(JobSpec::new(), |_| -> Result<(), String> {
+            panic!("boom in job");
+        });
+        match handle.join() {
+            Err(JobError::Panicked(msg)) => assert!(msg.contains("boom in job")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elapsed_deadline_blocks_further_attempts() {
+        let queue = JobQueue::on(Arc::new(Pool::new(1)));
+        let handle = queue.submit(
+            JobSpec::new().retries(100).deadline(Duration::from_millis(5)),
+            |_| -> Result<(), String> {
+                std::thread::sleep(Duration::from_millis(10));
+                Err("keep retrying".into())
+            },
+        );
+        assert_eq!(handle.join(), Err(JobError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancellation_between_attempts_stops_the_job() {
+        let queue = JobQueue::new();
+        // Inline/global either way: cancel before the retry loop re-enters.
+        let handle = queue.submit(JobSpec::new(), |_| Ok(1u8));
+        // Already resolved (inline) or resolving; cancel after completion
+        // must not clobber the published value.
+        handle.cancel();
+        assert!(matches!(handle.join(), Ok(1) | Err(JobError::Cancelled)));
+    }
+}

@@ -127,33 +127,41 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
     let stride = geom.stride;
     let (pad_y, pad_x) = (geom.padding_h as isize, geom.padding_w as isize);
 
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * patch;
-                let base_y = (oy * stride) as isize - pad_y;
-                let base_x = (ox * stride) as isize - pad_x;
-                for ci in 0..c {
-                    let chan = (ni * c + ci) * h * w;
-                    for ky in 0..kh {
-                        let iy = base_y + ky as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue; // row stays zero (padding)
-                        }
-                        let src_row = chan + iy as usize * w;
-                        let dst = row + (ci * kh + ky) * kw;
-                        for kx in 0..kw {
-                            let ix = base_x + kx as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
+    // Each sample's patch rows form one disjoint output block, so the
+    // unfold parallelizes over sample groups; every element is written by
+    // exactly one task, making the result worker-count independent.
+    let sample_block = oh * ow * patch;
+    let per = (32_768 / sample_block.max(1)).clamp(1, n.max(1));
+    sb_runtime::for_each_chunk_mut(&mut out, per * sample_block, |chunk, block| {
+        for (si, sample) in block.chunks_mut(sample_block).enumerate() {
+            let ni = chunk * per + si;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (oy * ow + ox) * patch;
+                    let base_y = (oy * stride) as isize - pad_y;
+                    let base_x = (ox * stride) as isize - pad_x;
+                    for ci in 0..c {
+                        let chan = (ni * c + ci) * h * w;
+                        for ky in 0..kh {
+                            let iy = base_y + ky as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue; // row stays zero (padding)
                             }
-                            out[dst + kx] = data[src_row + ix as usize];
+                            let src_row = chan + iy as usize * w;
+                            let dst = row + (ci * kh + ky) * kw;
+                            for kx in 0..kw {
+                                let ix = base_x + kx as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                sample[dst + kx] = data[src_row + ix as usize];
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n * oh * ow, patch]).expect("shape computed above")
 }
 
@@ -181,33 +189,41 @@ pub fn col2im(cols: &Tensor, n: usize, geom: &Conv2dGeometry) -> Tensor {
     let stride = geom.stride;
     let (pad_y, pad_x) = (geom.padding_h as isize, geom.padding_w as isize);
 
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * patch;
-                let base_y = (oy * stride) as isize - pad_y;
-                let base_x = (ox * stride) as isize - pad_x;
-                for ci in 0..c {
-                    let chan = (ni * c + ci) * h * w;
-                    for ky in 0..kh {
-                        let iy = base_y + ky as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let dst_row = chan + iy as usize * w;
-                        let src = row + (ci * kh + ky) * kw;
-                        for kx in 0..kw {
-                            let ix = base_x + kx as isize;
-                            if ix < 0 || ix >= w as isize {
+    // Overlapping windows only collide *within* a sample, never across
+    // samples, so the fold parallelizes over sample groups; within each
+    // sample the accumulation order matches the sequential loop exactly.
+    let sample_block = c * h * w;
+    let per = (32_768 / sample_block.max(1)).clamp(1, n.max(1));
+    sb_runtime::for_each_chunk_mut(&mut out, per * sample_block, |chunk, block| {
+        for (si, sample) in block.chunks_mut(sample_block).enumerate() {
+            let ni = chunk * per + si;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((ni * oh + oy) * ow + ox) * patch;
+                    let base_y = (oy * stride) as isize - pad_y;
+                    let base_x = (ox * stride) as isize - pad_x;
+                    for ci in 0..c {
+                        let chan = ci * h * w;
+                        for ky in 0..kh {
+                            let iy = base_y + ky as isize;
+                            if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            out[dst_row + ix as usize] += data[src + kx];
+                            let dst_row = chan + iy as usize * w;
+                            let src = row + (ci * kh + ky) * kw;
+                            for kx in 0..kw {
+                                let ix = base_x + kx as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                sample[dst_row + ix as usize] += data[src + kx];
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, c, h, w]).expect("shape computed above")
 }
 

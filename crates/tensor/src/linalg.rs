@@ -3,8 +3,22 @@
 //! A cache-friendly `ikj` loop order with a transposed-operand variant; no
 //! unsafe, no SIMD intrinsics. These are the hot kernels for both linear
 //! layers and (via im2col) convolutions.
+//!
+//! The kernels parallelize over **disjoint blocks of output rows** via
+//! `sb_runtime::for_each_chunk_mut`. Each output element is still
+//! accumulated by exactly one task in the exact `kk`-ascending order the
+//! sequential loop uses, so results are bit-identical for any
+//! `SB_RUNTIME_THREADS`, including 1 (which runs the same blocks inline).
 
 use crate::tensor::Tensor;
+
+/// Output rows per parallel task, targeting ~32k mul-adds per task so
+/// tiny matrices stay single-chunk (inline) and large ones split evenly.
+/// Depends only on the problem shape — never on the worker count — which
+/// is what keeps chunk boundaries (and thus results) deterministic.
+fn rows_per_task(work_per_row: usize, m: usize) -> usize {
+    (32_768 / work_per_row.max(1)).clamp(1, m.max(1))
+}
 
 impl Tensor {
     /// Matrix product of two 2-D tensors: `[m, k] × [k, n] → [m, n]`.
@@ -26,21 +40,25 @@ impl Tensor {
         let mut out = vec![0.0f32; m * n];
         let a = self.data();
         let b = rhs.data();
+        let rows_per = rows_per_task(k * n, m);
         // ikj order: the innermost loop walks both `b` and `out` rows
         // contiguously, which is what keeps this usable on CPU.
-        for i in 0..m {
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for kk in 0..k {
-                let aik = a[i * k + kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * bv;
+        sb_runtime::for_each_chunk_mut(&mut out, rows_per * n, |ci, block| {
+            let row0 = ci * rows_per;
+            for (r, out_row) in block.chunks_mut(n).enumerate() {
+                let i = row0 + r;
+                for kk in 0..k {
+                    let aik = a[i * k + kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += aik * bv;
+                    }
                 }
             }
-        }
+        });
         Tensor::from_vec(out, &[m, n]).expect("shape computed above")
     }
 
@@ -66,17 +84,21 @@ impl Tensor {
         let mut out = vec![0.0f32; m * n];
         let a = self.data();
         let b = rhs.data();
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
+        let rows_per = rows_per_task(k * n, m);
+        sb_runtime::for_each_chunk_mut(&mut out, rows_per * n, |ci, block| {
+            let row0 = ci * rows_per;
+            for (r, out_row) in block.chunks_mut(n).enumerate() {
+                let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in a_row.iter().zip(b_row) {
+                        acc += av * bv;
+                    }
+                    *o = acc;
                 }
-                out[i * n + j] = acc;
             }
-        }
+        });
         Tensor::from_vec(out, &[m, n]).expect("shape computed above")
     }
 
@@ -102,19 +124,25 @@ impl Tensor {
         let mut out = vec![0.0f32; m * n];
         let a = self.data();
         let b = rhs.data();
-        for kk in 0..k {
-            let a_row = &a[kk * m..(kk + 1) * m];
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (i, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
+        let rows_per = rows_per_task(k * n, m);
+        // Each task owns a block of output rows and walks `kk` ascending,
+        // reading `a` column-wise — the same per-element accumulation
+        // order as the sequential kk-outer loop, restricted to its rows.
+        sb_runtime::for_each_chunk_mut(&mut out, rows_per * n, |ci, block| {
+            let row0 = ci * rows_per;
+            for kk in 0..k {
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (r, out_row) in block.chunks_mut(n).enumerate() {
+                    let av = a[kk * m + row0 + r];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
                 }
             }
-        }
+        });
         Tensor::from_vec(out, &[m, n]).expect("shape computed above")
     }
 

@@ -87,15 +87,23 @@ impl Tensor {
         assert_eq!(self.shape().ndim(), 2, "topk_rows requires 2-D input");
         let (n, c) = (self.dim(0), self.dim(1));
         assert!(k <= c, "k={k} exceeds row width {c}");
-        (0..n)
-            .map(|i| {
+        // Per-row sorts are independent; fan out over fixed 64-row blocks
+        // and flatten in block order (row order is preserved exactly).
+        sb_runtime::map_chunks(n, 64, |rows| {
+            rows.map(|i| {
                 let row = &self.data()[i * c..(i + 1) * c];
                 let mut idx: Vec<usize> = (0..c).collect();
-                idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
+                idx.sort_by(|&a, &b| {
+                    row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal)
+                });
                 idx.truncate(k);
                 idx
             })
-            .collect()
+            .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Sum over axis 0 of a 2-D tensor: `[n, c] → [c]`.

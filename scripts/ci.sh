@@ -16,4 +16,11 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
 cargo build --release --offline
-cargo test -q --offline
+
+# The suite runs twice: once pinned to one runtime thread (exact inline
+# sequential execution) and once on four workers. sb-runtime's contract
+# is that results are bit-identical either way — the determinism tests
+# compare serialized bytes, so any scheduling-dependent result fails
+# tier-1 here rather than in a figure.
+SB_RUNTIME_THREADS=1 cargo test -q --offline
+SB_RUNTIME_THREADS=4 cargo test -q --offline

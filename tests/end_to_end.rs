@@ -251,3 +251,44 @@ fn metrics_json_is_bit_identical_across_reruns() {
     let parsed: shrinkbench::PruneFinetuneResult = sb_json::from_str(&first).unwrap();
     assert_eq!(sb_json::to_string_pretty(&parsed).unwrap(), first);
 }
+
+/// The runtime's determinism contract, end to end: the same prune +
+/// fine-tune grid run on one thread and on four must serialize to
+/// byte-identical metrics JSON. Work decomposition and result commit
+/// order are fixed by the problem shape, so the worker count can only
+/// change scheduling — never a single bit of output.
+#[test]
+fn metrics_json_is_bit_identical_across_thread_counts() {
+    let grid = |threads: usize| {
+        sb_runtime::set_thread_override(Some(threads));
+        let config = ExperimentConfig {
+            id: "threads-determinism".to_string(),
+            dataset: DatasetKind::MnistLike,
+            data_scale: 16,
+            data_seed: 5,
+            model: ModelKind::Lenet300_100,
+            strategies: vec![StrategyKind::GlobalMagnitude],
+            compressions: vec![2.0, 4.0],
+            seeds: vec![1, 2],
+            pretrain: PretrainConfig {
+                epochs: 2,
+                patience: None,
+                ..PretrainConfig::default()
+            },
+            finetune: FinetuneConfig {
+                epochs: 1,
+                patience: None,
+                ..FinetuneConfig::default()
+            },
+        };
+        let records = ExperimentRunner::default().run(&config);
+        sb_runtime::set_thread_override(None);
+        sb_json::to_string_pretty(&records).unwrap()
+    };
+    let sequential = grid(1);
+    let parallel = grid(4);
+    assert_eq!(
+        sequential, parallel,
+        "worker count must not change serialized grid metrics"
+    );
+}
