@@ -1,12 +1,18 @@
 //! Realized vs theoretical speedup: wall-clock of the actual CSR sparse
-//! kernel against the dense matmul, across sparsity levels.
+//! kernel against the dense matmul, across sparsity levels — and of whole
+//! compiled models (`sb-infer`) against their dense-compiled baselines.
 //!
 //! The paper's "theoretical speedup" metric assumes unstructured sparsity
 //! is exploited perfectly; Section 2.1 warns it is not. These benchmarks
 //! measure how much of the theoretical speedup the real kernel delivers.
+//! All measurements are written to `BENCH_infer.json` at the repository
+//! root so the numbers travel with the code.
 
 use sb_bench::timer::Timer;
+use sb_infer::{CompileOptions, CompiledModel, ExecFormat};
 use sb_tensor::{Rng, SparseMatrix, Tensor};
+use shrinkbench::structured::FilterNorm;
+use shrinkbench::{GlobalMagnitude, Pruner};
 
 fn random_sparse(rows: usize, cols: usize, density: f64, seed: u64) -> Tensor {
     let mut rng = Rng::seed_from(seed);
@@ -37,8 +43,66 @@ fn bench_realized_speedup(c: &mut Timer) {
     group.finish();
 }
 
+/// Compiles `net` twice — cost-model formats and forced-dense — and
+/// benches both forwards on the same batch.
+fn bench_compiled_pair(c: &mut Timer, group_name: &str, net: &sb_nn::models::Model, x: &Tensor) {
+    let auto = CompiledModel::compile(net, &CompileOptions::default());
+    let dense = CompiledModel::compile(
+        net,
+        &CompileOptions {
+            force_format: Some(ExecFormat::Dense),
+            ..CompileOptions::default()
+        },
+    );
+    let formats: Vec<&str> = auto.plans().iter().map(|p| p.format.label()).collect();
+    eprintln!(
+        "{group_name}: formats {formats:?}, theoretical {:.2}x, storage {} -> {} bytes",
+        auto.dense_macs() as f64 / auto.effective_macs().max(1) as f64,
+        dense.storage_bytes(),
+        auto.storage_bytes()
+    );
+    let mut group = c.benchmark_group(group_name);
+    group.bench_function("dense-compiled", |b| {
+        b.iter(|| std::hint::black_box(dense.forward(x)))
+    });
+    group.bench_function("auto-compiled", |b| {
+        b.iter(|| std::hint::black_box(auto.forward(x)))
+    });
+    group.finish();
+}
+
+/// End-to-end compiled models: unstructured 16× on an FC network (the CSR
+/// path) and structured 4× on LeNet-5 (the shrunk-dense path).
+fn bench_compiled_models(c: &mut Timer) {
+    let mut rng = Rng::seed_from(0xBE7C);
+
+    let mut fc = sb_nn::models::lenet_300_100(256, 10, &mut rng);
+    Pruner::default()
+        .prune(&mut fc, &GlobalMagnitude, 16.0, &mut rng)
+        .expect("pruning a fresh network succeeds");
+    let x = Tensor::rand_normal(&[64, 256], 0.0, 1.0, &mut rng);
+    bench_compiled_pair(c, "infer-fc256-16x-unstructured", &fc, &x);
+
+    let mut conv = sb_nn::models::lenet5(1, 16, 10, &mut rng);
+    Pruner::default()
+        .prune(&mut conv, &FilterNorm, 4.0, &mut rng)
+        .expect("pruning a fresh network succeeds");
+    let x = Tensor::rand_normal(&[64, 1, 16, 16], 0.0, 1.0, &mut rng);
+    bench_compiled_pair(c, "infer-lenet5-4x-structured", &conv, &x);
+}
+
 fn main() {
     let mut timer = Timer::new();
     bench_realized_speedup(&mut timer);
+    bench_compiled_models(&mut timer);
     timer.finish();
+
+    // Persist the measurements so the repo carries its own numbers.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_infer.json");
+    let json = sb_json::to_string_pretty(&timer.results().to_vec())
+        .expect("measurements serialize");
+    std::fs::write(&out, json + "\n").expect("write BENCH_infer.json");
+    eprintln!("wrote {}", out.display());
 }

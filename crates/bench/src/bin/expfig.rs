@@ -44,6 +44,7 @@ const ARTIFACTS: &[(&str, &str)] = &[
     ("metrics-ambiguity", "Section 5.2: one model under every metric convention"),
     ("hygiene", "Sections 4.3-6: reporting hygiene of the 37 reporting papers"),
     ("realized-speedup", "Section 2.1: realized (CSR wall-clock) vs theoretical speedup"),
+    ("inference-speedup", "Section 2.1/Fig 6: theoretical vs realized speedup of compiled models"),
     ("sparsity-profile", "Mechanism: per-layer sparsity under Global vs Layerwise ranking"),
     ("checklist", "Appendix B checklist applied to this suite"),
     ("mnist-saturation", "Motivation: MNIST-like results saturate (Section 4.2)"),
@@ -278,6 +279,7 @@ fn render_to_string(id: &str, scale: Scale, paths: &OutputPaths) -> String {
         "metrics-ambiguity" => metrics_ambiguity(paths),
         "hygiene" => hygiene(paths),
         "realized-speedup" => sb_bench::figures::realized_speedup(paths),
+        "inference-speedup" => sb_bench::figures::inference_speedup(scale, paths),
         "sparsity-profile" => sb_bench::figures::sparsity_profile(paths),
         "checklist" => checklist_artifact(scale, paths),
         "mnist-saturation" => experiment_figure(

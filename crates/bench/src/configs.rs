@@ -352,6 +352,22 @@ pub fn experiment_config(id: &str, scale: Scale) -> Option<ExperimentConfig> {
             cfg.seeds = scale.seeds(&[1, 2]);
             cfg
         }
+        "realized-inference" => {
+            // Backs the theoretical-vs-realized speedup panel: LeNet-5 is
+            // small enough to sweep quickly yet mixes convolutions and
+            // linear layers, so both CSR (unstructured) and shrunk-dense
+            // (structured) compilation paths engage.
+            let mut cfg = cifar_experiment(
+                id,
+                ModelKind::Lenet5,
+                2,
+                scale,
+                vec![StrategyKind::GlobalMagnitude, StrategyKind::FilterNorm],
+                &[1.0, 2.0, 4.0, 16.0],
+            );
+            cfg.seeds = scale.seeds(&[1, 2]);
+            cfg
+        }
         "mnist-saturation" => {
             let mut cfg = cifar_experiment(
                 id,
@@ -373,7 +389,7 @@ pub fn experiment_config(id: &str, scale: Scale) -> Option<ExperimentConfig> {
 mod tests {
     use super::*;
 
-    const ALL_IDS: [&str; 13] = [
+    const ALL_IDS: [&str; 14] = [
         "cifar-vgg",
         "resnet20",
         "resnet56",
@@ -386,6 +402,7 @@ mod tests {
         "ablation-classifier-excluded",
         "ablation-classifier-included",
         "ablation-structured",
+        "realized-inference",
         "mnist-saturation",
     ];
 

@@ -14,6 +14,7 @@
 //! tunable via `SB_BENCH_WARMUP_MS` and `SB_BENCH_BUDGET_MS` so CI can
 //! run the benches as smoke tests in milliseconds.
 
+use sb_json::json_struct;
 use std::time::{Duration, Instant};
 
 /// Mirror of Criterion's batch-size hint. The harness sizes batches by
@@ -46,6 +47,8 @@ pub struct Measurement {
     /// Total iterations timed.
     pub iterations: u64,
 }
+
+json_struct!(Measurement { id, ns_per_iter, iterations });
 
 impl Measurement {
     fn human_time(&self) -> String {

@@ -211,6 +211,8 @@ mod tests {
             top1_before_finetune: 0.5,
             pretrain_top1: 0.92,
             pretrain_top5: 0.99,
+            realized_speedup: None,
+            latency_us: None,
         }
     }
 

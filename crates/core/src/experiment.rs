@@ -316,6 +316,14 @@ pub struct RunRecord {
     pub pretrain_top1: f32,
     /// Pretrained model's validation Top-5.
     pub pretrain_top5: f32,
+    /// Wall-clock speedup of the `sb-infer`-compiled pruned model over
+    /// the dense-compiled baseline; `None` when the runner did not
+    /// measure latency (the default — timing is machine-dependent and
+    /// would break record-level reproducibility).
+    pub realized_speedup: Option<f64>,
+    /// Median compiled-forward latency per evaluation batch, in
+    /// microseconds; `None` when latency was not measured.
+    pub latency_us: Option<f64>,
 }
 
 json_struct!(RunRecord {
@@ -329,7 +337,9 @@ json_struct!(RunRecord {
     top5,
     top1_before_finetune,
     pretrain_top1,
-    pretrain_top5
+    pretrain_top5,
+    realized_speedup,
+    latency_us
 });
 
 /// Mean ± std summary of one (strategy, compression) cell across seeds.
@@ -347,9 +357,23 @@ pub struct CellSummary {
     pub top1: MeanStd,
     /// Top-5 after fine-tuning.
     pub top5: MeanStd,
+    /// Realized (wall-clock) speedup across the seeds that measured it;
+    /// `None` when no record in the cell carries latency data.
+    pub realized_speedup: Option<MeanStd>,
+    /// Median compiled-forward latency across measuring seeds (µs).
+    pub latency_us: Option<MeanStd>,
 }
 
-json_struct!(CellSummary { strategy, target_compression, compression, speedup, top1, top5 });
+json_struct!(CellSummary {
+    strategy,
+    target_compression,
+    compression,
+    speedup,
+    top1,
+    top5,
+    realized_speedup,
+    latency_us
+});
 
 /// Executes experiment grids with JSON result caching.
 #[derive(Debug, Clone, Default)]
@@ -358,6 +382,12 @@ pub struct ExperimentRunner {
     pub cache_dir: Option<PathBuf>,
     /// Print per-cell progress to stderr.
     pub verbose: bool,
+    /// Also compile each pruned model with `sb-infer` and record its
+    /// wall-clock latency and realized speedup over a dense-compiled
+    /// baseline. Off by default: timings are machine-dependent, so
+    /// enabling this intentionally gives up byte-identical re-runs of
+    /// the record stream (the deterministic fields are unaffected).
+    pub measure_latency: bool,
 }
 
 struct CacheFile {
@@ -408,6 +438,7 @@ impl ExperimentRunner {
         ExperimentRunner {
             cache_dir: Some(dir.into()),
             verbose: false,
+            measure_latency: false,
         }
     }
 
@@ -581,6 +612,7 @@ impl ExperimentRunner {
                         fingerprint: fingerprint.clone(),
                         cell_path,
                         verbose: self.verbose,
+                        measure_latency: self.measure_latency,
                     };
                     let spec = JobSpec::new()
                         .label(format!("{}:cell-s{si}-c{ci}-r{wi}", config.id));
@@ -647,6 +679,7 @@ struct CellJob {
     fingerprint: String,
     cell_path: Option<PathBuf>,
     verbose: bool,
+    measure_latency: bool,
 }
 
 impl CellJob {
@@ -680,6 +713,11 @@ impl CellJob {
                 t.elapsed()
             );
         }
+        let (realized_speedup, latency_us) = if self.measure_latency {
+            self.measure_realized(&net)
+        } else {
+            (None, None)
+        };
         let record = RunRecord {
             experiment: self.id.clone(),
             strategy: strategy.label(),
@@ -692,6 +730,8 @@ impl CellJob {
             top1_before_finetune: result.before_finetune.top1,
             pretrain_top1: self.pre_metrics.top1,
             pretrain_top5: self.pre_metrics.top5,
+            realized_speedup,
+            latency_us,
         };
         if let Some(path) = &self.cell_path {
             let cell = CellCacheFile {
@@ -703,6 +743,44 @@ impl CellJob {
             }
         }
         Ok(record)
+    }
+
+    /// Compiles the pruned model with `sb-infer` (cost-model formats) and
+    /// a dense-compiled baseline, then times both over one validation
+    /// batch: `(realized speedup, median latency in µs)`.
+    fn measure_realized(&self, net: &sb_nn::models::Model) -> (Option<f64>, Option<f64>) {
+        let batch = batches_of(
+            &self.data,
+            Split::Val,
+            64,
+            None,
+            self.model.flatten_input(),
+        )
+        .into_iter()
+        .next();
+        let Some((x, _)) = batch else {
+            return (None, None);
+        };
+        let compiled =
+            sb_infer::CompiledModel::compile(net, &sb_infer::CompileOptions::default());
+        let dense = sb_infer::CompiledModel::compile(
+            net,
+            &sb_infer::CompileOptions {
+                force_format: Some(sb_infer::ExecFormat::Dense),
+                ..sb_infer::CompileOptions::default()
+            },
+        );
+        let profile = sb_metrics::RealizedProfile::measure(
+            5,
+            compiled.storage_bytes(),
+            || {
+                compiled.forward(&x);
+            },
+            || {
+                dense.forward(&x);
+            },
+        );
+        (Some(profile.realized_speedup), Some(profile.latency_us))
     }
 }
 
@@ -725,6 +803,14 @@ pub fn summarize(records: &[RunRecord]) -> Vec<CellSummary> {
             let f = |g: &dyn Fn(&RunRecord) -> f64| {
                 mean_std(&cell.iter().map(|r| g(r)).collect::<Vec<_>>())
             };
+            let opt = |g: &dyn Fn(&RunRecord) -> Option<f64>| {
+                let xs: Vec<f64> = cell.iter().filter_map(|r| g(r)).collect();
+                if xs.is_empty() {
+                    None
+                } else {
+                    Some(mean_std(&xs))
+                }
+            };
             CellSummary {
                 strategy: strategy.clone(),
                 target_compression: *compression,
@@ -732,6 +818,8 @@ pub fn summarize(records: &[RunRecord]) -> Vec<CellSummary> {
                 speedup: f(&|r| r.speedup),
                 top1: f(&|r| r.top1 as f64),
                 top5: f(&|r| r.top5 as f64),
+                realized_speedup: opt(&|r| r.realized_speedup),
+                latency_us: opt(&|r| r.latency_us),
             }
         })
         .collect()
@@ -780,6 +868,34 @@ mod tests {
         let a = runner.run(&tiny_config("t2"));
         let b = runner.run(&tiny_config("t2"));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn measure_latency_populates_realized_fields() {
+        let mut config = tiny_config("t-latency");
+        config.strategies = vec![StrategyKind::GlobalMagnitude];
+        config.compressions = vec![4.0];
+        config.seeds = vec![1];
+        let runner = ExperimentRunner {
+            measure_latency: true,
+            ..ExperimentRunner::default()
+        };
+        let records = runner.run(&config);
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        let realized = r.realized_speedup.expect("measured realized speedup");
+        let latency = r.latency_us.expect("measured latency");
+        assert!(realized > 0.0 && realized.is_finite());
+        assert!(latency > 0.0 && latency.is_finite());
+        let cells = summarize(&records);
+        assert_eq!(cells[0].realized_speedup.as_ref().map(|m| m.n), Some(1));
+        // The default runner leaves the optional fields empty, keeping
+        // the record stream byte-identical run to run.
+        let plain = ExperimentRunner::default().run(&config);
+        assert_eq!(plain[0].realized_speedup, None);
+        assert_eq!(plain[0].latency_us, None);
+        let plain_cells = summarize(&plain);
+        assert!(plain_cells[0].realized_speedup.is_none());
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Batched, allocation-reused execution of compiled plans.
+//!
+//! [`CompiledModel::forward`] splits the batch into fixed-size blocks and
+//! runs each block on one `sb-runtime` worker with its own preplanned
+//! [`Scratch`] buffers. Per-sample arithmetic never crosses block
+//! boundaries and every kernel visits its inputs in a fixed index order,
+//! so the logits are byte-identical for any `SB_RUNTIME_THREADS` value.
+//!
+//! Each kernel replicates the floating-point operation order of the
+//! corresponding eval-mode layer in `sb-nn` (im2col unfold order, k-
+//! ascending dot products, bias added after the full accumulation,
+//! unfused batch-norm arithmetic), so a dense-compiled model reproduces
+//! `Model::forward` exactly, not just approximately.
+
+use crate::compile::CompiledModel;
+use crate::plan::{FeatureShape, Kernel, Planned, Step};
+use sb_tensor::{Conv2dGeometry, Tensor};
+
+/// Per-worker scratch: activation ping-pong buffers, a residual stash,
+/// and conv im2col/row staging, all sized once for the worst-case layer.
+struct Scratch {
+    cur: Vec<f32>,
+    tmp: Vec<f32>,
+    res: Vec<f32>,
+    patch: Vec<f32>,
+    rows: Vec<f32>,
+}
+
+impl Scratch {
+    fn new(block: usize, m: &CompiledModel) -> Scratch {
+        Scratch {
+            cur: vec![0.0; block * m.max_act],
+            tmp: vec![0.0; block * m.max_act],
+            res: vec![0.0; block * m.max_act],
+            patch: vec![0.0; block * m.max_patch],
+            rows: vec![0.0; block * m.max_rows],
+        }
+    }
+}
+
+impl CompiledModel {
+    /// Runs the compiled plan over a batch, returning `[n, classes]`
+    /// logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`'s shape does not match the plan's input shape.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let n = if x.shape().ndim() == 0 { 0 } else { x.dim(0) };
+        match self.input_shape {
+            FeatureShape::Flat { d } => assert_eq!(
+                x.dims(),
+                &[n, d],
+                "compiled model expects flat [n, {d}] input"
+            ),
+            FeatureShape::Image { c, h, w } => assert_eq!(
+                x.dims(),
+                &[n, c, h, w],
+                "compiled model expects image [n, {c}, {h}, {w}] input"
+            ),
+        }
+        let in_numel = self.input_shape.numel();
+        let classes = self.classes;
+        let mut out = vec![0.0f32; n * classes];
+        if out.is_empty() {
+            return Tensor::from_vec(out, &[n, classes]).expect("empty logits");
+        }
+        let xd = x.data();
+        let block = self.batch_block;
+        sb_runtime::for_each_chunk_mut(&mut out, block * classes, |ci, out_block| {
+            let s0 = ci * block;
+            let b = out_block.len() / classes;
+            let mut s = Scratch::new(b, self);
+            s.cur[..b * in_numel]
+                .copy_from_slice(&xd[s0 * in_numel..(s0 + b) * in_numel]);
+            let Scratch {
+                cur,
+                tmp,
+                res,
+                patch,
+                rows,
+            } = &mut s;
+            apply_chain(&self.steps, b, cur, tmp, res, patch, rows);
+            out_block.copy_from_slice(&cur[..b * classes]);
+        });
+        Tensor::from_vec(out, &[n, classes]).expect("logit shape")
+    }
+}
+
+/// Applies a step chain to `cur` in place (via ping-pong with `tmp`).
+fn apply_chain(
+    steps: &[Planned],
+    b: usize,
+    cur: &mut Vec<f32>,
+    tmp: &mut Vec<f32>,
+    res: &mut Vec<f32>,
+    patch: &mut Vec<f32>,
+    rows: &mut Vec<f32>,
+) {
+    for p in steps {
+        apply_step(p, b, cur, tmp, res, patch, rows);
+    }
+}
+
+fn apply_step(
+    p: &Planned,
+    b: usize,
+    cur: &mut Vec<f32>,
+    tmp: &mut Vec<f32>,
+    res: &mut Vec<f32>,
+    patch: &mut Vec<f32>,
+    rows: &mut Vec<f32>,
+) {
+    match &p.step {
+        Step::Relu => {
+            for v in &mut cur[..b * p.out_shape.numel()] {
+                *v = v.max(0.0);
+            }
+        }
+        Step::BatchNorm {
+            gamma,
+            beta,
+            mean,
+            var,
+            eps,
+        } => {
+            let FeatureShape::Image { c, h, w } = p.in_shape else {
+                panic!("batch norm requires image features");
+            };
+            let spatial = h * w;
+            for ci in 0..c {
+                let m = mean[ci];
+                let istd = 1.0 / (var[ci] + eps).sqrt();
+                let g = gamma[ci];
+                let bb = beta[ci];
+                for ni in 0..b {
+                    let base = (ni * c + ci) * spatial;
+                    for v in &mut cur[base..base + spatial] {
+                        *v = g * (*v - m) * istd + bb;
+                    }
+                }
+            }
+        }
+        Step::Matmul { kernel, bias } => {
+            let in_d = p.in_shape.numel();
+            let out_d = p.out_shape.numel();
+            matmul_rows(kernel, bias, &cur[..b * in_d], in_d, &mut tmp[..b * out_d]);
+            std::mem::swap(cur, tmp);
+        }
+        Step::Conv {
+            kernel,
+            bias,
+            geom,
+            out_c,
+        } => {
+            let (oh, ow) = (geom.out_h(), geom.out_w());
+            let spatial = oh * ow;
+            let plen = geom.patch_len();
+            im2col_block(&cur[..b * geom.in_channels * geom.in_h * geom.in_w], b, geom, &mut patch[..b * spatial * plen]);
+            matmul_rows(
+                kernel,
+                bias,
+                &patch[..b * spatial * plen],
+                plen,
+                &mut rows[..b * spatial * out_c],
+            );
+            rows_to_nchw(
+                &rows[..b * spatial * out_c],
+                b,
+                *out_c,
+                spatial,
+                &mut tmp[..b * out_c * spatial],
+            );
+            std::mem::swap(cur, tmp);
+        }
+        Step::MaxPool { kernel, stride } => {
+            pool_block(p, b, cur, tmp, *kernel, *stride, true);
+            std::mem::swap(cur, tmp);
+        }
+        Step::AvgPool { kernel, stride } => {
+            pool_block(p, b, cur, tmp, *kernel, *stride, false);
+            std::mem::swap(cur, tmp);
+        }
+        Step::Residual { main, shortcut } => {
+            let in_len = b * p.in_shape.numel();
+            let out_len = b * p.out_shape.numel();
+            // Stash the block input; residual bodies contain no nested
+            // residual (the compiler guarantees it), so `res` is free to
+            // serve as the shortcut's activation buffer.
+            let mut short = std::mem::take(res);
+            short[..in_len].copy_from_slice(&cur[..in_len]);
+            apply_chain(main, b, cur, tmp, res, patch, rows);
+            apply_chain(shortcut, b, &mut short, tmp, res, patch, rows);
+            for (o, &sv) in cur[..out_len].iter_mut().zip(&short[..out_len]) {
+                *o = (*o + sv).max(0.0);
+            }
+            *res = short;
+        }
+    }
+}
+
+/// `y[r] = x[r] · Wᵀ + bias` over `rows = len/in_d` rows, k-ascending.
+fn matmul_rows(kernel: &Kernel, bias: &[f32], x: &[f32], in_d: usize, y: &mut [f32]) {
+    let out_d = bias.len();
+    match kernel {
+        Kernel::Dense(w) => {
+            let wd = w.data();
+            for (xr, yr) in x.chunks_exact(in_d).zip(y.chunks_exact_mut(out_d)) {
+                for (j, o) in yr.iter_mut().enumerate() {
+                    let wr = &wd[j * in_d..(j + 1) * in_d];
+                    let mut acc = 0.0f32;
+                    for (&xv, &wv) in xr.iter().zip(wr) {
+                        acc += xv * wv;
+                    }
+                    *o = acc + bias[j];
+                }
+            }
+        }
+        Kernel::Csr(s) => {
+            for (xr, yr) in x.chunks_exact(in_d).zip(y.chunks_exact_mut(out_d)) {
+                for (j, o) in yr.iter_mut().enumerate() {
+                    let (cols, vals) = s.row(j);
+                    let mut acc = 0.0f32;
+                    for (&ci, &v) in cols.iter().zip(vals) {
+                        acc += v * xr[ci as usize];
+                    }
+                    *o = acc + bias[j];
+                }
+            }
+        }
+    }
+}
+
+/// Unfolds `b` contiguous `[c, h, w]` samples into `[b·oh·ow, patch]`
+/// rows — the same element order as `sb_tensor::im2col`.
+fn im2col_block(x: &[f32], b: usize, geom: &Conv2dGeometry, patch: &mut [f32]) {
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let (kh, kw) = (geom.kernel_h, geom.kernel_w);
+    let plen = geom.patch_len();
+    let stride = geom.stride;
+    let (pad_y, pad_x) = (geom.padding_h as isize, geom.padding_w as isize);
+    patch.fill(0.0);
+    let sample_block = oh * ow * plen;
+    for ni in 0..b {
+        let sample = &mut patch[ni * sample_block..(ni + 1) * sample_block];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (oy * ow + ox) * plen;
+                let base_y = (oy * stride) as isize - pad_y;
+                let base_x = (ox * stride) as isize - pad_x;
+                for ci in 0..c {
+                    let chan = (ni * c + ci) * h * w;
+                    for ky in 0..kh {
+                        let iy = base_y + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // stays zero (padding)
+                        }
+                        let src_row = chan + iy as usize * w;
+                        let dst = row + (ci * kh + ky) * kw;
+                        for kx in 0..kw {
+                            let ix = base_x + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            sample[dst + kx] = x[src_row + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reorders `[b·spatial, c]` rows into `[b, c, spatial]` images.
+fn rows_to_nchw(rows: &[f32], b: usize, c: usize, spatial: usize, out: &mut [f32]) {
+    for ni in 0..b {
+        for p in 0..spatial {
+            let row = (ni * spatial + p) * c;
+            for ci in 0..c {
+                out[(ni * c + ci) * spatial + p] = rows[row + ci];
+            }
+        }
+    }
+}
+
+/// Square-window pooling over `b` samples; `max` picks max vs. average.
+fn pool_block(
+    p: &Planned,
+    b: usize,
+    cur: &[f32],
+    tmp: &mut [f32],
+    kernel: usize,
+    stride: usize,
+    max: bool,
+) {
+    let FeatureShape::Image { c, h, w } = p.in_shape else {
+        panic!("pooling requires image features");
+    };
+    let FeatureShape::Image { h: oh, w: ow, .. } = p.out_shape else {
+        panic!("pooling produces image features");
+    };
+    let norm = 1.0 / (kernel * kernel) as f32;
+    for nc in 0..b * c {
+        let in_base = nc * h * w;
+        let out_base = nc * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let acc = if max {
+                    let mut best = f32::NEG_INFINITY;
+                    for ky in 0..kernel {
+                        let iy = oy * stride + ky;
+                        for kx in 0..kernel {
+                            let ix = ox * stride + kx;
+                            let v = cur[in_base + iy * w + ix];
+                            if v > best {
+                                best = v;
+                            }
+                        }
+                    }
+                    best
+                } else {
+                    let mut acc = 0.0f32;
+                    for ky in 0..kernel {
+                        let iy = oy * stride + ky;
+                        for kx in 0..kernel {
+                            acc += cur[in_base + iy * w + ox * stride + kx];
+                        }
+                    }
+                    acc * norm
+                };
+                tmp[out_base + oy * ow + ox] = acc;
+            }
+        }
+    }
+}

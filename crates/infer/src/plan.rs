@@ -1,0 +1,151 @@
+//! Compiled-model intermediate representation.
+//!
+//! Compilation lowers an eval-mode [`sb_nn::LayerSpec`] chain into a flat
+//! list of [`Planned`] steps. Each step records the per-sample feature
+//! shape flowing in and out, so the executor can preplan every scratch
+//! buffer once and never allocate inside the forward loop. Weight-bearing
+//! steps carry a [`Kernel`] in the storage format the cost model picked;
+//! the public [`LayerPlan`] mirrors that decision for reporting.
+
+use sb_tensor::{Conv2dGeometry, SparseMatrix, Tensor};
+
+/// Per-sample feature shape between two compiled steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureShape {
+    /// Channel-major image features `[c, h, w]`.
+    Image {
+        /// Channel count (physical — shrunk layers reduce this).
+        c: usize,
+        /// Spatial height.
+        h: usize,
+        /// Spatial width.
+        w: usize,
+    },
+    /// Flat features of dimension `d`.
+    Flat {
+        /// Feature dimension.
+        d: usize,
+    },
+}
+
+impl FeatureShape {
+    /// Elements per sample.
+    pub fn numel(&self) -> usize {
+        match *self {
+            FeatureShape::Image { c, h, w } => c * h * w,
+            FeatureShape::Flat { d } => d,
+        }
+    }
+}
+
+/// Storage format the cost model picked for a weight-bearing layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecFormat {
+    /// Row-major dense weights, copied verbatim from the model.
+    Dense,
+    /// Compressed sparse rows ([`SparseMatrix`]); wins when unstructured
+    /// pruning leaves few enough nonzeros to beat dense streaming.
+    Csr,
+    /// Physically smaller dense weights: rows zeroed by structured pruning
+    /// are dropped and the shrink propagates into the next layer's columns.
+    ShrunkDense,
+}
+
+impl ExecFormat {
+    /// Short label used by plans, reports, and benches.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecFormat::Dense => "dense",
+            ExecFormat::Csr => "csr",
+            ExecFormat::ShrunkDense => "shrunk",
+        }
+    }
+}
+
+/// A weight matrix in its chosen storage format.
+///
+/// Both variants describe the same logical `[out, in_cols]` operator;
+/// `ShrunkDense` layers use a `Dense` kernel that simply has fewer rows
+/// and/or columns than the original layer.
+#[derive(Debug, Clone)]
+pub(crate) enum Kernel {
+    /// Row-major `[out, in_cols]` matrix.
+    Dense(Tensor),
+    /// CSR `[out, in_cols]` matrix.
+    Csr(SparseMatrix),
+}
+
+impl Kernel {
+    pub(crate) fn out_features(&self) -> usize {
+        match self {
+            Kernel::Dense(t) => t.dim(0),
+            Kernel::Csr(s) => s.rows(),
+        }
+    }
+
+    /// Bytes needed to store the weight itself (excluding bias).
+    pub(crate) fn param_bytes(&self) -> usize {
+        match self {
+            Kernel::Dense(t) => t.data().len() * 4,
+            Kernel::Csr(s) => s.storage_bytes(),
+        }
+    }
+}
+
+/// One executable operation.
+#[derive(Debug, Clone)]
+pub(crate) enum Step {
+    /// `y = x · Wᵀ + b` on flat features.
+    Matmul { kernel: Kernel, bias: Vec<f32> },
+    /// im2col → `rows · Wᵀ + b` → NCHW reorder.
+    Conv {
+        kernel: Kernel,
+        bias: Vec<f32>,
+        geom: Conv2dGeometry,
+        out_c: usize,
+    },
+    /// Eval-mode batch norm with per-(physical-)channel parameters.
+    BatchNorm {
+        gamma: Vec<f32>,
+        beta: Vec<f32>,
+        mean: Vec<f32>,
+        var: Vec<f32>,
+        eps: f32,
+    },
+    /// In-place `max(0, x)`.
+    Relu,
+    /// Square-window max pooling.
+    MaxPool { kernel: usize, stride: usize },
+    /// Square-window average pooling.
+    AvgPool { kernel: usize, stride: usize },
+    /// `relu(main(x) + shortcut(x))`; empty shortcut means identity.
+    Residual {
+        main: Vec<Planned>,
+        shortcut: Vec<Planned>,
+    },
+}
+
+/// A step plus the feature shapes flowing through it.
+#[derive(Debug, Clone)]
+pub(crate) struct Planned {
+    pub step: Step,
+    pub in_shape: FeatureShape,
+    pub out_shape: FeatureShape,
+}
+
+/// Public compile report for one weight-bearing layer.
+#[derive(Debug, Clone)]
+pub struct LayerPlan {
+    /// Parameter base name (e.g. `"fc1"`, `"conv2"`).
+    pub name: String,
+    /// Storage format the cost model picked.
+    pub format: ExecFormat,
+    /// Multiply-accumulates per sample a dense execution of the *original*
+    /// layer would perform — the denominator of theoretical speedup.
+    pub dense_macs: u64,
+    /// Multiply-accumulates per sample the chosen format actually performs
+    /// (CSR counts stored nonzeros; shrunk counts surviving rows/columns).
+    pub effective_macs: u64,
+    /// Bytes the compiled weight + bias occupy.
+    pub storage_bytes: usize,
+}

@@ -1,0 +1,117 @@
+//! Shared fixtures for the sb-infer integration suites: the model zoo
+//! and minimal in-repo pruning helpers.
+//!
+//! The pruning helpers reimplement (in ~30 lines) the two strategies the
+//! engine specializes for — global magnitude (unstructured) and filter-L1
+//! (structured) — so these suites do not need the full `shrinkbench`
+//! strategy machinery, which lives downstream of this crate.
+
+// Each integration-test binary compiles this module independently and
+// uses a different subset of it.
+#![allow(dead_code)]
+
+use sb_nn::{models, models::Model, Network, ParamKind};
+use sb_tensor::{Rng, Tensor};
+
+/// Fresh instances of every architecture in `sb_nn::models`, sized small
+/// enough that the full parity matrix stays fast.
+pub fn zoo() -> Vec<(&'static str, Model)> {
+    let mut rng = Rng::seed_from(0xBEEF);
+    vec![
+        ("lenet_300_100", models::lenet_300_100(256, 10, &mut rng)),
+        ("lenet5", models::lenet5(1, 16, 10, &mut rng)),
+        ("cifar_vgg", models::cifar_vgg(3, 16, 10, 4, &mut rng)),
+        (
+            "cifar_vgg_variant",
+            models::cifar_vgg_variant(3, 16, 10, 4, &mut rng),
+        ),
+        ("resnet8", models::resnet_cifar(8, 3, 16, 10, 4, &mut rng)),
+        ("resnet18", models::resnet18(3, 16, 10, 4, &mut rng)),
+        ("mlp", models::mlp(64, &[48, 24], 10, &mut rng)),
+    ]
+}
+
+/// A deterministic input batch matching the model's expected shape.
+pub fn input_for(model: &Model, n: usize, seed: u64) -> Tensor {
+    let mut rng = Rng::seed_from(seed);
+    let spec = model.spec();
+    let dims = match sb_infer::CompiledModel::compile_specs(
+        &spec,
+        model.num_classes(),
+        &sb_infer::CompileOptions::default(),
+    )
+    .input_shape()
+    {
+        sb_infer::FeatureShape::Flat { d } => vec![n, d],
+        sb_infer::FeatureShape::Image { c, h, w } => vec![n, c, h, w],
+    };
+    Tensor::rand_normal(&dims, 0.0, 1.0, &mut rng)
+}
+
+/// Global magnitude pruning at `ratio`: keeps the largest-|w| fraction
+/// `1/ratio` of all prunable weights, across layers.
+pub fn prune_global_magnitude(model: &mut Model, ratio: f64) {
+    if ratio <= 1.0 {
+        return;
+    }
+    let mut mags: Vec<f32> = Vec::new();
+    model.visit_params_ref(&mut |p| {
+        if p.kind().prunable_by_default() {
+            mags.extend(p.value().data().iter().map(|v| v.abs()));
+        }
+    });
+    mags.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite weights"));
+    let keep = ((mags.len() as f64 / ratio).round() as usize).clamp(1, mags.len());
+    let threshold = mags[mags.len() - keep];
+    model.visit_params(&mut |p| {
+        if p.kind().prunable_by_default() {
+            let mask = p.value().map(|v| if v.abs() >= threshold { 1.0 } else { 0.0 });
+            p.set_mask(mask);
+        }
+    });
+}
+
+/// Filter-L1 structured pruning at `ratio`: per conv layer, zeroes whole
+/// weight rows (filters), keeping the `1/ratio` fraction with the largest
+/// L1 norm (always at least one).
+pub fn prune_filters_l1(model: &mut Model, ratio: f64) {
+    if ratio <= 1.0 {
+        return;
+    }
+    model.visit_params(&mut |p| {
+        if p.kind() != ParamKind::ConvWeight {
+            return;
+        }
+        let (rows, cols) = (p.value().dim(0), p.value().dim(1));
+        let data = p.value().data();
+        let mut by_l1: Vec<usize> = (0..rows).collect();
+        by_l1.sort_by(|&a, &b| {
+            let la: f32 = data[a * cols..(a + 1) * cols].iter().map(|v| v.abs()).sum();
+            let lb: f32 = data[b * cols..(b + 1) * cols].iter().map(|v| v.abs()).sum();
+            la.partial_cmp(&lb).expect("finite weights")
+        });
+        let keep = ((rows as f64 / ratio).round() as usize).clamp(1, rows);
+        let mut mask = vec![1.0f32; rows * cols];
+        for &r in &by_l1[..rows - keep] {
+            mask[r * cols..(r + 1) * cols].fill(0.0);
+        }
+        p.set_mask(Tensor::from_vec(mask, &[rows, cols]).expect("mask shape"));
+    });
+}
+
+/// Asserts two logit tensors agree within `tol` everywhere and produce
+/// identical argmax classes.
+pub fn assert_logits_close(dense: &Tensor, compiled: &Tensor, tol: f32, context: &str) {
+    assert_eq!(dense.dims(), compiled.dims(), "{context}: logit shapes");
+    for (i, (&a, &b)) in dense.data().iter().zip(compiled.data()).enumerate() {
+        assert!(
+            (a - b).abs() <= tol,
+            "{context}: logit {i} diverged: dense {a} vs compiled {b}"
+        );
+    }
+    assert_eq!(
+        sb_infer::predicted_classes(dense),
+        sb_infer::predicted_classes(compiled),
+        "{context}: predicted classes diverged"
+    );
+}

@@ -1,0 +1,39 @@
+//! Thread-count independence: compiled forward passes must be
+//! byte-identical for any worker count, per the sb-runtime contract.
+//!
+//! Kept in its own test binary because it flips the process-global
+//! thread override.
+
+mod common;
+
+use common::{input_for, prune_filters_l1, prune_global_magnitude, zoo};
+use sb_infer::{CompileOptions, CompiledModel};
+use sb_runtime::set_thread_override;
+
+#[test]
+fn forward_is_byte_identical_across_thread_counts() {
+    for (name, mut model) in zoo() {
+        prune_global_magnitude(&mut model, 4.0);
+        prune_filters_l1(&mut model, 2.0);
+        let compiled = CompiledModel::compile(&model, &CompileOptions::default());
+        let x = input_for(&model, 13, 71);
+        let mut reference: Option<Vec<u32>> = None;
+        for threads in [1usize, 2, 3, 4] {
+            set_thread_override(Some(threads));
+            let bits: Vec<u32> = compiled
+                .forward(&x)
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => assert_eq!(
+                    r, &bits,
+                    "{name}: logits changed between 1 and {threads} threads"
+                ),
+            }
+        }
+        set_thread_override(None);
+    }
+}

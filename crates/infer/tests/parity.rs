@@ -1,0 +1,232 @@
+//! Compiled-vs-dense parity: the engine's correctness contract.
+//!
+//! Every architecture in the zoo, at unstructured compression ratios
+//! {1, 2, 4, 16} and structured ratios {2, 4}, must produce logits within
+//! 1e-4 of eval-mode `Model::forward` and identical predicted classes —
+//! for the cost-model's own format choices and for each forced format.
+
+mod common;
+
+use common::{
+    assert_logits_close, input_for, prune_filters_l1, prune_global_magnitude, zoo,
+};
+use sb_infer::{CompileOptions, CompiledModel, ExecFormat, FeatureShape};
+use sb_nn::{models, Mode, Network, ParamKind};
+use sb_tensor::{Conv2dGeometry, Rng, Tensor};
+
+fn forced(format: ExecFormat) -> CompileOptions {
+    CompileOptions {
+        force_format: Some(format),
+        ..CompileOptions::default()
+    }
+}
+
+#[test]
+fn dense_compiled_matches_eval_bitwise() {
+    for (name, mut model) in zoo() {
+        let x = input_for(&model, 5, 11);
+        let dense = model.forward(&x, Mode::Eval);
+        let compiled = CompiledModel::compile(&model, &CompileOptions::default());
+        let fast = compiled.forward(&x);
+        assert_eq!(dense.dims(), fast.dims(), "{name}: logit shapes");
+        for (i, (&a, &b)) in dense.data().iter().zip(fast.data()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{name}: logit {i} not bit-identical: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unstructured_parity_across_zoo_and_ratios() {
+    for (name, mut model) in zoo() {
+        for ratio in [1.0, 2.0, 4.0, 16.0] {
+            prune_global_magnitude(&mut model, ratio);
+            let x = input_for(&model, 5, 23);
+            let dense = model.forward(&x, Mode::Eval);
+            for opts in [CompileOptions::default(), forced(ExecFormat::Csr)] {
+                let compiled = CompiledModel::compile(&model, &opts);
+                let fast = compiled.forward(&x);
+                let ctx = format!("{name} at {ratio}x ({:?})", opts.force_format);
+                assert_logits_close(&dense, &fast, 1e-4, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn structured_parity_across_zoo_and_ratios() {
+    for (name, mut model) in zoo() {
+        for ratio in [2.0, 4.0] {
+            prune_filters_l1(&mut model, ratio);
+            let x = input_for(&model, 5, 37);
+            let dense = model.forward(&x, Mode::Eval);
+            for opts in [
+                CompileOptions::default(),
+                forced(ExecFormat::ShrunkDense),
+            ] {
+                let compiled = CompiledModel::compile(&model, &opts);
+                let fast = compiled.forward(&x);
+                let ctx = format!("{name} structured {ratio}x ({:?})", opts.force_format);
+                assert_logits_close(&dense, &fast, 1e-4, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn shrunk_format_engages_on_structured_conv_models() {
+    let (_, mut model) = zoo().remove(2); // cifar_vgg
+    prune_filters_l1(&mut model, 4.0);
+    let compiled = CompiledModel::compile(&model, &forced(ExecFormat::ShrunkDense));
+    let shrunk = compiled
+        .plans()
+        .iter()
+        .filter(|p| p.format == ExecFormat::ShrunkDense)
+        .count();
+    assert!(
+        shrunk >= 2,
+        "expected several shrunk conv layers, plans: {:?}",
+        compiled.plans()
+    );
+    assert!(
+        compiled.effective_macs() < compiled.dense_macs() / 2,
+        "structured 4x should cut compiled MACs at least in half"
+    );
+}
+
+#[test]
+fn cost_model_picks_csr_at_high_unstructured_compression() {
+    let (_, mut model) = zoo().remove(0); // lenet_300_100
+    prune_global_magnitude(&mut model, 16.0);
+    let compiled = CompiledModel::compile(&model, &CompileOptions::default());
+    assert!(
+        compiled
+            .plans()
+            .iter()
+            .any(|p| p.format == ExecFormat::Csr),
+        "16x unstructured should push at least one layer to CSR, plans: {:?}",
+        compiled.plans()
+    );
+    let dense_storage =
+        CompiledModel::compile(&model, &forced(ExecFormat::Dense)).storage_bytes();
+    assert!(
+        compiled.storage_bytes() < dense_storage,
+        "CSR storage should beat dense at 16x"
+    );
+}
+
+/// A padding-free convnet with deliberately nonzero biases and batch-norm
+/// statistics: dropped filters then carry *nonzero* constants downstream,
+/// exercising the exact bias-folding path (into an unpadded conv and,
+/// after flatten, into a linear layer).
+fn pad0_convnet(rng: &mut Rng) -> models::Model {
+    let body = sb_nn::Sequential::new()
+        .push(sb_nn::Conv2d::new(
+            "c1",
+            8,
+            Conv2dGeometry::square(2, 10, 10, 3, 1, 0),
+            rng,
+        ))
+        .push(sb_nn::BatchNorm2d::new("bn1", 8))
+        .push(sb_nn::ReLU::new())
+        .push(sb_nn::Conv2d::new(
+            "c2",
+            6,
+            Conv2dGeometry::square(8, 8, 8, 3, 1, 0),
+            rng,
+        ))
+        .push(sb_nn::ReLU::new())
+        .push(sb_nn::Flatten::new())
+        .push(sb_nn::Linear::new("fc", 6 * 6 * 6, 10, rng));
+    models::Model::from_sequential("pad0-convnet", body, 10)
+}
+
+#[test]
+fn shrink_folds_nonzero_constants_exactly() {
+    let mut rng = Rng::seed_from(0x5EED);
+    let mut model = pad0_convnet(&mut rng);
+    // Perturb biases and BN state so dropped channels emit nonzero
+    // constants (fresh layers would give exactly zero everywhere).
+    model.visit_params(&mut |p| {
+        let n = p.numel();
+        match p.kind() {
+            ParamKind::Bias | ParamKind::BnShift => {
+                *p.value_mut() = Tensor::rand_normal(&[n], 0.3, 0.5, &mut rng);
+            }
+            ParamKind::BnRunningStat => {
+                let positive = Tensor::rand_normal(&[n], 1.0, 0.2, &mut rng)
+                    .map(|v| v.abs() + 0.1);
+                *p.value_mut() = positive;
+            }
+            _ => {}
+        }
+    });
+    // Zero half the filters of each conv by hand.
+    model.visit_params(&mut |p| {
+        if p.kind() == ParamKind::ConvWeight {
+            let (rows, cols) = (p.value().dim(0), p.value().dim(1));
+            let mut mask = vec![1.0f32; rows * cols];
+            for r in 0..rows / 2 {
+                mask[r * cols..(r + 1) * cols].fill(0.0);
+            }
+            p.set_mask(Tensor::from_vec(mask, &[rows, cols]).expect("mask shape"));
+        }
+    });
+    let x = input_for(&model, 7, 41);
+    let dense = model.forward(&x, Mode::Eval);
+    let compiled = CompiledModel::compile(&model, &forced(ExecFormat::ShrunkDense));
+    let shrunk = compiled
+        .plans()
+        .iter()
+        .filter(|p| p.format == ExecFormat::ShrunkDense)
+        .count();
+    assert_eq!(shrunk, 2, "both convs should shrink, plans: {:?}", compiled.plans());
+    let fast = compiled.forward(&x);
+    assert_logits_close(&dense, &fast, 1e-4, "pad0 constant folding");
+}
+
+#[test]
+fn padded_conv_consumer_rejects_nonzero_constants() {
+    // lenet5's convs are padded; give the first conv a nonzero bias so a
+    // dropped filter would carry a nonzero constant into a padded conv —
+    // the shrink must fall back to Dense rather than mis-fold.
+    let mut rng = Rng::seed_from(3);
+    let mut model = models::lenet5(1, 16, 10, &mut rng);
+    model.visit_params(&mut |p| {
+        if p.kind() == ParamKind::Bias {
+            let n = p.numel();
+            *p.value_mut() = Tensor::rand_normal(&[n], 0.5, 0.1, &mut rng);
+        }
+    });
+    prune_filters_l1(&mut model, 4.0);
+    let x = input_for(&model, 5, 53);
+    let dense = model.forward(&x, Mode::Eval);
+    let compiled = CompiledModel::compile(&model, &forced(ExecFormat::ShrunkDense));
+    assert!(
+        compiled
+            .plans()
+            .iter()
+            .take(1)
+            .all(|p| p.format == ExecFormat::Dense),
+        "first conv must not shrink into a padded consumer with nonzero \
+         constants, plans: {:?}",
+        compiled.plans()
+    );
+    let fast = compiled.forward(&x);
+    assert_logits_close(&dense, &fast, 1e-4, "padded fallback");
+}
+
+#[test]
+fn empty_batch_and_single_sample_shapes() {
+    let (_, model) = zoo().remove(1); // lenet5
+    let compiled = CompiledModel::compile(&model, &CompileOptions::default());
+    let empty = compiled.forward(&Tensor::zeros(&[0, 1, 16, 16]));
+    assert_eq!(empty.dims(), &[0, 10]);
+    let one = compiled.forward(&input_for(&model, 1, 61));
+    assert_eq!(one.dims(), &[1, 10]);
+    assert_eq!(compiled.input_shape(), FeatureShape::Image { c: 1, h: 16, w: 16 });
+    assert_eq!(compiled.classes(), 10);
+}

@@ -1,0 +1,90 @@
+//! Bench-backed checks that compiled sparse formats deliver *realized*
+//! speedup, not just a better multiply-add ratio.
+//!
+//! These are wall-clock assertions, so the margins are deliberately
+//! generous: release-mode runs show ~10× (CSR at 16×) and ~4× (shrunk
+//! at 4× structured); we only assert the compiled model is clearly
+//! faster than its dense-compiled twin on the same batch. Medians of
+//! several runs reject scheduler noise.
+
+mod common;
+
+use sb_infer::{CompileOptions, CompiledModel, ExecFormat};
+use sb_metrics::RealizedProfile;
+use sb_tensor::{Rng, Tensor};
+
+fn compile_pair(model: &sb_nn::models::Model, force: Option<ExecFormat>) -> (CompiledModel, CompiledModel) {
+    let candidate = CompiledModel::compile(
+        model,
+        &CompileOptions {
+            force_format: force,
+            ..CompileOptions::default()
+        },
+    );
+    let baseline = CompiledModel::compile(
+        model,
+        &CompileOptions {
+            force_format: Some(ExecFormat::Dense),
+            ..CompileOptions::default()
+        },
+    );
+    (candidate, baseline)
+}
+
+fn measured_speedup(candidate: &CompiledModel, baseline: &CompiledModel, x: &Tensor) -> f64 {
+    let profile = RealizedProfile::measure(
+        5,
+        candidate.storage_bytes(),
+        || {
+            std::hint::black_box(candidate.forward(x));
+        },
+        || {
+            std::hint::black_box(baseline.forward(x));
+        },
+    );
+    assert!(profile.latency_us > 0.0 && profile.baseline_latency_us > 0.0);
+    profile.realized_speedup
+}
+
+#[test]
+fn csr_compiled_linear_model_beats_dense_at_16x() {
+    let mut rng = Rng::seed_from(0x5EED);
+    let mut model = sb_nn::models::lenet_300_100(256, 10, &mut rng);
+    common::prune_global_magnitude(&mut model, 16.0);
+
+    let (candidate, baseline) = compile_pair(&model, Some(ExecFormat::Csr));
+    assert!(
+        candidate.plans().iter().any(|p| p.format == ExecFormat::Csr),
+        "16x-pruned linear layers should compile to CSR"
+    );
+    let x = Tensor::rand_normal(&[32, 256], 0.0, 1.0, &mut rng);
+    let speedup = measured_speedup(&candidate, &baseline, &x);
+    assert!(
+        speedup > 1.3,
+        "CSR at 16x unstructured should clearly beat dense, got {speedup:.2}x"
+    );
+}
+
+#[test]
+fn shrunk_dense_structured_model_beats_dense_at_4x() {
+    let mut rng = Rng::seed_from(0x5EED);
+    let mut model = sb_nn::models::lenet5(1, 16, 10, &mut rng);
+    common::prune_filters_l1(&mut model, 4.0);
+
+    // Default cost-model compilation: structured masks should engage the
+    // shrunk-dense path on their own.
+    let (candidate, baseline) = compile_pair(&model, None);
+    assert!(
+        candidate
+            .plans()
+            .iter()
+            .any(|p| p.format == ExecFormat::ShrunkDense),
+        "4x filter-pruned convs should compile to shrunk-dense"
+    );
+    let x = Tensor::rand_normal(&[32, 1, 16, 16], 0.0, 1.0, &mut rng);
+    let speedup = measured_speedup(&candidate, &baseline, &x);
+    assert!(
+        speedup > 1.2,
+        "shrunk-dense at 4x structured should clearly beat dense, got {speedup:.2}x"
+    );
+}

@@ -1,0 +1,137 @@
+//! Realized (wall-clock) performance profiling.
+//!
+//! [`crate::ModelProfile::theoretical_speedup`] counts MACs; this module
+//! measures what a pruned model actually buys on the machine it runs on.
+//! The paper (Section 6) stresses that the two routinely disagree —
+//! unstructured sparsity that looks like 16× on paper may realize barely
+//! 2× through a CSR kernel, while structured shrinking tracks theory
+//! closely. [`RealizedProfile`] captures that gap as data.
+//!
+//! Measurement is closure-based so this crate stays independent of any
+//! particular execution engine: callers (the `sb-infer` benches, the
+//! experiment runner) pass "run the candidate once" / "run the dense
+//! baseline once" thunks. Latency is the **median of k runs** after one
+//! untimed warmup — the median is robust to scheduler noise and GC-free,
+//! so repeated measurements are stable enough to assert on in tests.
+
+use sb_json::json_struct;
+use std::time::Instant;
+
+/// Wall-clock latency of one thunk invocation, as the median of `k`
+/// timed runs (after one untimed warmup), in microseconds.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn median_latency_us<F: FnMut()>(k: usize, f: &mut F) -> f64 {
+    assert!(k > 0, "need at least one timed run");
+    f(); // warmup: touch caches, fault pages, spin up worker threads
+    let mut times: Vec<f64> = (0..k)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mid = times.len() / 2;
+    if times.len() % 2 == 1 {
+        times[mid]
+    } else {
+        (times[mid - 1] + times[mid]) / 2.0
+    }
+}
+
+/// Measured wall-clock profile of a compiled model against its dense
+/// baseline: the realized counterpart of theoretical speedup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealizedProfile {
+    /// Median candidate latency per invocation, microseconds.
+    pub latency_us: f64,
+    /// Median dense-baseline latency per invocation, microseconds.
+    pub baseline_latency_us: f64,
+    /// `baseline_latency_us / latency_us` — wall-clock speedup actually
+    /// delivered (1.0 means pruning bought nothing at runtime).
+    pub realized_speedup: f64,
+    /// Bytes the candidate's compiled parameters occupy.
+    pub storage_bytes: usize,
+    /// Timed runs per median (`k`).
+    pub samples: usize,
+}
+
+json_struct!(RealizedProfile {
+    latency_us,
+    baseline_latency_us,
+    realized_speedup,
+    storage_bytes,
+    samples
+});
+
+impl RealizedProfile {
+    /// Times `candidate` and `baseline` (median of `k` runs each, one
+    /// warmup apiece) and derives the realized speedup.
+    ///
+    /// Both thunks should perform the *same logical work* (e.g. one
+    /// forward pass over the same batch) for the ratio to mean anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn measure<C, B>(k: usize, storage_bytes: usize, candidate: C, baseline: B) -> Self
+    where
+        C: FnMut(),
+        B: FnMut(),
+    {
+        let mut candidate = candidate;
+        let mut baseline = baseline;
+        let baseline_latency_us = median_latency_us(k, &mut baseline);
+        let latency_us = median_latency_us(k, &mut candidate);
+        RealizedProfile {
+            latency_us,
+            baseline_latency_us,
+            realized_speedup: baseline_latency_us / latency_us.max(f64::MIN_POSITIVE),
+            storage_bytes,
+            samples: k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut calls = 0u32;
+        let mut thunk = || {
+            calls += 1;
+            // Make the 3rd timed call (4th including warmup) slow.
+            if calls == 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        };
+        let med = median_latency_us(5, &mut thunk);
+        assert_eq!(calls, 6, "one warmup plus five timed runs");
+        assert!(med < 4000.0, "median {med}us should shrug off the outlier");
+    }
+
+    #[test]
+    fn measure_reports_speedup_of_slower_baseline() {
+        let profile = RealizedProfile::measure(
+            3,
+            1234,
+            || {
+                std::hint::black_box((0..100).sum::<u64>());
+            },
+            || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            },
+        );
+        assert!(profile.realized_speedup > 1.0);
+        assert_eq!(profile.storage_bytes, 1234);
+        assert_eq!(profile.samples, 3);
+        let json = sb_json::to_string(&profile).unwrap();
+        let back: RealizedProfile = sb_json::from_str(&json).unwrap();
+        assert_eq!(back, profile);
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::layers::Layer;
 use crate::network::Mode;
+use crate::spec::LayerSpec;
 use sb_tensor::Tensor;
 
 /// Rectified linear unit, `max(0, x)`, applied elementwise.
@@ -43,6 +44,10 @@ impl Layer for ReLU {
         }
         out
     }
+
+    fn spec(&self) -> Option<LayerSpec> {
+        Some(LayerSpec::ReLU)
+    }
 }
 
 /// Reshapes `[N, C, H, W]` activations into `[N, C·H·W]` for the
@@ -79,6 +84,10 @@ impl Layer for Flatten {
             .take()
             .expect("Flatten::backward called without a training-mode forward");
         grad_output.reshape(&dims).expect("element count preserved")
+    }
+
+    fn spec(&self) -> Option<LayerSpec> {
+        Some(LayerSpec::Flatten)
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::layers::Layer;
 use crate::network::{Mode, OpInfo};
 use crate::param::{Param, ParamKind};
+use crate::spec::LayerSpec;
 use sb_tensor::{col2im, im2col, Conv2dGeometry, Rng, Tensor};
 
 /// A 2-D convolution over `[N, C, H, W]` inputs with a fixed input
@@ -145,6 +146,21 @@ impl Layer for Conv2d {
             out_channels: self.out_channels,
             geom: self.geom,
         }]
+    }
+
+    fn spec(&self) -> Option<LayerSpec> {
+        let name = self
+            .weight
+            .name()
+            .strip_suffix(".weight")
+            .unwrap_or(self.weight.name());
+        Some(LayerSpec::Conv2d {
+            name: name.to_string(),
+            weight: self.weight.value().clone(),
+            bias: self.bias.value().clone(),
+            out_channels: self.out_channels,
+            geom: self.geom,
+        })
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::layers::Layer;
 use crate::network::Mode;
+use crate::spec::LayerSpec;
 use sb_tensor::{Rng, Tensor};
 
 /// Inverted dropout: in training mode each activation is zeroed with
@@ -82,6 +83,11 @@ impl Layer for Dropout {
             *v *= m;
         }
         out
+    }
+
+    fn spec(&self) -> Option<LayerSpec> {
+        // Eval-mode dropout is the identity.
+        Some(LayerSpec::Identity)
     }
 }
 

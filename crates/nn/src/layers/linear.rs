@@ -3,6 +3,7 @@
 use crate::layers::Layer;
 use crate::network::{Mode, OpInfo};
 use crate::param::{Param, ParamKind};
+use crate::spec::LayerSpec;
 use sb_tensor::{Rng, Tensor};
 
 /// A fully-connected layer: `y = x · Wᵀ + b` with `W: [out, in]`.
@@ -115,6 +116,19 @@ impl Layer for Linear {
             in_features: self.in_features,
             out_features: self.out_features,
         }]
+    }
+
+    fn spec(&self) -> Option<LayerSpec> {
+        let name = self
+            .weight
+            .name()
+            .strip_suffix(".weight")
+            .unwrap_or(self.weight.name());
+        Some(LayerSpec::Linear {
+            name: name.to_string(),
+            weight: self.weight.value().clone(),
+            bias: self.bias.value().clone(),
+        })
     }
 }
 

@@ -25,6 +25,7 @@ pub use seq::Sequential;
 
 use crate::network::{Mode, OpInfo};
 use crate::param::Param;
+use crate::spec::LayerSpec;
 use sb_tensor::Tensor;
 
 /// One differentiable operation with optional parameters.
@@ -53,5 +54,12 @@ pub trait Layer: Send {
     /// Describes this layer's multiply-add-bearing ops (default: none).
     fn ops(&self) -> Vec<OpInfo> {
         Vec::new()
+    }
+
+    /// Pure-data description of this layer's eval-mode semantics, used by
+    /// the `sb-infer` compiler. Default: `None` (not compilable); every
+    /// layer in this crate overrides it.
+    fn spec(&self) -> Option<LayerSpec> {
+        None
     }
 }

@@ -3,6 +3,7 @@
 use crate::layers::Layer;
 use crate::network::Mode;
 use crate::param::{Param, ParamKind};
+use crate::spec::LayerSpec;
 use sb_tensor::Tensor;
 
 /// 2-D batch normalization (per-channel, over batch and spatial axes).
@@ -238,6 +239,16 @@ impl Layer for BatchNorm2d {
         f(&self.beta);
         f(&self.running_mean);
         f(&self.running_var);
+    }
+
+    fn spec(&self) -> Option<LayerSpec> {
+        Some(LayerSpec::BatchNorm2d {
+            gamma: self.gamma.value().clone(),
+            beta: self.beta.value().clone(),
+            running_mean: self.running_mean.value().clone(),
+            running_var: self.running_var.value().clone(),
+            eps: self.eps,
+        })
     }
 }
 

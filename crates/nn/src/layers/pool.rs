@@ -2,6 +2,7 @@
 
 use crate::layers::Layer;
 use crate::network::Mode;
+use crate::spec::LayerSpec;
 use sb_tensor::Tensor;
 
 /// Max pooling with a square window and equal stride (the classic
@@ -91,6 +92,13 @@ impl Layer for MaxPool2d {
             dx.data_mut()[src] += dy;
         }
         dx
+    }
+
+    fn spec(&self) -> Option<LayerSpec> {
+        Some(LayerSpec::MaxPool2d {
+            kernel: self.kernel,
+            stride: self.stride,
+        })
     }
 }
 
@@ -190,6 +198,13 @@ impl Layer for AvgPool2d {
             }
         }
         dx
+    }
+
+    fn spec(&self) -> Option<LayerSpec> {
+        Some(LayerSpec::AvgPool2d {
+            kernel: self.kernel,
+            stride: self.stride,
+        })
     }
 }
 

@@ -4,6 +4,7 @@
 use crate::layers::{BatchNorm2d, Conv2d, Layer, ReLU};
 use crate::network::{Mode, OpInfo};
 use crate::param::Param;
+use crate::spec::LayerSpec;
 use sb_tensor::{Conv2dGeometry, Rng, Tensor};
 
 /// A two-convolution residual block: `relu(bn2(conv2(relu(bn1(conv1(x))))) + shortcut(x))`.
@@ -175,6 +176,21 @@ impl Layer for ResidualBlock {
             ops.extend(conv.ops());
         }
         ops
+    }
+
+    fn spec(&self) -> Option<LayerSpec> {
+        let main = vec![
+            self.conv1.spec()?,
+            self.bn1.spec()?,
+            LayerSpec::ReLU,
+            self.conv2.spec()?,
+            self.bn2.spec()?,
+        ];
+        let shortcut = match &self.projection {
+            Some((conv, bn)) => vec![conv.spec()?, bn.spec()?],
+            None => Vec::new(),
+        };
+        Some(LayerSpec::Residual { main, shortcut })
     }
 }
 

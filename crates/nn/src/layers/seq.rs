@@ -3,6 +3,7 @@
 use crate::layers::Layer;
 use crate::network::{Mode, OpInfo};
 use crate::param::Param;
+use crate::spec::LayerSpec;
 use sb_tensor::Tensor;
 
 /// A chain of layers executed in order; backward runs them in reverse.
@@ -80,6 +81,14 @@ impl Layer for Sequential {
 
     fn ops(&self) -> Vec<OpInfo> {
         self.layers.iter().flat_map(|l| l.ops()).collect()
+    }
+
+    fn spec(&self) -> Option<LayerSpec> {
+        let mut specs = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            specs.push(layer.spec()?);
+        }
+        Some(LayerSpec::Sequential(specs))
     }
 }
 

@@ -37,6 +37,7 @@ mod network;
 mod optim;
 mod param;
 mod schedule;
+mod spec;
 mod train;
 
 pub use layers::{
@@ -49,6 +50,7 @@ pub use network::{Mode, Network, NetworkExt, OpInfo};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::{Param, ParamKind, ParamSnapshot};
 pub use schedule::LrSchedule;
+pub use spec::{spec_of, LayerSpec};
 pub use train::{
     evaluate, Batch, EarlyStopping, EvalMetrics, TrainConfig, TrainDiverged, TrainReport, Trainer,
 };

@@ -49,6 +49,21 @@ impl Model {
     pub fn name(&self) -> &str {
         &self.name
     }
+
+    /// Pure-data specs of the body layers, in execution order — the
+    /// hand-off format consumed by the `sb-infer` compiler. Weights are
+    /// snapshots with pruning masks already applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer does not support reflection (every layer in
+    /// this crate does).
+    pub fn spec(&self) -> Vec<crate::spec::LayerSpec> {
+        match self.body.spec() {
+            Some(crate::spec::LayerSpec::Sequential(specs)) => specs,
+            _ => panic!("model body does not support spec reflection"),
+        }
+    }
 }
 
 impl Network for Model {

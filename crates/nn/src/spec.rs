@@ -1,0 +1,117 @@
+//! Structural reflection over trained models: [`LayerSpec`].
+//!
+//! A `LayerSpec` is a pure-data description of one layer's *inference*
+//! semantics — weights (mask already applied), geometry, and activation
+//! kind — with none of the training machinery (caches, gradients, RNG
+//! streams). It is the hand-off format between `sb-nn` and the `sb-infer`
+//! compiler: `Model::spec()` walks the body and emits one spec per layer,
+//! and the compiler lowers each spec into an execution plan without ever
+//! touching `Layer` internals.
+//!
+//! The eval-mode semantics each variant promises are exactly those of the
+//! corresponding `Layer::forward(_, Mode::Eval)` implementation; the
+//! parity tests in `sb-infer` hold the two to within 1e-4 on logits.
+
+use crate::layers::Layer;
+use sb_tensor::{Conv2dGeometry, Tensor};
+
+/// Pure-data description of one layer's eval-mode forward semantics.
+///
+/// Weight tensors are snapshots of the layer's *effective* parameters:
+/// pruning masks are applied eagerly by [`crate::Param::set_mask`], so a
+/// spec taken from a pruned model already carries the zeros.
+#[derive(Debug, Clone)]
+pub enum LayerSpec {
+    /// Fully-connected: `y = x · Wᵀ + b`, `weight: [out, in]`.
+    Linear {
+        /// Parameter name prefix (e.g. `"fc1"` from `"fc1.weight"`).
+        name: String,
+        /// Weight matrix `[out_features, in_features]`, mask applied.
+        weight: Tensor,
+        /// Bias vector `[out_features]`.
+        bias: Tensor,
+    },
+    /// 2-D convolution via im2col: `weight: [C_out, C_in·KH·KW]`.
+    Conv2d {
+        /// Parameter name prefix.
+        name: String,
+        /// Weight matrix `[out_channels, patch_len]`, mask applied.
+        weight: Tensor,
+        /// Bias vector `[out_channels]`.
+        bias: Tensor,
+        /// Number of output channels.
+        out_channels: usize,
+        /// Input geometry (channels, spatial extent, kernel, stride, pad).
+        geom: Conv2dGeometry,
+    },
+    /// Per-channel affine normalization using running statistics:
+    /// `y = gamma·(x − mean)/sqrt(var + eps) + beta`.
+    BatchNorm2d {
+        /// Scale `[channels]`.
+        gamma: Tensor,
+        /// Shift `[channels]`.
+        beta: Tensor,
+        /// Running mean `[channels]`.
+        running_mean: Tensor,
+        /// Running variance `[channels]`.
+        running_var: Tensor,
+        /// Variance floor.
+        eps: f32,
+    },
+    /// Elementwise `max(0, x)`.
+    ReLU,
+    /// `[N, C, H, W] → [N, C·H·W]` reshape.
+    Flatten,
+    /// Square max pooling, no padding.
+    MaxPool2d {
+        /// Window side.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Square average pooling, no padding.
+    AvgPool2d {
+        /// Window side.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Identity (eval-mode dropout).
+    Identity,
+    /// Residual block: `y = relu(main(x) + shortcut(x))`; an empty
+    /// shortcut chain means the identity shortcut.
+    Residual {
+        /// Main path (conv1 → bn1 → relu → conv2 → bn2).
+        main: Vec<LayerSpec>,
+        /// Projection shortcut (1×1 conv → bn), empty for identity.
+        shortcut: Vec<LayerSpec>,
+    },
+    /// A nested chain executed in order.
+    Sequential(Vec<LayerSpec>),
+}
+
+impl LayerSpec {
+    /// Short tag for diagnostics and plan dumps.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LayerSpec::Linear { .. } => "linear",
+            LayerSpec::Conv2d { .. } => "conv2d",
+            LayerSpec::BatchNorm2d { .. } => "batchnorm2d",
+            LayerSpec::ReLU => "relu",
+            LayerSpec::Flatten => "flatten",
+            LayerSpec::MaxPool2d { .. } => "maxpool2d",
+            LayerSpec::AvgPool2d { .. } => "avgpool2d",
+            LayerSpec::Identity => "identity",
+            LayerSpec::Residual { .. } => "residual",
+            LayerSpec::Sequential(_) => "sequential",
+        }
+    }
+}
+
+/// Extracts the spec of a layer, panicking when the layer doesn't
+/// support reflection (every layer in this crate does).
+pub fn spec_of(layer: &dyn Layer) -> LayerSpec {
+    layer
+        .spec()
+        .expect("layer does not implement spec(); cannot compile for inference")
+}

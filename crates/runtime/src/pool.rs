@@ -413,11 +413,19 @@ mod tests {
     fn detached_spawn_captures_panics() {
         let pool = Pool::new(1);
         pool.spawn(|| panic!("detached boom"));
-        // Synchronize: an empty scope drains after the detached task.
+        // Synchronize: an empty scope drains after the detached task on
+        // the FIFO injector. The scope can still finish first when the
+        // caller *helps* with the scope task while the worker is mid-
+        // unwind, so poll briefly for the panic record.
         pool.scope(|s| s.spawn(|| {}));
-        // The detached task ran before the scope task on the FIFO
-        // injector, so its panic is recorded by now.
-        let panics = pool.take_panics();
+        let mut panics = pool.take_panics();
+        for _ in 0..500 {
+            if !panics.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            panics.extend(pool.take_panics());
+        }
         assert_eq!(panics.len(), 1);
         assert!(panics[0].contains("detached boom"));
     }

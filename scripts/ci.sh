@@ -17,6 +17,10 @@ export CARGO_NET_OFFLINE=true
 
 cargo build --release --offline
 
+# Compile-check every bench target (realized.rs, kernels.rs, the infer
+# end-to-end benches) without running them, so bench code can't rot.
+cargo bench --no-run --offline
+
 # The suite runs twice: once pinned to one runtime thread (exact inline
 # sequential execution) and once on four workers. sb-runtime's contract
 # is that results are bit-identical either way — the determinism tests
