@@ -45,6 +45,7 @@ const ARTIFACTS: &[(&str, &str)] = &[
     ("hygiene", "Sections 4.3-6: reporting hygiene of the 37 reporting papers"),
     ("realized-speedup", "Section 2.1: realized (CSR wall-clock) vs theoretical speedup"),
     ("inference-speedup", "Section 2.1/Fig 6: theoretical vs realized speedup of compiled models"),
+    ("latency-attribution", "Trace: realized inference latency by layer x kernel format"),
     ("sparsity-profile", "Mechanism: per-layer sparsity under Global vs Layerwise ranking"),
     ("checklist", "Appendix B checklist applied to this suite"),
     ("mnist-saturation", "Motivation: MNIST-like results saturate (Section 4.2)"),
@@ -280,6 +281,7 @@ fn render_to_string(id: &str, scale: Scale, paths: &OutputPaths) -> String {
         "hygiene" => hygiene(paths),
         "realized-speedup" => sb_bench::figures::realized_speedup(paths),
         "inference-speedup" => sb_bench::figures::inference_speedup(scale, paths),
+        "latency-attribution" => sb_bench::figures::latency_attribution(paths),
         "sparsity-profile" => sb_bench::figures::sparsity_profile(paths),
         "checklist" => checklist_artifact(scale, paths),
         "mnist-saturation" => experiment_figure(

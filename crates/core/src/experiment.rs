@@ -527,6 +527,29 @@ impl ExperimentRunner {
     /// fingerprint; an interrupted grid rerun loads those cells instead of
     /// retraining them.
     pub fn run_with_summary(&self, config: &ExperimentConfig) -> GridRunSummary {
+        let summary = {
+            let _grid = sb_trace::span_with(|| format!("grid:{}", config.id));
+            self.run_grid(config)
+        };
+        // The grid span is closed (and this thread's buffers flushed), so
+        // the snapshot below contains everything the grid recorded.
+        if sb_trace::enabled() {
+            if let Some(dir) = &self.cache_dir {
+                let trace = sb_trace::report().subtree(&format!("grid:{}", config.id));
+                let _ = fs::create_dir_all(dir);
+                if let Ok(json) = sb_json::to_string_pretty(&trace) {
+                    let _ = fs::write(dir.join(format!("{}.trace.json", config.id)), json);
+                }
+                let _ = fs::write(
+                    dir.join(format!("{}.flame.txt", config.id)),
+                    trace.flamegraph(),
+                );
+            }
+        }
+        summary
+    }
+
+    fn run_grid(&self, config: &ExperimentConfig) -> GridRunSummary {
         if let Some(path) = self.cache_path(&config.id) {
             if let Ok(bytes) = fs::read(&path) {
                 if let Ok(cache) = sb_json::from_slice::<CacheFile>(&bytes) {
@@ -535,6 +558,8 @@ impl ExperimentRunner {
                             eprintln!("[{}] loaded {} cached records", config.id, cache.records.len());
                         }
                         let resumed = cache.records.len();
+                        sb_trace::count(sb_trace::CounterId::CacheHits, 1);
+                        sb_trace::count(sb_trace::CounterId::CellsResumed, resumed as u64);
                         return GridRunSummary { records: cache.records, resumed, computed: 0 };
                     }
                 }
@@ -545,8 +570,10 @@ impl ExperimentRunner {
             config.dataset.spec(config.data_scale, config.data_seed),
         ));
         let t0 = Instant::now();
-        let (_net, pre_metrics, snapshot, init_snapshot) =
-            Self::pretrain_with_init(config, &data);
+        let (_net, pre_metrics, snapshot, init_snapshot) = {
+            let _pretrain = sb_trace::span("pretrain");
+            Self::pretrain_with_init(config, &data)
+        };
         let snapshot = Arc::new(snapshot);
         let init_snapshot = Arc::new(init_snapshot);
         if self.verbose {
@@ -591,6 +618,7 @@ impl ExperimentRunner {
                             if let Ok(cell) = sb_json::from_slice::<CellCacheFile>(&bytes) {
                                 if cell.fingerprint == fingerprint {
                                     resumed += 1;
+                                    sb_trace::count(sb_trace::CounterId::CacheHits, 1);
                                     slots.push(Slot::Done(cell.record));
                                     continue;
                                 }
@@ -634,6 +662,8 @@ impl ExperimentRunner {
             }
         }
         let computed = total - resumed;
+        sb_trace::count(sb_trace::CounterId::CellsResumed, resumed as u64);
+        sb_trace::count(sb_trace::CounterId::CellsComputed, computed as u64);
         if self.verbose {
             eprintln!(
                 "[{}] grid complete: {computed} computed, {resumed} resumed ({:?})",

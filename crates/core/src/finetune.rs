@@ -294,7 +294,10 @@ pub fn prune_and_retrain(
             score_batch,
             monotone: true,
         });
-        outcome = Some(pruner.prune(network, strategy, ratio, rng)?);
+        outcome = Some({
+            let _prune = sb_trace::span("prune");
+            pruner.prune(network, strategy, ratio, rng)?
+        });
 
         if before.is_none() {
             before = Some(evaluate(network, &val));
@@ -344,6 +347,7 @@ pub fn prune_and_retrain(
         });
         let mut epoch_rng = rng.fork(iter as u64);
         let pre_finetune = network.snapshot();
+        let _finetune = sb_trace::span("finetune");
         match trainer.fit(
             network,
             optimizer.as_mut(),

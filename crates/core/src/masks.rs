@@ -40,7 +40,13 @@ pub fn keep_fraction_for_compression(
 ///   caller if they must stay pruned.
 /// * `keep_fraction`: fraction of all scored weights to keep.
 /// * `scope`: [`Scope::Global`] ranks all weights together;
-///   [`Scope::Layerwise`] keeps `keep_fraction` of each tensor.
+///   [`Scope::Layerwise`] splits the same global budget across tensors by
+///   largest remainder, then ranks within each tensor.
+///
+/// Non-finite scores are never kept: the keep budget is capped to the
+/// finite-score count, so an iterative schedule whose request exceeds the
+/// remaining prunable budget saturates instead of resurrecting weights
+/// the pruner pinned at `-∞`.
 ///
 /// Deterministic: ties are broken by (name, index) order.
 ///
@@ -65,33 +71,43 @@ pub fn masks_from_scores(
         );
     }
     match scope {
-        Scope::Layerwise => scores
-            .iter()
-            .map(|(name, s)| {
-                let k = round_count(s.numel(), keep_fraction);
-                (name.clone(), top_k_mask(s, k))
-            })
-            .collect(),
+        Scope::Layerwise => {
+            let counts = layerwise_keep_counts(scores, keep_fraction);
+            scores
+                .iter()
+                .map(|(name, s)| (name.clone(), top_k_mask(s, counts[name])))
+                .collect()
+        }
         Scope::Global => {
             let total: usize = scores.values().map(Tensor::numel).sum();
-            let k = round_count(total, keep_fraction);
-            // Threshold = k-th largest score overall.
             let mut all: Vec<f32> = Vec::with_capacity(total);
             for s in scores.values() {
-                all.extend_from_slice(s.data());
+                all.extend(s.data().iter().copied().filter(|v| v.is_finite()));
             }
+            let k = round_count(total, keep_fraction).min(all.len());
             if k == 0 {
                 return scores
                     .iter()
                     .map(|(n, s)| (n.clone(), Tensor::zeros(s.dims())))
                     .collect();
             }
-            if k >= total {
+            if k == all.len() {
+                // The budget covers every keepable entry; the rest are
+                // pinned pruned.
                 return scores
                     .iter()
-                    .map(|(n, s)| (n.clone(), Tensor::ones(s.dims())))
+                    .map(|(n, s)| {
+                        let mut mask = Tensor::zeros(s.dims());
+                        for (i, &v) in s.data().iter().enumerate() {
+                            if v.is_finite() {
+                                mask.data_mut()[i] = 1.0;
+                            }
+                        }
+                        (n.clone(), mask)
+                    })
                     .collect();
             }
+            // Threshold = k-th largest finite score overall.
             all.sort_unstable_by(|a, b| b.partial_cmp(a).expect("NaN checked above"));
             let threshold = all[k - 1];
             // Keep strictly-above first, then fill remaining quota among
@@ -103,6 +119,9 @@ pub fn masks_from_scores(
                 .map(|(name, s)| {
                     let mut mask = Tensor::zeros(s.dims());
                     for (i, &v) in s.data().iter().enumerate() {
+                        if !v.is_finite() {
+                            continue;
+                        }
                         if v > threshold {
                             mask.data_mut()[i] = 1.0;
                         } else if v == threshold && tie_quota > 0 {
@@ -121,21 +140,63 @@ fn round_count(n: usize, fraction: f64) -> usize {
     ((n as f64 * fraction).round() as usize).min(n)
 }
 
-/// Mask keeping the `k` highest-scoring entries of one tensor
-/// (deterministic index-order tie-breaking).
-fn top_k_mask(scores: &Tensor, k: usize) -> Tensor {
-    let n = scores.numel();
-    if k >= n {
-        return Tensor::ones(scores.dims());
+/// Largest-remainder split of the global keep budget across tensors.
+///
+/// Rounding `nᵢ·f` independently per tensor lets achieved compression
+/// drift from requested by up to one weight *per tensor* — material when
+/// a model has many small tensors. Instead the total budget
+/// `round(total·f)` is fixed first, every tensor gets `⌊nᵢ·f⌋`, and the
+/// leftover units go to the largest fractional remainders (ties broken by
+/// name order), so the summed keep count equals the global target exactly.
+fn layerwise_keep_counts(
+    scores: &BTreeMap<String, Tensor>,
+    fraction: f64,
+) -> BTreeMap<String, usize> {
+    let total: usize = scores.values().map(Tensor::numel).sum();
+    let target = round_count(total, fraction);
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut remainders: Vec<(f64, &str)> = Vec::new();
+    let mut allotted = 0usize;
+    for (name, s) in scores {
+        let exact = s.numel() as f64 * fraction;
+        let base = (exact.floor() as usize).min(s.numel());
+        allotted += base;
+        counts.insert(name.clone(), base);
+        if base < s.numel() {
+            remainders.push((exact - base as f64, name));
+        }
     }
-    let mut idx: Vec<usize> = (0..n).collect();
+    let mut leftover = target.saturating_sub(allotted);
+    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(b.1)));
+    for (_, name) in remainders {
+        if leftover == 0 {
+            break;
+        }
+        *counts.get_mut(name).expect("inserted above") += 1;
+        leftover -= 1;
+    }
+    debug_assert_eq!(leftover, 0, "keep budget exceeds distributable capacity");
+    counts
+}
+
+/// Mask keeping the `k` highest-scoring finite entries of one tensor
+/// (deterministic index-order tie-breaking). Non-finite scores are never
+/// kept, so `k` saturates at the finite-score count.
+fn top_k_mask(scores: &Tensor, k: usize) -> Tensor {
+    let mut idx: Vec<usize> = (0..scores.numel())
+        .filter(|&i| scores.data()[i].is_finite())
+        .collect();
+    let k = k.min(idx.len());
+    let mut mask = Tensor::zeros(scores.dims());
+    if k == 0 {
+        return mask;
+    }
     idx.sort_unstable_by(|&a, &b| {
         scores.data()[b]
             .partial_cmp(&scores.data()[a])
             .expect("NaN checked by caller")
             .then(a.cmp(&b))
     });
-    let mut mask = Tensor::zeros(scores.dims());
     for &i in &idx[..k] {
         mask.data_mut()[i] = 1.0;
     }
@@ -248,5 +309,68 @@ mod tests {
     fn nan_scores_rejected() {
         let scores = scores_of(&[("a", &[f32::NAN, 1.0])]);
         masks_from_scores(&scores, 0.5, Scope::Global);
+    }
+
+    #[test]
+    fn budget_past_finite_count_never_resurrects_globally() {
+        // Regression: k > finite-score count used to push the threshold to
+        // -∞, and the tie-fill loop then re-kept pinned-pruned entries.
+        let scores = scores_of(&[
+            ("a", &[f32::NEG_INFINITY, 0.5, f32::NEG_INFINITY]),
+            ("b", &[f32::NEG_INFINITY, 0.1]),
+        ]);
+        for f in [0.6, 0.8, 1.0] {
+            let masks = masks_from_scores(&scores, f, Scope::Global);
+            assert_eq!(masks["a"].data(), &[0.0, 1.0, 0.0], "keep={f}");
+            assert_eq!(masks["b"].data(), &[0.0, 1.0], "keep={f}");
+        }
+    }
+
+    #[test]
+    fn budget_past_finite_count_never_resurrects_layerwise() {
+        let scores = scores_of(&[("a", &[f32::NEG_INFINITY, 0.5, f32::NEG_INFINITY, 0.1])]);
+        for f in [0.75, 1.0] {
+            let masks = masks_from_scores(&scores, f, Scope::Layerwise);
+            assert_eq!(masks["a"].data(), &[0.0, 1.0, 0.0, 1.0], "keep={f}");
+        }
+    }
+
+    #[test]
+    fn positive_infinity_scores_never_survive() {
+        // "Never keep non-finite" covers +∞ too, not just the pruner's -∞.
+        let scores = scores_of(&[("a", &[f32::INFINITY, 0.5, 0.1])]);
+        for scope in [Scope::Global, Scope::Layerwise] {
+            let masks = masks_from_scores(&scores, 0.5, scope);
+            assert_eq!(masks["a"].data()[0], 0.0, "{scope:?}");
+        }
+    }
+
+    #[test]
+    fn layerwise_budget_matches_global_rounding() {
+        // Five 3-element tensors at keep 0.5: per-tensor rounding would
+        // keep 2 each (10 total, 67% achieved); the largest-remainder
+        // split keeps round(15·0.5) = 8 exactly.
+        let pairs: Vec<(String, Tensor)> = (0..5)
+            .map(|i| (format!("t{i}"), Tensor::from_slice(&[0.3, 0.2, 0.1])))
+            .collect();
+        let scores: BTreeMap<String, Tensor> = pairs.into_iter().collect();
+        let masks = masks_from_scores(&scores, 0.5, Scope::Layerwise);
+        assert_eq!(kept_count(&masks), 8);
+        // Deterministic: equal remainders break ties by name order, so the
+        // first three tensors get the extra unit.
+        for (i, (_, m)) in masks.iter().enumerate() {
+            let kept = m.data().iter().filter(|&&v| v == 1.0).count();
+            assert_eq!(kept, if i < 3 { 2 } else { 1 });
+        }
+    }
+
+    #[test]
+    fn layerwise_extra_units_follow_largest_remainder() {
+        // t0: 5·0.7 = 3.5 (rem .5), t1: 3·0.7 = 2.1 (rem .1); target =
+        // round(8·0.7) = 6 ⇒ bases 3+2, the leftover unit goes to t0.
+        let scores = scores_of(&[("t0", &[5.0, 4.0, 3.0, 2.0, 1.0]), ("t1", &[0.3, 0.2, 0.1])]);
+        let masks = masks_from_scores(&scores, 0.7, Scope::Layerwise);
+        assert_eq!(masks["t0"].data(), &[1.0, 1.0, 1.0, 1.0, 0.0]);
+        assert_eq!(masks["t1"].data(), &[1.0, 1.0, 0.0]);
     }
 }

@@ -392,6 +392,51 @@ mod tests {
     }
 
     #[test]
+    fn repruning_past_prunable_budget_never_revives() {
+        // Regression: prune hard, then re-prune with a keep budget larger
+        // than the surviving finite-score count (a looser ratio, and the
+        // degenerate 1.0 "keep everything" request). The old global
+        // tie-break pushed the threshold to -∞ and resurrected every
+        // pinned-pruned weight.
+        for (first, second) in [(8.0, 2.0), (8.0, 1.0), (16.0, 1.5)] {
+            let mut network = net();
+            let mut rng = Rng::seed_from(12);
+            let o1 = Pruner::default()
+                .prune(&mut network, &GlobalMagnitude, first, &mut rng)
+                .unwrap();
+            let mut first_masks: BTreeMap<String, Vec<f32>> = BTreeMap::new();
+            network.visit_params_ref(&mut |p| {
+                if let Some(m) = p.mask() {
+                    first_masks.insert(p.name().to_string(), m.data().to_vec());
+                }
+            });
+            let o2 = Pruner::default()
+                .prune(&mut network, &GlobalMagnitude, second, &mut rng)
+                .unwrap();
+            // Monotone: compression saturates at the first pass's level
+            // instead of dropping back toward the looser request.
+            assert!(
+                o2.compression_ratio >= o1.compression_ratio * 0.999,
+                "{first}→{second}: {} fell below {}",
+                o2.compression_ratio,
+                o1.compression_ratio
+            );
+            network.visit_params_ref(&mut |p| {
+                if let Some(m) = p.mask() {
+                    let old = &first_masks[p.name()];
+                    for (i, (&new_v, &old_v)) in m.data().iter().zip(old).enumerate() {
+                        assert!(
+                            !(new_v == 1.0 && old_v == 0.0),
+                            "{first}→{second}: {}[{i}] was revived",
+                            p.name()
+                        );
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
     fn invalid_compression_rejected() {
         let mut network = net();
         let mut rng = Rng::seed_from(9);

@@ -52,19 +52,105 @@ fn global_masks_keep_exact_rounded_count() {
 }
 
 #[test]
-fn layerwise_masks_keep_rounded_count_per_tensor() {
+fn layerwise_masks_share_the_global_budget() {
     check(
-        "core::layerwise_masks_keep_rounded_count_per_tensor",
+        "core::layerwise_masks_share_the_global_budget",
         cfg(),
         |rng| (gen_scores(rng), rng.uniform(0.0, 1.0) as f64),
         |(raw, keep)| {
+            // Largest-remainder allocation: the summed keep count equals
+            // the global rounded target exactly (achieved compression is
+            // within one weight of optimal), and no tensor strays more
+            // than one weight from its exact share.
             let scores = to_map(raw);
+            let total: usize = scores.values().map(Tensor::numel).sum();
             let masks = masks_from_scores(&scores, *keep, Scope::Layerwise);
+            let target = ((total as f64 * keep).round() as usize).min(total);
+            prop_assert_eq!(kept_count(&masks), target);
             for (name, mask) in &masks {
                 let n = scores[name].numel();
-                let expected = ((n as f64 * keep).round() as usize).min(n);
+                let exact = n as f64 * keep;
                 let got = mask.data().iter().filter(|&&v| v == 1.0).count();
-                prop_assert!(got == expected, "tensor {}: kept {} expected {}", name, got, expected);
+                prop_assert!(
+                    (got as f64 - exact).abs() < 1.0 + 1e-9,
+                    "tensor {}: kept {} vs exact share {}",
+                    name,
+                    got,
+                    exact
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn both_scopes_keep_exactly_k_binary_entries() {
+    check(
+        "core::both_scopes_keep_exactly_k_binary_entries",
+        cfg(),
+        |rng| (gen_scores(rng), rng.uniform(0.0, 1.0) as f64),
+        |(raw, keep)| {
+            // Every mask entry is exactly 0.0 or 1.0 and the kept total is
+            // exactly the rounded budget k, in both scopes.
+            let scores = to_map(raw);
+            let total: usize = scores.values().map(Tensor::numel).sum();
+            let k = ((total as f64 * keep).round() as usize).min(total);
+            for scope in [Scope::Global, Scope::Layerwise] {
+                let masks = masks_from_scores(&scores, *keep, scope);
+                for (name, mask) in &masks {
+                    for &v in mask.data() {
+                        prop_assert!(v == 0.0 || v == 1.0, "{}: non-binary {}", name, v);
+                    }
+                }
+                prop_assert_eq!(kept_count(&masks), k);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn pinned_pruned_scores_never_resurrect() {
+    check(
+        "core::pinned_pruned_scores_never_resurrect",
+        cfg(),
+        |rng| {
+            let mut raw = gen_scores(rng);
+            // Pin a random subset to -∞, the pruner's "stay pruned" marker.
+            let mut pinned = 0usize;
+            for t in &mut raw {
+                for v in t.iter_mut() {
+                    if rng.below(3) == 0 {
+                        *v = f32::NEG_INFINITY;
+                        pinned += 1;
+                    }
+                }
+            }
+            (raw, pinned, rng.uniform(0.0, 1.0) as f64)
+        },
+        |(raw, pinned, keep)| {
+            // -∞ entries stay pruned at ANY keep fraction; the budget
+            // saturates at the finite-score count instead of spilling into
+            // the pinned set.
+            let scores = to_map(raw);
+            let total: usize = scores.values().map(Tensor::numel).sum();
+            let k = ((total as f64 * keep).round() as usize).min(total);
+            for scope in [Scope::Global, Scope::Layerwise] {
+                let masks = masks_from_scores(&scores, *keep, scope);
+                for (name, mask) in &masks {
+                    for (s, m) in scores[name].data().iter().zip(mask.data()) {
+                        prop_assert!(
+                            s.is_finite() || *m == 0.0,
+                            "{}: non-finite score kept ({:?})",
+                            name,
+                            scope
+                        );
+                    }
+                }
+                if scope == Scope::Global {
+                    prop_assert_eq!(kept_count(&masks), k.min(total - pinned));
+                }
             }
             Ok(())
         },

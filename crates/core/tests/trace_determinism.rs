@@ -1,0 +1,90 @@
+//! The sb-trace contract at the grid level: tracing must not change
+//! experiment output, and the normalized trace of the same grid must be
+//! byte-identical whether the cells ran inline on one thread or were
+//! stolen across four pool workers.
+//!
+//! Everything lives in one `#[test]` because the assertions manipulate
+//! process-global state (the trace gate and the runtime thread override);
+//! a single function keeps them strictly sequenced.
+
+use shrinkbench::experiment::{
+    DatasetKind, ExperimentConfig, ExperimentRunner, ModelKind, PretrainConfig,
+};
+use shrinkbench::{FinetuneConfig, StrategyKind};
+
+fn tiny_config(id: &str) -> ExperimentConfig {
+    ExperimentConfig {
+        id: id.to_string(),
+        dataset: DatasetKind::MnistLike,
+        data_scale: 16,
+        data_seed: 0,
+        model: ModelKind::Lenet300_100,
+        strategies: vec![StrategyKind::GlobalMagnitude],
+        compressions: vec![2.0, 8.0],
+        seeds: vec![1],
+        pretrain: PretrainConfig {
+            epochs: 2,
+            patience: None,
+            ..PretrainConfig::default()
+        },
+        finetune: FinetuneConfig {
+            epochs: 1,
+            patience: None,
+            ..FinetuneConfig::default()
+        },
+    }
+}
+
+#[test]
+fn traced_grids_are_thread_invariant_and_leave_results_unchanged() {
+    let runner = ExperimentRunner::default();
+    let cfg = tiny_config("trace-det");
+
+    // Untraced baseline records.
+    sb_trace::set_override(Some(false));
+    let baseline = runner.run(&cfg);
+
+    // Same grid, traced, cells inline on one thread.
+    sb_trace::set_override(Some(true));
+    let _ = sb_trace::take_report();
+    sb_runtime::set_thread_override(Some(1));
+    let one_thread = runner.run(&cfg);
+    let trace_one = sb_trace::take_report().subtree("grid:trace-det");
+
+    // Same grid, traced, cells distributed over four workers.
+    sb_runtime::set_thread_override(Some(4));
+    let four_threads = runner.run(&cfg);
+    let trace_four = sb_trace::take_report().subtree("grid:trace-det");
+
+    sb_runtime::set_thread_override(None);
+    sb_trace::set_override(None);
+
+    // Tracing and thread count leave the records bit-identical.
+    assert_eq!(baseline, one_thread, "tracing changed experiment output");
+    assert_eq!(baseline, four_threads, "thread count changed experiment output");
+
+    // The normalized trace (ticks zeroed, thread labels dropped,
+    // scheduling spans/counters pruned) is byte-identical across thread
+    // counts.
+    let json_one =
+        sb_json::to_string(&trace_one.normalized()).expect("trace serializes");
+    let json_four =
+        sb_json::to_string(&trace_four.normalized()).expect("trace serializes");
+    assert_eq!(json_one, json_four, "normalized trace depends on thread count");
+
+    // The trace actually covers every layer the tentpole promises:
+    // runner (grid/pretrain/cells), fine-tuning phases, and training
+    // epochs, as logical span paths.
+    let flame = trace_one.flamegraph();
+    for needle in [
+        "grid:trace-det;pretrain",
+        "grid:trace-det;job:trace-det:cell-s0-c0-r0;prune",
+        "grid:trace-det;job:trace-det:cell-s0-c1-r0;finetune",
+        ";finetune;epoch-0;forward",
+        ";epoch-0;backward",
+        ";epoch-0;step",
+        ";eval",
+    ] {
+        assert!(flame.contains(needle), "flamegraph misses {needle}:\n{flame}");
+    }
+}

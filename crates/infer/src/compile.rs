@@ -95,6 +95,7 @@ impl CompiledModel {
             max_act: input_shape.numel(),
             max_patch: 0,
             max_rows: 0,
+            pending_label: None,
         };
         let (steps, out_shape, carry) = compiler.chain(&flat, input_shape);
         assert!(
@@ -220,6 +221,9 @@ struct Compiler<'a> {
     max_act: usize,
     max_patch: usize,
     max_rows: usize,
+    /// Trace label staged by `lower_linear`/`lower_conv` for the step the
+    /// next `push` records.
+    pending_label: Option<String>,
 }
 
 impl Compiler<'_> {
@@ -370,6 +374,7 @@ impl Compiler<'_> {
             step,
             in_shape,
             out_shape,
+            label: self.pending_label.take().unwrap_or_default(),
         });
     }
 
@@ -431,6 +436,7 @@ impl Compiler<'_> {
         *carry = new_carry;
         let plan_out = kernel.out_features();
         self.record_plan(name, format, &kernel, &bias_vec, dense_macs, effective, 1);
+        self.pending_label = Some(format!("{name}:{}", format.label()));
         (
             Step::Matmul {
                 kernel,
@@ -474,6 +480,7 @@ impl Compiler<'_> {
         *carry = new_carry;
         let out_c = kernel.out_features();
         self.record_plan(name, format, &kernel, &bias_vec, dense_macs, effective, spatial);
+        self.pending_label = Some(format!("{name}:{}", format.label()));
         self.max_patch = self.max_patch.max(spatial * geom.patch_len());
         self.max_rows = self.max_rows.max(spatial * out_c);
         let out = FeatureShape::Image {

@@ -67,6 +67,10 @@ impl CompiledModel {
         }
         let xd = x.data();
         let block = self.batch_block;
+        // Per-layer spans opened inside the blocks re-parent under this
+        // span (the chunk tasks carry the submitter's path), so traced
+        // inference aggregates identically at any thread count.
+        let _fwd = sb_trace::span("infer");
         sb_runtime::for_each_chunk_mut(&mut out, block * classes, |ci, out_block| {
             let s0 = ci * block;
             let b = out_block.len() / classes;
@@ -142,6 +146,9 @@ fn apply_step(
             }
         }
         Step::Matmul { kernel, bias } => {
+            let _layer = sb_trace::span_with(|| format!("layer:{}", p.label));
+            sb_trace::add(sb_trace::CounterId::Flops, kernel.macs() * b as u64);
+            sb_trace::add(sb_trace::CounterId::BytesMoved, kernel.param_bytes() as u64);
             let in_d = p.in_shape.numel();
             let out_d = p.out_shape.numel();
             matmul_rows(kernel, bias, &cur[..b * in_d], in_d, &mut tmp[..b * out_d]);
@@ -155,6 +162,9 @@ fn apply_step(
         } => {
             let (oh, ow) = (geom.out_h(), geom.out_w());
             let spatial = oh * ow;
+            let _layer = sb_trace::span_with(|| format!("layer:{}", p.label));
+            sb_trace::add(sb_trace::CounterId::Flops, kernel.macs() * (b * spatial) as u64);
+            sb_trace::add(sb_trace::CounterId::BytesMoved, kernel.param_bytes() as u64);
             let plen = geom.patch_len();
             im2col_block(&cur[..b * geom.in_channels * geom.in_h * geom.in_w], b, geom, &mut patch[..b * spatial * plen]);
             matmul_rows(

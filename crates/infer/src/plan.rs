@@ -83,6 +83,15 @@ impl Kernel {
         }
     }
 
+    /// Multiply-accumulates one input row costs in this format (a conv
+    /// kernel's "row" is one output pixel's im2col patch).
+    pub(crate) fn macs(&self) -> u64 {
+        match self {
+            Kernel::Dense(t) => (t.dim(0) * t.dim(1)) as u64,
+            Kernel::Csr(s) => s.nnz() as u64,
+        }
+    }
+
     /// Bytes needed to store the weight itself (excluding bias).
     pub(crate) fn param_bytes(&self) -> usize {
         match self {
@@ -131,6 +140,9 @@ pub(crate) struct Planned {
     pub step: Step,
     pub in_shape: FeatureShape,
     pub out_shape: FeatureShape,
+    /// `"{name}:{format}"` for weight-bearing steps (the trace span
+    /// label), empty for activations/pools/norms.
+    pub label: String,
 }
 
 /// Public compile report for one weight-bearing layer.

@@ -119,13 +119,22 @@ impl Trainer {
     ) -> Result<f32, TrainDiverged> {
         let (x, labels) = batch;
         network.zero_grads();
-        let logits = network.forward(x, Mode::Train);
+        let logits = {
+            let _s = sb_trace::span("forward");
+            network.forward(x, Mode::Train)
+        };
         if logits.has_non_finite() {
             return Err(TrainDiverged);
         }
         let out = cross_entropy(&logits, labels);
-        network.backward(&out.grad_logits);
-        optimizer.step(network);
+        {
+            let _s = sb_trace::span("backward");
+            network.backward(&out.grad_logits);
+        }
+        {
+            let _s = sb_trace::span("step");
+            optimizer.step(network);
+        }
         Ok(out.loss)
     }
 
@@ -171,10 +180,14 @@ impl Trainer {
             let batches = make_epoch(epoch);
             let mut loss_sum = 0.0f32;
             let mut batch_count = 0usize;
-            for batch in &batches {
-                loss_sum += Self::train_step(network, optimizer, batch)?;
-                batch_count += 1;
+            {
+                let _epoch_span = sb_trace::span_with(|| format!("epoch-{epoch}"));
+                for batch in &batches {
+                    loss_sum += Self::train_step(network, optimizer, batch)?;
+                    batch_count += 1;
+                }
             }
+            sb_trace::count(sb_trace::CounterId::EpochsTrained, 1);
             report
                 .epoch_losses
                 .push(if batch_count > 0 { loss_sum / batch_count as f32 } else { 0.0 });
@@ -226,6 +239,7 @@ impl std::error::Error for TrainDiverged {}
 /// accuracy (the two quality metrics the paper recommends always reporting
 /// together).
 pub fn evaluate(network: &mut dyn Network, batches: &[Batch]) -> EvalMetrics {
+    let _s = sb_trace::span("eval");
     let mut loss_sum = 0.0f64;
     let mut top1_hits = 0usize;
     let mut top5_hits = 0usize;

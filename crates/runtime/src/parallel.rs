@@ -49,10 +49,17 @@ where
     }
     let mut slots: Vec<Option<T>> = Vec::with_capacity(nchunks);
     slots.resize_with(nchunks, || None);
+    // Chunk tasks keep the caller's logical span path, so spans opened
+    // inside a chunk aggregate identically whether the chunk ran inline
+    // (1 thread) or on a stolen worker.
+    let parent = sb_trace::current_path();
     global_pool().scope(|s| {
         for (ci, slot) in slots.iter_mut().enumerate() {
             let f = &f;
-            s.spawn(move || *slot = Some(f(chunk_range(ci, chunk, n))));
+            let parent = &parent;
+            s.spawn(move || {
+                *slot = Some(sb_trace::with_path(parent, || f(chunk_range(ci, chunk, n))));
+            });
         }
     });
     slots
@@ -102,10 +109,12 @@ where
     }
     let mut slots: Vec<Option<R>> = Vec::with_capacity(nchunks);
     slots.resize_with(nchunks, || None);
+    let parent = sb_trace::current_path();
     global_pool().scope(|s| {
         for ((ci, block), slot) in data.chunks_mut(chunk_len).enumerate().zip(slots.iter_mut()) {
             let f = &f;
-            s.spawn(move || *slot = Some(f(ci, block)));
+            let parent = &parent;
+            s.spawn(move || *slot = Some(sb_trace::with_path(parent, || f(ci, block))));
         }
     });
     slots
@@ -141,10 +150,12 @@ where
     let n = items.len();
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
+    let parent = sb_trace::current_path();
     global_pool().scope(|s| {
         for ((i, item), slot) in items.into_iter().enumerate().zip(slots.iter_mut()) {
             let f = &f;
-            s.spawn(move || *slot = Some(f(i, item)));
+            let parent = &parent;
+            s.spawn(move || *slot = Some(sb_trace::with_path(parent, || f(i, item))));
         }
     });
     slots

@@ -75,6 +75,9 @@ impl Pool {
     /// Panics if `threads == 0`.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "a pool needs at least one worker");
+        // Scheduling-class: whether a pool exists at all depends on the
+        // thread count, so normalized traces drop this span.
+        let _lifecycle = sb_trace::sched_span("pool-start");
         let shared = Arc::new(Shared {
             injector: Mutex::new(VecDeque::new()),
             deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -187,6 +190,7 @@ impl Pool {
 
 impl Drop for Pool {
     fn drop(&mut self) {
+        let _lifecycle = sb_trace::sched_span("pool-shutdown");
         self.shared.shutdown.store(true, Ordering::Release);
         notify(&self.shared);
         for handle in self.handles.drain(..) {
@@ -255,6 +259,7 @@ fn worker_main(shared: Arc<Shared>, idx: usize) {
         }
         let guard = shared.signal.lock().unwrap();
         if *guard == gen && !shared.shutdown.load(Ordering::Acquire) {
+            sb_trace::count(sb_trace::CounterId::ParkEvents, 1);
             // Timeout is a backstop only; pushes notify the condvar.
             let _ = shared
                 .signal_cv
@@ -284,6 +289,7 @@ pub(crate) fn find_task(shared: &Shared, me: Option<usize>) -> Option<Task> {
             continue;
         }
         if let Some(task) = shared.deques[j].lock().unwrap().pop_front() {
+            sb_trace::count(sb_trace::CounterId::TasksStolen, 1);
             return Some(task);
         }
     }
@@ -303,6 +309,7 @@ pub(crate) fn current_worker_index(shared: &Arc<Shared>) -> Option<usize> {
 /// Enqueues a task: onto the local deque when called from one of this
 /// pool's workers, onto the injector otherwise; then wakes a sleeper.
 pub(crate) fn push(shared: &Arc<Shared>, task: Task) {
+    sb_trace::count(sb_trace::CounterId::TasksSpawned, 1);
     match current_worker_index(shared) {
         Some(idx) => shared.deques[idx].lock().unwrap().push_back(task),
         None => shared.injector.lock().unwrap().push_back(task),
@@ -411,21 +418,17 @@ mod tests {
 
     #[test]
     fn detached_spawn_captures_panics() {
+        // Event-driven synchronization: the panic record is pushed before
+        // the panicking task's wrapper returns, and on a 1-worker pool the
+        // injector is drained FIFO, so a second detached task signalling a
+        // channel proves the first (and its record) completed. No sleeps,
+        // no polling.
         let pool = Pool::new(1);
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
         pool.spawn(|| panic!("detached boom"));
-        // Synchronize: an empty scope drains after the detached task on
-        // the FIFO injector. The scope can still finish first when the
-        // caller *helps* with the scope task while the worker is mid-
-        // unwind, so poll briefly for the panic record.
-        pool.scope(|s| s.spawn(|| {}));
-        let mut panics = pool.take_panics();
-        for _ in 0..500 {
-            if !panics.is_empty() {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(2));
-            panics.extend(pool.take_panics());
-        }
+        pool.spawn(move || tx.send(()).unwrap());
+        rx.recv().expect("sentinel task ran");
+        let panics = pool.take_panics();
         assert_eq!(panics.len(), 1);
         assert!(panics[0].contains("detached boom"));
     }

@@ -210,7 +210,27 @@ impl JobQueue {
         });
         let handle = JobHandle { label: spec.label.clone(), state: Arc::clone(&state) };
         let submitted = Instant::now();
-        let run = move || state.publish(run_attempts(&spec, &cancelled, submitted, &job));
+        // Capture the submitter's logical span path so the job's span
+        // lands under it no matter which worker thread runs the attempt —
+        // inline and pooled execution produce identical trace paths.
+        let parent = sb_trace::current_path();
+        let run = move || {
+            let result = sb_trace::with_path(&parent, || {
+                let _job = sb_trace::span_with(|| {
+                    if spec.label.is_empty() {
+                        "job".to_string()
+                    } else {
+                        format!("job:{}", spec.label)
+                    }
+                });
+                run_attempts(&spec, &cancelled, submitted, &job)
+            });
+            // Publish only after the span closed and the worker flushed
+            // its thread-local aggregates (the path pop above does that):
+            // whoever joins this handle and snapshots the trace is
+            // guaranteed to see this job's spans.
+            state.publish(result);
+        };
         match &self.backend {
             Backend::Inline => run(),
             Backend::Global => crate::global_pool().spawn(run),
@@ -312,15 +332,23 @@ mod tests {
 
     #[test]
     fn elapsed_deadline_blocks_further_attempts() {
+        // A zero deadline is already elapsed by the first pre-attempt
+        // check (monotonic time advances past it before any attempt can
+        // start), so the job resolves DeadlineExceeded without the test
+        // ever sleeping or racing a timer against job execution.
         let queue = JobQueue::on(Arc::new(Pool::new(1)));
+        let attempts = Arc::new(AtomicU32::new(0));
+        let attempts_in = Arc::clone(&attempts);
         let handle = queue.submit(
-            JobSpec::new().retries(100).deadline(Duration::from_millis(5)),
-            |_| -> Result<(), String> {
-                std::thread::sleep(Duration::from_millis(10));
+            JobSpec::new().retries(1000).deadline(Duration::ZERO),
+            move |_| -> Result<(), String> {
+                attempts_in.fetch_add(1, Ordering::SeqCst);
                 Err("keep retrying".into())
             },
         );
         assert_eq!(handle.join(), Err(JobError::DeadlineExceeded));
+        // The deadline cut retries short of the configured budget.
+        assert!(attempts.load(Ordering::SeqCst) <= 1);
     }
 
     #[test]

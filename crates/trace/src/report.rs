@@ -1,0 +1,265 @@
+//! [`TraceReport`]: the exportable form of collected trace data —
+//! deterministic JSON via `sb-json` plus a collapsed text flamegraph.
+
+use crate::{CounterId, NodeStats};
+use sb_json::{Json, ToJson};
+use std::collections::BTreeMap;
+
+/// One aggregated span path in the trace tree.
+///
+/// Spans with the same path merge: `count` is how many times the span ran,
+/// ticks are summed. `self_ticks` is total minus time attributed to child
+/// spans, saturating at zero (children running concurrently on other
+/// workers can overlap their parent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceNode {
+    /// Path segment (span name).
+    pub name: String,
+    /// Times a span closed at this path.
+    pub count: u64,
+    /// Summed wall ticks (nanoseconds of monotonic time).
+    pub total_ticks: u64,
+    /// Ticks not attributed to child spans.
+    pub self_ticks: u64,
+    /// Scheduling-class span (pool lifecycle): pruned by
+    /// [`TraceReport::normalized`].
+    pub sched: bool,
+    /// Sorted labels of threads that closed this span here.
+    pub threads: Vec<u64>,
+    /// Nonzero span-attributed counters, in [`CounterId::ALL`] order.
+    pub counters: Vec<(String, u64)>,
+    /// Child spans, sorted by name.
+    pub children: Vec<TraceNode>,
+}
+
+impl TraceNode {
+    fn empty(name: String) -> Self {
+        TraceNode {
+            name,
+            count: 0,
+            total_ticks: 0,
+            self_ticks: 0,
+            sched: false,
+            threads: Vec::new(),
+            counters: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// A span-attributed counter value by report name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    fn normalized(&self) -> Option<TraceNode> {
+        if self.sched {
+            return None;
+        }
+        Some(TraceNode {
+            name: self.name.clone(),
+            count: self.count,
+            total_ticks: 0,
+            self_ticks: 0,
+            sched: false,
+            threads: Vec::new(),
+            counters: self.counters.clone(),
+            children: self
+                .children
+                .iter()
+                .filter_map(TraceNode::normalized)
+                .collect(),
+        })
+    }
+}
+
+/// A merged view of all collected spans and counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Deterministic global counter totals (nonzero only).
+    pub counters: Vec<(String, u64)>,
+    /// Scheduling-dependent counter totals (nonzero only): steals, parks,
+    /// spawns. Dropped by [`normalized`](TraceReport::normalized).
+    pub scheduling_counters: Vec<(String, u64)>,
+    /// Root spans, sorted by name.
+    pub roots: Vec<TraceNode>,
+}
+
+impl TraceReport {
+    pub(crate) fn build(agg: BTreeMap<Vec<String>, NodeStats>, totals: [u64; 9]) -> TraceReport {
+        let mut roots: Vec<TraceNode> = Vec::new();
+        // BTreeMap iterates paths lexicographically, so parents (path
+        // prefixes) arrive before their children; missing intermediates
+        // (possible if only a deep span closed) are created empty.
+        for (path, stats) in &agg {
+            let mut level = &mut roots;
+            for (depth, seg) in path.iter().enumerate() {
+                let idx = match level.iter().position(|n| &n.name == seg) {
+                    Some(i) => i,
+                    None => {
+                        level.push(TraceNode::empty(seg.clone()));
+                        level.len() - 1
+                    }
+                };
+                if depth + 1 == path.len() {
+                    let node = &mut level[idx];
+                    node.count += stats.count;
+                    node.total_ticks += stats.total_ticks;
+                    node.self_ticks += stats.self_ticks;
+                    node.sched |= stats.sched;
+                    for &t in &stats.threads {
+                        if !node.threads.contains(&t) {
+                            node.threads.push(t);
+                        }
+                    }
+                    node.threads.sort_unstable();
+                    for (slot, id) in stats.counters.iter().zip(CounterId::ALL) {
+                        if *slot > 0 {
+                            node.counters.push((id.name().to_string(), *slot));
+                        }
+                    }
+                } else {
+                    level = &mut level[idx].children;
+                }
+            }
+        }
+        sort_tree(&mut roots);
+        let mut counters = Vec::new();
+        let mut scheduling = Vec::new();
+        for (total, id) in totals.iter().zip(CounterId::ALL) {
+            if *total == 0 {
+                continue;
+            }
+            let entry = (id.name().to_string(), *total);
+            if id.scheduling_dependent() {
+                scheduling.push(entry);
+            } else {
+                counters.push(entry);
+            }
+        }
+        TraceReport {
+            counters,
+            scheduling_counters: scheduling,
+            roots,
+        }
+    }
+
+    /// A global counter value by report name (0 when absent), looked up
+    /// across both deterministic and scheduling sections.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .chain(&self.scheduling_counters)
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// The thread-count-independent form: tick fields zeroed, thread
+    /// labels dropped, scheduling-class spans and counters pruned. Two
+    /// runs of the same logical work serialize to byte-identical JSON
+    /// regardless of `SB_RUNTIME_THREADS`.
+    pub fn normalized(&self) -> TraceReport {
+        TraceReport {
+            counters: self.counters.clone(),
+            scheduling_counters: Vec::new(),
+            roots: self.roots.iter().filter_map(TraceNode::normalized).collect(),
+        }
+    }
+
+    /// Only the root spans named `root` (global counters dropped: they
+    /// cannot be attributed to a subtree).
+    pub fn subtree(&self, root: &str) -> TraceReport {
+        TraceReport {
+            counters: Vec::new(),
+            scheduling_counters: Vec::new(),
+            roots: self
+                .roots
+                .iter()
+                .filter(|n| n.name == root)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Collapsed text flamegraph: one line per span path, sorted, in the
+    /// form `a;b;c <self_ticks> <total_ticks> <count>`.
+    pub fn flamegraph(&self) -> String {
+        let mut out = String::from("# collapsed flamegraph: path self_ticks total_ticks count\n");
+        fn walk(node: &TraceNode, prefix: &str, out: &mut String) {
+            let path = if prefix.is_empty() {
+                node.name.clone()
+            } else {
+                format!("{prefix};{}", node.name)
+            };
+            out.push_str(&format!(
+                "{path} {} {} {}\n",
+                node.self_ticks, node.total_ticks, node.count
+            ));
+            for child in &node.children {
+                walk(child, &path, out);
+            }
+        }
+        for root in &self.roots {
+            walk(root, "", &mut out);
+        }
+        out
+    }
+}
+
+fn sort_tree(nodes: &mut [TraceNode]) {
+    nodes.sort_by(|a, b| a.name.cmp(&b.name));
+    for n in nodes {
+        sort_tree(&mut n.children);
+    }
+}
+
+fn counters_json(counters: &[(String, u64)]) -> Json {
+    Json::Obj(
+        counters
+            .iter()
+            .map(|(n, v)| (n.clone(), Json::Int(*v as i128)))
+            .collect(),
+    )
+}
+
+impl ToJson for TraceNode {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("count".to_string(), Json::Int(self.count as i128)),
+            (
+                "total_ticks".to_string(),
+                Json::Int(self.total_ticks as i128),
+            ),
+            ("self_ticks".to_string(), Json::Int(self.self_ticks as i128)),
+            ("sched".to_string(), Json::Bool(self.sched)),
+            (
+                "threads".to_string(),
+                Json::Arr(self.threads.iter().map(|&t| Json::Int(t as i128)).collect()),
+            ),
+            ("counters".to_string(), counters_json(&self.counters)),
+            (
+                "children".to_string(),
+                Json::Arr(self.children.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl ToJson for TraceReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("counters".to_string(), counters_json(&self.counters)),
+            (
+                "scheduling_counters".to_string(),
+                counters_json(&self.scheduling_counters),
+            ),
+            (
+                "spans".to_string(),
+                Json::Arr(self.roots.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}

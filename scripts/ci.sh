@@ -25,6 +25,25 @@ cargo bench --no-run --offline
 # sequential execution) and once on four workers. sb-runtime's contract
 # is that results are bit-identical either way — the determinism tests
 # compare serialized bytes, so any scheduling-dependent result fails
-# tier-1 here rather than in a figure.
+# tier-1 here rather than in a figure. The 4-worker pass also runs with
+# SB_TRACE=1, so every test exercises the *enabled* tracing paths (span
+# collection, cross-thread re-parenting, counter attribution) — tracing
+# must never change a result or panic under the full suite.
 SB_RUNTIME_THREADS=1 cargo test -q --offline
-SB_RUNTIME_THREADS=4 cargo test -q --offline
+SB_RUNTIME_THREADS=4 SB_TRACE=1 cargo test -q --offline
+
+# Tracing must leave experiment output byte-identical: run the same quick
+# grid with tracing off and on, and compare the persisted results JSON.
+# The traced run must also emit its grid trace artifacts.
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+./target/release/expfig mnist-saturation --scale quick \
+    --results "$trace_tmp/plain" --figures "$trace_tmp/figs-plain" >/dev/null
+SB_TRACE=1 ./target/release/expfig mnist-saturation --scale quick \
+    --results "$trace_tmp/traced" --figures "$trace_tmp/figs-traced" >/dev/null
+for f in "$trace_tmp/plain"/*.json; do
+    cmp "$f" "$trace_tmp/traced/$(basename "$f")"
+done
+test -s "$trace_tmp/traced/mnist-saturation-quick.trace.json"
+test -s "$trace_tmp/traced/mnist-saturation-quick.flame.txt"
+echo "trace determinism: results identical traced vs untraced, artifacts emitted"
