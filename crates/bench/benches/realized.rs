@@ -9,6 +9,7 @@
 //! root so the numbers travel with the code.
 
 use sb_bench::timer::Timer;
+use sb_infer::formats::{BitmapMatrix, BsrMatrix, BSR_BLOCK_W};
 use sb_infer::{CompileOptions, CompiledModel, ExecFormat};
 use sb_tensor::{Rng, SparseMatrix, Tensor};
 use shrinkbench::structured::FilterNorm;
@@ -38,6 +39,74 @@ fn bench_realized_speedup(c: &mut Timer) {
         let sparse = SparseMatrix::from_dense(&w);
         group.bench_function(format!("csr-density-{density}"), |b| {
             b.iter(|| std::hint::black_box(sparse.matmul_dense(&x)))
+        });
+    }
+    group.finish();
+}
+
+/// Single-threaded per-format row kernels on conv2-shaped data (im2col
+/// rows of a late conv layer: short rows, weight reused across every
+/// spatial position). These are the measurements behind the cost-model
+/// constants in `crates/infer/src/compile.rs`: divide each format's
+/// ns/iter by its executed lanes to get the per-lane cost relative to
+/// the dense stream. The dense and CSR loops replicate the (private)
+/// `sb-infer` exec kernels exactly.
+fn bench_conv_row_kernels(c: &mut Timer) {
+    let (out_f, in_cols, n_rows) = (16usize, 200usize, 512usize);
+    let mut rng = Rng::seed_from(7);
+    let x = Tensor::rand_normal(&[n_rows, in_cols], 0.0, 1.0, &mut rng);
+    let bias = vec![0.1f32; out_f];
+    let mut y = vec![0.0f32; n_rows * out_f];
+    let mut group = c.benchmark_group("conv-row-kernels-16x200xr512");
+
+    let dense_w = random_sparse(out_f, in_cols, 1.0, 8);
+    group.bench_function("dense", |b| {
+        b.iter(|| {
+            let wd = dense_w.data();
+            for (xr, yr) in x.data().chunks_exact(in_cols).zip(y.chunks_exact_mut(out_f)) {
+                for (j, o) in yr.iter_mut().enumerate() {
+                    let wr = &wd[j * in_cols..(j + 1) * in_cols];
+                    let mut acc = 0.0f32;
+                    for (&xv, &wv) in xr.iter().zip(wr) {
+                        acc += xv * wv;
+                    }
+                    *o = acc + bias[j];
+                }
+            }
+            std::hint::black_box(&y);
+        })
+    });
+    for density in [0.5, 0.25, 0.125, 0.0625, 0.03125] {
+        let w = random_sparse(out_f, in_cols, density, 9);
+        let csr = SparseMatrix::from_dense(&w);
+        let bsr = BsrMatrix::from_dense(&w, BSR_BLOCK_W);
+        let bitmap = BitmapMatrix::from_dense(&w);
+        group.bench_function(format!("csr-density-{density}"), |b| {
+            b.iter(|| {
+                for (xr, yr) in x.data().chunks_exact(in_cols).zip(y.chunks_exact_mut(out_f)) {
+                    for (j, o) in yr.iter_mut().enumerate() {
+                        let (cols, vals) = csr.row(j);
+                        let mut acc = 0.0f32;
+                        for (&ci, &v) in cols.iter().zip(vals) {
+                            acc += v * xr[ci as usize];
+                        }
+                        *o = acc + bias[j];
+                    }
+                }
+                std::hint::black_box(&y);
+            })
+        });
+        group.bench_function(format!("bsr-density-{density}"), |b| {
+            b.iter(|| {
+                bsr.matmul_rows(x.data(), &bias, &mut y);
+                std::hint::black_box(&y);
+            })
+        });
+        group.bench_function(format!("bitmap-density-{density}"), |b| {
+            b.iter(|| {
+                bitmap.matmul_rows(x.data(), &bias, &mut y);
+                std::hint::black_box(&y);
+            })
         });
     }
     group.finish();
@@ -91,9 +160,44 @@ fn bench_compiled_models(c: &mut Timer) {
     bench_compiled_pair(c, "infer-lenet5-4x-structured", &conv, &x);
 }
 
+/// Forced-format compiled LeNet-5 across unstructured ratios: the
+/// whole-model measurement behind the `format-crossover` artifact and
+/// the wall-clock floors in `crates/infer/tests/speed.rs`.
+fn bench_format_crossover(c: &mut Timer) {
+    for ratio in [2.0, 4.0, 16.0] {
+        let mut rng = Rng::seed_from(0xC405);
+        let mut net = sb_nn::models::lenet5(1, 16, 10, &mut rng);
+        Pruner::default()
+            .prune(&mut net, &GlobalMagnitude, ratio, &mut rng)
+            .expect("pruning a fresh network succeeds");
+        let x = Tensor::rand_normal(&[64, 1, 16, 16], 0.0, 1.0, &mut rng);
+        let mut group = c.benchmark_group(format!("infer-lenet5-formats-{ratio}x"));
+        for fmt in [
+            ExecFormat::Dense,
+            ExecFormat::Csr,
+            ExecFormat::Bsr,
+            ExecFormat::Bitmap,
+        ] {
+            let compiled = CompiledModel::compile(
+                &net,
+                &CompileOptions {
+                    force_format: Some(fmt),
+                    ..CompileOptions::default()
+                },
+            );
+            group.bench_function(fmt.label(), |b| {
+                b.iter(|| std::hint::black_box(compiled.forward(&x)))
+            });
+        }
+        group.finish();
+    }
+}
+
 fn main() {
     let mut timer = Timer::new();
     bench_realized_speedup(&mut timer);
+    bench_conv_row_kernels(&mut timer);
+    bench_format_crossover(&mut timer);
     bench_compiled_models(&mut timer);
     timer.finish();
 

@@ -55,7 +55,7 @@ fn disabled_add_cost() -> f64 {
 /// cell exercises.
 fn workload() {
     use sb_data::{batches_of, DatasetSpec, Split, SyntheticVision};
-    use sb_nn::{models, Adam, Network, TrainConfig, Trainer};
+    use sb_nn::{models, Adam, TrainConfig, Trainer};
     use shrinkbench::{prune_and_finetune, FinetuneConfig, GlobalMagnitude};
 
     let data = SyntheticVision::new(DatasetSpec::mnist_like(0).scaled_down(8));

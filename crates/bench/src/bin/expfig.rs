@@ -46,6 +46,7 @@ const ARTIFACTS: &[(&str, &str)] = &[
     ("realized-speedup", "Section 2.1: realized (CSR wall-clock) vs theoretical speedup"),
     ("inference-speedup", "Section 2.1/Fig 6: theoretical vs realized speedup of compiled models"),
     ("latency-attribution", "Trace: realized inference latency by layer x kernel format"),
+    ("format-crossover", "Tentpole: realized wall-clock of dense/CSR/BSR/bitmap kernels across sparsity ratios"),
     ("sparsity-profile", "Mechanism: per-layer sparsity under Global vs Layerwise ranking"),
     ("checklist", "Appendix B checklist applied to this suite"),
     ("mnist-saturation", "Motivation: MNIST-like results saturate (Section 4.2)"),
@@ -282,6 +283,7 @@ fn render_to_string(id: &str, scale: Scale, paths: &OutputPaths) -> String {
         "realized-speedup" => sb_bench::figures::realized_speedup(paths),
         "inference-speedup" => sb_bench::figures::inference_speedup(scale, paths),
         "latency-attribution" => sb_bench::figures::latency_attribution(paths),
+        "format-crossover" => sb_bench::figures::format_crossover(paths),
         "sparsity-profile" => sb_bench::figures::sparsity_profile(paths),
         "checklist" => checklist_artifact(scale, paths),
         "mnist-saturation" => experiment_figure(

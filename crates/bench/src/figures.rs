@@ -925,6 +925,160 @@ pub fn latency_attribution(paths: &OutputPaths) -> String {
     out
 }
 
+/// Realized wall-clock of every compiled execution format across
+/// sparsity ratios — the crossover picture behind the cost model. For
+/// each global-magnitude ratio the same LeNet-5 is compiled five ways
+/// (forced dense/CSR/BSR/bitmap plus the auto cost-model pick) and the
+/// whole-model forward is timed as a [`sb_metrics::RealizedSweep`]
+/// against one shared dense-compiled baseline, then a traced pass
+/// attributes self-time to the conv2 layer so the per-layer crossover
+/// (where BSR's 4-wide lanes or the bitmap's branch-free loop beat CSR's
+/// index chasing) is visible next to the aggregate. Timings are
+/// indicative and machine-dependent; `cargo bench --bench realized`
+/// holds the careful numbers.
+pub fn format_crossover(paths: &OutputPaths) -> String {
+    use sb_metrics::RealizedSweep;
+    use sb_tensor::{Rng, Tensor};
+    use shrinkbench::{GlobalMagnitude, Pruner};
+
+    let ratios = [1.0f64, 2.0, 4.0, 16.0];
+    let k = 7; // timed runs per median
+    let reps = 20; // traced forwards per variant for conv2 attribution
+    let mut out = String::from(
+        "Format crossover: realized whole-model wall-clock of each compiled kernel format against one shared dense-compiled baseline (LeNet-5, global magnitude, batch 64), with conv2 self-time attributed from the trace.\n\n",
+    );
+    let mut table = Table::new(vec![
+        "ratio", "format", "latency_us", "realized_speedup", "storage_bytes", "conv2_ms_per_call",
+    ]);
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> =
+        vec![("csr", Vec::new()), ("bsr", Vec::new()), ("bitmap", Vec::new()), ("auto", Vec::new())];
+    let mut crossover_ratios: Vec<f64> = Vec::new();
+
+    for &ratio in &ratios {
+        let mut rng = Rng::seed_from(0);
+        let mut net = sb_nn::models::lenet5(1, 16, 10, &mut rng);
+        if ratio > 1.0 {
+            let mut prune_rng = Rng::seed_from(1);
+            Pruner::default()
+                .prune(&mut net, &GlobalMagnitude, ratio, &mut prune_rng)
+                .expect("pruning a fresh LeNet-5 cannot fail");
+        }
+        let x = Tensor::rand_normal(&[64, 1, 16, 16], 0.0, 1.0, &mut rng);
+        let xr = &x;
+
+        let forced = |f: sb_infer::ExecFormat| sb_infer::CompileOptions {
+            force_format: Some(f),
+            ..sb_infer::CompileOptions::default()
+        };
+        let variants: Vec<(&str, sb_infer::CompiledModel)> = [
+            ("dense", forced(sb_infer::ExecFormat::Dense)),
+            ("csr", forced(sb_infer::ExecFormat::Csr)),
+            ("bsr", forced(sb_infer::ExecFormat::Bsr)),
+            ("bitmap", forced(sb_infer::ExecFormat::Bitmap)),
+            ("auto", sb_infer::CompileOptions::default()),
+        ]
+        .into_iter()
+        .map(|(label, opts)| (label, sb_infer::CompiledModel::compile(&net, &opts)))
+        .collect();
+        let baseline = &variants[0].1;
+
+        // Whole-model sweep: one shared dense baseline, so every
+        // realized-speedup ratio has the same denominator. The "dense"
+        // candidate row doubles as a noise gauge (it should sit near 1).
+        let sweep = RealizedSweep::measure(
+            k,
+            || {
+                std::hint::black_box(baseline.forward(xr));
+            },
+            variants
+                .iter()
+                .map(|(label, compiled)| {
+                    (
+                        label.to_string(),
+                        compiled.plans().iter().map(|p| p.storage_bytes).sum(),
+                        Box::new(move || {
+                            std::hint::black_box(compiled.forward(xr));
+                        }) as Box<dyn FnMut() + '_>,
+                    )
+                })
+                .collect(),
+        );
+
+        // Traced pass: pull conv2 self-time per call out of the
+        // `infer;layer:conv2:{format}` span for each variant.
+        sb_trace::set_override(Some(true));
+        let mut conv2_ms: Vec<(&str, f64)> = Vec::new();
+        for (label, compiled) in &variants {
+            std::hint::black_box(compiled.forward(xr)); // warm
+            let root = format!("format-crossover:{ratio}x:{label}");
+            {
+                let _span = sb_trace::span(&root);
+                for _ in 0..reps {
+                    std::hint::black_box(compiled.forward(xr));
+                }
+            }
+            let trace = sb_trace::report().subtree(&root);
+            let ms = trace
+                .roots
+                .first()
+                .and_then(|r| r.children.iter().find(|c| c.name == "infer"))
+                .and_then(|infer| {
+                    infer.children.iter().find(|c| c.name.starts_with("layer:conv2:"))
+                })
+                .map_or(f64::NAN, |l| l.self_ticks as f64 / 1e6 / reps as f64);
+            conv2_ms.push((label, ms));
+        }
+        sb_trace::set_override(None);
+        let conv2 = |l: &str| conv2_ms.iter().find(|(n, _)| *n == l).map(|&(_, m)| m);
+
+        for point in &sweep.points {
+            table.row(vec![
+                format!("{ratio}x"),
+                point.label.clone(),
+                format!("{:.0}", point.profile.latency_us),
+                format!("{:.2}", point.profile.realized_speedup),
+                point.profile.storage_bytes.to_string(),
+                conv2(&point.label).map_or("-".into(), |m| format!("{m:.3}")),
+            ]);
+            if let Some((_, s)) = series.iter_mut().find(|(l, _)| *l == point.label) {
+                s.push((ratio, point.profile.realized_speedup));
+            }
+        }
+        if let (Some(csr), Some(bsr), Some(bm)) = (conv2("csr"), conv2("bsr"), conv2("bitmap")) {
+            if bsr < csr || bm < csr {
+                crossover_ratios.push(ratio);
+            }
+        }
+    }
+
+    let mut chart = AsciiChart::new("Realized speedup by format", 64, 16)
+        .log_x(true)
+        .axis_labels("compression", "realized speedup (x)");
+    for (label, points) in &series {
+        chart = chart.series(ChartSeries::new(label.to_string(), points.clone()));
+    }
+    out.push_str(&chart.render());
+    out.push('\n');
+    out.push_str(&table.to_markdown());
+    let crossover_note = if crossover_ratios.is_empty() {
+        "on this run CSR held conv2 at every ratio (rerun — single-shot medians are noisy)".to_string()
+    } else {
+        format!(
+            "on this run BSR or bitmap beat CSR on conv2 self-time at ratio(s) {} — the crossover the cost-model constants encode, pinned as a wall-clock floor in sb-infer's speed tests",
+            crossover_ratios
+                .iter()
+                .map(|r| format!("{r}x"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    };
+    out.push_str(&format!(
+        "\nReading: each point is a median-of-{k} whole-model forward against one shared dense-compiled baseline (the dense row gauges measurement noise). CSR pays per-nonzero index chasing, so it only runs away at extreme sparsity; BSR amortizes indexing over 4-wide vector lanes and takes the convolution layers at low-to-mid ratios; the bitmap kernel spends storage (dense values + occupancy masks) on a branch-free inner loop that closes in at high ratios; {crossover_note}.\n",
+    ));
+    save(paths, "format-crossover", &out, Some(&table));
+    out
+}
+
 /// Per-layer sparsity profile: where Global vs Layerwise magnitude
 /// pruning actually removes weights at the same overall ratio — the
 /// mechanism behind Figure 6's compression/speedup crossover (global

@@ -87,4 +87,75 @@ fn traced_grids_are_thread_invariant_and_leave_results_unchanged() {
     ] {
         assert!(flame.contains(needle), "flamegraph misses {needle}:\n{flame}");
     }
+
+    // Same contract for the inference engine's per-format span paths:
+    // forced-BSR and forced-bitmap compiled forwards emit
+    // `infer;layer:{name}:{format}` spans whose normalized trace is
+    // byte-identical at one and four workers.
+    compiled_format_spans_are_thread_invariant();
+}
+
+/// Called from the single `#[test]` above (global trace + thread state).
+fn compiled_format_spans_are_thread_invariant() {
+    use sb_infer::{CompileOptions, CompiledModel, ExecFormat};
+    use sb_nn::Network;
+
+    let mut rng = sb_tensor::Rng::seed_from(0x7ACE);
+    let mut model = sb_nn::models::lenet5(1, 16, 10, &mut rng);
+    // Unstructured 2x by global magnitude so every layer keeps nonzeros.
+    let mut mags: Vec<f32> = Vec::new();
+    model.visit_params_ref(&mut |p| {
+        if p.kind().prunable_by_default() {
+            mags.extend(p.value().data().iter().map(|v| v.abs()));
+        }
+    });
+    mags.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite weights"));
+    let threshold = mags[mags.len() / 2];
+    model.visit_params(&mut |p| {
+        if p.kind().prunable_by_default() {
+            let mask = p.value().map(|v| if v.abs() >= threshold { 1.0 } else { 0.0 });
+            p.set_mask(mask);
+        }
+    });
+    let x = sb_tensor::Tensor::rand_normal(&[9, 1, 16, 16], 0.0, 1.0, &mut rng);
+
+    sb_trace::set_override(Some(true));
+    for (format, label) in [(ExecFormat::Bsr, "bsr"), (ExecFormat::Bitmap, "bitmap")] {
+        let compiled = CompiledModel::compile(
+            &model,
+            &CompileOptions {
+                force_format: Some(format),
+                ..CompileOptions::default()
+            },
+        );
+        let mut normalized: Option<String> = None;
+        for threads in [1usize, 4] {
+            sb_runtime::set_thread_override(Some(threads));
+            let _ = sb_trace::take_report();
+            let _ = compiled.forward(&x);
+            let report = sb_trace::take_report().subtree("infer");
+            let flame = report.flamegraph();
+            for needle in [
+                format!("infer;layer:conv1:{label}"),
+                format!("infer;layer:conv2:{label}"),
+                format!("infer;layer:fc3:{label}"),
+            ] {
+                assert!(
+                    flame.contains(needle.as_str()),
+                    "{label} flamegraph misses {needle}:\n{flame}"
+                );
+            }
+            let json =
+                sb_json::to_string(&report.normalized()).expect("trace serializes");
+            match &normalized {
+                None => normalized = Some(json),
+                Some(reference) => assert_eq!(
+                    reference, &json,
+                    "normalized {label} infer trace depends on thread count"
+                ),
+            }
+        }
+    }
+    sb_runtime::set_thread_override(None);
+    sb_trace::set_override(None);
 }

@@ -238,6 +238,14 @@ fn matmul_rows(kernel: &Kernel, bias: &[f32], x: &[f32], in_d: usize, y: &mut [f
                 }
             }
         }
+        Kernel::Bsr(b) => {
+            debug_assert_eq!(b.cols(), in_d, "BSR kernel input width");
+            b.matmul_rows(x, bias, y);
+        }
+        Kernel::Bitmap(m) => {
+            debug_assert_eq!(m.cols(), in_d, "bitmap kernel input width");
+            m.matmul_rows(x, bias, y);
+        }
     }
 }
 

@@ -24,6 +24,14 @@
 //!   dense matrices. Dropped channels still emit their bias constant;
 //!   the compiler tracks those constants through batch norm / ReLU /
 //!   pooling and folds them into the consumer's bias exactly.
+//! * [`ExecFormat::Bsr`] — blocked-sparse rows
+//!   ([`formats::BsrMatrix`], fixed block width
+//!   [`formats::BSR_BLOCK_W`]): one column index per block of contiguous
+//!   lanes, so the per-nonzero index overhead that dominates CSR conv
+//!   layers is amortized and the block inner loop streams like dense.
+//! * [`ExecFormat::Bitmap`] — dense values plus a per-row occupancy
+//!   bitmask ([`formats::BitmapMatrix`]): a branch-free set-bit loop for
+//!   the mid-sparsity regime where CSR loses to dense streaming.
 //!
 //! Execution is batched, parallelized over batch blocks via
 //! `sb-runtime`, reuses preplanned scratch buffers (no allocation in the
@@ -51,6 +59,7 @@
 
 mod compile;
 mod exec;
+pub mod formats;
 mod plan;
 
 pub use compile::{CompileOptions, CompiledModel};

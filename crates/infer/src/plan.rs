@@ -49,17 +49,38 @@ pub enum ExecFormat {
     /// Physically smaller dense weights: rows zeroed by structured pruning
     /// are dropped and the shrink propagates into the next layer's columns.
     ShrunkDense,
+    /// Block-compressed sparse rows ([`crate::formats::BsrMatrix`]) with a
+    /// fixed block width: one column index per block of contiguous lanes,
+    /// amortizing CSR's per-nonzero index overhead and keeping the input
+    /// loads contiguous across each im2col patch row.
+    Bsr,
+    /// Dense values plus a per-row occupancy bitmask
+    /// ([`crate::formats::BitmapMatrix`]); the branch-free set-bit loop
+    /// wins at mid sparsity where CSR's per-nonzero overhead loses to
+    /// dense streaming.
+    Bitmap,
 }
 
 impl ExecFormat {
-    /// Short label used by plans, reports, and benches.
+    /// Short label used by plans, reports, trace spans, and benches.
     pub fn label(&self) -> &'static str {
         match self {
             ExecFormat::Dense => "dense",
             ExecFormat::Csr => "csr",
             ExecFormat::ShrunkDense => "shrunk",
+            ExecFormat::Bsr => "bsr",
+            ExecFormat::Bitmap => "bitmap",
         }
     }
+
+    /// Every concrete format, in cost-model evaluation order.
+    pub const ALL: [ExecFormat; 5] = [
+        ExecFormat::Dense,
+        ExecFormat::Csr,
+        ExecFormat::ShrunkDense,
+        ExecFormat::Bsr,
+        ExecFormat::Bitmap,
+    ];
 }
 
 /// A weight matrix in its chosen storage format.
@@ -73,6 +94,10 @@ pub(crate) enum Kernel {
     Dense(Tensor),
     /// CSR `[out, in_cols]` matrix.
     Csr(SparseMatrix),
+    /// Blocked-sparse `[out, in_cols]` matrix with fixed block width.
+    Bsr(crate::formats::BsrMatrix),
+    /// Dense values + per-row occupancy bitmask, `[out, in_cols]`.
+    Bitmap(crate::formats::BitmapMatrix),
 }
 
 impl Kernel {
@@ -80,15 +105,21 @@ impl Kernel {
         match self {
             Kernel::Dense(t) => t.dim(0),
             Kernel::Csr(s) => s.rows(),
+            Kernel::Bsr(b) => b.rows(),
+            Kernel::Bitmap(m) => m.rows(),
         }
     }
 
     /// Multiply-accumulates one input row costs in this format (a conv
-    /// kernel's "row" is one output pixel's im2col patch).
+    /// kernel's "row" is one output pixel's im2col patch). BSR counts
+    /// every stored lane — the kernel multiplies zeros inside live
+    /// blocks — while bitmap counts exactly its set bits.
     pub(crate) fn macs(&self) -> u64 {
         match self {
             Kernel::Dense(t) => (t.dim(0) * t.dim(1)) as u64,
             Kernel::Csr(s) => s.nnz() as u64,
+            Kernel::Bsr(b) => b.stored_lanes() as u64,
+            Kernel::Bitmap(m) => m.nnz() as u64,
         }
     }
 
@@ -97,6 +128,8 @@ impl Kernel {
         match self {
             Kernel::Dense(t) => t.data().len() * 4,
             Kernel::Csr(s) => s.storage_bytes(),
+            Kernel::Bsr(b) => b.storage_bytes(),
+            Kernel::Bitmap(m) => m.storage_bytes(),
         }
     }
 }

@@ -7,33 +7,52 @@
 mod common;
 
 use common::{input_for, prune_filters_l1, prune_global_magnitude, zoo};
-use sb_infer::{CompileOptions, CompiledModel};
+use sb_infer::{CompileOptions, CompiledModel, ExecFormat};
 use sb_runtime::set_thread_override;
 
+/// One test function (not several) because the thread override is
+/// process-global and `#[test]`s in a binary run concurrently.
 #[test]
 fn forward_is_byte_identical_across_thread_counts() {
+    // Cost-model compiles plus every forced sparse format: the BSR and
+    // bitmap kernels run per batch block, so any cross-block state would
+    // show up as thread-count-dependent bits here.
+    let variants: [(&str, Option<ExecFormat>); 4] = [
+        ("auto", None),
+        ("csr", Some(ExecFormat::Csr)),
+        ("bsr", Some(ExecFormat::Bsr)),
+        ("bitmap", Some(ExecFormat::Bitmap)),
+    ];
     for (name, mut model) in zoo() {
         prune_global_magnitude(&mut model, 4.0);
         prune_filters_l1(&mut model, 2.0);
-        let compiled = CompiledModel::compile(&model, &CompileOptions::default());
         let x = input_for(&model, 13, 71);
-        let mut reference: Option<Vec<u32>> = None;
-        for threads in [1usize, 2, 3, 4] {
-            set_thread_override(Some(threads));
-            let bits: Vec<u32> = compiled
-                .forward(&x)
-                .data()
-                .iter()
-                .map(|v| v.to_bits())
-                .collect();
-            match &reference {
-                None => reference = Some(bits),
-                Some(r) => assert_eq!(
-                    r, &bits,
-                    "{name}: logits changed between 1 and {threads} threads"
-                ),
+        for (label, force) in variants {
+            let compiled = CompiledModel::compile(
+                &model,
+                &CompileOptions {
+                    force_format: force,
+                    ..CompileOptions::default()
+                },
+            );
+            let mut reference: Option<Vec<u32>> = None;
+            for threads in [1usize, 2, 3, 4] {
+                set_thread_override(Some(threads));
+                let bits: Vec<u32> = compiled
+                    .forward(&x)
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                match &reference {
+                    None => reference = Some(bits),
+                    Some(r) => assert_eq!(
+                        r, &bits,
+                        "{name} ({label}): logits changed between 1 and {threads} threads"
+                    ),
+                }
             }
+            set_thread_override(None);
         }
-        set_thread_override(None);
     }
 }

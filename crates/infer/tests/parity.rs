@@ -3,7 +3,10 @@
 //! Every architecture in the zoo, at unstructured compression ratios
 //! {1, 2, 4, 16} and structured ratios {2, 4}, must produce logits within
 //! 1e-4 of eval-mode `Model::forward` and identical predicted classes —
-//! for the cost-model's own format choices and for each forced format.
+//! for the cost-model's own format choices and for each forced format
+//! (CSR, BSR, and bitmap on unstructured masks; shrunk-dense, BSR, and
+//! bitmap on structured masks, where empty filter rows also exercise the
+//! formats' bias-only row paths).
 
 mod common;
 
@@ -46,7 +49,12 @@ fn unstructured_parity_across_zoo_and_ratios() {
             prune_global_magnitude(&mut model, ratio);
             let x = input_for(&model, 5, 23);
             let dense = model.forward(&x, Mode::Eval);
-            for opts in [CompileOptions::default(), forced(ExecFormat::Csr)] {
+            for opts in [
+                CompileOptions::default(),
+                forced(ExecFormat::Csr),
+                forced(ExecFormat::Bsr),
+                forced(ExecFormat::Bitmap),
+            ] {
                 let compiled = CompiledModel::compile(&model, &opts);
                 let fast = compiled.forward(&x);
                 let ctx = format!("{name} at {ratio}x ({:?})", opts.force_format);
@@ -66,6 +74,8 @@ fn structured_parity_across_zoo_and_ratios() {
             for opts in [
                 CompileOptions::default(),
                 forced(ExecFormat::ShrunkDense),
+                forced(ExecFormat::Bsr),
+                forced(ExecFormat::Bitmap),
             ] {
                 let compiled = CompiledModel::compile(&model, &opts);
                 let fast = compiled.forward(&x);

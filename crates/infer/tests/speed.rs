@@ -12,6 +12,13 @@ mod common;
 use sb_infer::{CompileOptions, CompiledModel, ExecFormat};
 use sb_metrics::RealizedProfile;
 use sb_tensor::{Rng, Tensor};
+use std::sync::Mutex;
+
+/// Wall-clock tests must not time-share the CPU with each other: the
+/// test harness runs `#[test]`s on parallel threads, and a measurement
+/// taken while a sibling saturates the pool is noise. Every test body
+/// takes this lock first.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 fn compile_pair(model: &sb_nn::models::Model, force: Option<ExecFormat>) -> (CompiledModel, CompiledModel) {
     let candidate = CompiledModel::compile(
@@ -48,6 +55,7 @@ fn measured_speedup(candidate: &CompiledModel, baseline: &CompiledModel, x: &Ten
 
 #[test]
 fn csr_compiled_linear_model_beats_dense_at_16x() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let mut rng = Rng::seed_from(0x5EED);
     let mut model = sb_nn::models::lenet_300_100(256, 10, &mut rng);
     common::prune_global_magnitude(&mut model, 16.0);
@@ -66,7 +74,69 @@ fn csr_compiled_linear_model_beats_dense_at_16x() {
 }
 
 #[test]
+fn bsr_compiled_conv_model_beats_dense_at_16x() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = Rng::seed_from(0x5EED);
+    let mut model = sb_nn::models::lenet5(1, 16, 10, &mut rng);
+    common::prune_global_magnitude(&mut model, 16.0);
+
+    let (candidate, baseline) = compile_pair(&model, Some(ExecFormat::Bsr));
+    assert!(
+        candidate.plans().iter().any(|p| p.format == ExecFormat::Bsr),
+        "16x-pruned conv layers should compile to BSR when forced"
+    );
+    let x = Tensor::rand_normal(&[32, 1, 16, 16], 0.0, 1.0, &mut rng);
+    let speedup = measured_speedup(&candidate, &baseline, &x);
+    assert!(
+        speedup > 1.3,
+        "BSR conv path at 16x unstructured should clearly beat dense, got {speedup:.2}x"
+    );
+}
+
+/// The format-crossover claim from the `format-crossover` artifact,
+/// pinned as a regression floor: at 2× unstructured (≈50% density) the
+/// BSR conv kernels beat the CSR conv kernels on wall-clock — CSR pays
+/// an index load per stored nonzero while BSR streams vector lanes.
+/// Release runs show ~1.4×; the floor is generous for shared hosts.
+///
+/// Optimized-build only: the advantage *is* vectorization. At 50%
+/// density a random mask leaves ~94% of 4-wide blocks live, so BSR
+/// multiplies nearly every lane while CSR touches half — unoptimized,
+/// raw multiply count wins and the comparison inverts. `scripts/ci.sh`
+/// runs this suite in release so the floor still gates merges.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "BSR's vector-lane win over CSR only exists optimized")]
+fn bsr_beats_csr_on_conv_model_at_2x() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = Rng::seed_from(0x5EED);
+    let mut model = sb_nn::models::lenet5(1, 16, 10, &mut rng);
+    common::prune_global_magnitude(&mut model, 2.0);
+
+    let bsr = CompiledModel::compile(
+        &model,
+        &CompileOptions {
+            force_format: Some(ExecFormat::Bsr),
+            ..CompileOptions::default()
+        },
+    );
+    let csr = CompiledModel::compile(
+        &model,
+        &CompileOptions {
+            force_format: Some(ExecFormat::Csr),
+            ..CompileOptions::default()
+        },
+    );
+    let x = Tensor::rand_normal(&[32, 1, 16, 16], 0.0, 1.0, &mut rng);
+    let speedup = measured_speedup(&bsr, &csr, &x);
+    assert!(
+        speedup > 1.05,
+        "BSR should beat CSR on a conv model at 2x unstructured, got {speedup:.2}x"
+    );
+}
+
+#[test]
 fn shrunk_dense_structured_model_beats_dense_at_4x() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let mut rng = Rng::seed_from(0x5EED);
     let mut model = sb_nn::models::lenet5(1, 16, 10, &mut rng);
     common::prune_filters_l1(&mut model, 4.0);

@@ -30,5 +30,5 @@ pub mod storage;
 pub use aggregate::{mean_std, MeanStd};
 pub use ambiguity::{ambiguity_report, AmbiguityReport, FlopConvention, SizeConvention};
 pub use profile::{ModelProfile, OpProfile, ParamProfile};
-pub use realized::{median_latency_us, RealizedProfile};
+pub use realized::{median_latency_us, RealizedPoint, RealizedProfile, RealizedSweep};
 pub use storage::{model_bytes, storage_report, StorageFormat, StorageReport};

@@ -96,6 +96,91 @@ impl RealizedProfile {
     }
 }
 
+/// One labeled point of a [`RealizedSweep`]: a candidate (usually an
+/// execution format) measured against the sweep's shared baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealizedPoint {
+    /// Candidate label (e.g. the format name: `"csr"`, `"bsr"`).
+    pub label: String,
+    /// The candidate's profile against the shared baseline.
+    pub profile: RealizedProfile,
+}
+
+json_struct!(RealizedPoint { label, profile });
+
+/// Several candidates measured against **one** shared baseline — the
+/// shape of a format-crossover experiment. Measuring the baseline once
+/// (instead of once per candidate) keeps the points comparable: every
+/// realized-speedup ratio has the same denominator, so candidate A
+/// beating candidate B on `realized_speedup` means A beat B on
+/// wall-clock, not that the baseline was remeasured on a noisier
+/// scheduler slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealizedSweep {
+    /// Median shared-baseline latency per invocation, microseconds.
+    pub baseline_latency_us: f64,
+    /// Labeled candidate measurements, in insertion order.
+    pub points: Vec<RealizedPoint>,
+    /// Timed runs per median (`k`).
+    pub samples: usize,
+}
+
+json_struct!(RealizedSweep {
+    baseline_latency_us,
+    points,
+    samples
+});
+
+impl RealizedSweep {
+    /// Times the shared `baseline` once (median of `k` runs), then each
+    /// labeled candidate against it. `candidates` supplies
+    /// `(label, storage_bytes, thunk)` triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn measure<B, C>(k: usize, baseline: B, candidates: Vec<(String, usize, C)>) -> Self
+    where
+        B: FnMut(),
+        C: FnMut(),
+    {
+        let mut baseline = baseline;
+        let baseline_latency_us = median_latency_us(k, &mut baseline);
+        let points = candidates
+            .into_iter()
+            .map(|(label, storage_bytes, mut thunk)| {
+                let latency_us = median_latency_us(k, &mut thunk);
+                RealizedPoint {
+                    label,
+                    profile: RealizedProfile {
+                        latency_us,
+                        baseline_latency_us,
+                        realized_speedup: baseline_latency_us
+                            / latency_us.max(f64::MIN_POSITIVE),
+                        storage_bytes,
+                        samples: k,
+                    },
+                }
+            })
+            .collect();
+        RealizedSweep {
+            baseline_latency_us,
+            points,
+            samples: k,
+        }
+    }
+
+    /// The point with the highest realized speedup (None when empty).
+    pub fn best(&self) -> Option<&RealizedPoint> {
+        self.points.iter().max_by(|a, b| {
+            a.profile
+                .realized_speedup
+                .partial_cmp(&b.profile.realized_speedup)
+                .expect("finite speedups")
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +218,42 @@ mod tests {
         let json = sb_json::to_string(&profile).unwrap();
         let back: RealizedProfile = sb_json::from_str(&json).unwrap();
         assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn sweep_shares_one_baseline_across_points() {
+        let sweep = RealizedSweep::measure(
+            3,
+            || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            },
+            vec![
+                (
+                    "fast".to_string(),
+                    10,
+                    Box::new(|| {
+                        std::hint::black_box((0..100).sum::<u64>());
+                    }) as Box<dyn FnMut()>,
+                ),
+                (
+                    "slow".to_string(),
+                    20,
+                    Box::new(|| {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }),
+                ),
+            ],
+        );
+        assert_eq!(sweep.points.len(), 2);
+        for p in &sweep.points {
+            assert_eq!(
+                p.profile.baseline_latency_us, sweep.baseline_latency_us,
+                "every point shares the sweep baseline"
+            );
+        }
+        assert_eq!(sweep.best().expect("points").label, "fast");
+        let json = sb_json::to_string(&sweep).unwrap();
+        let back: RealizedSweep = sb_json::from_str(&json).unwrap();
+        assert_eq!(back, sweep);
     }
 }

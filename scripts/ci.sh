@@ -32,6 +32,13 @@ cargo bench --no-run --offline
 SB_RUNTIME_THREADS=1 cargo test -q --offline
 SB_RUNTIME_THREADS=4 SB_TRACE=1 cargo test -q --offline
 
+# The wall-clock floors compare *kernels* against each other (BSR vs CSR
+# vs dense), and the BSR claim is a vectorization claim — it only holds
+# in optimized builds, where the debug-gated test above un-ignores
+# itself. Run the speed suite once in release so the format-crossover
+# floors actually gate merges.
+SB_RUNTIME_THREADS=4 cargo test -q --release --offline -p sb-infer --test speed
+
 # Tracing must leave experiment output byte-identical: run the same quick
 # grid with tracing off and on, and compare the persisted results JSON.
 # The traced run must also emit its grid trace artifacts.

@@ -1,0 +1,124 @@
+//! Exact span-counter accounting for the inference engine's per-format
+//! trace paths.
+//!
+//! The `layer:{name}:{format}` spans must carry *exact* Flops and
+//! BytesMoved counters — `effective_macs × batch` and `weight bytes ×
+//! batch blocks` respectively — for the new BSR and bitmap kernels, and
+//! the counters (like the normalized trace itself) must not depend on
+//! the worker count. The `latency-attribution` and `format-crossover`
+//! artifacts divide by these numbers, so "roughly right" is not enough.
+//!
+//! Everything lives in one `#[test]` because it flips process-global
+//! state (trace gate, runtime thread override).
+
+use sb_infer::{CompileOptions, CompiledModel, ExecFormat};
+use sb_nn::{models, Network};
+use sb_tensor::{Rng, Tensor};
+
+/// Batch size: two default-sized (8-sample) batch blocks, one partial.
+const N: usize = 12;
+
+/// Mask the bottom half of every prunable layer by global magnitude so
+/// all five lenet5 layers keep nonzeros (no degenerate Dense fallback).
+fn prune_half(model: &mut models::Model) {
+    let mut mags: Vec<f32> = Vec::new();
+    model.visit_params_ref(&mut |p| {
+        if p.kind().prunable_by_default() {
+            mags.extend(p.value().data().iter().map(|v| v.abs()));
+        }
+    });
+    mags.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite weights"));
+    let threshold = mags[mags.len() / 2];
+    model.visit_params(&mut |p| {
+        if p.kind().prunable_by_default() {
+            let mask = p.value().map(|v| if v.abs() >= threshold { 1.0 } else { 0.0 });
+            p.set_mask(mask);
+        }
+    });
+}
+
+/// Per-layer `(flops, bytes_moved)` from the `infer` span subtree,
+/// keyed by full span label (`"{name}:{format}"`).
+fn layer_counters(report: &sb_trace::TraceReport) -> Vec<(String, u64, u64)> {
+    let infer = report
+        .roots
+        .first()
+        .expect("infer span recorded");
+    assert_eq!(infer.name, "infer");
+    infer
+        .children
+        .iter()
+        .filter_map(|c| {
+            c.name.strip_prefix("layer:").map(|label| {
+                (
+                    label.to_string(),
+                    c.counter("flops"),
+                    c.counter("bytes_moved"),
+                )
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn format_span_counters_are_exact_and_thread_invariant() {
+    let mut rng = Rng::seed_from(0x7ACE2);
+    let mut model = models::lenet5(1, 16, 10, &mut rng);
+    prune_half(&mut model);
+    let x = Tensor::rand_normal(&[N, 1, 16, 16], 0.0, 1.0, &mut rng);
+    // Bias lengths per lenet5 layer, to separate weight bytes (moved
+    // once per batch block) from plan storage (weight + bias).
+    let out_features = [("conv1", 6), ("conv2", 16), ("fc1", 120), ("fc2", 84), ("fc3", 10)];
+
+    sb_trace::set_override(Some(true));
+    for format in [ExecFormat::Bsr, ExecFormat::Bitmap, ExecFormat::Csr] {
+        let opts = CompileOptions {
+            force_format: Some(format),
+            ..CompileOptions::default()
+        };
+        let compiled = CompiledModel::compile(&model, &opts);
+        let blocks = N.div_ceil(opts.batch_block) as u64;
+        let mut reference: Option<Vec<(String, u64, u64)>> = None;
+        for threads in [1usize, 4] {
+            sb_runtime::set_thread_override(Some(threads));
+            let _ = sb_trace::take_report();
+            let _ = compiled.forward(&x);
+            let report = sb_trace::take_report().subtree("infer");
+            let layers = layer_counters(&report);
+            assert_eq!(
+                layers.len(),
+                compiled.plans().len(),
+                "one span per weight-bearing layer ({format:?})"
+            );
+            for plan in compiled.plans() {
+                let label = format!("{}:{}", plan.name, format.label());
+                let (_, flops, bytes) = layers
+                    .iter()
+                    .find(|(l, _, _)| *l == label)
+                    .unwrap_or_else(|| panic!("span layer:{label} missing"));
+                assert_eq!(
+                    *flops,
+                    plan.effective_macs * N as u64,
+                    "layer:{label} Flops must be effective_macs x batch"
+                );
+                let bias_bytes = out_features
+                    .iter()
+                    .find(|(n, _)| *n == plan.name)
+                    .map(|&(_, o)| o * 4)
+                    .expect("known lenet5 layer");
+                assert_eq!(
+                    *bytes,
+                    (plan.storage_bytes - bias_bytes) as u64 * blocks,
+                    "layer:{label} BytesMoved must be weight bytes x batch blocks"
+                );
+            }
+            // Counters and the normalized trace are worker-invariant.
+            match &reference {
+                None => reference = Some(layers),
+                Some(r) => assert_eq!(r, &layers, "{format:?} counters depend on threads"),
+            }
+        }
+    }
+    sb_runtime::set_thread_override(None);
+    sb_trace::set_override(None);
+}
