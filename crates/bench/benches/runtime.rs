@@ -125,6 +125,65 @@ fn report_sequential_overhead() {
     );
 }
 
+/// Scheduling-health gate: runs a fixed spawn-heavy workload on a
+/// 4-worker pool with tracing forced on and **asserts** (this one is a
+/// gate, not a report) that the executor is not thrashing. A worker
+/// parks when it finds no work after a steal sweep, so park events
+/// scale with idleness, not with load; a healthy pool under a saturating
+/// workload parks far less than once per task. A regression in the
+/// wake/steal loop (lost wakeups, over-eager parking) shows up here as
+/// parks exploding past the per-task budget.
+fn check_scheduling_health() {
+    sb_trace::set_override(Some(true));
+    let _ = sb_trace::take_report(); // drop counts the benches above left
+
+    let tasks = 2_000usize;
+    let rounds = 4;
+    let pool = Pool::new(4);
+    let counter = AtomicUsize::new(0);
+    for _ in 0..rounds {
+        pool.scope(|s| {
+            for _ in 0..tasks {
+                s.spawn(|| {
+                    // Enough work that workers overlap rather than one
+                    // worker draining its own deque before the others wake.
+                    std::hint::black_box((0..256u64).sum::<u64>());
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }
+    drop(pool);
+    assert_eq!(counter.load(Ordering::Relaxed), tasks * rounds);
+
+    let report = sb_trace::take_report();
+    sb_trace::set_override(None);
+    let total = |name: &str| {
+        report
+            .scheduling_counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    let spawned = total("tasks_spawned");
+    let stolen = total("tasks_stolen");
+    let parks = total("park_events");
+    println!(
+        "scheduling-health-4-workers    spawned {spawned}  stolen {stolen}  parks {parks}  \
+         (budget: parks <= 2x spawned + 64)"
+    );
+    assert_eq!(spawned as usize, tasks * rounds, "every task is counted");
+    // Budget: one park per task would already mean workers sleep between
+    // every two tasks; 2x plus slack for startup/teardown races is the
+    // loudest we accept before calling the wake path broken.
+    let budget = 2 * spawned + 64;
+    assert!(
+        parks <= budget,
+        "scheduling health: {parks} park events for {spawned} tasks \
+         (budget {budget}) — the pool is thrashing its park/wake path"
+    );
+}
+
 fn main() {
     let mut timer = Timer::new();
     bench_pool_lifecycle(&mut timer);
@@ -132,4 +191,5 @@ fn main() {
     bench_parallel_matmul_scaling(&mut timer);
     timer.finish();
     report_sequential_overhead();
+    check_scheduling_health();
 }

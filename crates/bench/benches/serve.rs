@@ -1,0 +1,218 @@
+//! Wall-clock serving comparison: 16x-pruned CSR vs forced-dense
+//! LeNet-300-100 behind the `sb-serve` micro-batcher, swept across
+//! offered loads at a fixed p99 deadline.
+//!
+//! The per-batch story (`benches/realized.rs`) says the CSR kernel is a
+//! few times faster at 16x; this bench asks what that buys *as a
+//! service*: the maximum offered load each model sustains — p99 within
+//! the deadline, negligible shed — before queueing eats the deadline
+//! budget. Offered loads are calibrated to the measured dense batch
+//! latency so the sweep brackets the dense saturation knee on any
+//! machine. Results are written to `BENCH_serve.json` at the repository
+//! root so the numbers travel with the code.
+
+use sb_json::{Json, ToJson};
+use sb_metrics::median_latency_us;
+use sb_serve::{
+    profile, run_open_loop_wall, ArrivalProcess, BatchEngine, InferEngine, LoadSpec, ServeConfig,
+    Server, ServiceModel, WallClock,
+};
+use sb_tensor::{Rng, Tensor};
+use shrinkbench::{GlobalMagnitude, Pruner};
+use std::sync::Arc;
+
+const RATIO: f64 = 16.0;
+const MAX_BATCH: usize = 16;
+const DEADLINE_US: u64 = 5_000;
+const HORIZON_US: u64 = 400_000;
+/// A point "sustains" its offered load when p99 is inside the deadline
+/// and less than 1% of offered requests were shed.
+const MAX_SHED: f64 = 0.01;
+
+fn compile(net: &sb_nn::models::Model, fmt: sb_infer::ExecFormat) -> sb_infer::CompiledModel {
+    sb_infer::CompiledModel::compile(
+        net,
+        &sb_infer::CompileOptions {
+            force_format: Some(fmt),
+            ..sb_infer::CompileOptions::default()
+        },
+    )
+}
+
+/// Median wall-clock of one full `MAX_BATCH`-sample batch, µs.
+fn batch_latency_us(engine: &InferEngine, samples: &[Vec<f32>]) -> f64 {
+    let inputs: Vec<f32> = (0..MAX_BATCH)
+        .flat_map(|i| samples[i % samples.len()].iter().copied())
+        .collect();
+    median_latency_us(9, &mut || {
+        std::hint::black_box(engine.run_batch(&inputs, MAX_BATCH));
+    })
+}
+
+fn serve_point(
+    net: &sb_nn::models::Model,
+    fmt: sb_infer::ExecFormat,
+    rps: f64,
+    samples: &[Vec<f32>],
+) -> sb_metrics::ServeProfile {
+    // Fresh server per point: the wall clock's epoch is its creation, so
+    // every run starts cold at t=0 with an empty queue.
+    let clock = Arc::new(WallClock::new());
+    let engine = InferEngine::new(
+        compile(net, fmt),
+        // Service model is unused under a wall clock; priced anyway for
+        // completeness.
+        ServiceModel {
+            base_us: 0,
+            per_sample_us: 1,
+        },
+    );
+    let mut server = Server::new(
+        engine,
+        ServeConfig {
+            max_batch: MAX_BATCH,
+            max_wait_us: 200,
+            queue_cap: 128,
+            max_inflight: 2,
+        },
+        clock.clone(),
+    );
+    let spec = LoadSpec {
+        arrivals: ArrivalProcess::Uniform { rate_rps: rps },
+        horizon_us: HORIZON_US,
+        seed: 0x5E4E,
+        deadline_us: Some(DEADLINE_US),
+    };
+    let done = run_open_loop_wall(&mut server, clock.as_ref(), &spec, |i| {
+        samples[i % samples.len()].clone()
+    });
+    // Throughput over the *actual* span of the run, not the nominal
+    // horizon: an overloaded server keeps completing backlog long after
+    // the offered-load window closes, and dividing by the nominal
+    // horizon would credit that backlog as extra rate.
+    let elapsed_us = done
+        .iter()
+        .map(|c| c.done_us)
+        .max()
+        .unwrap_or(HORIZON_US)
+        .max(HORIZON_US);
+    profile(&done, elapsed_us)
+}
+
+fn sustains(p: &sb_metrics::ServeProfile) -> bool {
+    p.completed > 0 && p.p99_us <= DEADLINE_US && p.rejection_rate() <= MAX_SHED
+}
+
+fn main() {
+    let mut rng = Rng::seed_from(0xBE7C);
+    let mut net = sb_nn::models::lenet_300_100(256, 10, &mut rng);
+    Pruner::default()
+        .prune(&mut net, &GlobalMagnitude, RATIO, &mut rng)
+        .expect("pruning a fresh network succeeds");
+    let mut input_rng = Rng::seed_from(2);
+    let samples: Vec<Vec<f32>> = (0..64)
+        .map(|_| {
+            Tensor::rand_normal(&[256], 0.0, 1.0, &mut input_rng)
+                .data()
+                .to_vec()
+        })
+        .collect();
+
+    // Calibrate the sweep to this machine's dense capacity so the
+    // offered loads bracket the dense knee wherever the bench runs.
+    let dummy_service = ServiceModel {
+        base_us: 0,
+        per_sample_us: 1,
+    };
+    let dense_batch_us = batch_latency_us(
+        &InferEngine::new(compile(&net, sb_infer::ExecFormat::Dense), dummy_service),
+        &samples,
+    );
+    let csr_batch_us = batch_latency_us(
+        &InferEngine::new(compile(&net, sb_infer::ExecFormat::Csr), dummy_service),
+        &samples,
+    );
+    // Two batches in flight: capacity ~ 2 * batch / latency.
+    let dense_cap_rps = 2.0 * MAX_BATCH as f64 * 1.0e6 / dense_batch_us;
+    let load_fractions = [0.125f64, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+    eprintln!(
+        "calibration: dense batch {dense_batch_us:.0}us, csr batch {csr_batch_us:.0}us, \
+         dense capacity ~{dense_cap_rps:.0} rps; sweeping {load_fractions:?} x dense capacity"
+    );
+
+    let mut points: Vec<Json> = Vec::new();
+    let mut best: Vec<(String, f64)> = Vec::new();
+    for (label, fmt) in [
+        ("dense", sb_infer::ExecFormat::Dense),
+        ("csr", sb_infer::ExecFormat::Csr),
+    ] {
+        let mut max_sustained = 0.0f64;
+        for &frac in &load_fractions {
+            let rps = dense_cap_rps * frac;
+            let p = serve_point(&net, fmt, rps, &samples);
+            let ok = sustains(&p);
+            if ok {
+                max_sustained = max_sustained.max(p.throughput_rps);
+            }
+            println!(
+                "{label:>5} @ {rps:>8.0} rps: completed {:>6}  shed {:>5.1}%  p50 {:>6}us  p99 {:>6}us  mean batch {:>5.2}  {}",
+                p.completed,
+                100.0 * p.rejection_rate(),
+                p.p50_us,
+                p.p99_us,
+                p.mean_batch,
+                if ok { "sustained" } else { "OVER" }
+            );
+            points.push(Json::Obj(vec![
+                ("model".to_string(), Json::Str(label.to_string())),
+                ("offered_rps".to_string(), Json::Float(rps)),
+                ("sustained".to_string(), Json::Bool(ok)),
+                ("profile".to_string(), p.to_json()),
+            ]));
+        }
+        println!("{label:>5} max sustained throughput: {max_sustained:.0} rps");
+        best.push((label.to_string(), max_sustained));
+    }
+
+    assert!(
+        best[1].1 > best[0].1,
+        "16x CSR should sustain strictly more than forced-dense \
+         (csr {:.0} rps vs dense {:.0} rps)",
+        best[1].1,
+        best[0].1
+    );
+
+    let doc = Json::Obj(vec![
+        (
+            "workload".to_string(),
+            Json::Str(format!(
+                "lenet_300_100 fc256, {RATIO}x global magnitude, open-loop uniform arrivals, \
+                 max_batch {MAX_BATCH}, 200us window, queue 128, {DEADLINE_US}us deadline, \
+                 {HORIZON_US}us horizon"
+            )),
+        ),
+        (
+            "calibration".to_string(),
+            Json::Obj(vec![
+                ("dense_batch_us".to_string(), Json::Float(dense_batch_us)),
+                ("csr_batch_us".to_string(), Json::Float(csr_batch_us)),
+                ("dense_cap_rps".to_string(), Json::Float(dense_cap_rps)),
+            ]),
+        ),
+        (
+            "max_sustained_rps".to_string(),
+            Json::Obj(
+                best.iter()
+                    .map(|(l, v)| (l.clone(), Json::Float(*v)))
+                    .collect(),
+            ),
+        ),
+        ("points".to_string(), Json::Arr(points)),
+    ]);
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json");
+    std::fs::write(&out, sb_json::to_string_pretty(&doc).expect("serialize") + "\n")
+        .expect("write BENCH_serve.json");
+    eprintln!("wrote {}", out.display());
+}

@@ -10,7 +10,8 @@
 use sb_bench::configs::Scale;
 use sb_bench::figures::{
     ablation_finetune, ablation_multi, ablation_pair, checklist_artifact, experiment_figure, fig1,
-    fig2, fig3, fig4, fig5, fig8, hygiene, metrics_ambiguity, table1, OutputPaths,
+    fig2, fig3, fig4, fig5, fig8, hygiene, metrics_ambiguity, serving_latency, table1,
+    OutputPaths,
 };
 
 const ARTIFACTS: &[(&str, &str)] = &[
@@ -48,6 +49,7 @@ const ARTIFACTS: &[(&str, &str)] = &[
     ("latency-attribution", "Trace: realized inference latency by layer x kernel format"),
     ("format-crossover", "Tentpole: realized wall-clock of dense/CSR/BSR/bitmap kernels across sparsity ratios"),
     ("sparsity-profile", "Mechanism: per-layer sparsity under Global vs Layerwise ranking"),
+    ("serving-latency", "Serving: pruned vs dense tail latency across offered loads (sb-serve, virtual clock)"),
     ("checklist", "Appendix B checklist applied to this suite"),
     ("mnist-saturation", "Motivation: MNIST-like results saturate (Section 4.2)"),
 ];
@@ -285,6 +287,7 @@ fn render_to_string(id: &str, scale: Scale, paths: &OutputPaths) -> String {
         "latency-attribution" => sb_bench::figures::latency_attribution(paths),
         "format-crossover" => sb_bench::figures::format_crossover(paths),
         "sparsity-profile" => sb_bench::figures::sparsity_profile(paths),
+        "serving-latency" => serving_latency(paths),
         "checklist" => checklist_artifact(scale, paths),
         "mnist-saturation" => experiment_figure(
             "mnist-saturation",

@@ -1,0 +1,320 @@
+//! `serveload` — drive the `sb-serve` micro-batcher with a synthetic
+//! load and print the resulting `ServeProfile`.
+//!
+//! ```text
+//! serveload                         # virtual clock, echo engine, 2k rps
+//! serveload --engine lenet --rps 8000 --horizon-ms 250
+//! serveload --burst 8               # bursty arrivals
+//! serveload --ramp 20000            # ramp from --rps up to 20k rps
+//! serveload --closed 4 --think-us 500 --requests 64
+//! serveload --wall                  # measure the real machine instead
+//! serveload --smoke                 # deterministic CI smoke (asserts)
+//! ```
+//!
+//! Default mode is the virtual clock: outcomes are a pure function of
+//! the flags and `--seed`, bit-identical at any `SB_RUNTIME_THREADS`.
+//! `--smoke` runs a pinned workload and asserts its exact outcome
+//! counts, which is what `scripts/ci.sh` calls.
+
+use sb_serve::{
+    drain_sim, profile, run_closed_loop_sim, run_open_loop_sim, run_open_loop_wall,
+    ArrivalProcess, BatchEngine, Completion, EchoEngine, InferEngine, LoadSpec, Outcome,
+    RejectReason, ServeConfig, Server, ServiceModel, SimClock, WallClock,
+};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serveload [--smoke] [--engine echo|lenet] [--rps R] [--burst N] [--ramp END_RPS]\n\
+         \x20                [--horizon-ms M] [--deadline-us D] [--seed S] [--wall]\n\
+         \x20                [--max-batch N] [--max-wait-us U] [--queue-cap N] [--inflight N]\n\
+         \x20                [--closed CLIENTS] [--think-us U] [--requests N]"
+    );
+    std::process::exit(2);
+}
+
+struct Opts {
+    smoke: bool,
+    engine: String,
+    rps: f64,
+    burst: Option<usize>,
+    ramp: Option<f64>,
+    horizon_ms: u64,
+    deadline_us: Option<u64>,
+    seed: u64,
+    wall: bool,
+    cfg: ServeConfig,
+    closed: Option<usize>,
+    think_us: u64,
+    requests: usize,
+}
+
+fn parse() -> Opts {
+    let mut o = Opts {
+        smoke: false,
+        engine: "echo".to_string(),
+        rps: 2_000.0,
+        burst: None,
+        ramp: None,
+        horizon_ms: 500,
+        deadline_us: Some(10_000),
+        seed: 0x5E4E,
+        wall: false,
+        cfg: ServeConfig {
+            max_batch: 8,
+            max_wait_us: 1_000,
+            queue_cap: 64,
+            max_inflight: 2,
+        },
+        closed: None,
+        think_us: 500,
+        requests: 32,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let next = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => o.smoke = true,
+            "--engine" => o.engine = next(&args, &mut i),
+            "--rps" => o.rps = next(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--burst" => o.burst = Some(next(&args, &mut i).parse().unwrap_or_else(|_| usage())),
+            "--ramp" => o.ramp = Some(next(&args, &mut i).parse().unwrap_or_else(|_| usage())),
+            "--horizon-ms" => {
+                o.horizon_ms = next(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--deadline-us" => {
+                let d: u64 = next(&args, &mut i).parse().unwrap_or_else(|_| usage());
+                o.deadline_us = (d > 0).then_some(d);
+            }
+            "--seed" => o.seed = next(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--wall" => o.wall = true,
+            "--max-batch" => {
+                o.cfg.max_batch = next(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--max-wait-us" => {
+                o.cfg.max_wait_us = next(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--queue-cap" => {
+                o.cfg.queue_cap = next(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--inflight" => {
+                o.cfg.max_inflight = next(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--closed" => o.closed = Some(next(&args, &mut i).parse().unwrap_or_else(|_| usage())),
+            "--think-us" => o.think_us = next(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--requests" => o.requests = next(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    o
+}
+
+const ECHO_FEATURES: usize = 4;
+
+/// The lenet engine: 16x global-magnitude LeNet-300-100, auto-compiled,
+/// priced by effective MACs (2000 MACs per virtual µs, 200µs dispatch).
+fn lenet_engine() -> (InferEngine, usize) {
+    use shrinkbench::{GlobalMagnitude, Pruner};
+    let mut rng = sb_tensor::Rng::seed_from(0xBE7C);
+    let mut net = sb_nn::models::lenet_300_100(256, 10, &mut rng);
+    Pruner::default()
+        .prune(&mut net, &GlobalMagnitude, 16.0, &mut rng)
+        .expect("pruning a fresh network succeeds");
+    let compiled = sb_infer::CompiledModel::compile(&net, &sb_infer::CompileOptions::default());
+    let per_sample_us = (compiled.effective_macs() / 2_000).max(1);
+    let service = ServiceModel {
+        base_us: 200,
+        per_sample_us,
+    };
+    (InferEngine::new(compiled, service), 256)
+}
+
+fn run<E: BatchEngine + 'static>(o: &Opts, engine: E, sample_len: usize) -> Vec<Completion> {
+    let horizon_us = o.horizon_ms * 1_000;
+    let arrivals = match (o.burst, o.ramp) {
+        (Some(burst), _) => ArrivalProcess::Bursty {
+            rate_rps: o.rps,
+            burst,
+        },
+        (None, Some(end)) => ArrivalProcess::Ramp {
+            start_rps: o.rps,
+            end_rps: end,
+        },
+        (None, None) => ArrivalProcess::Uniform { rate_rps: o.rps },
+    };
+    let spec = LoadSpec {
+        arrivals,
+        horizon_us,
+        seed: o.seed,
+        deadline_us: o.deadline_us,
+    };
+    let mut input_rng = sb_rng::Rng::seed_from(o.seed ^ 0xA11CE);
+    let make_input = move |_i: usize| -> Vec<f32> {
+        (0..sample_len)
+            .map(|_| input_rng.uniform(-1.0, 1.0))
+            .collect()
+    };
+    if o.wall {
+        let clock = Arc::new(WallClock::new());
+        let mut server = Server::new(engine, o.cfg.clone(), clock.clone());
+        run_open_loop_wall(&mut server, clock.as_ref(), &spec, make_input)
+    } else {
+        let clock = Arc::new(SimClock::new());
+        let mut server = Server::new(engine, o.cfg.clone(), clock.clone());
+        match o.closed {
+            Some(clients) => run_closed_loop_sim(
+                &mut server,
+                &clock,
+                clients,
+                o.think_us,
+                o.requests,
+                o.deadline_us,
+                make_input,
+            ),
+            None => run_open_loop_sim(&mut server, &clock, &spec, make_input),
+        }
+    }
+}
+
+fn report(done: &[Completion], horizon_us: u64) {
+    let p = profile(done, horizon_us);
+    println!("{}", sb_json::to_string_pretty(&p).expect("serialize"));
+}
+
+/// Pinned deterministic workload: echo engine, open-loop jittered
+/// uniform 8000 rps for 200 virtual ms, batch<=8/500µs window/queue
+/// 16/1 in flight, 2ms deadlines, seed 0x5E4E. The counts below are the
+/// exact outcome of that pure function; any drift in the batcher,
+/// queue, deadline checks, or rng stream changes them.
+fn smoke() {
+    let cfg = ServeConfig {
+        max_batch: 8,
+        max_wait_us: 500,
+        queue_cap: 16,
+        max_inflight: 1,
+    };
+    let clock = Arc::new(SimClock::new());
+    let engine = EchoEngine::new(
+        ECHO_FEATURES,
+        10,
+        ServiceModel {
+            base_us: 400,
+            per_sample_us: 120,
+        },
+    );
+    let mut server = Server::new(engine, cfg, clock.clone());
+    let spec = LoadSpec {
+        arrivals: ArrivalProcess::Uniform { rate_rps: 8_000.0 },
+        horizon_us: 200_000,
+        seed: 0x5E4E,
+        deadline_us: Some(2_000),
+    };
+    let done = run_open_loop_sim(&mut server, &clock, &spec, |i| {
+        vec![i as f32; ECHO_FEATURES]
+    });
+    let mut cancelled_probe = Server::new(
+        EchoEngine::new(
+            ECHO_FEATURES,
+            10,
+            ServiceModel {
+                base_us: 400,
+                per_sample_us: 120,
+            },
+        ),
+        ServeConfig {
+            max_batch: 8,
+            max_wait_us: 500,
+            queue_cap: 16,
+            max_inflight: 1,
+        },
+        clock.clone(),
+    );
+    // Exercise the cancellation path deterministically too.
+    let a = cancelled_probe.submit(vec![0.0; ECHO_FEATURES], None);
+    assert!(cancelled_probe.cancel(a), "queued request cancels");
+    let mut probe_out = Vec::new();
+    drain_sim(&mut cancelled_probe, &clock, &mut probe_out);
+    assert_eq!(probe_out.len(), 1);
+    assert!(matches!(
+        probe_out[0].outcome,
+        Outcome::Rejected {
+            reason: RejectReason::Cancelled
+        }
+    ));
+
+    let p = profile(&done, spec.horizon_us);
+    let count = |r: RejectReason| {
+        done.iter()
+            .filter(|c| c.outcome == Outcome::Rejected { reason: r })
+            .count()
+    };
+    println!(
+        "smoke: {} offered = {} completed + {} queue_full + {} deadline_expired; \
+         {} batches, p99 {}us",
+        p.requests,
+        p.completed,
+        count(RejectReason::QueueFull),
+        count(RejectReason::DeadlineExpired),
+        p.batches,
+        p.p99_us
+    );
+    // Pinned exact counts (see doc comment): the 1-deep pipeline tops
+    // out near 5.9k rps (1360us per 8-batch), so an 8k rps offered load
+    // forces both admission control and the deadline check to shed.
+    let expect = (
+        p.requests,
+        p.completed,
+        count(RejectReason::QueueFull),
+        count(RejectReason::DeadlineExpired),
+        p.batches,
+        p.p50_us,
+        p.p99_us,
+    );
+    println!("smoke signature: {expect:?}");
+    assert_eq!(done.len(), p.requests, "every request resolves once");
+    let ids: std::collections::BTreeSet<u64> = done.iter().map(|c| c.id).collect();
+    assert_eq!(ids.len(), done.len(), "no duplicate resolutions");
+    assert_eq!(
+        expect, SMOKE_SIGNATURE,
+        "deterministic serve smoke drifted — if the batching policy or \
+         rng stream changed intentionally, re-pin SMOKE_SIGNATURE"
+    );
+    println!("serve smoke OK");
+}
+
+/// The exact outcome of the pinned [`smoke`] workload.
+const SMOKE_SIGNATURE: (usize, usize, usize, usize, usize, u64, u64) =
+    (1593, 1185, 81, 327, 149, 2769, 3349);
+
+fn main() {
+    let o = parse();
+    if o.smoke {
+        smoke();
+        return;
+    }
+    let done = match o.engine.as_str() {
+        "echo" => run(
+            &o,
+            EchoEngine::new(
+                ECHO_FEATURES,
+                10,
+                ServiceModel {
+                    base_us: 400,
+                    per_sample_us: 120,
+                },
+            ),
+            ECHO_FEATURES,
+        ),
+        "lenet" => {
+            let (engine, sample_len) = lenet_engine();
+            run(&o, engine, sample_len)
+        }
+        _ => usage(),
+    };
+    report(&done, o.horizon_ms * 1_000);
+}

@@ -15,6 +15,7 @@
 use crate::compile::CompiledModel;
 use crate::plan::{FeatureShape, Kernel, Planned, Step};
 use sb_tensor::{Conv2dGeometry, Tensor};
+use std::sync::Mutex;
 
 /// Per-worker scratch: activation ping-pong buffers, a residual stash,
 /// and conv im2col/row staging, all sized once for the worst-case layer.
@@ -38,7 +39,42 @@ impl Scratch {
     }
 }
 
+/// Reusable scratch for [`CompiledModel::forward_batch_into`]: a pool of
+/// per-block activation buffers checked out by whichever worker runs each
+/// batch block and returned afterwards, so steady-state callers (the
+/// serving batcher, latency benchmarks) allocate nothing per forward.
+///
+/// Every pooled buffer is sized for a full `batch_block`, the worst case
+/// any chunk needs; kernels only ever read regions they first wrote, so
+/// stale contents from a previous batch are never observable and reusing
+/// scratch is bitwise-equivalent to fresh allocation.
+pub struct ForwardScratch {
+    slots: Mutex<Vec<Scratch>>,
+}
+
+impl ForwardScratch {
+    fn checkout(&self, m: &CompiledModel) -> Scratch {
+        self.slots
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_else(|| Scratch::new(m.batch_block, m))
+    }
+
+    fn checkin(&self, s: Scratch) {
+        self.slots.lock().expect("scratch pool poisoned").push(s);
+    }
+}
+
 impl CompiledModel {
+    /// A fresh scratch pool sized for this plan, for
+    /// [`forward_batch_into`](CompiledModel::forward_batch_into).
+    pub fn scratch(&self) -> ForwardScratch {
+        ForwardScratch {
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
     /// Runs the compiled plan over a batch, returning `[n, classes]`
     /// logits.
     ///
@@ -46,6 +82,33 @@ impl CompiledModel {
     ///
     /// Panics if `x`'s shape does not match the plan's input shape.
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        let scratch = self.scratch();
+        let mut out = Vec::new();
+        let n = self.forward_batch_into(x, &mut out, &scratch);
+        Tensor::from_vec(out, &[n, self.classes]).expect("logit shape")
+    }
+
+    /// Runs the compiled plan over a batch into a caller-owned logit
+    /// buffer, reusing `scratch` across calls: after the first call on a
+    /// given pool no activation memory is allocated, which is what keeps
+    /// the serving batcher's steady state allocation-free. Returns the
+    /// batch size `n`; `out` is resized to `n * classes` logits in the
+    /// same row-major order [`forward`](CompiledModel::forward) produces.
+    ///
+    /// The computation is bitwise-identical to
+    /// [`forward`](CompiledModel::forward) — same block decomposition,
+    /// same kernels, same operation order — regardless of how often the
+    /// scratch pool has been reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`'s shape does not match the plan's input shape.
+    pub fn forward_batch_into(
+        &self,
+        x: &Tensor,
+        out: &mut Vec<f32>,
+        scratch: &ForwardScratch,
+    ) -> usize {
         let n = if x.shape().ndim() == 0 { 0 } else { x.dim(0) };
         match self.input_shape {
             FeatureShape::Flat { d } => assert_eq!(
@@ -61,9 +124,10 @@ impl CompiledModel {
         }
         let in_numel = self.input_shape.numel();
         let classes = self.classes;
-        let mut out = vec![0.0f32; n * classes];
+        out.clear();
+        out.resize(n * classes, 0.0);
         if out.is_empty() {
-            return Tensor::from_vec(out, &[n, classes]).expect("empty logits");
+            return n;
         }
         let xd = x.data();
         let block = self.batch_block;
@@ -71,10 +135,10 @@ impl CompiledModel {
         // span (the chunk tasks carry the submitter's path), so traced
         // inference aggregates identically at any thread count.
         let _fwd = sb_trace::span("infer");
-        sb_runtime::for_each_chunk_mut(&mut out, block * classes, |ci, out_block| {
+        sb_runtime::for_each_chunk_mut(out, block * classes, |ci, out_block| {
             let s0 = ci * block;
             let b = out_block.len() / classes;
-            let mut s = Scratch::new(b, self);
+            let mut s = scratch.checkout(self);
             s.cur[..b * in_numel]
                 .copy_from_slice(&xd[s0 * in_numel..(s0 + b) * in_numel]);
             let Scratch {
@@ -86,8 +150,9 @@ impl CompiledModel {
             } = &mut s;
             apply_chain(&self.steps, b, cur, tmp, res, patch, rows);
             out_block.copy_from_slice(&cur[..b * classes]);
+            scratch.checkin(s);
         });
-        Tensor::from_vec(out, &[n, classes]).expect("logit shape")
+        n
     }
 }
 

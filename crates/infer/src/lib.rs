@@ -63,6 +63,7 @@ pub mod formats;
 mod plan;
 
 pub use compile::{CompileOptions, CompiledModel};
+pub use exec::ForwardScratch;
 pub use plan::{ExecFormat, FeatureShape, LayerPlan};
 
 /// Row-wise argmax over `[n, classes]` logits — the predicted classes.

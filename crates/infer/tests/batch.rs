@@ -1,0 +1,60 @@
+//! `forward_batch_into` regression: the scratch-reusing entry point the
+//! serving batcher sits on must be **bitwise** equal to the allocating
+//! `forward` path — across models, pruning styles, repeated pool reuse,
+//! and varying batch sizes on one pool (the shapes a micro-batcher
+//! actually produces).
+
+mod common;
+
+use common::{input_for, prune_filters_l1, prune_global_magnitude, zoo};
+use sb_infer::{CompileOptions, CompiledModel, ExecFormat};
+
+fn bits(data: &[f32]) -> Vec<u32> {
+    data.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn forward_batch_into_is_bitwise_equal_to_forward() {
+    for (name, mut model) in zoo() {
+        prune_global_magnitude(&mut model, 4.0);
+        prune_filters_l1(&mut model, 2.0);
+        for force in [None, Some(ExecFormat::Csr), Some(ExecFormat::Bsr)] {
+            let compiled = CompiledModel::compile(
+                &model,
+                &CompileOptions {
+                    force_format: force,
+                    ..CompileOptions::default()
+                },
+            );
+            let scratch = compiled.scratch();
+            let mut out = Vec::new();
+            // Varying batch sizes on ONE reused pool: partial blocks, a
+            // batch crossing the block boundary, then a single sample —
+            // stale scratch contents from the larger batches must never
+            // leak into the smaller ones.
+            for (round, n) in [13usize, 9, 16, 1, 13].into_iter().enumerate() {
+                let x = input_for(&model, n, 71 + round as u64);
+                let reference = compiled.forward(&x);
+                let got_n = compiled.forward_batch_into(&x, &mut out, &scratch);
+                assert_eq!(got_n, n, "{name} round {round}: returned batch size");
+                assert_eq!(
+                    bits(&out),
+                    bits(reference.data()),
+                    "{name} round {round} (force={force:?}): scratch-reusing \
+                     path diverged from forward()"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn forward_batch_into_handles_empty_batch() {
+    let (_, model) = zoo().remove(0);
+    let compiled = CompiledModel::compile(&model, &CompileOptions::default());
+    let scratch = compiled.scratch();
+    let mut out = vec![1.0f32; 7]; // stale content must be cleared
+    let x = input_for(&model, 0, 3);
+    assert_eq!(compiled.forward_batch_into(&x, &mut out, &scratch), 0);
+    assert!(out.is_empty());
+}

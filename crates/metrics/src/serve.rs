@@ -1,0 +1,235 @@
+//! Serving-latency profiles: tail percentiles, throughput, batching
+//! occupancy, and load-shedding counts for one serving run.
+//!
+//! The offline metrics in this crate ([`crate::RealizedProfile`] and
+//! friends) time a batch in isolation; a serving run adds queueing. The
+//! numbers that matter there are distributional — the p99 a deadline is
+//! set against, the fraction of offered load shed at the door — so
+//! [`ServeProfile`] summarizes one run's **completed-request latency
+//! distribution** plus its rejection ledger. It is deliberately built
+//! from plain slices: `sb-serve` produces them, but anything can (the
+//! crate dependency points that way, serve → metrics).
+//!
+//! Percentile convention: `p_q` = the smallest observed latency `x` such
+//! that at least `q` of completed requests finished within `x`
+//! (`sorted[ceil(q·n)] - 1`, the nearest-rank method). Exact, not
+//! interpolated — on small runs an interpolated p999 manufactures
+//! latencies nobody observed.
+
+use sb_json::json_struct;
+
+/// Load-shedding ledger for one serving run, by reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RejectCounts {
+    /// Rejected at admission: bounded queue full (backpressure).
+    pub queue_full: usize,
+    /// Rejected because the request's deadline passed before execution.
+    pub deadline_expired: usize,
+    /// Cancelled by the client while queued.
+    pub cancelled: usize,
+    /// Refused because the server was draining.
+    pub shutting_down: usize,
+}
+
+json_struct!(RejectCounts {
+    queue_full,
+    deadline_expired,
+    cancelled,
+    shutting_down
+});
+
+impl RejectCounts {
+    /// Total requests refused, all reasons.
+    pub fn total(&self) -> usize {
+        self.queue_full + self.deadline_expired + self.cancelled + self.shutting_down
+    }
+}
+
+/// Nearest-rank percentile over an **ascending-sorted** slice: the
+/// smallest element with at least `q·len` elements at or below it.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `(0, 1]`.
+pub fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of an empty distribution");
+    assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Summary of one serving run: what completed, how fast (tail
+/// percentiles), in what batches, and what was shed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeProfile {
+    /// Requests offered (completed + rejected).
+    pub requests: usize,
+    /// Requests that executed and returned a prediction.
+    pub completed: usize,
+    /// The shed-load ledger.
+    pub rejected: RejectCounts,
+    /// Completed requests per second of horizon.
+    pub throughput_rps: f64,
+    /// Mean completed-request latency, µs.
+    pub mean_latency_us: f64,
+    /// Median completed-request latency, µs.
+    pub p50_us: u64,
+    /// 90th-percentile completed-request latency, µs.
+    pub p90_us: u64,
+    /// 99th-percentile completed-request latency, µs.
+    pub p99_us: u64,
+    /// 99.9th-percentile completed-request latency, µs.
+    pub p999_us: u64,
+    /// Batches executed.
+    pub batches: usize,
+    /// Mean samples per executed batch.
+    pub mean_batch: f64,
+    /// Distinct batch sizes observed, ascending (parallel to
+    /// `batch_count`).
+    pub batch_size: Vec<usize>,
+    /// Batches executed at each size in `batch_size`.
+    pub batch_count: Vec<u64>,
+    /// Offered-load window the run covered, µs.
+    pub horizon_us: u64,
+}
+
+json_struct!(serialize_only ServeProfile {
+    requests,
+    completed,
+    rejected,
+    throughput_rps,
+    mean_latency_us,
+    p50_us,
+    p90_us,
+    p99_us,
+    p999_us,
+    batches,
+    mean_batch,
+    batch_size,
+    batch_count,
+    horizon_us
+});
+
+impl ServeProfile {
+    /// Builds the profile from per-completed-request observations:
+    /// `completed` holds `(latency_us, batch_size)` for every request
+    /// that executed (its batch's size alongside its own latency), and
+    /// `rejected` the shed-load ledger. With zero completions the
+    /// percentiles and means are 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon_us` is zero or a batch size is zero.
+    pub fn measure(completed: &[(u64, usize)], rejected: RejectCounts, horizon_us: u64) -> Self {
+        assert!(horizon_us > 0, "horizon must be positive");
+        let mut latencies: Vec<u64> = completed.iter().map(|&(l, _)| l).collect();
+        latencies.sort_unstable();
+
+        // A batch of size s contributes s request observations; divide
+        // back out to count batches exactly.
+        let mut size_requests: Vec<(usize, u64)> = Vec::new();
+        for &(_, s) in completed {
+            assert!(s > 0, "batch size must be positive");
+            match size_requests.binary_search_by_key(&s, |&(size, _)| size) {
+                Ok(i) => size_requests[i].1 += 1,
+                Err(i) => size_requests.insert(i, (s, 1)),
+            }
+        }
+        let batch_size: Vec<usize> = size_requests.iter().map(|&(s, _)| s).collect();
+        let batch_count: Vec<u64> = size_requests
+            .iter()
+            .map(|&(s, n)| {
+                debug_assert_eq!(n % s as u64, 0, "requests at size {s} divide evenly");
+                n / s as u64
+            })
+            .collect();
+        let batches: u64 = batch_count.iter().sum();
+
+        let n = latencies.len();
+        let pct = |q: f64| if n == 0 { 0 } else { percentile_us(&latencies, q) };
+        ServeProfile {
+            requests: completed.len() + rejected.total(),
+            completed: n,
+            rejected,
+            throughput_rps: n as f64 / (horizon_us as f64 / 1.0e6),
+            mean_latency_us: if n == 0 {
+                0.0
+            } else {
+                latencies.iter().sum::<u64>() as f64 / n as f64
+            },
+            p50_us: pct(0.50),
+            p90_us: pct(0.90),
+            p99_us: pct(0.99),
+            p999_us: pct(0.999),
+            batches: batches as usize,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                n as f64 / batches as f64
+            },
+            batch_size,
+            batch_count,
+            horizon_us,
+        }
+    }
+
+    /// Fraction of offered requests that were refused, in `[0, 1]`.
+    pub fn rejection_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.rejected.total() as f64 / self.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&sorted, 0.50), 50);
+        assert_eq!(percentile_us(&sorted, 0.90), 90);
+        assert_eq!(percentile_us(&sorted, 0.99), 99);
+        assert_eq!(percentile_us(&sorted, 0.999), 100);
+        assert_eq!(percentile_us(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn profile_counts_batches_from_request_observations() {
+        // Two batches of 4 and one of 2: ten completed requests.
+        let completed: Vec<(u64, usize)> = (0..10)
+            .map(|i| (100 + i as u64 * 10, if i < 8 { 4 } else { 2 }))
+            .collect();
+        let rejected = RejectCounts {
+            queue_full: 3,
+            deadline_expired: 1,
+            ..RejectCounts::default()
+        };
+        let p = ServeProfile::measure(&completed, rejected, 1_000_000);
+        assert_eq!(p.requests, 14);
+        assert_eq!(p.completed, 10);
+        assert_eq!(p.batches, 3);
+        assert_eq!(p.batch_size, vec![2, 4]);
+        assert_eq!(p.batch_count, vec![1, 2]);
+        assert!((p.mean_batch - 10.0 / 3.0).abs() < 1e-12);
+        assert!((p.throughput_rps - 10.0).abs() < 1e-12);
+        assert_eq!(p.p50_us, 140);
+        assert_eq!(p.p999_us, 190);
+        assert!((p.rejection_rate() - 4.0 / 14.0).abs() < 1e-12);
+        let json = sb_json::to_string(&p).expect("serialize");
+        assert!(json.contains("\"queue_full\":3"));
+    }
+
+    #[test]
+    fn empty_run_profiles_as_zeros() {
+        let p = ServeProfile::measure(&[], RejectCounts::default(), 1_000);
+        assert_eq!(p.completed, 0);
+        assert_eq!(p.p99_us, 0);
+        assert_eq!(p.batches, 0);
+        assert_eq!(p.mean_batch, 0.0);
+        assert_eq!(p.rejection_rate(), 0.0);
+    }
+}

@@ -1,0 +1,734 @@
+//! The serving core: admission control, dynamic micro-batching, and
+//! deadline/cancellation handling over a bounded request queue.
+//!
+//! # Queueing model
+//!
+//! ```text
+//! submit ──▶ [bounded queue] ──▶ micro-batcher ──▶ JobQueue ──▶ pool
+//!    │            │  │                │
+//!    │ QueueFull  │  │ DeadlineExpired│ (checked at dequeue AND
+//!    ▼            ▼  ▼  / Cancelled   ▼  again before execution)
+//!  reject      reject              batch job → completions
+//! ```
+//!
+//! The server is **driver-pumped**: one thread (the load generator, a
+//! test, a CLI) calls [`Server::submit`] / [`Server::pump`] /
+//! [`Server::cancel`], and every queueing decision happens on that
+//! thread at a time it reads from the [`Clock`](crate::Clock). Batch
+//! *execution* is the only concurrent part — each formed batch is
+//! submitted to an `sb-runtime` [`JobQueue`] and harvested strictly in
+//! submission order. Under a virtual clock the batch's completion time
+//! comes from the engine's service model, so the entire observable
+//! outcome stream is a pure function of the submitted workload — the
+//! worker count can change *when* the arithmetic runs, never what the
+//! driver observes. That is the property the serving suite pins at
+//! `SB_RUNTIME_THREADS=1` vs `=4`.
+//!
+//! # Batching policy
+//!
+//! A batch closes when the queue holds `max_batch` requests, or when the
+//! head request has waited `max_wait_us`, or immediately during drain.
+//! At most `max_inflight` batches execute concurrently; when they are
+//! all busy the queue keeps filling until admission control sheds load
+//! with [`RejectReason::QueueFull`] — that bounded queue *is* the
+//! backpressure.
+
+use crate::clock::Clock;
+use crate::engine::BatchEngine;
+use sb_json::{json_enum, json_struct, Json, ToJson};
+use sb_runtime::{JobHandle, JobQueue, JobSpec};
+use sb_trace::CounterId;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Serving policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Largest batch the micro-batcher will coalesce.
+    pub max_batch: usize,
+    /// Longest the queue head may wait before an under-filled batch is
+    /// closed anyway (0 = batch whatever is queued, immediately).
+    pub max_wait_us: u64,
+    /// Admission bound: requests arriving while this many are queued are
+    /// rejected with [`RejectReason::QueueFull`].
+    pub queue_cap: usize,
+    /// Batches allowed to execute concurrently; further batches wait in
+    /// the queue (and eventually shed load through the admission bound).
+    pub max_inflight: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            max_wait_us: 1_000,
+            queue_cap: 64,
+            max_inflight: 2,
+        }
+    }
+}
+
+/// Why a request was refused instead of answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded queue was full at admission (backpressure).
+    QueueFull,
+    /// The request's deadline passed before execution started.
+    DeadlineExpired,
+    /// The client cancelled the request while it was still queued.
+    Cancelled,
+    /// The server was draining and no longer admits work.
+    ShuttingDown,
+}
+
+json_enum!(RejectReason {
+    QueueFull,
+    DeadlineExpired,
+    Cancelled,
+    ShuttingDown
+});
+
+/// How a request resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The request executed in a batch of `batch_size`.
+    Completed {
+        /// Predicted class for the request's sample.
+        predicted: usize,
+        /// Size of the batch the request rode in.
+        batch_size: usize,
+    },
+    /// The request never executed.
+    Rejected {
+        /// Why it was refused.
+        reason: RejectReason,
+    },
+}
+
+impl ToJson for Outcome {
+    fn to_json(&self) -> Json {
+        match self {
+            Outcome::Completed {
+                predicted,
+                batch_size,
+            } => Json::Obj(vec![
+                ("status".to_string(), Json::Str("completed".to_string())),
+                ("predicted".to_string(), Json::Int(*predicted as i128)),
+                ("batch_size".to_string(), Json::Int(*batch_size as i128)),
+            ]),
+            Outcome::Rejected { reason } => Json::Obj(vec![
+                ("status".to_string(), Json::Str("rejected".to_string())),
+                ("reason".to_string(), reason.to_json()),
+            ]),
+        }
+    }
+}
+
+/// One resolved request: every submitted request produces exactly one of
+/// these, in a deterministic order under a virtual clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The id [`Server::submit`] returned.
+    pub id: u64,
+    /// Clock time at submission.
+    pub submitted_us: u64,
+    /// Clock time at resolution (harvest for completions, the rejecting
+    /// decision for rejections).
+    pub done_us: u64,
+    /// How the request resolved.
+    pub outcome: Outcome,
+}
+
+json_struct!(serialize_only Completion {
+    id,
+    submitted_us,
+    done_us,
+    outcome
+});
+
+impl Completion {
+    /// End-to-end latency: resolution minus submission.
+    pub fn latency_us(&self) -> u64 {
+        self.done_us.saturating_sub(self.submitted_us)
+    }
+
+    /// True for [`Outcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self.outcome, Outcome::Completed { .. })
+    }
+}
+
+struct Pending {
+    id: u64,
+    input: Vec<f32>,
+    deadline_us: Option<u64>,
+    submitted_us: u64,
+    cancelled: bool,
+}
+
+struct Inflight {
+    /// `(id, submitted_us)` per member, batch order.
+    members: Vec<(u64, u64)>,
+    /// Virtual completion time (service-model priced); authoritative
+    /// under a virtual clock, ignored under wall time.
+    done_us: u64,
+    handle: JobHandle<(Vec<usize>, u64)>,
+}
+
+/// The dynamic-batching server. See the module docs for the model.
+pub struct Server<E: BatchEngine + 'static> {
+    engine: Arc<E>,
+    cfg: ServeConfig,
+    clock: Arc<dyn Clock>,
+    jobs: JobQueue,
+    queue: VecDeque<Pending>,
+    inflight: VecDeque<Inflight>,
+    completions: Vec<Completion>,
+    next_id: u64,
+    next_batch: u64,
+    draining: bool,
+}
+
+impl<E: BatchEngine + 'static> Server<E> {
+    /// A server over `engine` with the given policy and time source.
+    pub fn new(engine: E, cfg: ServeConfig, clock: Arc<dyn Clock>) -> Self {
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        assert!(cfg.queue_cap > 0, "queue_cap must be positive");
+        assert!(cfg.max_inflight > 0, "max_inflight must be positive");
+        Server {
+            engine: Arc::new(engine),
+            cfg,
+            clock,
+            jobs: JobQueue::new(),
+            queue: VecDeque::new(),
+            inflight: VecDeque::new(),
+            completions: Vec::new(),
+            next_id: 0,
+            next_batch: 0,
+            draining: false,
+        }
+    }
+
+    /// The engine being served.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Admits (or rejects) one single-sample request. Returns its id;
+    /// the resolution arrives later via [`Server::take_completions`].
+    /// `deadline_us`, when set, is the **absolute** clock time by which
+    /// execution must have started.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not exactly one engine sample long.
+    pub fn submit(&mut self, input: Vec<f32>, deadline_us: Option<u64>) -> u64 {
+        assert_eq!(
+            input.len(),
+            self.engine.sample_len(),
+            "request sample length"
+        );
+        let _admit = sb_trace::span("serve:admit");
+        let now = self.clock.now_us();
+        let id = self.next_id;
+        self.next_id += 1;
+        let reject = if self.draining {
+            Some(RejectReason::ShuttingDown)
+        } else if self.queue.len() >= self.cfg.queue_cap {
+            Some(RejectReason::QueueFull)
+        } else if deadline_us.is_some_and(|d| d <= now) {
+            Some(RejectReason::DeadlineExpired)
+        } else {
+            None
+        };
+        match reject {
+            Some(reason) => {
+                sb_trace::add(CounterId::RequestsRejected, 1);
+                self.completions.push(Completion {
+                    id,
+                    submitted_us: now,
+                    done_us: now,
+                    outcome: Outcome::Rejected { reason },
+                });
+            }
+            None => {
+                sb_trace::add(CounterId::RequestsAdmitted, 1);
+                self.queue.push_back(Pending {
+                    id,
+                    input,
+                    deadline_us,
+                    submitted_us: now,
+                    cancelled: false,
+                });
+            }
+        }
+        self.advance();
+        id
+    }
+
+    /// Cancels a request that is still queued. Returns true if the
+    /// request was found (it then resolves
+    /// [`RejectReason::Cancelled`]); false if it already left the queue
+    /// — started executing, or already resolved — in which case its
+    /// original resolution stands.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        let Some(p) = self.queue.iter_mut().find(|p| p.id == id) else {
+            return false;
+        };
+        p.cancelled = true;
+        self.advance();
+        true
+    }
+
+    /// Drives the server one step at the current clock time: harvests
+    /// finished batches, expires deadlines, and forms/launches due
+    /// batches. Call after advancing a virtual clock; under wall time,
+    /// call in the driver loop.
+    pub fn pump(&mut self) {
+        self.advance();
+    }
+
+    /// Stops admitting new work and flushes everything queued into
+    /// batches as capacity frees up. Subsequent [`Server::submit`] calls
+    /// resolve [`RejectReason::ShuttingDown`].
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+        self.advance();
+    }
+
+    /// True when nothing is queued or executing.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.inflight.is_empty()
+    }
+
+    /// Requests waiting in the admission queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Batches currently executing.
+    pub fn inflight_batches(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Drains accumulated resolutions, in resolution order.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// The next virtual time at which [`Server::pump`] could make
+    /// progress (None when idle and nothing is due): the front in-flight
+    /// batch's completion, the head-of-queue batch timeout, or the
+    /// earliest queued deadline. Virtual-clock drivers advance the
+    /// `SimClock` to this and pump; wall-clock drivers can ignore it.
+    pub fn next_event_us(&self) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut consider = |t: u64| {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        };
+        if let Some(front) = self.inflight.front() {
+            consider(front.done_us);
+        }
+        if !self.queue.is_empty() && self.inflight.len() < self.cfg.max_inflight {
+            // The head request's batch timeout. (A full batch or a drain
+            // launches inside `advance` immediately, so no event needed.)
+            let head = &self.queue[0];
+            consider(head.submitted_us + self.cfg.max_wait_us);
+        }
+        for p in &self.queue {
+            if let Some(d) = p.deadline_us {
+                consider(d);
+            }
+        }
+        next
+    }
+
+    /// Drains and blocks until idle, returning every accumulated
+    /// resolution. Only valid under a wall clock — virtual-clock drivers
+    /// must advance time themselves (see
+    /// [`drain_sim`](crate::load::drain_sim)).
+    ///
+    /// # Panics
+    ///
+    /// Panics under a virtual clock.
+    pub fn drain_wall(&mut self) -> Vec<Completion> {
+        assert!(
+            !self.clock.is_virtual(),
+            "drain_wall requires a wall clock; drive virtual servers to idle explicitly"
+        );
+        self.begin_drain();
+        while !self.is_idle() {
+            // Launch whatever fits, then block on the front batch: drain
+            // makes progress without spinning.
+            self.advance();
+            if let Some(batch) = self.inflight.pop_front() {
+                self.harvest_one(batch);
+            }
+        }
+        self.take_completions()
+    }
+
+    // --- internals ----------------------------------------------------
+
+    /// One full scheduling step at the current clock time.
+    fn advance(&mut self) {
+        let now = self.clock.now_us();
+        self.harvest(now);
+        self.expire(now);
+        while self.can_form(now) {
+            self.launch(now);
+            self.harvest(now); // inline jobs (1 thread) finish instantly
+        }
+    }
+
+    /// Resolves finished batches, strictly in launch order.
+    fn harvest(&mut self, now: u64) {
+        loop {
+            let done = match self.inflight.front() {
+                None => break,
+                Some(front) => {
+                    if self.clock.is_virtual() {
+                        front.done_us <= now
+                    } else {
+                        front.handle.is_finished()
+                    }
+                }
+            };
+            if !done {
+                break;
+            }
+            let batch = self.inflight.pop_front().expect("front exists");
+            self.harvest_one(batch);
+        }
+    }
+
+    fn harvest_one(&mut self, batch: Inflight) {
+        let virtual_done = batch.done_us;
+        let size = batch.members.len();
+        let (preds, finished_us) = batch
+            .handle
+            .join()
+            .expect("batch jobs do not fail, retry, or cancel");
+        debug_assert_eq!(preds.len(), size, "one prediction per member");
+        let done_us = if self.clock.is_virtual() {
+            virtual_done
+        } else {
+            finished_us
+        };
+        for ((id, submitted_us), predicted) in batch.members.into_iter().zip(preds) {
+            self.completions.push(Completion {
+                id,
+                submitted_us,
+                done_us,
+                outcome: Outcome::Completed {
+                    predicted,
+                    batch_size: size,
+                },
+            });
+        }
+    }
+
+    /// Dequeue-time policy: drops cancelled and deadline-expired
+    /// requests from anywhere in the queue.
+    fn expire(&mut self, now: u64) {
+        let mut kept = VecDeque::with_capacity(self.queue.len());
+        for p in self.queue.drain(..) {
+            let reason = if p.cancelled {
+                Some(RejectReason::Cancelled)
+            } else if p.deadline_us.is_some_and(|d| d <= now) {
+                Some(RejectReason::DeadlineExpired)
+            } else {
+                None
+            };
+            match reason {
+                None => kept.push_back(p),
+                Some(reason) => {
+                    sb_trace::add(CounterId::RequestsRejected, 1);
+                    self.completions.push(Completion {
+                        id: p.id,
+                        submitted_us: p.submitted_us,
+                        done_us: now,
+                        outcome: Outcome::Rejected { reason },
+                    });
+                }
+            }
+        }
+        self.queue = kept;
+    }
+
+    fn can_form(&self, now: u64) -> bool {
+        if self.queue.is_empty() || self.inflight.len() >= self.cfg.max_inflight {
+            return false;
+        }
+        self.draining
+            || self.queue.len() >= self.cfg.max_batch
+            || now.saturating_sub(self.queue[0].submitted_us) >= self.cfg.max_wait_us
+    }
+
+    /// Closes one batch off the queue head and submits it to the pool.
+    fn launch(&mut self, now: u64) {
+        let _batch_span = sb_trace::span("serve:batch");
+        let take = self.queue.len().min(self.cfg.max_batch);
+        let mut members = Vec::with_capacity(take);
+        let mut inputs = Vec::with_capacity(take * self.engine.sample_len());
+        for _ in 0..take {
+            let p = self.queue.pop_front().expect("len checked");
+            // Execution-time deadline re-check: a request can expire
+            // between the dequeue-time sweep and batch formation (e.g.
+            // it queued behind a full in-flight window).
+            let reason = if p.cancelled {
+                Some(RejectReason::Cancelled)
+            } else if p.deadline_us.is_some_and(|d| d <= now) {
+                Some(RejectReason::DeadlineExpired)
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                sb_trace::add(CounterId::RequestsRejected, 1);
+                self.completions.push(Completion {
+                    id: p.id,
+                    submitted_us: p.submitted_us,
+                    done_us: now,
+                    outcome: Outcome::Rejected { reason },
+                });
+                continue;
+            }
+            members.push((p.id, p.submitted_us));
+            inputs.extend_from_slice(&p.input);
+        }
+        if members.is_empty() {
+            return;
+        }
+        let n = members.len();
+        sb_trace::add(CounterId::BatchesExecuted, 1);
+        sb_trace::add(CounterId::BatchOccupancy, n as u64);
+        let engine = Arc::clone(&self.engine);
+        let clock = Arc::clone(&self.clock);
+        let seq = self.next_batch;
+        self.next_batch += 1;
+        let handle = self.jobs.submit(
+            JobSpec::new().label(format!("batch-{seq}")),
+            move |_ctx| {
+                let _exec = sb_trace::span("serve:exec");
+                let preds = engine.run_batch(&inputs, n);
+                Ok((preds, clock.now_us()))
+            },
+        );
+        self.inflight.push_back(Inflight {
+            members,
+            done_us: now + self.engine.service_us(n),
+            handle,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use crate::engine::{EchoEngine, ServiceModel};
+
+    // Echo engine: 1 feature, 10 classes, batch price 100 + 10·n µs.
+    fn echo_server(cfg: ServeConfig) -> (Server<EchoEngine>, Arc<SimClock>) {
+        let clock = Arc::new(SimClock::new());
+        let engine = EchoEngine::new(
+            1,
+            10,
+            ServiceModel {
+                base_us: 100,
+                per_sample_us: 10,
+            },
+        );
+        let server = Server::new(engine, cfg, clock.clone());
+        (server, clock)
+    }
+
+    #[test]
+    fn full_batch_launches_immediately_and_prices_by_service_model() {
+        let (mut s, clock) = echo_server(ServeConfig {
+            max_batch: 4,
+            max_wait_us: 1_000,
+            queue_cap: 8,
+            max_inflight: 1,
+        });
+        for i in 0..4 {
+            s.submit(vec![i as f32], None);
+        }
+        assert_eq!(s.inflight_batches(), 1, "full batch launches at once");
+        assert_eq!(s.next_event_us(), Some(140)); // 100 + 4·10
+        clock.advance_to(140);
+        s.pump();
+        let done = s.take_completions();
+        assert_eq!(done.len(), 4);
+        for (i, c) in done.iter().enumerate() {
+            assert_eq!(c.done_us, 140);
+            assert_eq!(
+                c.outcome,
+                Outcome::Completed {
+                    predicted: i,
+                    batch_size: 4
+                }
+            );
+        }
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn underfull_batch_flushes_on_head_timeout() {
+        let (mut s, clock) = echo_server(ServeConfig {
+            max_batch: 8,
+            max_wait_us: 1_000,
+            queue_cap: 8,
+            max_inflight: 1,
+        });
+        s.submit(vec![3.0], None);
+        clock.advance_to(200);
+        s.submit(vec![7.0], None);
+        assert_eq!(s.inflight_batches(), 0, "batch still open");
+        assert_eq!(s.next_event_us(), Some(1_000), "head arrived at 0");
+        clock.advance_to(1_000);
+        s.pump();
+        assert_eq!(s.inflight_batches(), 1);
+        clock.advance_to(1_000 + 120);
+        s.pump();
+        let done = s.take_completions();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].latency_us(), 1_120);
+        assert_eq!(done[1].latency_us(), 920);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_when_full() {
+        let (mut s, _clock) = echo_server(ServeConfig {
+            max_batch: 2,
+            max_wait_us: 1_000,
+            queue_cap: 2,
+            max_inflight: 1,
+        });
+        s.submit(vec![0.0], None);
+        s.submit(vec![1.0], None); // full batch -> inflight
+        s.submit(vec![2.0], None);
+        s.submit(vec![3.0], None); // queue now at cap
+        let id = s.submit(vec![4.0], None);
+        let done = s.take_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        assert_eq!(
+            done[0].outcome,
+            Outcome::Rejected {
+                reason: RejectReason::QueueFull
+            }
+        );
+    }
+
+    #[test]
+    fn queued_deadline_expires_while_inflight_is_busy() {
+        let (mut s, clock) = echo_server(ServeConfig {
+            max_batch: 2,
+            max_wait_us: 10_000,
+            queue_cap: 8,
+            max_inflight: 1,
+        });
+        s.submit(vec![0.0], None);
+        s.submit(vec![1.0], None); // busy until 120
+        let id = s.submit(vec![2.0], Some(50));
+        assert_eq!(s.next_event_us(), Some(50), "deadline is the next event");
+        clock.advance_to(50);
+        s.pump();
+        let done = s.take_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        assert_eq!(done[0].done_us, 50);
+        assert_eq!(
+            done[0].outcome,
+            Outcome::Rejected {
+                reason: RejectReason::DeadlineExpired
+            }
+        );
+    }
+
+    #[test]
+    fn cancel_hits_queued_requests_only() {
+        let (mut s, clock) = echo_server(ServeConfig {
+            max_batch: 2,
+            max_wait_us: 10_000,
+            queue_cap: 8,
+            max_inflight: 1,
+        });
+        let a = s.submit(vec![0.0], None);
+        s.submit(vec![1.0], None); // [a, b] inflight
+        let c = s.submit(vec![2.0], None);
+        assert!(!s.cancel(a), "already executing");
+        assert!(s.cancel(c), "still queued");
+        assert!(!s.cancel(999), "unknown id");
+        let done = s.take_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, c);
+        assert_eq!(
+            done[0].outcome,
+            Outcome::Rejected {
+                reason: RejectReason::Cancelled
+            }
+        );
+        clock.advance_to(120);
+        s.pump();
+        assert_eq!(s.take_completions().len(), 2);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn drain_flushes_partials_and_refuses_new_work() {
+        let (mut s, clock) = echo_server(ServeConfig {
+            max_batch: 8,
+            max_wait_us: 10_000,
+            queue_cap: 8,
+            max_inflight: 1,
+        });
+        s.submit(vec![1.0], None);
+        s.begin_drain();
+        assert_eq!(s.inflight_batches(), 1, "drain flushes the open batch");
+        let late = s.submit(vec![2.0], None);
+        let done = s.take_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, late);
+        assert_eq!(
+            done[0].outcome,
+            Outcome::Rejected {
+                reason: RejectReason::ShuttingDown
+            }
+        );
+        clock.advance_to(s.next_event_us().expect("batch completion pending"));
+        s.pump();
+        assert_eq!(s.take_completions().len(), 1);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn completion_serializes_stably() {
+        let c = Completion {
+            id: 7,
+            submitted_us: 10,
+            done_us: 150,
+            outcome: Outcome::Completed {
+                predicted: 3,
+                batch_size: 4,
+            },
+        };
+        assert_eq!(
+            sb_json::to_string(&c).expect("serialize"),
+            r#"{"id":7,"submitted_us":10,"done_us":150,"outcome":{"status":"completed","predicted":3,"batch_size":4}}"#
+        );
+        let r = Completion {
+            id: 8,
+            submitted_us: 10,
+            done_us: 10,
+            outcome: Outcome::Rejected {
+                reason: RejectReason::QueueFull,
+            },
+        };
+        assert_eq!(
+            sb_json::to_string(&r).expect("serialize"),
+            r#"{"id":8,"submitted_us":10,"done_us":10,"outcome":{"status":"rejected","reason":"QueueFull"}}"#
+        );
+    }
+}

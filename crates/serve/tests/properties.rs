@@ -1,0 +1,205 @@
+//! Serving-layer properties under randomized workloads (suite seed
+//! `0x7E45_000B`), plus the virtual-clock determinism contract.
+//!
+//! One test function (not several) because the determinism half flips
+//! the process-global thread override, and `#[test]`s in one binary run
+//! concurrently.
+
+use sb_check::{check, Config, Shrink};
+use sb_runtime::set_thread_override;
+use sb_serve::{
+    drain_sim, Completion, EchoEngine, Outcome, RejectReason, ServeConfig, Server, ServiceModel,
+    SimClock,
+};
+use std::sync::Arc;
+
+const CLASSES: usize = 10;
+
+/// One client action at a virtual time.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Submit request number `i` (input `[i as f32]`), with an optional
+    /// deadline this many µs after submission.
+    Submit { deadline_rel: Option<u64> },
+    /// Cancel the request submitted as number `target`.
+    Cancel { target: u64 },
+}
+
+/// A randomized serving scenario: policy knobs, a service model, and a
+/// timed script of submissions and cancellations.
+#[derive(Debug, Clone)]
+struct Workload {
+    cfg: ServeConfig,
+    service: ServiceModel,
+    /// `(time_us, op)`, ascending in time.
+    script: Vec<(u64, Op)>,
+    submits: u64,
+}
+
+impl Shrink for Workload {}
+
+fn gen_workload(rng: &mut sb_rng::Rng) -> Workload {
+    let cfg = ServeConfig {
+        max_batch: 1 + rng.below(8),
+        max_wait_us: rng.below(2_000) as u64,
+        queue_cap: 1 + rng.below(16),
+        max_inflight: 1 + rng.below(3),
+    };
+    let service = ServiceModel {
+        base_us: rng.below(500) as u64,
+        per_sample_us: rng.below(100) as u64,
+    };
+    let n = 1 + rng.below(60);
+    let mut events: Vec<(u64, Op)> = Vec::new();
+    let mut t = 0u64;
+    for i in 0..n {
+        t += rng.below(800) as u64;
+        // A third of requests carry a deadline, some so tight they are
+        // dead on arrival (exercises the admission-time check).
+        let deadline_rel = match rng.below(3) {
+            0 => Some(rng.below(3_000) as u64),
+            _ => None,
+        };
+        events.push((t, Op::Submit { deadline_rel }));
+        if rng.below(5) == 0 {
+            // Cancel an already-submitted request (possibly this one)
+            // a little later; ids are assigned sequentially, so the
+            // submit index is the id.
+            let target = rng.below(i + 1) as u64;
+            events.push((t + rng.below(1_500) as u64, Op::Cancel { target }));
+        }
+    }
+    // Stable by time: simultaneous events keep script order.
+    events.sort_by_key(|&(t, _)| t);
+    Workload {
+        cfg,
+        service,
+        script: events,
+        submits: n as u64,
+    }
+}
+
+/// Replays the workload on a fresh virtual-clock server and returns the
+/// full completion stream. The server (and its `JobQueue`) is built
+/// *inside* so the current thread override is honored.
+fn run_scenario(w: &Workload) -> Vec<Completion> {
+    let clock = Arc::new(SimClock::new());
+    let engine = EchoEngine::new(1, CLASSES, w.service);
+    let mut server = Server::new(engine, w.cfg.clone(), clock.clone());
+    let mut out = Vec::new();
+    let mut submitted = 0u64;
+    for (t, op) in &w.script {
+        while let Some(ev) = server.next_event_us() {
+            if ev >= *t {
+                break;
+            }
+            clock.advance_to(ev);
+            server.pump();
+        }
+        clock.advance_to(*t);
+        match op {
+            Op::Submit { deadline_rel } => {
+                server.submit(vec![submitted as f32], deadline_rel.map(|d| t + d));
+                submitted += 1;
+            }
+            Op::Cancel { target } => {
+                server.cancel(*target);
+            }
+        }
+        out.append(&mut server.take_completions());
+    }
+    drain_sim(&mut server, &clock, &mut out);
+    out
+}
+
+fn accountability(w: &Workload, done: &[Completion]) -> Result<(), String> {
+    if done.len() as u64 != w.submits {
+        return Err(format!(
+            "{} submits but {} resolutions",
+            w.submits,
+            done.len()
+        ));
+    }
+    let mut seen = vec![false; w.submits as usize];
+    for c in done {
+        let i = c.id as usize;
+        if i >= seen.len() {
+            return Err(format!("resolution for unknown id {i}"));
+        }
+        if seen[i] {
+            return Err(format!("id {i} resolved twice"));
+        }
+        seen[i] = true;
+        if c.done_us < c.submitted_us {
+            return Err(format!("id {i} resolved before submission"));
+        }
+        match c.outcome {
+            Outcome::Completed {
+                predicted,
+                batch_size,
+            } => {
+                if predicted != i % CLASSES {
+                    return Err(format!(
+                        "id {i}: predicted {predicted}, echo engine says {}",
+                        i % CLASSES
+                    ));
+                }
+                if batch_size == 0 || batch_size > w.cfg.max_batch {
+                    return Err(format!(
+                        "id {i}: batch size {batch_size} outside (0, {}]",
+                        w.cfg.max_batch
+                    ));
+                }
+            }
+            Outcome::Rejected {
+                reason: RejectReason::DeadlineExpired,
+            } => {
+                // Only requests that carried deadlines may expire; the
+                // script indexes submits in order.
+                let had_deadline = w
+                    .script
+                    .iter()
+                    .filter_map(|(_, op)| match op {
+                        Op::Submit { deadline_rel } => Some(deadline_rel),
+                        Op::Cancel { .. } => None,
+                    })
+                    .nth(i)
+                    .expect("submit exists")
+                    .is_some();
+                if !had_deadline {
+                    return Err(format!("id {i} expired without a deadline"));
+                }
+            }
+            Outcome::Rejected { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+fn serialize(done: &[Completion]) -> String {
+    sb_json::to_string(&done.to_vec()).expect("completions serialize")
+}
+
+#[test]
+fn serving_is_accountable_and_thread_count_invariant() {
+    check(
+        "serve_accountability_and_determinism",
+        Config::new(0x7E45_000B).cases(40),
+        gen_workload,
+        |w| {
+            set_thread_override(Some(1));
+            let at_one = run_scenario(w);
+            accountability(w, &at_one)?;
+            set_thread_override(Some(4));
+            let at_four = run_scenario(w);
+            set_thread_override(None);
+            if serialize(&at_one) != serialize(&at_four) {
+                return Err(
+                    "completion stream bytes differ between 1 and 4 worker threads".to_string(),
+                );
+            }
+            Ok(())
+        },
+    );
+    set_thread_override(None);
+}

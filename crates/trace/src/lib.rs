@@ -68,9 +68,19 @@ pub enum CounterId {
     TasksStolen,
     /// Times a worker parked waiting for work (scheduling-dependent).
     ParkEvents,
+    /// Serving requests accepted into the bounded request queue.
+    RequestsAdmitted,
+    /// Serving requests refused (queue full, deadline expired, or
+    /// cancelled before execution).
+    RequestsRejected,
+    /// Micro-batches the serving layer handed to the execution engine.
+    BatchesExecuted,
+    /// Total requests across executed batches (`BatchOccupancy /
+    /// BatchesExecuted` = mean batch fill).
+    BatchOccupancy,
 }
 
-const N_COUNTERS: usize = 9;
+const N_COUNTERS: usize = 13;
 
 impl CounterId {
     /// Every counter, in report order.
@@ -84,6 +94,10 @@ impl CounterId {
         CounterId::TasksSpawned,
         CounterId::TasksStolen,
         CounterId::ParkEvents,
+        CounterId::RequestsAdmitted,
+        CounterId::RequestsRejected,
+        CounterId::BatchesExecuted,
+        CounterId::BatchOccupancy,
     ];
 
     /// Stable snake_case name used in reports.
@@ -98,6 +112,10 @@ impl CounterId {
             CounterId::TasksSpawned => "tasks_spawned",
             CounterId::TasksStolen => "tasks_stolen",
             CounterId::ParkEvents => "park_events",
+            CounterId::RequestsAdmitted => "requests_admitted",
+            CounterId::RequestsRejected => "requests_rejected",
+            CounterId::BatchesExecuted => "batches_executed",
+            CounterId::BatchOccupancy => "batch_occupancy",
         }
     }
 
@@ -154,6 +172,17 @@ pub fn set_override(on: Option<bool>) {
 
 static COUNTERS: [AtomicU64; N_COUNTERS] = [const { AtomicU64::new(0) }; N_COUNTERS];
 
+/// Number of log2 duration-histogram buckets: bucket `k` counts span
+/// closes whose wall-clock duration was in `[2^k, 2^(k+1))` ticks
+/// (bucket 0 also absorbs zero-tick closes).
+pub const HIST_BUCKETS: usize = 64;
+
+/// The log2 bucket index a duration in ticks falls into.
+#[inline]
+pub fn hist_bucket(ticks: u64) -> usize {
+    (64 - ticks.leading_zeros() as usize).saturating_sub(1)
+}
+
 /// Per-path aggregate, merged across threads.
 #[derive(Debug, Clone)]
 pub(crate) struct NodeStats {
@@ -161,6 +190,7 @@ pub(crate) struct NodeStats {
     pub total_ticks: u64,
     pub self_ticks: u64,
     pub counters: [u64; N_COUNTERS],
+    pub hist: [u64; HIST_BUCKETS],
     pub threads: Vec<u64>,
     pub sched: bool,
 }
@@ -172,6 +202,7 @@ impl NodeStats {
             total_ticks: 0,
             self_ticks: 0,
             counters: [0; N_COUNTERS],
+            hist: [0; HIST_BUCKETS],
             threads: Vec::new(),
             sched: false,
         }
@@ -182,6 +213,9 @@ impl NodeStats {
         self.total_ticks += other.total_ticks;
         self.self_ticks += other.self_ticks;
         for (a, b) in self.counters.iter_mut().zip(other.counters) {
+            *a += b;
+        }
+        for (a, b) in self.hist.iter_mut().zip(other.hist) {
             *a += b;
         }
         for &t in &other.threads {
@@ -335,6 +369,7 @@ impl Drop for SpanGuard {
             stats.count += 1;
             stats.total_ticks += dur;
             stats.self_ticks += dur.saturating_sub(frame.child_ticks);
+            stats.hist[hist_bucket(dur)] += 1;
             for (a, b) in stats.counters.iter_mut().zip(frame.counters) {
                 *a += b;
             }
@@ -590,6 +625,42 @@ mod tests {
         let json2 = sb_json::to_string(&a.normalized()).unwrap();
         assert_eq!(json1, json2);
         let _ = b;
+    }
+
+    #[test]
+    fn duration_histogram_counts_every_close_and_normalizes_away() {
+        let report = with_tracing(|| {
+            for _ in 0..5 {
+                let _s = span("hist");
+            }
+            take_report()
+        });
+        let node = &report.roots[0];
+        assert_eq!(node.name, "hist");
+        let total: u64 = node.duration_hist.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, node.count, "every close lands in exactly one bucket");
+        // Buckets are ascending and within range.
+        for w in node.duration_hist.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert!(node
+            .duration_hist
+            .iter()
+            .all(|&(k, _)| (k as usize) < HIST_BUCKETS));
+        // Wall-clock buckets are scheduling noise: normalized() zeroes
+        // them alongside ticks.
+        let norm = report.normalized();
+        assert!(norm.roots[0].duration_hist.is_empty());
+    }
+
+    #[test]
+    fn hist_bucket_is_floor_log2() {
+        assert_eq!(hist_bucket(0), 0);
+        assert_eq!(hist_bucket(1), 0);
+        assert_eq!(hist_bucket(2), 1);
+        assert_eq!(hist_bucket(3), 1);
+        assert_eq!(hist_bucket(4), 2);
+        assert_eq!(hist_bucket(u64::MAX), 63);
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub struct TraceNode {
     pub threads: Vec<u64>,
     /// Nonzero span-attributed counters, in [`CounterId::ALL`] order.
     pub counters: Vec<(String, u64)>,
+    /// Nonzero log2 wall-clock duration buckets, ascending by exponent:
+    /// `(k, n)` means `n` closes took `[2^k, 2^(k+1))` ticks (see
+    /// [`crate::hist_bucket`]). Zeroed by [`TraceReport::normalized`]
+    /// alongside the tick fields — bucket membership is wall-clock data.
+    pub duration_hist: Vec<(u32, u64)>,
     /// Child spans, sorted by name.
     pub children: Vec<TraceNode>,
 }
@@ -42,6 +47,7 @@ impl TraceNode {
             sched: false,
             threads: Vec::new(),
             counters: Vec::new(),
+            duration_hist: Vec::new(),
             children: Vec::new(),
         }
     }
@@ -52,6 +58,14 @@ impl TraceNode {
             .iter()
             .find(|(n, _)| n == name)
             .map_or(0, |&(_, v)| v)
+    }
+
+    /// Closes recorded in log2 duration bucket `k` (0 when absent).
+    pub fn duration_bucket(&self, k: u32) -> u64 {
+        self.duration_hist
+            .iter()
+            .find(|&&(b, _)| b == k)
+            .map_or(0, |&(_, n)| n)
     }
 
     fn normalized(&self) -> Option<TraceNode> {
@@ -66,6 +80,7 @@ impl TraceNode {
             sched: false,
             threads: Vec::new(),
             counters: self.counters.clone(),
+            duration_hist: Vec::new(),
             children: self
                 .children
                 .iter()
@@ -88,7 +103,10 @@ pub struct TraceReport {
 }
 
 impl TraceReport {
-    pub(crate) fn build(agg: BTreeMap<Vec<String>, NodeStats>, totals: [u64; 9]) -> TraceReport {
+    pub(crate) fn build(
+        agg: BTreeMap<Vec<String>, NodeStats>,
+        totals: [u64; crate::N_COUNTERS],
+    ) -> TraceReport {
         let mut roots: Vec<TraceNode> = Vec::new();
         // BTreeMap iterates paths lexicographically, so parents (path
         // prefixes) arrive before their children; missing intermediates
@@ -118,6 +136,16 @@ impl TraceReport {
                     for (slot, id) in stats.counters.iter().zip(CounterId::ALL) {
                         if *slot > 0 {
                             node.counters.push((id.name().to_string(), *slot));
+                        }
+                    }
+                    for (k, &n) in stats.hist.iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        let k = k as u32;
+                        match node.duration_hist.binary_search_by_key(&k, |&(b, _)| b) {
+                            Ok(i) => node.duration_hist[i].1 += n,
+                            Err(i) => node.duration_hist.insert(i, (k, n)),
                         }
                     }
                 } else {
@@ -240,6 +268,17 @@ impl ToJson for TraceNode {
                 Json::Arr(self.threads.iter().map(|&t| Json::Int(t as i128)).collect()),
             ),
             ("counters".to_string(), counters_json(&self.counters)),
+            (
+                "duration_hist".to_string(),
+                Json::Arr(
+                    self.duration_hist
+                        .iter()
+                        .map(|&(k, n)| {
+                            Json::Arr(vec![Json::Int(k as i128), Json::Int(n as i128)])
+                        })
+                        .collect(),
+                ),
+            ),
             (
                 "children".to_string(),
                 Json::Arr(self.children.iter().map(ToJson::to_json).collect()),

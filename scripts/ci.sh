@@ -39,6 +39,14 @@ SB_RUNTIME_THREADS=4 SB_TRACE=1 cargo test -q --offline
 # floors actually gate merges.
 SB_RUNTIME_THREADS=4 cargo test -q --release --offline -p sb-infer --test speed
 
+# The serving smoke replays a pinned virtual-clock workload through the
+# sb-serve micro-batcher and asserts its exact outcome counts — batching
+# policy, admission control, deadline checks, and the rng stream all
+# feed the signature, and the virtual clock makes it bit-identical at
+# any worker count (both CI thread configs are exercised here).
+SB_RUNTIME_THREADS=1 ./target/release/serveload --smoke
+SB_RUNTIME_THREADS=4 ./target/release/serveload --smoke
+
 # Tracing must leave experiment output byte-identical: run the same quick
 # grid with tracing off and on, and compare the persisted results JSON.
 # The traced run must also emit its grid trace artifacts.
