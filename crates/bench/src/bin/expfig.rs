@@ -10,7 +10,8 @@
 use sb_bench::configs::Scale;
 use sb_bench::figures::{
     ablation_finetune, ablation_multi, ablation_pair, checklist_artifact, experiment_figure, fig1,
-    fig2, fig3, fig4, fig5, fig8, hygiene, metrics_ambiguity, serving_latency, table1,
+    fig2, fig3, fig4, fig5, fig8, hygiene, metrics_ambiguity, multi_model_fairness,
+    serving_latency, table1,
     OutputPaths,
 };
 
@@ -50,6 +51,7 @@ const ARTIFACTS: &[(&str, &str)] = &[
     ("format-crossover", "Tentpole: realized wall-clock of dense/CSR/BSR/bitmap kernels across sparsity ratios"),
     ("sparsity-profile", "Mechanism: per-layer sparsity under Global vs Layerwise ranking"),
     ("serving-latency", "Serving: pruned vs dense tail latency across offered loads (sb-serve, virtual clock)"),
+    ("multi-model-fairness", "Scheduling: WFQ shares, priority classes, and deadlines across tenants (sb-sched, virtual clock)"),
     ("checklist", "Appendix B checklist applied to this suite"),
     ("mnist-saturation", "Motivation: MNIST-like results saturate (Section 4.2)"),
 ];
@@ -288,6 +290,7 @@ fn render_to_string(id: &str, scale: Scale, paths: &OutputPaths) -> String {
         "format-crossover" => sb_bench::figures::format_crossover(paths),
         "sparsity-profile" => sb_bench::figures::sparsity_profile(paths),
         "serving-latency" => serving_latency(paths),
+        "multi-model-fairness" => multi_model_fairness(paths),
         "checklist" => checklist_artifact(scale, paths),
         "mnist-saturation" => experiment_figure(
             "mnist-saturation",

@@ -1,0 +1,295 @@
+//! `schedload` — drive the `sb-sched` multi-model scheduler with a
+//! synthetic multi-tenant load and print the resulting `SchedProfile`.
+//!
+//! ```text
+//! schedload                    # 3-tenant virtual-clock scenario, JSON out
+//! schedload --horizon-ms 400   # longer offered-load window
+//! schedload --tune             # autotune per-tenant batching for p99
+//! schedload --smoke            # deterministic CI smoke (asserts)
+//! ```
+//!
+//! The stock scenario shares one pool between a 16x-pruned CSR
+//! LeNet-300-100 (interactive, weight 2), its forced-dense counterpart
+//! (batch class, weight 1), and a cheap interactive echo canary —
+//! tenants priced by their compiled models' effective MACs, so the WFQ
+//! charge per batch reflects what the batch actually costs. Everything
+//! runs on the virtual clock: outcomes are a pure function of the flags
+//! and `--seed`, bit-identical at any `SB_RUNTIME_THREADS`. `--smoke`
+//! pins one workload's exact outcome counts for `scripts/ci.sh`.
+
+use sb_sched::{
+    autotune, profile, run_multi_open_loop_sim, MultiServer, Priority, SchedConfig, TenantLoad,
+    TenantPolicy, TenantSpec, TuneSpec,
+};
+use sb_serve::{ArrivalProcess, EchoEngine, InferEngine, ServiceModel, SimClock};
+use std::sync::Arc;
+
+const MACS_PER_US: u64 = 2_000;
+const BASE_US: u64 = 200;
+const ECHO_FEATURES: usize = 4;
+const LENET_FEATURES: usize = 256;
+
+fn usage() -> ! {
+    eprintln!("usage: schedload [--smoke] [--tune] [--horizon-ms M] [--seed S] [--target-p99-us T]");
+    std::process::exit(2);
+}
+
+struct Opts {
+    smoke: bool,
+    tune: bool,
+    horizon_ms: u64,
+    seed: u64,
+    target_p99_us: u64,
+}
+
+fn parse() -> Opts {
+    let mut o = Opts {
+        smoke: false,
+        tune: false,
+        horizon_ms: 200,
+        seed: 0x5C4E,
+        target_p99_us: 5_000,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let next = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => o.smoke = true,
+            "--tune" => o.tune = true,
+            "--horizon-ms" => {
+                o.horizon_ms = next(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => o.seed = next(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--target-p99-us" => {
+                o.target_p99_us = next(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    o
+}
+
+/// A LeNet-300-100 engine at the given compression, priced by effective
+/// MACs (the sb-infer cost model) through the fixed machine constant.
+fn lenet_engine(ratio: f64, format: Option<sb_infer::ExecFormat>) -> InferEngine {
+    use shrinkbench::{GlobalMagnitude, Pruner};
+    let mut rng = sb_tensor::Rng::seed_from(0xBE7C);
+    let mut net = sb_nn::models::lenet_300_100(LENET_FEATURES, 10, &mut rng);
+    if ratio > 1.0 {
+        Pruner::default()
+            .prune(&mut net, &GlobalMagnitude, ratio, &mut rng)
+            .expect("pruning a fresh network succeeds");
+    }
+    let compiled = sb_infer::CompiledModel::compile(
+        &net,
+        &sb_infer::CompileOptions {
+            force_format: format,
+            ..sb_infer::CompileOptions::default()
+        },
+    );
+    let per_sample_us = (compiled.effective_macs() / MACS_PER_US).max(1);
+    InferEngine::new(
+        compiled,
+        ServiceModel {
+            base_us: BASE_US,
+            per_sample_us,
+        },
+    )
+}
+
+/// The stock 3-tenant scenario (see module docs).
+fn scenario(seed: u64) -> (Vec<TenantSpec>, Vec<TenantLoad>) {
+    let tenants = vec![
+        TenantSpec::new(
+            "pruned-16x",
+            2,
+            Priority::Interactive,
+            TenantPolicy {
+                max_batch: 16,
+                max_wait_us: 500,
+                queue_cap: 64,
+            },
+            Arc::new(lenet_engine(16.0, None)),
+        ),
+        TenantSpec::new(
+            "dense",
+            1,
+            Priority::Batch,
+            TenantPolicy {
+                max_batch: 16,
+                max_wait_us: 1_000,
+                queue_cap: 64,
+            },
+            Arc::new(lenet_engine(1.0, Some(sb_infer::ExecFormat::Dense))),
+        ),
+        TenantSpec::new(
+            "canary",
+            1,
+            Priority::Interactive,
+            TenantPolicy {
+                max_batch: 4,
+                max_wait_us: 250,
+                queue_cap: 32,
+            },
+            Arc::new(EchoEngine::new(
+                ECHO_FEATURES,
+                10,
+                ServiceModel {
+                    base_us: 100,
+                    per_sample_us: 20,
+                },
+            )),
+        ),
+    ];
+    let loads = vec![
+        TenantLoad {
+            arrivals: ArrivalProcess::Uniform { rate_rps: 8_000.0 },
+            seed,
+            deadline_us: Some(5_000),
+        },
+        TenantLoad {
+            arrivals: ArrivalProcess::Uniform { rate_rps: 3_000.0 },
+            seed: seed ^ 1,
+            deadline_us: None,
+        },
+        TenantLoad {
+            arrivals: ArrivalProcess::Bursty {
+                rate_rps: 1_000.0,
+                burst: 8,
+            },
+            seed: seed ^ 2,
+            deadline_us: Some(2_000),
+        },
+    ];
+    (tenants, loads)
+}
+
+/// Pure per-request input: tenant 0/1 are 256-feature LeNet samples,
+/// tenant 2 the 4-feature echo. Re-derivable from `(tenant, i)` alone,
+/// as the autotuner's replays require.
+fn make_sample(seed: u64, tenant: usize, i: usize) -> Vec<f32> {
+    let len = if tenant == 2 { ECHO_FEATURES } else { LENET_FEATURES };
+    let mut rng = sb_rng::Rng::seed_from(seed ^ ((tenant as u64) << 40) ^ i as u64);
+    (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect()
+}
+
+fn run(o: &Opts) -> sb_metrics::SchedProfile {
+    let (tenants, loads) = scenario(o.seed);
+    let horizon_us = o.horizon_ms * 1_000;
+    let clock = Arc::new(SimClock::new());
+    let mut ms = MultiServer::new(tenants, SchedConfig { max_inflight: 2 }, clock.clone());
+    let seed = o.seed;
+    let done = run_multi_open_loop_sim(&mut ms, &clock, &loads, horizon_us, |t, i| {
+        make_sample(seed, t, i)
+    });
+    let picks = ms.take_picks();
+    profile(&ms, &done, &picks, horizon_us)
+}
+
+fn tune(o: &Opts) {
+    let (tenants, loads) = scenario(o.seed);
+    let horizon_us = o.horizon_ms * 1_000;
+    let cfg = SchedConfig { max_inflight: 2 };
+    let spec = TuneSpec {
+        target_p99_us: o.target_p99_us,
+        ..TuneSpec::default()
+    };
+    let seed = o.seed;
+    let sample = move |t: usize, i: usize| make_sample(seed, t, i);
+    let before = sb_sched::simulate(
+        &tenants,
+        cfg,
+        &loads,
+        horizon_us,
+        &tenants.iter().map(|t| t.policy).collect::<Vec<_>>(),
+        &sample,
+    );
+    let result = autotune(&tenants, cfg, &loads, horizon_us, &spec, &sample);
+    println!(
+        "autotune: target p99 {}us, {} simulator replays",
+        spec.target_p99_us, result.sims
+    );
+    for (i, t) in tenants.iter().enumerate() {
+        println!(
+            "{:>12}: p99 {:>6}us -> {:>6}us   policy {:?} -> {:?}",
+            t.name,
+            before.tenants[i].serve.p99_us,
+            result.profile.tenants[i].serve.p99_us,
+            t.policy,
+            result.policies[i]
+        );
+    }
+}
+
+/// Pinned deterministic workload: the stock scenario, 200 virtual ms,
+/// seed 0x5C4E. The counts below are the exact outcome of that pure
+/// function; any drift in the WFQ charging, priority filter, per-tenant
+/// batching, deadline checks, or rng streams changes them.
+fn smoke() {
+    let o = Opts {
+        smoke: true,
+        tune: false,
+        horizon_ms: 200,
+        seed: 0x5C4E,
+        target_p99_us: 5_000,
+    };
+    let p = run(&o);
+    let t = |name: &str| p.tenant(name).expect("stock tenant");
+    for tp in &p.tenants {
+        println!(
+            "smoke: {:>12} [{}, w{}] {} completed + {} shed; p99 {}us; cost share {:.3} (weight share {:.3})",
+            tp.name,
+            tp.priority,
+            tp.weight,
+            tp.serve.completed,
+            tp.serve.rejected.total(),
+            tp.serve.p99_us,
+            tp.cost_share,
+            tp.weight_share,
+        );
+    }
+    let signature = (
+        p.tenants.iter().map(|t| t.serve.requests).sum::<usize>(),
+        t("pruned-16x").serve.completed,
+        t("dense").serve.completed,
+        t("canary").serve.completed,
+        p.tenants.iter().map(|t| t.serve.rejected.total()).sum::<usize>(),
+        p.total_served_cost_us,
+        t("pruned-16x").serve.p99_us,
+        t("canary").serve.p99_us,
+    );
+    println!("smoke signature: {signature:?}");
+    assert_eq!(
+        signature, SMOKE_SIGNATURE,
+        "deterministic sched smoke drifted — if the scheduling policy or \
+         rng stream changed intentionally, re-pin SMOKE_SIGNATURE"
+    );
+    // The interactive deadline tenants must be inside their deadlines
+    // despite the dense batch tenant sharing the pool.
+    assert!(t("pruned-16x").serve.p99_us <= 5_000);
+    assert!(t("canary").serve.p99_us <= 2_000);
+    println!("sched smoke OK");
+}
+
+/// The exact outcome of the pinned [`smoke`] workload.
+const SMOKE_SIGNATURE: (usize, usize, usize, usize, usize, u64, u64, u64) =
+    (2368, 1580, 604, 184, 0, 149_032, 718, 518);
+
+fn main() {
+    let o = parse();
+    if o.smoke {
+        smoke();
+        return;
+    }
+    if o.tune {
+        tune(&o);
+        return;
+    }
+    let p = run(&o);
+    println!("{}", sb_json::to_string_pretty(&p).expect("serialize"));
+}

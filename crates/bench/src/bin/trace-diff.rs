@@ -1,0 +1,35 @@
+//! `trace-diff` — localized perf regressions between two trace captures.
+//!
+//! ```text
+//! trace-diff results/before/fig7.trace.json results/after/fig7.trace.json
+//! ```
+//!
+//! Prints the self-time regression table (largest increase first) and
+//! the counter totals diff. Exit status 0 on a successful diff; the
+//! table itself makes no judgement — a regression in ticks between two
+//! machines or thread counts is data, not an error.
+
+use sb_bench::tracediff::{parse_report, render_diff};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 2 {
+        eprintln!("usage: trace-diff <before.trace.json> <after.trace.json>");
+        std::process::exit(2);
+    }
+    let mut reports = Vec::new();
+    for path in &args {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("trace-diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        reports.push(parse_report(&text).unwrap_or_else(|e| {
+            eprintln!("trace-diff: {path}: {e}");
+            std::process::exit(2);
+        }));
+    }
+    print!(
+        "{}",
+        render_diff(&args[0], &args[1], &reports[0], &reports[1])
+    );
+}

@@ -1268,3 +1268,194 @@ pub fn serving_latency(paths: &OutputPaths) -> String {
     save(paths, "serving-latency", &out, Some(&table));
     out
 }
+
+/// Extension (sb-sched): multi-model fairness under one shared pool.
+/// Three tenants of the weighted-fair-queueing scheduler — two identical
+/// 16x-pruned interactive tenants at WFQ weights 3:1 and a dense
+/// batch-class tenant — swept across offered-load multiples of the
+/// pool's virtual capacity. Everything runs on the virtual clock priced
+/// by effective MACs, so the artifact is deterministic and
+/// thread-count-independent. Shows all three scheduler mechanisms at
+/// once: within a class, served cost tracks weights (3:1) once the
+/// tenants are backlogged; across classes, strict priority protects
+/// interactive tail latency; deadlines shed what cannot be served in
+/// time instead of letting queues grow stale.
+pub fn multi_model_fairness(paths: &OutputPaths) -> String {
+    use sb_sched::{
+        profile, run_multi_open_loop_sim, MultiServer, Priority, SchedConfig, TenantLoad,
+        TenantPolicy, TenantSpec,
+    };
+    use sb_serve::{ArrivalProcess, InferEngine, ServiceModel, SimClock};
+    use sb_tensor::Rng;
+    use shrinkbench::{GlobalMagnitude, Pruner};
+    use std::sync::Arc;
+
+    const MACS_PER_US: u64 = 2_000;
+    const BASE_US: u64 = 200;
+    const FEATURES: usize = 256;
+    const MAX_BATCH: usize = 16;
+    const MAX_INFLIGHT: usize = 2;
+    const HORIZON_US: u64 = 300_000;
+    const DEADLINE_US: u64 = 5_000;
+
+    // One compiled model per tenant (engines are stateful); identical
+    // networks, so any difference in service is the scheduler's doing.
+    let lenet = |ratio: f64, force: Option<sb_infer::ExecFormat>| {
+        let mut rng = Rng::seed_from(0xBE7C);
+        let mut net = sb_nn::models::lenet_300_100(FEATURES, 10, &mut rng);
+        if ratio > 1.0 {
+            let mut prune_rng = Rng::seed_from(1);
+            Pruner::default()
+                .prune(&mut net, &GlobalMagnitude, ratio, &mut prune_rng)
+                .expect("pruning a fresh network succeeds");
+        }
+        let compiled = sb_infer::CompiledModel::compile(
+            &net,
+            &sb_infer::CompileOptions {
+                force_format: force,
+                ..sb_infer::CompileOptions::default()
+            },
+        );
+        let per_sample_us = (compiled.effective_macs() / MACS_PER_US).max(1);
+        InferEngine::new(
+            compiled,
+            ServiceModel {
+                base_us: BASE_US,
+                per_sample_us,
+            },
+        )
+    };
+    let policy = TenantPolicy {
+        max_batch: MAX_BATCH,
+        max_wait_us: 500,
+        queue_cap: 128,
+    };
+    let tenants = || {
+        vec![
+            TenantSpec::new(
+                "pruned-w3",
+                3,
+                Priority::Interactive,
+                policy,
+                Arc::new(lenet(16.0, None)),
+            ),
+            TenantSpec::new(
+                "pruned-w1",
+                1,
+                Priority::Interactive,
+                policy,
+                Arc::new(lenet(16.0, None)),
+            ),
+            TenantSpec::new(
+                "dense",
+                1,
+                Priority::Batch,
+                policy,
+                Arc::new(lenet(1.0, Some(sb_infer::ExecFormat::Dense))),
+            ),
+        ]
+    };
+    // Virtual capacity: MAX_INFLIGHT batch streams, each delivering one
+    // virtual microsecond of service per microsecond. A full interactive
+    // batch costs service_us(MAX_BATCH), so the interactive saturation
+    // point (both pruned tenants combined) is:
+    let probe = tenants();
+    let batch_cost = probe[0].engine.service_us(MAX_BATCH);
+    let sat_rps = (MAX_INFLIGHT as f64) * 1.0e6 * (MAX_BATCH as f64) / (batch_cost as f64);
+    let dense_rps = 2_000.0;
+
+    let mut out = String::from(
+        "Multi-model fairness: two identical 16x-pruned LeNet-300-100 interactive tenants (WFQ weights 3:1, 5ms deadline) and a dense batch-class tenant (2k req/s throughout) share one pool (batch<=16, 2 in flight) behind the sb-sched weighted-fair scheduler; the pruned tenants' combined offered load sweeps multiples of the pool's virtual capacity.\n\n",
+    );
+    let mut table = Table::new(vec![
+        "load_x",
+        "tenant",
+        "class",
+        "weight",
+        "offered_rps",
+        "completed",
+        "shed",
+        "p99_us",
+        "cost_share",
+    ]);
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = vec![
+        ("pruned-w3".to_string(), Vec::new()),
+        ("pruned-w1".to_string(), Vec::new()),
+        ("dense (batch)".to_string(), Vec::new()),
+    ];
+    let mut sample_rng = Rng::seed_from(2);
+    let samples: Vec<Vec<f32>> = (0..64)
+        .map(|_| {
+            sb_tensor::Tensor::rand_normal(&[FEATURES], 0.0, 1.0, &mut sample_rng)
+                .data()
+                .to_vec()
+        })
+        .collect();
+
+    for &mult in &[0.3f64, 1.0, 3.0] {
+        let each_rps = sat_rps * mult / 2.0;
+        let loads = vec![
+            TenantLoad {
+                arrivals: ArrivalProcess::Uniform { rate_rps: each_rps },
+                seed: 0xFA1,
+                deadline_us: Some(DEADLINE_US),
+            },
+            TenantLoad {
+                arrivals: ArrivalProcess::Uniform { rate_rps: each_rps },
+                seed: 0xFA2,
+                deadline_us: Some(DEADLINE_US),
+            },
+            TenantLoad {
+                arrivals: ArrivalProcess::Uniform { rate_rps: dense_rps },
+                seed: 0xFA3,
+                deadline_us: None,
+            },
+        ];
+        let clock = Arc::new(SimClock::new());
+        let mut ms = MultiServer::new(
+            tenants(),
+            SchedConfig {
+                max_inflight: MAX_INFLIGHT,
+            },
+            clock.clone(),
+        );
+        let done = run_multi_open_loop_sim(&mut ms, &clock, &loads, HORIZON_US, |_t, i| {
+            samples[i % samples.len()].clone()
+        });
+        let picks = ms.take_picks();
+        let p = profile(&ms, &done, &picks, HORIZON_US);
+        for (i, t) in p.tenants.iter().enumerate() {
+            let offered = if i == 2 { dense_rps } else { each_rps };
+            table.row(vec![
+                format!("{mult}x"),
+                t.name.clone(),
+                t.priority.clone(),
+                t.weight.to_string(),
+                format!("{offered:.0}"),
+                t.serve.completed.to_string(),
+                t.serve.rejected.total().to_string(),
+                t.serve.p99_us.to_string(),
+                format!("{:.3}", t.cost_share),
+            ]);
+            series[i].1.push((mult, t.cost_share));
+        }
+    }
+
+    let mut chart = AsciiChart::new(
+        "served cost share vs offered interactive load (multiples of capacity)",
+        72,
+        20,
+    )
+    .axis_labels("interactive load (x capacity)", "cost share");
+    for (name, points) in series {
+        chart = chart.series(ChartSeries::new(name, points));
+    }
+    out.push_str(&table.to_markdown());
+    out.push('\n');
+    out.push_str(&chart.render());
+    out.push_str(
+        "\nReading: at light load shares simply track demand and everyone's p99 is flat. As the interactive tenants saturate the pool, their served-cost shares converge to the 3:1 WFQ weights — same model, same arrivals, 3x the service — while the excess on the lighter-weighted tenant is shed — at admission once its bounded queue fills, or at its 5ms deadline — rather than queued stale. The dense batch-class tenant keeps its slack-time share at light load and is starved by strict priority at overload: proportional sharing belongs to weights within a class, and the pick log (sched:pick spans) records every decision that produced these shares.\n",
+    );
+    save(paths, "multi-model-fairness", &out, Some(&table));
+    out
+}

@@ -22,5 +22,6 @@
 pub mod configs;
 pub mod figures;
 pub mod timer;
+pub mod tracediff;
 
 pub use configs::{experiment_config, Scale};

@@ -1,0 +1,284 @@
+//! Diffing two `{id}.trace.json` artifacts: the observability follow-on
+//! that turns per-PR trace captures into a localized perf regression
+//! report.
+//!
+//! A traced experiment grid writes a full
+//! [`TraceReport`](sb_trace::TraceReport) per cell. Comparing two of
+//! those captures by eye means walking two span trees in parallel;
+//! [`render_diff`] does it mechanically: flatten both trees to
+//! `path → (count, total_ticks, self_ticks)`, join on path, and print
+//! the rows sorted by **self-time regression** (largest increase first)
+//! so the span that actually got slower tops the table — not an
+//! ancestor that merely contains it. Counter totals (FLOPs, bytes
+//! moved, cache hits) are diffed alongside: a self-time regression with
+//! an unchanged FLOP count points at the machine or the kernel, not the
+//! workload.
+//!
+//! Paths render `;`-joined (`grid;cell;layer:fc1:csr`), the same
+//! convention as the collapsed flamegraph output.
+
+use sb_json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One span path's aggregated numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStats {
+    /// Times a span closed at this path.
+    pub count: u64,
+    /// Summed wall ticks, including children.
+    pub total_ticks: u64,
+    /// Ticks not attributed to child spans.
+    pub self_ticks: u64,
+}
+
+/// A trace artifact flattened for joining: span paths and counter
+/// totals, both in deterministic (sorted) order.
+#[derive(Debug, Clone, Default)]
+pub struct FlatReport {
+    /// `;`-joined span path → stats.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Counter name → total, deterministic and scheduling sections
+    /// merged.
+    pub counters: BTreeMap<String, u64>,
+}
+
+fn get_u64(node: &Json, key: &str, path: &str) -> Result<u64, String> {
+    node.get(key)
+        .and_then(Json::as_int)
+        .map(|v| v as u64)
+        .ok_or_else(|| format!("span {path:?}: missing integer field {key:?}"))
+}
+
+fn flatten_spans(
+    nodes: &Json,
+    prefix: &str,
+    out: &mut BTreeMap<String, SpanStats>,
+) -> Result<(), String> {
+    let Json::Arr(nodes) = nodes else {
+        return Err(format!("span list under {prefix:?} is not an array"));
+    };
+    for node in nodes {
+        let name = node
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("span under {prefix:?} has no name"))?;
+        let path = if prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{prefix};{name}")
+        };
+        let stats = SpanStats {
+            count: get_u64(node, "count", &path)?,
+            total_ticks: get_u64(node, "total_ticks", &path)?,
+            self_ticks: get_u64(node, "self_ticks", &path)?,
+        };
+        let slot = out.entry(path.clone()).or_default();
+        slot.count += stats.count;
+        slot.total_ticks += stats.total_ticks;
+        slot.self_ticks += stats.self_ticks;
+        if let Some(children) = node.get("children") {
+            flatten_spans(children, &path, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn merge_counters(section: Option<&Json>, out: &mut BTreeMap<String, u64>) {
+    if let Some(Json::Obj(pairs)) = section {
+        for (name, v) in pairs {
+            if let Some(n) = v.as_int() {
+                *out.entry(name.clone()).or_insert(0) += n as u64;
+            }
+        }
+    }
+}
+
+/// Parses one `{id}.trace.json` artifact into its flattened form.
+pub fn parse_report(text: &str) -> Result<FlatReport, String> {
+    let doc: Json = sb_json::from_str(text).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let mut flat = FlatReport::default();
+    merge_counters(doc.get("counters"), &mut flat.counters);
+    merge_counters(doc.get("scheduling_counters"), &mut flat.counters);
+    let spans = doc
+        .get("spans")
+        .ok_or_else(|| "no \"spans\" field: not a trace report".to_string())?;
+    flatten_spans(spans, "", &mut flat.spans)?;
+    Ok(flat)
+}
+
+fn fmt_delta(d: i128) -> String {
+    if d > 0 {
+        format!("+{d}")
+    } else {
+        d.to_string()
+    }
+}
+
+fn fmt_ratio(before: u64, after: u64) -> String {
+    if before == 0 {
+        if after == 0 {
+            "1.00x".to_string()
+        } else {
+            "new".to_string()
+        }
+    } else {
+        format!("{:.2}x", after as f64 / before as f64)
+    }
+}
+
+/// Renders the regression table between two parsed artifacts.
+///
+/// Span rows are sorted by `self_ticks` increase, biggest regression
+/// first (ties and improvements follow, most-improved last); paths
+/// present in only one capture show as `new` / `gone`. Counter rows
+/// keep name order. `label_a`/`label_b` head the columns.
+pub fn render_diff(label_a: &str, label_b: &str, a: &FlatReport, b: &FlatReport) -> String {
+    let mut paths: Vec<&String> = a.spans.keys().collect();
+    for p in b.spans.keys() {
+        if !a.spans.contains_key(p) {
+            paths.push(p);
+        }
+    }
+    // Sort by descending self-time regression; path breaks ties so the
+    // table is deterministic.
+    paths.sort_by_key(|p| {
+        let sa = a.spans.get(*p).copied().unwrap_or_default();
+        let sb = b.spans.get(*p).copied().unwrap_or_default();
+        (-(sb.self_ticks as i128 - sa.self_ticks as i128), (*p).clone())
+    });
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace diff: self-time regressions, {label_b} vs {label_a} (ticks)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<44} {:>12} {:>12} {:>12} {:>8} {:>9} {:>9}",
+        "span path", "self_a", "self_b", "d_self", "ratio", "count_a", "count_b"
+    );
+    for p in &paths {
+        let sa = a.spans.get(*p).copied();
+        let sb = b.spans.get(*p).copied();
+        let (ca, cb) = (sa.unwrap_or_default(), sb.unwrap_or_default());
+        let ratio = match (sa, sb) {
+            (Some(_), None) => "gone".to_string(),
+            _ => fmt_ratio(ca.self_ticks, cb.self_ticks),
+        };
+        let _ = writeln!(
+            out,
+            "{:<44} {:>12} {:>12} {:>12} {:>8} {:>9} {:>9}",
+            p,
+            ca.self_ticks,
+            cb.self_ticks,
+            fmt_delta(cb.self_ticks as i128 - ca.self_ticks as i128),
+            ratio,
+            ca.count,
+            cb.count
+        );
+    }
+
+    let mut counter_names: Vec<&String> = a.counters.keys().collect();
+    for n in b.counters.keys() {
+        if !a.counters.contains_key(n) {
+            counter_names.push(n);
+        }
+    }
+    counter_names.sort();
+    if !counter_names.is_empty() {
+        let _ = writeln!(out, "\ncounters");
+        let _ = writeln!(
+            out,
+            "{:<44} {:>12} {:>12} {:>12}",
+            "name", label_a, label_b, "delta"
+        );
+        for n in counter_names {
+            let va = a.counters.get(n).copied().unwrap_or(0);
+            let vb = b.counters.get(n).copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{:<44} {:>12} {:>12} {:>12}",
+                n,
+                va,
+                vb,
+                fmt_delta(vb as i128 - va as i128)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: &str = r#"{
+      "counters": {"Flops": 1000, "CacheHits": 4},
+      "scheduling_counters": {"TasksStolen": 7},
+      "spans": [
+        {"name": "grid", "count": 1, "total_ticks": 900, "self_ticks": 100,
+         "sched": false, "threads": [0], "counters": {}, "duration_hist": [],
+         "children": [
+           {"name": "cell", "count": 2, "total_ticks": 800, "self_ticks": 800,
+            "sched": false, "threads": [0], "counters": {"Flops": 1000},
+            "duration_hist": [[3, 2]], "children": []}
+         ]}
+      ]
+    }"#;
+
+    const B: &str = r#"{
+      "counters": {"Flops": 1000},
+      "scheduling_counters": {},
+      "spans": [
+        {"name": "grid", "count": 1, "total_ticks": 1500, "self_ticks": 90,
+         "sched": false, "threads": [0], "counters": {}, "duration_hist": [],
+         "children": [
+           {"name": "cell", "count": 2, "total_ticks": 1410, "self_ticks": 1300,
+            "sched": false, "threads": [0], "counters": {"Flops": 1000},
+            "duration_hist": [[4, 2]], "children": []},
+           {"name": "extra", "count": 1, "total_ticks": 110, "self_ticks": 110,
+            "sched": false, "threads": [0], "counters": {}, "duration_hist": [],
+            "children": []}
+         ]}
+      ]
+    }"#;
+
+    #[test]
+    fn flattens_paths_and_merges_counter_sections() {
+        let a = parse_report(A).expect("parses");
+        assert_eq!(a.spans.len(), 2);
+        assert_eq!(
+            a.spans["grid;cell"],
+            SpanStats {
+                count: 2,
+                total_ticks: 800,
+                self_ticks: 800
+            }
+        );
+        assert_eq!(a.counters["Flops"], 1000);
+        assert_eq!(a.counters["TasksStolen"], 7);
+    }
+
+    #[test]
+    fn biggest_self_regression_sorts_first() {
+        let a = parse_report(A).expect("parses");
+        let b = parse_report(B).expect("parses");
+        let out = render_diff("before", "after", &a, &b);
+        let lines: Vec<&str> = out.lines().collect();
+        // Header, column header, then rows by descending self-time delta:
+        // cell (+500) before extra (+110, new) before grid (-10).
+        assert!(lines[2].starts_with("grid;cell"), "got {:?}", lines[2]);
+        assert!(lines[3].starts_with("grid;extra"), "got {:?}", lines[3]);
+        assert!(lines[3].contains("new"));
+        assert!(lines[4].starts_with("grid "), "got {:?}", lines[4]);
+        assert!(out.contains("TasksStolen"), "counters section present");
+    }
+
+    #[test]
+    fn rejects_non_reports() {
+        assert!(parse_report("[1, 2]").is_err());
+        assert!(parse_report("{\"counters\": {}}").is_err());
+        assert!(parse_report("not json").is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! Golden-file test for `trace-diff`: the regression table for a pinned
+//! pair of trace artifacts must render byte-for-byte as committed.
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p sb-bench --test tracediff_golden
+//! ```
+
+use sb_bench::tracediff::{parse_report, render_diff};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn diff_table_matches_golden_file() {
+    let a = parse_report(&fixture("before.trace.json")).expect("before parses");
+    let b = parse_report(&fixture("after.trace.json")).expect("after parses");
+    let rendered = render_diff("before", "after", &a, &b);
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/trace_diff.golden.txt");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("bless golden file");
+        return;
+    }
+    let golden = fixture("trace_diff.golden.txt");
+    assert_eq!(
+        rendered, golden,
+        "trace-diff output drifted from the golden file; if the format \
+         change is intentional, regenerate it (see module docs)"
+    );
+}

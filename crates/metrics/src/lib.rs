@@ -25,6 +25,7 @@ mod aggregate;
 pub mod ambiguity;
 mod profile;
 mod realized;
+pub mod sched;
 pub mod serve;
 pub mod storage;
 
@@ -32,5 +33,6 @@ pub use aggregate::{mean_std, MeanStd};
 pub use ambiguity::{ambiguity_report, AmbiguityReport, FlopConvention, SizeConvention};
 pub use profile::{ModelProfile, OpProfile, ParamProfile};
 pub use realized::{median_latency_us, RealizedPoint, RealizedProfile, RealizedSweep};
+pub use sched::{SchedProfile, TenantObs, TenantProfile};
 pub use serve::{percentile_us, RejectCounts, ServeProfile};
 pub use storage::{model_bytes, storage_report, StorageFormat, StorageReport};

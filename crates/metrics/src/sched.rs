@@ -1,0 +1,242 @@
+//! Multi-tenant scheduling profiles: per-tenant serving distributions
+//! plus the WFQ fairness ledger.
+//!
+//! [`crate::ServeProfile`] summarizes one model's run; a multi-model
+//! scheduler adds the question *who got the pool*. [`SchedProfile`]
+//! answers it in the same deliberately-plain-slices style: per tenant, a
+//! [`ServeProfile`] over that tenant's completions, the batch-window
+//! occupancy, and the served-**cost** share next to the tenant's ideal
+//! WFQ weight share. Fairness error is the signed gap between the two —
+//! under saturation an ideal weighted-fair scheduler drives it to zero,
+//! so the number is directly assertable in tests and figures.
+
+use crate::serve::{RejectCounts, ServeProfile};
+use sb_json::{json_struct, Json, ToJson};
+
+/// One tenant's raw observations for [`SchedProfile::measure`].
+#[derive(Debug, Clone, Copy)]
+pub struct TenantObs<'a> {
+    /// Tenant name (report label).
+    pub name: &'a str,
+    /// WFQ weight the scheduler was configured with.
+    pub weight: u64,
+    /// Priority-class label (e.g. `"interactive"`, `"batch"`).
+    pub priority: &'a str,
+    /// The tenant's `max_batch` (denominator of occupancy).
+    pub max_batch: usize,
+    /// `(latency_us, batch_size)` per completed request.
+    pub completed: &'a [(u64, usize)],
+    /// The tenant's shed ledger.
+    pub rejected: RejectCounts,
+    /// Total virtual cost (µs) of batches launched for this tenant.
+    pub served_cost_us: u64,
+}
+
+/// One tenant's summarized share of a multi-tenant run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantProfile {
+    /// Tenant name.
+    pub name: String,
+    /// Configured WFQ weight.
+    pub weight: u64,
+    /// Priority-class label.
+    pub priority: String,
+    /// The tenant's own serving distribution (latency percentiles,
+    /// throughput, batches, shed ledger).
+    pub serve: ServeProfile,
+    /// Mean batch fill over the tenant's `max_batch`, in `[0, 1]`.
+    pub occupancy: f64,
+    /// Total virtual cost (µs) served for this tenant.
+    pub served_cost_us: u64,
+    /// This tenant's fraction of all served cost, in `[0, 1]`.
+    pub cost_share: f64,
+    /// This tenant's fraction of total weight, in `[0, 1]` — the ideal
+    /// WFQ share when every tenant is backlogged.
+    pub weight_share: f64,
+    /// `cost_share - weight_share`: positive means the tenant got more
+    /// of the pool than its weight entitles it to.
+    pub fairness_error: f64,
+}
+
+json_struct!(serialize_only TenantProfile {
+    name,
+    weight,
+    priority,
+    serve,
+    occupancy,
+    served_cost_us,
+    cost_share,
+    weight_share,
+    fairness_error
+});
+
+/// Summary of one multi-tenant scheduling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedProfile {
+    /// Per-tenant profiles, scheduler tenant order.
+    pub tenants: Vec<TenantProfile>,
+    /// Offered-load window the run covered, µs.
+    pub horizon_us: u64,
+    /// Total virtual cost served across tenants, µs.
+    pub total_served_cost_us: u64,
+    /// Largest `|fairness_error|` across tenants — the one-number WFQ
+    /// health check.
+    pub max_abs_fairness_error: f64,
+}
+
+impl ToJson for SchedProfile {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "tenants".to_string(),
+                Json::Arr(self.tenants.iter().map(ToJson::to_json).collect()),
+            ),
+            ("horizon_us".to_string(), Json::Int(self.horizon_us as i128)),
+            (
+                "total_served_cost_us".to_string(),
+                Json::Int(self.total_served_cost_us as i128),
+            ),
+            (
+                "max_abs_fairness_error".to_string(),
+                Json::Float(self.max_abs_fairness_error),
+            ),
+        ])
+    }
+}
+
+impl SchedProfile {
+    /// Builds the profile from per-tenant observations.
+    ///
+    /// With zero total served cost every `cost_share` is 0 (there was no
+    /// pool time to divide); weight shares are always over all tenants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is empty, `horizon_us` is zero, a weight is
+    /// zero, or a `max_batch` is zero.
+    pub fn measure(tenants: &[TenantObs], horizon_us: u64) -> Self {
+        assert!(!tenants.is_empty(), "profile of zero tenants");
+        assert!(horizon_us > 0, "horizon must be positive");
+        let total_weight: u64 = tenants.iter().map(|t| t.weight).sum();
+        let total_cost: u64 = tenants.iter().map(|t| t.served_cost_us).sum();
+        let profiles: Vec<TenantProfile> = tenants
+            .iter()
+            .map(|t| {
+                assert!(t.weight > 0, "tenant {:?}: weight must be positive", t.name);
+                assert!(
+                    t.max_batch > 0,
+                    "tenant {:?}: max_batch must be positive",
+                    t.name
+                );
+                let serve = ServeProfile::measure(t.completed, t.rejected, horizon_us);
+                let occupancy = serve.mean_batch / t.max_batch as f64;
+                let cost_share = if total_cost == 0 {
+                    0.0
+                } else {
+                    t.served_cost_us as f64 / total_cost as f64
+                };
+                let weight_share = t.weight as f64 / total_weight as f64;
+                TenantProfile {
+                    name: t.name.to_string(),
+                    weight: t.weight,
+                    priority: t.priority.to_string(),
+                    serve,
+                    occupancy,
+                    served_cost_us: t.served_cost_us,
+                    cost_share,
+                    weight_share,
+                    fairness_error: cost_share - weight_share,
+                }
+            })
+            .collect();
+        let max_abs_fairness_error = profiles
+            .iter()
+            .map(|p| p.fairness_error.abs())
+            .fold(0.0f64, f64::max);
+        SchedProfile {
+            tenants: profiles,
+            horizon_us,
+            total_served_cost_us: total_cost,
+            max_abs_fairness_error,
+        }
+    }
+
+    /// The tenant profile by name, if present.
+    pub fn tenant(&self, name: &str) -> Option<&TenantProfile> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs<'a>(
+        name: &'a str,
+        weight: u64,
+        completed: &'a [(u64, usize)],
+        served_cost_us: u64,
+    ) -> TenantObs<'a> {
+        TenantObs {
+            name,
+            weight,
+            priority: "interactive",
+            max_batch: 8,
+            completed,
+            rejected: RejectCounts::default(),
+            served_cost_us,
+        }
+    }
+
+    #[test]
+    fn shares_and_fairness_error_come_out_exact() {
+        let a: Vec<(u64, usize)> = vec![(100, 4); 12];
+        let b: Vec<(u64, usize)> = vec![(300, 2); 4];
+        let p = SchedProfile::measure(
+            &[obs("a", 3, &a, 7_500), obs("b", 1, &b, 2_500)],
+            1_000_000,
+        );
+        assert_eq!(p.total_served_cost_us, 10_000);
+        let ta = p.tenant("a").expect("a present");
+        let tb = p.tenant("b").expect("b present");
+        assert!((ta.cost_share - 0.75).abs() < 1e-12);
+        assert!((ta.weight_share - 0.75).abs() < 1e-12);
+        assert!(ta.fairness_error.abs() < 1e-12);
+        assert!((tb.occupancy - 2.0 / 8.0).abs() < 1e-12);
+        assert!((ta.occupancy - 0.5).abs() < 1e-12);
+        assert!(p.max_abs_fairness_error < 1e-12);
+        assert_eq!(ta.serve.completed, 12);
+        assert_eq!(ta.serve.batches, 3);
+        let json = sb_json::to_string(&p).expect("serialize");
+        assert!(json.contains("\"max_abs_fairness_error\""));
+        assert!(json.contains("\"name\":\"a\""));
+    }
+
+    #[test]
+    fn skewed_shares_report_signed_error() {
+        let a: Vec<(u64, usize)> = vec![(100, 1); 9];
+        let b: Vec<(u64, usize)> = vec![(100, 1); 1];
+        let p = SchedProfile::measure(
+            &[obs("hog", 1, &a, 9_000), obs("starved", 1, &b, 1_000)],
+            1_000,
+        );
+        let hog = p.tenant("hog").expect("present");
+        let starved = p.tenant("starved").expect("present");
+        assert!((hog.fairness_error - 0.4).abs() < 1e-12);
+        assert!((starved.fairness_error + 0.4).abs() < 1e-12);
+        assert!((p.max_abs_fairness_error - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cost_run_has_zero_shares_not_nan() {
+        let none: Vec<(u64, usize)> = Vec::new();
+        let p = SchedProfile::measure(&[obs("idle", 2, &none, 0), obs("also", 1, &none, 0)], 500);
+        for t in &p.tenants {
+            assert_eq!(t.cost_share, 0.0);
+            assert!(t.occupancy == 0.0);
+            assert!(t.fairness_error <= 0.0, "shares can only undershoot");
+            assert!(t.fairness_error.is_finite());
+        }
+        assert_eq!(p.total_served_cost_us, 0);
+    }
+}

@@ -198,6 +198,39 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_is_every_percentile() {
+        for q in [0.001, 0.25, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(percentile_us(&[42], q), 42, "q={q}");
+        }
+    }
+
+    #[test]
+    fn all_equal_distribution_is_flat() {
+        let sorted = [250u64; 17];
+        for q in [0.001, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(percentile_us(&sorted, q), 250, "q={q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty distribution")]
+    fn empty_distribution_panics() {
+        percentile_us(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1]")]
+    fn zero_quantile_panics() {
+        percentile_us(&[1, 2, 3], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1]")]
+    fn overshooting_quantile_panics() {
+        percentile_us(&[1, 2, 3], 1.5);
+    }
+
+    #[test]
     fn profile_counts_batches_from_request_observations() {
         // Two batches of 4 and one of 2: ten completed requests.
         let completed: Vec<(u64, usize)> = (0..10)
@@ -231,5 +264,27 @@ mod tests {
         assert_eq!(p.batches, 0);
         assert_eq!(p.mean_batch, 0.0);
         assert_eq!(p.rejection_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_completion_run_with_sheds_stays_finite() {
+        // Everything offered was shed: the percentiles must come out 0
+        // (not panic through percentile_us) and the rates finite.
+        let rejected = RejectCounts {
+            queue_full: 5,
+            deadline_expired: 2,
+            ..RejectCounts::default()
+        };
+        let p = ServeProfile::measure(&[], rejected, 10_000);
+        assert_eq!(p.requests, 7);
+        assert_eq!(p.completed, 0);
+        assert_eq!(p.p50_us, 0);
+        assert_eq!(p.p999_us, 0);
+        assert_eq!(p.mean_latency_us, 0.0);
+        assert_eq!(p.throughput_rps, 0.0);
+        assert_eq!(p.rejection_rate(), 1.0);
+        assert!(p.batch_size.is_empty());
+        let json = sb_json::to_string(&p).expect("serialize");
+        assert!(json.contains("\"completed\":0"));
     }
 }

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Multi-model scheduling for shrinkbench-rs.
+//!
+//! `sb-serve` answers "does *one* pruned model serve more traffic?".
+//! Production serving rarely runs one model: a 16×-pruned variant, its
+//! dense baseline, and an A/B candidate share the same pool, and the
+//! paper's complaint about incomparable single-model results has a
+//! serving-side analogue — capacity numbers measured in isolation say
+//! nothing about what a tenant gets *under contention*. This crate is
+//! the fair-comparison harness for that question: a deterministic
+//! multi-tenant scheduler in which every allocation decision is an
+//! explicit, externally checkable policy.
+//!
+//! The pieces:
+//!
+//! * [`MultiServer`] — several [`BatchEngine`](sb_serve::BatchEngine)s
+//!   behind one `sb-runtime` pool, each tenant with its own bounded
+//!   queue and [`TenantPolicy`] (batch size, wait window, queue cap),
+//!   sharing one inflight window;
+//! * **Weighted fair queueing** — virtual-time WFQ over per-tenant
+//!   queues, charged in batch-cost units from the engines' service
+//!   models (for compiled models, the sb-infer cost model's effective
+//!   MACs), so a cheap pruned tenant cannot be starved by a dense one;
+//! * [`Priority`] **classes** — `Interactive` strictly preempts `Batch`
+//!   at dequeue; every decision lands in a [`PickRecord`] log that makes
+//!   non-inversion and fairness testable properties;
+//! * [`autotune`] — picks each tenant's `max_batch`/`max_wait_us` for a
+//!   target p99 by sweeping `sb-serve`'s deterministic
+//!   [`SimClock`](sb_serve::SimClock) simulator: a pure function of
+//!   `(config, workload, seed)`, byte-identical at any
+//!   `SB_RUNTIME_THREADS`;
+//! * [`load`] — merged per-tenant arrival schedules, an open-loop sim
+//!   driver, and the [`sb_metrics::SchedProfile`] glue (per-tenant
+//!   throughput/p99/occupancy and fairness error vs ideal WFQ shares).
+//!
+//! Spans: `sched:admit`, `sched:pick`, `sched:tenant:{name}`,
+//! `sched:batch`, `sched:exec`; counters reuse the serving set
+//! (`RequestsAdmitted`, `RequestsRejected`, `BatchesExecuted`,
+//! `BatchOccupancy`).
+
+pub mod autotune;
+pub mod load;
+pub mod sched;
+pub mod tenant;
+
+pub use autotune::{autotune, simulate, TuneResult, TuneSpec};
+pub use load::{drain_multi_sim, merged_arrivals, profile, run_multi_open_loop_sim, TenantLoad};
+pub use sched::{MultiServer, PickRecord, SchedCompletion, SchedConfig};
+pub use tenant::{Priority, TenantPolicy, TenantSpec};

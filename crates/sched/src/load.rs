@@ -1,0 +1,230 @@
+//! Multi-tenant load generation and profiling: per-tenant seeded
+//! arrival schedules merged into one deterministic open-loop driver,
+//! plus the glue that turns a tagged completion stream and pick log
+//! into an [`sb_metrics::SchedProfile`].
+
+use crate::sched::{MultiServer, PickRecord, SchedCompletion};
+use sb_serve::{ArrivalProcess, Outcome, RejectReason, SimClock};
+
+/// One tenant's offered load: an arrival schedule plus its deadline
+/// policy (mirrors [`sb_serve::LoadSpec`], per tenant).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantLoad {
+    /// How this tenant's requests arrive.
+    pub arrivals: ArrivalProcess,
+    /// Seed for this tenant's arrival schedule.
+    pub seed: u64,
+    /// Relative deadline applied to every request of this tenant.
+    pub deadline_us: Option<u64>,
+}
+
+/// The merged multi-tenant arrival schedule over `[0, horizon_us)`:
+/// `(time_us, tenant, per-tenant index)`, ascending in time with ties
+/// broken by tenant then index. Purely a function of its arguments.
+pub fn merged_arrivals(loads: &[TenantLoad], horizon_us: u64) -> Vec<(u64, usize, usize)> {
+    let mut merged: Vec<(u64, usize, usize)> = Vec::new();
+    for (tenant, load) in loads.iter().enumerate() {
+        for (i, at) in load
+            .arrivals
+            .arrivals(horizon_us, load.seed)
+            .into_iter()
+            .enumerate()
+        {
+            merged.push((at, tenant, i));
+        }
+    }
+    merged.sort_unstable();
+    merged
+}
+
+/// Runs the merged schedule open-loop against a **virtual-clock**
+/// scheduler: deterministic at any worker count. `make_input(tenant, i)`
+/// supplies the sample for tenant `tenant`'s `i`-th arrival. Drains
+/// fully; returns every tagged completion in resolution order.
+pub fn run_multi_open_loop_sim(
+    ms: &mut MultiServer,
+    clock: &SimClock,
+    loads: &[TenantLoad],
+    horizon_us: u64,
+    mut make_input: impl FnMut(usize, usize) -> Vec<f32>,
+) -> Vec<SchedCompletion> {
+    assert_eq!(loads.len(), ms.tenant_count(), "one load per tenant");
+    let merged = merged_arrivals(loads, horizon_us);
+    let mut out = Vec::new();
+    for &(at, tenant, i) in &merged {
+        while let Some(ev) = ms.next_event_us() {
+            if ev >= at {
+                break;
+            }
+            clock.advance_to(ev);
+            ms.pump();
+        }
+        clock.advance_to(at);
+        ms.submit(
+            tenant,
+            make_input(tenant, i),
+            loads[tenant].deadline_us.map(|d| at + d),
+        );
+        out.append(&mut ms.take_completions());
+    }
+    drain_multi_sim(ms, clock, &mut out);
+    out
+}
+
+/// Drives a virtual-clock scheduler until idle, appending completions.
+pub fn drain_multi_sim(ms: &mut MultiServer, clock: &SimClock, out: &mut Vec<SchedCompletion>) {
+    ms.begin_drain();
+    out.append(&mut ms.take_completions());
+    while !ms.is_idle() {
+        let ev = ms
+            .next_event_us()
+            .expect("a non-idle scheduler always has a next event");
+        clock.advance_to(ev);
+        ms.pump();
+        out.append(&mut ms.take_completions());
+    }
+}
+
+/// Summarizes one multi-tenant run as an [`sb_metrics::SchedProfile`]:
+/// per tenant, completed requests feed the latency/batch distributions,
+/// rejections feed the shed ledger, and the pick log feeds served-cost
+/// shares (the WFQ fairness check).
+pub fn profile(
+    ms: &MultiServer,
+    completions: &[SchedCompletion],
+    picks: &[PickRecord],
+    horizon_us: u64,
+) -> sb_metrics::SchedProfile {
+    let n = ms.tenant_count();
+    let mut completed: Vec<Vec<(u64, usize)>> = vec![Vec::new(); n];
+    let mut rejected: Vec<sb_metrics::RejectCounts> = vec![sb_metrics::RejectCounts::default(); n];
+    for c in completions {
+        match c.completion.outcome {
+            Outcome::Completed { batch_size, .. } => {
+                completed[c.tenant].push((c.completion.latency_us(), batch_size));
+            }
+            Outcome::Rejected { reason } => {
+                let r = &mut rejected[c.tenant];
+                match reason {
+                    RejectReason::QueueFull => r.queue_full += 1,
+                    RejectReason::DeadlineExpired => r.deadline_expired += 1,
+                    RejectReason::Cancelled => r.cancelled += 1,
+                    RejectReason::ShuttingDown => r.shutting_down += 1,
+                }
+            }
+        }
+    }
+    let mut served_cost = vec![0u64; n];
+    for p in picks {
+        served_cost[p.tenant] += p.cost_us;
+    }
+    let obs: Vec<sb_metrics::TenantObs> = (0..n)
+        .map(|i| {
+            let spec = ms.tenant(i);
+            sb_metrics::TenantObs {
+                name: &spec.name,
+                weight: spec.weight,
+                priority: spec.priority.name(),
+                max_batch: spec.policy.max_batch,
+                completed: &completed[i],
+                rejected: rejected[i],
+                served_cost_us: served_cost[i],
+            }
+        })
+        .collect();
+    sb_metrics::SchedProfile::measure(&obs, horizon_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::SchedConfig;
+    use crate::tenant::{Priority, TenantPolicy, TenantSpec};
+    use sb_serve::{EchoEngine, ServiceModel};
+    use std::sync::Arc;
+
+    #[test]
+    fn merged_schedule_is_sorted_and_deterministic() {
+        let loads = [
+            TenantLoad {
+                arrivals: ArrivalProcess::Uniform { rate_rps: 3_000.0 },
+                seed: 1,
+                deadline_us: None,
+            },
+            TenantLoad {
+                arrivals: ArrivalProcess::Bursty {
+                    rate_rps: 2_000.0,
+                    burst: 4,
+                },
+                seed: 2,
+                deadline_us: Some(5_000),
+            },
+        ];
+        let merged = merged_arrivals(&loads, 100_000);
+        assert!(merged.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert_eq!(merged, merged_arrivals(&loads, 100_000), "deterministic");
+        assert!(merged.iter().any(|&(_, t, _)| t == 0));
+        assert!(merged.iter().any(|&(_, t, _)| t == 1));
+    }
+
+    #[test]
+    fn multi_open_loop_resolves_every_arrival_and_profiles() {
+        let clock = Arc::new(SimClock::new());
+        let service = ServiceModel {
+            base_us: 200,
+            per_sample_us: 40,
+        };
+        let policy = TenantPolicy {
+            max_batch: 8,
+            max_wait_us: 500,
+            queue_cap: 32,
+        };
+        let tenants = vec![
+            TenantSpec::new(
+                "a",
+                2,
+                Priority::Interactive,
+                policy,
+                Arc::new(EchoEngine::new(1, 10, service)),
+            ),
+            TenantSpec::new(
+                "b",
+                1,
+                Priority::Batch,
+                policy,
+                Arc::new(EchoEngine::new(1, 10, service)),
+            ),
+        ];
+        let mut ms = MultiServer::new(tenants, SchedConfig { max_inflight: 2 }, clock.clone());
+        let loads = [
+            TenantLoad {
+                arrivals: ArrivalProcess::Uniform { rate_rps: 4_000.0 },
+                seed: 7,
+                deadline_us: Some(20_000),
+            },
+            TenantLoad {
+                arrivals: ArrivalProcess::Uniform { rate_rps: 4_000.0 },
+                seed: 8,
+                deadline_us: None,
+            },
+        ];
+        let horizon = 100_000;
+        let offered = merged_arrivals(&loads, horizon).len();
+        let done = run_multi_open_loop_sim(&mut ms, &clock, &loads, horizon, |t, i| {
+            vec![(t + i) as f32]
+        });
+        assert_eq!(done.len(), offered, "every arrival resolves exactly once");
+        assert!(ms.is_idle());
+        let picks = ms.take_picks();
+        let p = profile(&ms, &done, &picks, horizon);
+        assert_eq!(p.tenants.len(), 2);
+        assert_eq!(
+            p.tenants.iter().map(|t| t.serve.requests).sum::<usize>(),
+            offered
+        );
+        assert!(p.tenants[0].serve.completed > 0);
+        assert!(p.total_served_cost_us > 0);
+        let weight_shares: f64 = p.tenants.iter().map(|t| t.weight_share).sum();
+        assert!((weight_shares - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,929 @@
+//! The multi-model scheduling core: per-tenant bounded queues and
+//! batching policies, weighted fair queueing across tenants, strict
+//! priority classes at dequeue, and one shared execution window over a
+//! single `sb-runtime` pool.
+//!
+//! # Scheduling model
+//!
+//! ```text
+//!            ┌─ tenant A queue ─┐
+//! submit ───▶│ (own cap/policy) │──┐  sched:pick   ┌──────────┐
+//!            └──────────────────┘  ├──────────────▶│ inflight │──▶ JobQueue
+//!            ┌─ tenant B queue ─┐  │  priority,    │ (shared  │      │
+//! submit ───▶│                  │──┘  then WFQ     │  window) │   completions
+//!            └──────────────────┘                  └──────────┘
+//! ```
+//!
+//! Like [`sb_serve::Server`], the scheduler is **driver-pumped**: one
+//! thread submits, pumps, and advances the clock; batch execution is the
+//! only concurrent part and is harvested strictly in launch order, so
+//! under a [`SimClock`](sb_serve::SimClock) the full tagged outcome
+//! stream is a pure function of the submitted workload at any
+//! `SB_RUNTIME_THREADS`.
+//!
+//! # Dequeue policy
+//!
+//! A tenant is **eligible** when its queue holds a formable batch (full
+//! batch, head past `max_wait_us`, or draining) and the shared inflight
+//! window has a free slot. Among eligible tenants the pick is:
+//!
+//! 1. **Strict priority** — any eligible [`Priority::Interactive`]
+//!    tenant beats every [`Priority::Batch`] tenant;
+//! 2. **Weighted fair queueing** within the class — each tenant carries
+//!    a virtual time that advances by `batch cost / weight` per launch,
+//!    where the cost is the engine's [`service_us`] price (for compiled
+//!    models, derived from the sb-infer cost model's effective MACs).
+//!    The eligible tenant with the smallest virtual time wins; ties
+//!    break by tenant index. A tenant waking from idle is floored to the
+//!    scheduler's virtual clock so it cannot replay its idle time as a
+//!    monopoly burst (start-time fair queueing).
+//!
+//! Every launch appends a [`PickRecord`] with the eligible set *before*
+//! the priority filter, so fairness and non-inversion are externally
+//! checkable properties, not implementation trivia.
+//!
+//! [`service_us`]: sb_serve::BatchEngine::service_us
+
+use crate::tenant::{Priority, TenantSpec};
+use sb_json::{Json, ToJson};
+use sb_runtime::{JobHandle, JobQueue, JobSpec};
+use sb_serve::{Clock, Completion, Outcome, RejectReason};
+use sb_trace::CounterId;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Fixed-point scale for tenant virtual time (`cost << SHIFT / weight`).
+const VTIME_SHIFT: u32 = 16;
+
+/// Shared scheduler knobs (per-tenant knobs live in
+/// [`TenantPolicy`](crate::TenantPolicy)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Batches allowed to execute concurrently across *all* tenants.
+    pub max_inflight: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig { max_inflight: 2 }
+    }
+}
+
+/// One resolved request, tagged with the tenant it belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedCompletion {
+    /// Index of the tenant in the order given to [`MultiServer::new`].
+    pub tenant: usize,
+    /// The underlying resolution (globally unique id, times, outcome).
+    pub completion: Completion,
+}
+
+impl ToJson for SchedCompletion {
+    fn to_json(&self) -> Json {
+        let Json::Obj(mut fields) = self.completion.to_json() else {
+            unreachable!("Completion serializes to an object");
+        };
+        fields.insert(0, ("tenant".to_string(), Json::Int(self.tenant as i128)));
+        Json::Obj(fields)
+    }
+}
+
+/// One dequeue decision: which tenant launched, at what priority and
+/// cost, and which tenants were eligible at that instant (recorded
+/// *before* the priority filter, so inversions would be visible here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PickRecord {
+    /// Clock time of the launch.
+    pub at_us: u64,
+    /// Launched tenant index.
+    pub tenant: usize,
+    /// Launched tenant's class.
+    pub priority: Priority,
+    /// All tenants with a formable batch at this instant, ascending.
+    pub eligible: Vec<usize>,
+    /// Samples in the launched batch.
+    pub batch_size: usize,
+    /// WFQ charge: the engine's virtual price of this batch, µs.
+    pub cost_us: u64,
+}
+
+struct Pending {
+    id: u64,
+    input: Vec<f32>,
+    deadline_us: Option<u64>,
+    submitted_us: u64,
+    cancelled: bool,
+}
+
+struct TenantState {
+    spec: TenantSpec,
+    queue: VecDeque<Pending>,
+    /// WFQ virtual time: served cost / weight, fixed-point.
+    vtime: u128,
+    /// Total virtual cost launched for this tenant, µs.
+    served_cost_us: u64,
+}
+
+struct Inflight {
+    tenant: usize,
+    /// `(id, submitted_us)` per member, batch order.
+    members: Vec<(u64, u64)>,
+    /// Virtual completion time; authoritative under a virtual clock.
+    done_us: u64,
+    handle: JobHandle<(Vec<usize>, u64)>,
+}
+
+/// The multi-model scheduler. See the module docs for the model.
+pub struct MultiServer {
+    cfg: SchedConfig,
+    clock: Arc<dyn Clock>,
+    jobs: JobQueue,
+    tenants: Vec<TenantState>,
+    inflight: VecDeque<Inflight>,
+    completions: Vec<SchedCompletion>,
+    picks: Vec<PickRecord>,
+    /// Scheduler virtual clock: floor for tenants waking from idle.
+    vnow: u128,
+    next_id: u64,
+    next_batch: u64,
+    draining: bool,
+}
+
+impl MultiServer {
+    /// A scheduler over `tenants` with the given shared window and time
+    /// source. Tenant indices in every API are positions in `tenants`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tenant list, a zero weight, or a degenerate
+    /// policy (zero `max_batch`/`queue_cap`) — a misconfigured tenant
+    /// would otherwise silently starve or spin.
+    pub fn new(tenants: Vec<TenantSpec>, cfg: SchedConfig, clock: Arc<dyn Clock>) -> Self {
+        assert!(!tenants.is_empty(), "need at least one tenant");
+        assert!(cfg.max_inflight > 0, "max_inflight must be positive");
+        for t in &tenants {
+            assert!(t.weight > 0, "tenant {:?}: weight must be positive", t.name);
+            assert!(
+                t.policy.max_batch > 0,
+                "tenant {:?}: max_batch must be positive",
+                t.name
+            );
+            assert!(
+                t.policy.queue_cap > 0,
+                "tenant {:?}: queue_cap must be positive",
+                t.name
+            );
+        }
+        // Under a virtual clock the runtime's default resolution is
+        // exactly right: at 1-thread resolution batches run inline and
+        // resolve instantly, which is what makes simulation a pure
+        // function of the inputs. Under a wall clock, inline execution
+        // would block the *driver* thread for the batch's full wall
+        // time — on a small machine that silently turns every open-loop
+        // driver into a closed loop and starves admission. Wall-clock
+        // schedulers therefore always execute on a dedicated pool, even
+        // at 1-thread resolution.
+        let jobs = if clock.is_virtual() {
+            JobQueue::new()
+        } else {
+            JobQueue::on(Arc::new(sb_runtime::Pool::new(
+                sb_runtime::effective_parallelism().max(2),
+            )))
+        };
+        MultiServer {
+            cfg,
+            clock,
+            jobs,
+            tenants: tenants
+                .into_iter()
+                .map(|spec| TenantState {
+                    spec,
+                    queue: VecDeque::new(),
+                    vtime: 0,
+                    served_cost_us: 0,
+                })
+                .collect(),
+            inflight: VecDeque::new(),
+            completions: Vec::new(),
+            picks: Vec::new(),
+            vnow: 0,
+            next_id: 0,
+            next_batch: 0,
+            draining: false,
+        }
+    }
+
+    /// Number of tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The spec a tenant was created with.
+    pub fn tenant(&self, tenant: usize) -> &TenantSpec {
+        &self.tenants[tenant].spec
+    }
+
+    /// Total virtual cost (µs) launched for a tenant so far.
+    pub fn served_cost_us(&self, tenant: usize) -> u64 {
+        self.tenants[tenant].served_cost_us
+    }
+
+    /// Admits (or rejects) one single-sample request for `tenant`.
+    /// Returns a globally unique id; the resolution arrives later via
+    /// [`MultiServer::take_completions`]. `deadline_us` is the absolute
+    /// clock time by which execution must have started.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown tenant or an input that is not exactly one
+    /// engine sample long.
+    pub fn submit(&mut self, tenant: usize, input: Vec<f32>, deadline_us: Option<u64>) -> u64 {
+        assert!(tenant < self.tenants.len(), "unknown tenant {tenant}");
+        assert_eq!(
+            input.len(),
+            self.tenants[tenant].spec.engine.sample_len(),
+            "request sample length for tenant {:?}",
+            self.tenants[tenant].spec.name
+        );
+        let _admit = sb_trace::span("sched:admit");
+        let now = self.clock.now_us();
+        let id = self.next_id;
+        self.next_id += 1;
+        let t = &mut self.tenants[tenant];
+        let reject = if self.draining {
+            Some(RejectReason::ShuttingDown)
+        } else if t.queue.len() >= t.spec.policy.queue_cap {
+            Some(RejectReason::QueueFull)
+        } else if deadline_us.is_some_and(|d| d <= now) {
+            Some(RejectReason::DeadlineExpired)
+        } else {
+            None
+        };
+        match reject {
+            Some(reason) => {
+                sb_trace::add(CounterId::RequestsRejected, 1);
+                self.completions.push(SchedCompletion {
+                    tenant,
+                    completion: Completion {
+                        id,
+                        submitted_us: now,
+                        done_us: now,
+                        outcome: Outcome::Rejected { reason },
+                    },
+                });
+            }
+            None => {
+                sb_trace::add(CounterId::RequestsAdmitted, 1);
+                let was_idle = t.queue.is_empty();
+                t.queue.push_back(Pending {
+                    id,
+                    input,
+                    deadline_us,
+                    submitted_us: now,
+                    cancelled: false,
+                });
+                if was_idle {
+                    // Start-time fair queueing: a waking tenant resumes
+                    // at the scheduler's virtual clock, not at the stale
+                    // vtime it parked with — idle time is not credit.
+                    t.vtime = t.vtime.max(self.vnow);
+                }
+            }
+        }
+        self.advance();
+        id
+    }
+
+    /// Cancels a request that is still queued in any tenant. Semantics
+    /// match [`sb_serve::Server::cancel`].
+    pub fn cancel(&mut self, id: u64) -> bool {
+        let found = self
+            .tenants
+            .iter_mut()
+            .flat_map(|t| t.queue.iter_mut())
+            .find(|p| p.id == id);
+        let Some(p) = found else {
+            return false;
+        };
+        p.cancelled = true;
+        self.advance();
+        true
+    }
+
+    /// Drives the scheduler one step at the current clock time.
+    pub fn pump(&mut self) {
+        self.advance();
+    }
+
+    /// Stops admitting new work and flushes every tenant queue as the
+    /// shared window frees up.
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+        self.advance();
+    }
+
+    /// True when every queue is empty and nothing is executing.
+    pub fn is_idle(&self) -> bool {
+        self.inflight.is_empty() && self.tenants.iter().all(|t| t.queue.is_empty())
+    }
+
+    /// Requests waiting in one tenant's queue.
+    pub fn queue_len(&self, tenant: usize) -> usize {
+        self.tenants[tenant].queue.len()
+    }
+
+    /// Batches currently executing across all tenants.
+    pub fn inflight_batches(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Drains accumulated resolutions, in resolution order.
+    pub fn take_completions(&mut self) -> Vec<SchedCompletion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Drains the dequeue-decision log, in launch order.
+    pub fn take_picks(&mut self) -> Vec<PickRecord> {
+        std::mem::take(&mut self.picks)
+    }
+
+    /// The next virtual time at which [`MultiServer::pump`] could make
+    /// progress; see [`sb_serve::Server::next_event_us`].
+    pub fn next_event_us(&self) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut consider = |t: u64| {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        };
+        if let Some(front) = self.inflight.front() {
+            consider(front.done_us);
+        }
+        let window_free = self.inflight.len() < self.cfg.max_inflight;
+        for t in &self.tenants {
+            if let Some(head) = t.queue.front() {
+                if window_free {
+                    consider(head.submitted_us + t.spec.policy.max_wait_us);
+                }
+            }
+            for p in &t.queue {
+                if let Some(d) = p.deadline_us {
+                    consider(d);
+                }
+            }
+        }
+        next
+    }
+
+    /// Drains and blocks until idle under a wall clock, returning every
+    /// accumulated resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics under a virtual clock — sim drivers must advance time
+    /// themselves (see [`drain_multi_sim`](crate::load::drain_multi_sim)).
+    pub fn drain_wall(&mut self) -> Vec<SchedCompletion> {
+        assert!(
+            !self.clock.is_virtual(),
+            "drain_wall requires a wall clock; drive virtual schedulers to idle explicitly"
+        );
+        self.begin_drain();
+        while !self.is_idle() {
+            self.advance();
+            if let Some(batch) = self.inflight.pop_front() {
+                self.harvest_one(batch);
+            }
+        }
+        self.take_completions()
+    }
+
+    // --- internals ----------------------------------------------------
+
+    fn advance(&mut self) {
+        let now = self.clock.now_us();
+        self.harvest(now);
+        self.expire(now);
+        while self.inflight.len() < self.cfg.max_inflight {
+            if !self.pick_and_launch(now) {
+                break;
+            }
+            self.harvest(now); // inline jobs (1 thread) finish instantly
+        }
+    }
+
+    /// Resolves finished batches, strictly in launch order.
+    fn harvest(&mut self, now: u64) {
+        loop {
+            let done = match self.inflight.front() {
+                None => break,
+                Some(front) => {
+                    if self.clock.is_virtual() {
+                        front.done_us <= now
+                    } else {
+                        front.handle.is_finished()
+                    }
+                }
+            };
+            if !done {
+                break;
+            }
+            let batch = self.inflight.pop_front().expect("front exists");
+            self.harvest_one(batch);
+        }
+    }
+
+    fn harvest_one(&mut self, batch: Inflight) {
+        let virtual_done = batch.done_us;
+        let size = batch.members.len();
+        let (preds, finished_us) = batch
+            .handle
+            .join()
+            .expect("batch jobs do not fail, retry, or cancel");
+        debug_assert_eq!(preds.len(), size, "one prediction per member");
+        let done_us = if self.clock.is_virtual() {
+            virtual_done
+        } else {
+            finished_us
+        };
+        for ((id, submitted_us), predicted) in batch.members.into_iter().zip(preds) {
+            self.completions.push(SchedCompletion {
+                tenant: batch.tenant,
+                completion: Completion {
+                    id,
+                    submitted_us,
+                    done_us,
+                    outcome: Outcome::Completed {
+                        predicted,
+                        batch_size: size,
+                    },
+                },
+            });
+        }
+    }
+
+    /// Dequeue-time policy: drops cancelled and deadline-expired
+    /// requests from every tenant queue.
+    fn expire(&mut self, now: u64) {
+        for (ti, t) in self.tenants.iter_mut().enumerate() {
+            if t.queue
+                .iter()
+                .all(|p| !p.cancelled && !p.deadline_us.is_some_and(|d| d <= now))
+            {
+                continue;
+            }
+            let mut kept = VecDeque::with_capacity(t.queue.len());
+            for p in t.queue.drain(..) {
+                let reason = if p.cancelled {
+                    Some(RejectReason::Cancelled)
+                } else if p.deadline_us.is_some_and(|d| d <= now) {
+                    Some(RejectReason::DeadlineExpired)
+                } else {
+                    None
+                };
+                match reason {
+                    None => kept.push_back(p),
+                    Some(reason) => {
+                        sb_trace::add(CounterId::RequestsRejected, 1);
+                        self.completions.push(SchedCompletion {
+                            tenant: ti,
+                            completion: Completion {
+                                id: p.id,
+                                submitted_us: p.submitted_us,
+                                done_us: now,
+                                outcome: Outcome::Rejected { reason },
+                            },
+                        });
+                    }
+                }
+            }
+            t.queue = kept;
+        }
+    }
+
+    fn is_eligible(&self, t: &TenantState, now: u64) -> bool {
+        if t.queue.is_empty() {
+            return false;
+        }
+        self.draining
+            || t.queue.len() >= t.spec.policy.max_batch
+            || now.saturating_sub(t.queue[0].submitted_us) >= t.spec.policy.max_wait_us
+    }
+
+    /// One dequeue decision: strict priority, then min virtual time,
+    /// then lowest index. Returns false when no tenant is eligible.
+    fn pick_and_launch(&mut self, now: u64) -> bool {
+        let _pick = sb_trace::span("sched:pick");
+        let eligible: Vec<usize> = (0..self.tenants.len())
+            .filter(|&i| self.is_eligible(&self.tenants[i], now))
+            .collect();
+        let Some(&winner) = eligible.iter().min_by_key(|&&i| {
+            let t = &self.tenants[i];
+            (t.spec.priority.rank(), t.vtime, i)
+        }) else {
+            return false;
+        };
+        self.launch(winner, eligible, now);
+        true
+    }
+
+    /// Closes one batch off `tenant`'s queue head, charges its virtual
+    /// time, and submits the batch to the shared pool.
+    fn launch(&mut self, tenant: usize, eligible: Vec<usize>, now: u64) {
+        let _tenant_span =
+            sb_trace::span_with(|| format!("sched:tenant:{}", self.tenants[tenant].spec.name));
+        let _batch_span = sb_trace::span("sched:batch");
+        let (members, inputs) = {
+            let t = &mut self.tenants[tenant];
+            let take = t.queue.len().min(t.spec.policy.max_batch);
+            let mut members = Vec::with_capacity(take);
+            let mut inputs = Vec::with_capacity(take * t.spec.engine.sample_len());
+            let mut shed: Vec<(u64, u64, RejectReason)> = Vec::new();
+            for _ in 0..take {
+                let p = t.queue.pop_front().expect("len checked");
+                // Execution-time re-check: a request can expire or be
+                // cancelled between the sweep and batch formation.
+                let reason = if p.cancelled {
+                    Some(RejectReason::Cancelled)
+                } else if p.deadline_us.is_some_and(|d| d <= now) {
+                    Some(RejectReason::DeadlineExpired)
+                } else {
+                    None
+                };
+                if let Some(reason) = reason {
+                    shed.push((p.id, p.submitted_us, reason));
+                    continue;
+                }
+                members.push((p.id, p.submitted_us));
+                inputs.extend_from_slice(&p.input);
+            }
+            for (id, submitted_us, reason) in shed {
+                sb_trace::add(CounterId::RequestsRejected, 1);
+                self.completions.push(SchedCompletion {
+                    tenant,
+                    completion: Completion {
+                        id,
+                        submitted_us,
+                        done_us: now,
+                        outcome: Outcome::Rejected { reason },
+                    },
+                });
+            }
+            (members, inputs)
+        };
+        if members.is_empty() {
+            return;
+        }
+        let t = &mut self.tenants[tenant];
+        let n = members.len();
+        let cost_us = t.spec.engine.service_us(n);
+        // WFQ accounting: the scheduler's virtual clock is the winner's
+        // start tag; the winner is then charged cost/weight.
+        self.vnow = self.vnow.max(t.vtime);
+        t.vtime += ((cost_us as u128) << VTIME_SHIFT) / t.spec.weight as u128;
+        t.served_cost_us += cost_us;
+        self.picks.push(PickRecord {
+            at_us: now,
+            tenant,
+            priority: t.spec.priority,
+            eligible,
+            batch_size: n,
+            cost_us,
+        });
+        sb_trace::add(CounterId::BatchesExecuted, 1);
+        sb_trace::add(CounterId::BatchOccupancy, n as u64);
+        let engine = Arc::clone(&t.spec.engine);
+        let clock = Arc::clone(&self.clock);
+        let seq = self.next_batch;
+        self.next_batch += 1;
+        let handle = self.jobs.submit(
+            JobSpec::new().label(format!("sched-batch-{seq}")),
+            move |_ctx| {
+                let _exec = sb_trace::span("sched:exec");
+                let preds = engine.run_batch(&inputs, n);
+                Ok((preds, clock.now_us()))
+            },
+        );
+        self.inflight.push_back(Inflight {
+            tenant,
+            members,
+            done_us: now + cost_us,
+            handle,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantPolicy;
+    use sb_serve::{BatchEngine, EchoEngine, ServiceModel, SimClock};
+
+    fn echo(service: ServiceModel) -> Arc<dyn BatchEngine> {
+        Arc::new(EchoEngine::new(1, 10, service))
+    }
+
+    fn two_tenant_server(
+        weights: (u64, u64),
+        prios: (Priority, Priority),
+        max_inflight: usize,
+    ) -> (MultiServer, Arc<SimClock>) {
+        let clock = Arc::new(SimClock::new());
+        let service = ServiceModel {
+            base_us: 100,
+            per_sample_us: 10,
+        };
+        let policy = TenantPolicy {
+            max_batch: 4,
+            max_wait_us: 0,
+            queue_cap: 64,
+        };
+        let tenants = vec![
+            TenantSpec::new("a", weights.0, prios.0, policy, echo(service)),
+            TenantSpec::new("b", weights.1, prios.1, policy, echo(service)),
+        ];
+        let ms = MultiServer::new(tenants, SchedConfig { max_inflight }, clock.clone());
+        (ms, clock)
+    }
+
+    fn run_to_idle(ms: &mut MultiServer, clock: &SimClock) -> Vec<SchedCompletion> {
+        let mut out = ms.take_completions();
+        ms.begin_drain();
+        out.append(&mut ms.take_completions());
+        while !ms.is_idle() {
+            let ev = ms.next_event_us().expect("non-idle has an event");
+            clock.advance_to(ev);
+            ms.pump();
+            out.append(&mut ms.take_completions());
+        }
+        out
+    }
+
+    #[test]
+    fn every_submit_resolves_exactly_once_with_tenant_tag() {
+        let (mut ms, clock) = two_tenant_server(
+            (1, 1),
+            (Priority::Interactive, Priority::Interactive),
+            1,
+        );
+        for i in 0..10 {
+            ms.submit(i % 2, vec![i as f32], None);
+        }
+        let done = run_to_idle(&mut ms, &clock);
+        assert_eq!(done.len(), 10);
+        let mut ids: Vec<u64> = done.iter().map(|c| c.completion.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10, "globally unique ids");
+        for c in &done {
+            assert_eq!(c.tenant, (c.completion.id % 2) as usize, "tenant tag");
+        }
+    }
+
+    #[test]
+    fn wfq_shares_track_weights_on_a_saturated_window() {
+        // Tenant a has weight 3, b weight 1; both permanently backlogged
+        // with identical costs → a should launch ~3x the cost of b.
+        let (mut ms, clock) = two_tenant_server(
+            (3, 1),
+            (Priority::Interactive, Priority::Interactive),
+            1,
+        );
+        for i in 0..400 {
+            ms.submit(i % 2, vec![i as f32], None);
+            if i % 8 == 7 {
+                // Let some service happen so the queues stay inside cap.
+                let ev = ms.next_event_us().expect("busy");
+                clock.advance_to(ev);
+                ms.pump();
+            }
+        }
+        run_to_idle(&mut ms, &clock);
+        let picks = ms.take_picks();
+        // Ignore the drain tail (everything left is flushed regardless
+        // of weights); count only picks where both tenants were eligible.
+        let contested: Vec<&PickRecord> =
+            picks.iter().filter(|p| p.eligible.len() == 2).collect();
+        assert!(contested.len() >= 20, "saturation produced contested picks");
+        let cost: [u64; 2] = contested.iter().fold([0, 0], |mut acc, p| {
+            acc[p.tenant] += p.cost_us;
+            acc
+        });
+        let share = cost[0] as f64 / (cost[0] + cost[1]) as f64;
+        assert!(
+            (share - 0.75).abs() < 0.10,
+            "weight-3 tenant served {share:.3} of contested cost, want ~0.75"
+        );
+    }
+
+    #[test]
+    fn cost_charging_protects_the_cheap_tenant() {
+        // Equal weights, tenant b 8x cheaper per sample: b must win ~8x
+        // the launches even though every batch is the same size.
+        let clock = Arc::new(SimClock::new());
+        let policy = TenantPolicy {
+            max_batch: 4,
+            max_wait_us: 0,
+            queue_cap: 64,
+        };
+        let expensive = ServiceModel {
+            base_us: 0,
+            per_sample_us: 80,
+        };
+        let cheap = ServiceModel {
+            base_us: 0,
+            per_sample_us: 10,
+        };
+        let tenants = vec![
+            TenantSpec::new("dense", 1, Priority::Interactive, policy, echo(expensive)),
+            TenantSpec::new("csr16", 1, Priority::Interactive, policy, echo(cheap)),
+        ];
+        let mut ms = MultiServer::new(tenants, SchedConfig { max_inflight: 1 }, clock.clone());
+        for i in 0..320 {
+            ms.submit(i % 2, vec![i as f32], None);
+            if i % 8 == 7 {
+                let ev = ms.next_event_us().expect("busy");
+                clock.advance_to(ev);
+                ms.pump();
+            }
+        }
+        run_to_idle(&mut ms, &clock);
+        let picks = ms.take_picks();
+        let contested: Vec<&PickRecord> =
+            picks.iter().filter(|p| p.eligible.len() == 2).collect();
+        let batches: [u64; 2] = contested.iter().fold([0, 0], |mut acc, p| {
+            acc[p.tenant] += 1;
+            acc
+        });
+        assert!(
+            batches[1] >= 4 * batches[0],
+            "cheap tenant won {} contested launches vs dense {}, want >=4x",
+            batches[1],
+            batches[0]
+        );
+        let cost: [u64; 2] = contested.iter().fold([0, 0], |mut acc, p| {
+            acc[p.tenant] += p.cost_us;
+            acc
+        });
+        let share = cost[0] as f64 / (cost[0] + cost[1]) as f64;
+        assert!(
+            (share - 0.5).abs() < 0.10,
+            "equal weights split contested cost evenly, got {share:.3}"
+        );
+    }
+
+    #[test]
+    fn interactive_strictly_preempts_batch_at_dequeue() {
+        let (mut ms, clock) =
+            two_tenant_server((1, 1), (Priority::Batch, Priority::Interactive), 1);
+        for i in 0..40 {
+            ms.submit(i % 2, vec![i as f32], None);
+        }
+        run_to_idle(&mut ms, &clock);
+        let picks = ms.take_picks();
+        for p in &picks {
+            let best = p
+                .eligible
+                .iter()
+                .map(|&i| ms.tenant(i).priority.rank())
+                .min()
+                .expect("eligible set includes the winner");
+            assert_eq!(
+                p.priority.rank(),
+                best,
+                "launched {:?} while a stricter class was eligible",
+                p.priority
+            );
+        }
+        // The interactive tenant must actually have been contested.
+        assert!(picks
+            .iter()
+            .any(|p| p.eligible.len() == 2 && p.priority == Priority::Interactive));
+    }
+
+    #[test]
+    fn waking_tenant_is_floored_to_the_virtual_clock() {
+        // Tenant b idles while a is served heavily; when b wakes it must
+        // not monopolize the pool to "catch up" its idle time.
+        let (mut ms, clock) = two_tenant_server(
+            (1, 1),
+            (Priority::Interactive, Priority::Interactive),
+            1,
+        );
+        for i in 0..80 {
+            ms.submit(0, vec![i as f32], None);
+            // Pump rarely enough that a stays backlogged while its
+            // served cost (and so the virtual clock) keeps advancing.
+            if i % 8 == 7 {
+                let ev = ms.next_event_us().expect("busy");
+                clock.advance_to(ev);
+                ms.pump();
+            }
+        }
+        // b wakes with a still backlogged.
+        for i in 0..40 {
+            ms.submit(1, vec![i as f32], None);
+        }
+        run_to_idle(&mut ms, &clock);
+        let picks = ms.take_picks();
+        // After b's wake-up, contested picks should alternate rather
+        // than run a long all-b burst: no window of 8 consecutive
+        // contested picks is all-b.
+        let contested: Vec<usize> = picks
+            .iter()
+            .filter(|p| p.eligible.len() == 2)
+            .map(|p| p.tenant)
+            .collect();
+        assert!(contested.len() >= 8, "wake-up produced contested picks");
+        assert!(
+            !contested.windows(8).any(|w| w.iter().all(|&t| t == 1)),
+            "waking tenant monopolized the pool: {contested:?}"
+        );
+    }
+
+    #[test]
+    fn per_tenant_policies_apply_independently() {
+        let clock = Arc::new(SimClock::new());
+        let service = ServiceModel {
+            base_us: 100,
+            per_sample_us: 10,
+        };
+        let tenants = vec![
+            TenantSpec::new(
+                "small-queue",
+                1,
+                Priority::Interactive,
+                TenantPolicy {
+                    max_batch: 2,
+                    max_wait_us: 10_000,
+                    queue_cap: 2,
+                },
+                echo(service),
+            ),
+            TenantSpec::new(
+                "wide",
+                1,
+                Priority::Interactive,
+                TenantPolicy {
+                    max_batch: 8,
+                    max_wait_us: 10_000,
+                    queue_cap: 64,
+                },
+                echo(service),
+            ),
+        ];
+        let mut ms = MultiServer::new(tenants, SchedConfig { max_inflight: 1 }, clock.clone());
+        // Tenant 0: fill the 2-slot queue past its cap while a batch of
+        // its own occupies the window.
+        ms.submit(0, vec![0.0], None);
+        ms.submit(0, vec![1.0], None); // full batch -> inflight
+        ms.submit(0, vec![2.0], None);
+        ms.submit(0, vec![3.0], None); // queue at cap
+        let shed = ms.submit(0, vec![4.0], None);
+        // Tenant 1 still admits freely.
+        let ok = ms.submit(1, vec![5.0], None);
+        let done = ms.take_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].completion.id, shed);
+        assert_eq!(
+            done[0].completion.outcome,
+            Outcome::Rejected {
+                reason: RejectReason::QueueFull
+            }
+        );
+        let rest = run_to_idle(&mut ms, &clock);
+        assert!(rest
+            .iter()
+            .any(|c| c.completion.id == ok && c.completion.is_completed()));
+        // Tenant 1's lone request rode a batch of 1 (its own policy
+        // window, not tenant 0's).
+        let c = rest
+            .iter()
+            .find(|c| c.completion.id == ok)
+            .expect("resolved");
+        assert_eq!(
+            c.completion.outcome,
+            Outcome::Completed {
+                predicted: 5,
+                batch_size: 1
+            }
+        );
+    }
+
+    #[test]
+    fn sched_completion_serializes_with_tenant_tag() {
+        let c = SchedCompletion {
+            tenant: 2,
+            completion: Completion {
+                id: 7,
+                submitted_us: 10,
+                done_us: 150,
+                outcome: Outcome::Completed {
+                    predicted: 3,
+                    batch_size: 4,
+                },
+            },
+        };
+        assert_eq!(
+            sb_json::to_string(&c).expect("serialize"),
+            r#"{"tenant":2,"id":7,"submitted_us":10,"done_us":150,"outcome":{"status":"completed","predicted":3,"batch_size":4}}"#
+        );
+    }
+}

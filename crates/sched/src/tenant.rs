@@ -1,0 +1,127 @@
+//! Tenant description: who is served, at what priority, with what
+//! batching policy, and how much of the pool it is entitled to.
+
+use sb_json::{json_enum, json_struct};
+use sb_serve::BatchEngine;
+use std::sync::Arc;
+
+/// Strict priority class, checked at every dequeue.
+///
+/// Whenever any [`Priority::Interactive`] tenant has a formable batch,
+/// no [`Priority::Batch`] tenant is picked — weighted fair queueing only
+/// arbitrates *within* a class. The pick log
+/// ([`PickRecord`](crate::PickRecord)) makes this property externally
+/// checkable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Latency-sensitive traffic; always dequeued before `Batch`.
+    Interactive,
+    /// Throughput traffic; runs only when no interactive batch is due.
+    Batch,
+}
+
+json_enum!(Priority { Interactive, Batch });
+
+impl Priority {
+    /// Dequeue rank: lower wins. `Interactive` strictly precedes `Batch`.
+    pub fn rank(self) -> u8 {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+        }
+    }
+
+    /// Stable lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+/// Per-tenant batching policy — the same knobs as
+/// [`sb_serve::ServeConfig`] minus the inflight window, which the
+/// multi-model scheduler owns globally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Largest batch coalesced for this tenant.
+    pub max_batch: usize,
+    /// Longest the tenant's queue head may wait before an under-filled
+    /// batch becomes eligible anyway (0 = eligible immediately).
+    pub max_wait_us: u64,
+    /// Admission bound on the tenant's own queue; arrivals beyond it are
+    /// shed with `QueueFull`.
+    pub queue_cap: usize,
+}
+
+json_struct!(TenantPolicy {
+    max_batch,
+    max_wait_us,
+    queue_cap
+});
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        TenantPolicy {
+            max_batch: 8,
+            max_wait_us: 1_000,
+            queue_cap: 64,
+        }
+    }
+}
+
+/// One tenant of the multi-model scheduler: a named engine with a WFQ
+/// weight, a priority class, and its own batching policy.
+pub struct TenantSpec {
+    /// Display/trace name (`sched:tenant:{name}` spans).
+    pub name: String,
+    /// WFQ weight in batch-cost units: over any saturated interval a
+    /// backlogged tenant is served virtual-microsecond cost in
+    /// proportion to its weight. Must be positive.
+    pub weight: u64,
+    /// Strict dequeue class.
+    pub priority: Priority,
+    /// This tenant's batching policy.
+    pub policy: TenantPolicy,
+    /// The engine executing this tenant's batches. The engine's
+    /// [`BatchEngine::service_us`] prices both virtual completion times
+    /// and WFQ charges, so a cheap pruned model is charged less per
+    /// batch than a dense one and cannot be starved by it.
+    pub engine: Arc<dyn BatchEngine>,
+}
+
+impl TenantSpec {
+    /// A tenant over `engine` with the given name, weight, class, and
+    /// policy.
+    pub fn new(
+        name: impl Into<String>,
+        weight: u64,
+        priority: Priority,
+        policy: TenantPolicy,
+        engine: Arc<dyn BatchEngine>,
+    ) -> Self {
+        TenantSpec {
+            name: name.into(),
+            weight,
+            priority,
+            policy,
+            engine,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interactive_outranks_batch() {
+        assert!(Priority::Interactive.rank() < Priority::Batch.rank());
+        assert_eq!(Priority::Interactive.name(), "interactive");
+        assert_eq!(
+            sb_json::to_string(&Priority::Batch).expect("serialize"),
+            "\"Batch\""
+        );
+    }
+}

@@ -1,0 +1,384 @@
+//! Scheduler properties under randomized multi-tenant workloads (suite
+//! seed `0x7E45_000C`): WFQ fairness on saturating scripts, priority
+//! non-inversion at dequeue, exactly-once accounting, and byte-identical
+//! outcome streams at 1 vs 4 worker threads.
+//!
+//! One test function (not several) because the determinism half flips
+//! the process-global thread override, and `#[test]`s in one binary run
+//! concurrently.
+
+use sb_check::{check, Config, Shrink};
+use sb_runtime::set_thread_override;
+use sb_sched::{
+    MultiServer, Priority, SchedCompletion, SchedConfig, TenantPolicy, TenantSpec,
+};
+use sb_serve::{EchoEngine, Outcome, RejectReason, ServiceModel, SimClock};
+use std::sync::Arc;
+
+const SEED: u64 = 0x7E45_000C;
+const CLASSES: usize = 10;
+
+fn echo_tenant(
+    name: String,
+    weight: u64,
+    priority: Priority,
+    policy: TenantPolicy,
+    service: ServiceModel,
+) -> TenantSpec {
+    TenantSpec::new(
+        name,
+        weight,
+        priority,
+        policy,
+        Arc::new(EchoEngine::new(1, CLASSES, service)),
+    )
+}
+
+fn drain(ms: &mut MultiServer, clock: &SimClock, out: &mut Vec<SchedCompletion>) {
+    ms.begin_drain();
+    out.append(&mut ms.take_completions());
+    while !ms.is_idle() {
+        let ev = ms.next_event_us().expect("non-idle has an event");
+        clock.advance_to(ev);
+        ms.pump();
+        out.append(&mut ms.take_completions());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fairness on saturating workloads
+// ---------------------------------------------------------------------
+
+/// A saturating scenario: every tenant's full demand is enqueued before
+/// the pool starts draining, so WFQ's share guarantee applies for as
+/// long as every queue stays backlogged.
+#[derive(Debug, Clone)]
+struct FairCase {
+    /// `(weight, policy, service)` per tenant; all same priority class
+    /// (strict priority deliberately excluded — it overrides shares).
+    tenants: Vec<(u64, TenantPolicy, ServiceModel)>,
+    per_tenant: usize,
+    max_inflight: usize,
+}
+
+impl Shrink for FairCase {}
+
+fn gen_fair(rng: &mut sb_rng::Rng) -> FairCase {
+    let n = 2 + rng.below(3);
+    let tenants = (0..n)
+        .map(|_| {
+            let weight = 1 + rng.below(4) as u64;
+            let policy = TenantPolicy {
+                max_batch: 1 + rng.below(4),
+                max_wait_us: rng.below(1_000) as u64,
+                queue_cap: 512,
+            };
+            let service = ServiceModel {
+                base_us: 100 + rng.below(200) as u64,
+                per_sample_us: 5 + rng.below(45) as u64,
+            };
+            (weight, policy, service)
+        })
+        .collect();
+    FairCase {
+        tenants,
+        per_tenant: 320,
+        max_inflight: 1 + rng.below(2),
+    }
+}
+
+fn fair_property(case: &FairCase) -> Result<(), String> {
+    let n = case.tenants.len();
+    let clock = Arc::new(SimClock::new());
+    let specs: Vec<TenantSpec> = case
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, &(weight, policy, service))| {
+            echo_tenant(format!("t{i}"), weight, Priority::Interactive, policy, service)
+        })
+        .collect();
+    let mut ms = MultiServer::new(
+        specs,
+        SchedConfig {
+            max_inflight: case.max_inflight,
+        },
+        clock.clone(),
+    );
+    // Round-robin so every queue fills before much service happens.
+    for i in 0..case.per_tenant {
+        for t in 0..n {
+            ms.submit(t, vec![(i * n + t) as f32], None);
+        }
+    }
+    let mut out = Vec::new();
+    drain(&mut ms, &clock, &mut out);
+    let picks = ms.take_picks();
+
+    // WFQ's guarantee holds over the contested window: picks made while
+    // every tenant was still backlogged.
+    let mut cost = vec![0u64; n];
+    let mut total = 0u64;
+    for p in picks.iter().filter(|p| p.eligible.len() == n) {
+        cost[p.tenant] += p.cost_us;
+        total += p.cost_us;
+    }
+    if total == 0 {
+        return Err("no contested picks in a saturating workload".to_string());
+    }
+    let total_weight: u64 = case.tenants.iter().map(|&(w, _, _)| w).sum();
+    for (t, &(weight, _, _)) in case.tenants.iter().enumerate() {
+        let cost_share = cost[t] as f64 / total as f64;
+        let weight_share = weight as f64 / total_weight as f64;
+        if (cost_share - weight_share).abs() > 0.10 {
+            return Err(format!(
+                "tenant {t}: served cost share {cost_share:.3} vs weight share \
+                 {weight_share:.3} over {total}us contested (weights {:?})",
+                case.tenants.iter().map(|&(w, _, _)| w).collect::<Vec<_>>()
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Randomized scripts: accounting, priority non-inversion, determinism
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Submit { tenant: usize, deadline_rel: Option<u64> },
+    Cancel { target: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct MultiWorkload {
+    /// `(weight, priority, policy, service)` per tenant.
+    tenants: Vec<(u64, Priority, TenantPolicy, ServiceModel)>,
+    max_inflight: usize,
+    /// `(time_us, op)`, ascending in time.
+    script: Vec<(u64, Op)>,
+    submits: u64,
+}
+
+impl Shrink for MultiWorkload {}
+
+fn gen_multi(rng: &mut sb_rng::Rng) -> MultiWorkload {
+    let n = 2 + rng.below(2);
+    let tenants: Vec<(u64, Priority, TenantPolicy, ServiceModel)> = (0..n)
+        .map(|_| {
+            let weight = 1 + rng.below(4) as u64;
+            let priority = if rng.below(2) == 0 {
+                Priority::Interactive
+            } else {
+                Priority::Batch
+            };
+            let policy = TenantPolicy {
+                max_batch: 1 + rng.below(8),
+                max_wait_us: rng.below(2_000) as u64,
+                queue_cap: 1 + rng.below(16),
+            };
+            let service = ServiceModel {
+                base_us: rng.below(500) as u64,
+                per_sample_us: rng.below(100) as u64,
+            };
+            (weight, priority, policy, service)
+        })
+        .collect();
+    let ops = 1 + rng.below(80);
+    let mut events: Vec<(u64, Op)> = Vec::new();
+    let mut t = 0u64;
+    let mut submits = 0u64;
+    for _ in 0..ops {
+        t += rng.below(600) as u64;
+        let tenant = rng.below(n);
+        let deadline_rel = match rng.below(3) {
+            0 => Some(rng.below(3_000) as u64),
+            _ => None,
+        };
+        events.push((t, Op::Submit { tenant, deadline_rel }));
+        submits += 1;
+        if rng.below(5) == 0 {
+            let target = rng.below(submits as usize) as u64;
+            events.push((t + rng.below(1_500) as u64, Op::Cancel { target }));
+        }
+    }
+    events.sort_by_key(|&(t, _)| t);
+    MultiWorkload {
+        tenants,
+        max_inflight: 1 + rng.below(3),
+        script: events,
+        submits,
+    }
+}
+
+/// Replays the workload on a fresh virtual-clock scheduler. Built inside
+/// so the current thread override is honored. Returns the tagged
+/// completion stream and the pick log.
+fn run_multi(w: &MultiWorkload) -> (Vec<SchedCompletion>, Vec<sb_sched::PickRecord>) {
+    let clock = Arc::new(SimClock::new());
+    let specs: Vec<TenantSpec> = w
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, &(weight, priority, policy, service))| {
+            echo_tenant(format!("t{i}"), weight, priority, policy, service)
+        })
+        .collect();
+    let mut ms = MultiServer::new(
+        specs,
+        SchedConfig {
+            max_inflight: w.max_inflight,
+        },
+        clock.clone(),
+    );
+    let mut out = Vec::new();
+    let mut submitted = 0u64;
+    for (t, op) in &w.script {
+        while let Some(ev) = ms.next_event_us() {
+            if ev >= *t {
+                break;
+            }
+            clock.advance_to(ev);
+            ms.pump();
+        }
+        clock.advance_to(*t);
+        match op {
+            Op::Submit { tenant, deadline_rel } => {
+                ms.submit(*tenant, vec![submitted as f32], deadline_rel.map(|d| t + d));
+                submitted += 1;
+            }
+            Op::Cancel { target } => {
+                ms.cancel(*target);
+            }
+        }
+        out.append(&mut ms.take_completions());
+    }
+    drain(&mut ms, &clock, &mut out);
+    let picks = ms.take_picks();
+    (out, picks)
+}
+
+fn multi_accountability(w: &MultiWorkload, done: &[SchedCompletion]) -> Result<(), String> {
+    if done.len() as u64 != w.submits {
+        return Err(format!(
+            "{} submits but {} resolutions",
+            w.submits,
+            done.len()
+        ));
+    }
+    // Submission order assigns ids sequentially across tenants.
+    let submitted: Vec<(usize, bool)> = w
+        .script
+        .iter()
+        .filter_map(|(_, op)| match op {
+            Op::Submit { tenant, deadline_rel } => Some((*tenant, deadline_rel.is_some())),
+            Op::Cancel { .. } => None,
+        })
+        .collect();
+    let mut seen = vec![false; submitted.len()];
+    for c in done {
+        let i = c.completion.id as usize;
+        if i >= seen.len() {
+            return Err(format!("resolution for unknown id {i}"));
+        }
+        if seen[i] {
+            return Err(format!("id {i} resolved twice"));
+        }
+        seen[i] = true;
+        let (tenant, had_deadline) = submitted[i];
+        if c.tenant != tenant {
+            return Err(format!(
+                "id {i}: submitted to tenant {tenant}, resolved as {}",
+                c.tenant
+            ));
+        }
+        if c.completion.done_us < c.completion.submitted_us {
+            return Err(format!("id {i} resolved before submission"));
+        }
+        match c.completion.outcome {
+            Outcome::Completed {
+                predicted,
+                batch_size,
+            } => {
+                if predicted != i % CLASSES {
+                    return Err(format!(
+                        "id {i}: predicted {predicted}, echo engine says {}",
+                        i % CLASSES
+                    ));
+                }
+                let max_batch = w.tenants[tenant].2.max_batch;
+                if batch_size == 0 || batch_size > max_batch {
+                    return Err(format!(
+                        "id {i}: batch size {batch_size} outside (0, {max_batch}]"
+                    ));
+                }
+            }
+            Outcome::Rejected {
+                reason: RejectReason::DeadlineExpired,
+            } => {
+                if !had_deadline {
+                    return Err(format!("id {i} expired without a deadline"));
+                }
+            }
+            Outcome::Rejected { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+fn non_inversion(w: &MultiWorkload, picks: &[sb_sched::PickRecord]) -> Result<(), String> {
+    for p in picks {
+        if !p.eligible.contains(&p.tenant) {
+            return Err(format!("pick of tenant {} not in eligible set", p.tenant));
+        }
+        let best = p
+            .eligible
+            .iter()
+            .map(|&t| w.tenants[t].1.rank())
+            .min()
+            .expect("eligible set includes the winner");
+        if w.tenants[p.tenant].1.rank() != best {
+            return Err(format!(
+                "at {}us launched {:?} tenant {} while a stricter class was eligible ({:?})",
+                p.at_us, w.tenants[p.tenant].1, p.tenant, p.eligible
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn serialize(done: &[SchedCompletion]) -> String {
+    sb_json::to_string(&done.to_vec()).expect("completions serialize")
+}
+
+#[test]
+fn scheduling_is_fair_accountable_and_thread_count_invariant() {
+    check(
+        "sched_wfq_fairness_under_saturation",
+        Config::new(SEED).cases(30),
+        gen_fair,
+        fair_property,
+    );
+    check(
+        "sched_accountability_priority_and_determinism",
+        Config::new(SEED ^ 1).cases(40),
+        gen_multi,
+        |w| {
+            set_thread_override(Some(1));
+            let (at_one, picks) = run_multi(w);
+            multi_accountability(w, &at_one)?;
+            non_inversion(w, &picks)?;
+            set_thread_override(Some(4));
+            let (at_four, _) = run_multi(w);
+            set_thread_override(None);
+            if serialize(&at_one) != serialize(&at_four) {
+                return Err(
+                    "completion stream bytes differ between 1 and 4 worker threads".to_string(),
+                );
+            }
+            Ok(())
+        },
+    );
+    set_thread_override(None);
+}

@@ -1,0 +1,77 @@
+//! The `Clock` trait contract: monotonicity under out-of-order driver
+//! advances for [`SimClock`], and a wall-time sanity bound for
+//! [`WallClock`]. Everything downstream (server event loops, the
+//! multi-tenant scheduler, the autotuner) leans on `now_us` never going
+//! backwards — a driver that advances to an already-passed event time
+//! must be a no-op, not a rewind.
+
+use sb_serve::{Clock, SimClock, WallClock};
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn sim_clock_ignores_backwards_advances() {
+    let clock = SimClock::new();
+    assert_eq!(clock.now_us(), 0);
+    assert!(clock.is_virtual());
+
+    clock.advance_to(500);
+    assert_eq!(clock.now_us(), 500);
+    // An out-of-order driver (stale next-event estimate) must not
+    // rewind time.
+    clock.advance_to(120);
+    assert_eq!(clock.now_us(), 500);
+    clock.advance_to(500);
+    assert_eq!(clock.now_us(), 500);
+    clock.advance_to(501);
+    assert_eq!(clock.now_us(), 501);
+    clock.advance(0);
+    assert_eq!(clock.now_us(), 501);
+    clock.advance(99);
+    assert_eq!(clock.now_us(), 600);
+}
+
+#[test]
+fn sim_clock_is_monotone_under_interleaved_advances() {
+    // Two drivers racing advance_to with arbitrary targets: every
+    // observation of now_us must be monotone non-decreasing, and the
+    // final time must be the max target ever requested.
+    let clock = Arc::new(SimClock::new());
+    let targets_a: Vec<u64> = vec![10, 700, 30, 250, 9_000, 40, 8_999];
+    let targets_b: Vec<u64> = vec![500, 20, 6_000, 10_000, 1, 9_999];
+    let spawn = |targets: Vec<u64>, clock: Arc<SimClock>| {
+        thread::spawn(move || {
+            let mut last = 0u64;
+            for t in targets {
+                clock.advance_to(t);
+                let now = clock.now_us();
+                assert!(now >= last, "clock went backwards: {last} -> {now}");
+                assert!(now >= t, "advance_to({t}) left the clock at {now}");
+                last = now;
+            }
+            last
+        })
+    };
+    let a = spawn(targets_a, clock.clone());
+    let b = spawn(targets_b, clock.clone());
+    a.join().expect("driver a");
+    b.join().expect("driver b");
+    assert_eq!(clock.now_us(), 10_000);
+}
+
+#[test]
+fn wall_clock_smoke_sanity_bound() {
+    let clock = WallClock::new();
+    assert!(!clock.is_virtual());
+    let t0 = clock.now_us();
+    let t1 = clock.now_us();
+    assert!(t1 >= t0, "wall clock went backwards: {t0} -> {t1}");
+    thread::sleep(std::time::Duration::from_millis(5));
+    let t2 = clock.now_us();
+    let elapsed = t2 - t0;
+    // Slept 5ms: at least that much must have passed, and nothing
+    // remotely like a unit error (5ms measured as 5s) — a generous
+    // bound that stays robust on a loaded CI box.
+    assert!(elapsed >= 5_000, "slept 5ms but clock moved {elapsed}us");
+    assert!(elapsed < 60_000_000, "5ms sleep measured as {elapsed}us");
+}

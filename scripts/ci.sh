@@ -47,6 +47,13 @@ SB_RUNTIME_THREADS=4 cargo test -q --release --offline -p sb-infer --test speed
 SB_RUNTIME_THREADS=1 ./target/release/serveload --smoke
 SB_RUNTIME_THREADS=4 ./target/release/serveload --smoke
 
+# Same discipline for the multi-model scheduler: schedload --smoke
+# replays a pinned 3-tenant workload (WFQ weights, priority classes,
+# per-tenant batching, deadlines) through sb-sched on the virtual clock
+# and asserts the exact outcome signature at both worker counts.
+SB_RUNTIME_THREADS=1 ./target/release/schedload --smoke
+SB_RUNTIME_THREADS=4 ./target/release/schedload --smoke
+
 # Tracing must leave experiment output byte-identical: run the same quick
 # grid with tracing off and on, and compare the persisted results JSON.
 # The traced run must also emit its grid trace artifacts.
