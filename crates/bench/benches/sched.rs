@@ -1,4 +1,4 @@
-//! Multi-model scheduling benchmarks, two halves:
+//! Multi-model scheduling benchmarks, three parts:
 //!
 //! 1. **Wall-clock sweep** — a 16x-pruned CSR LeNet-300-100
 //!    (interactive, weight 2) and its forced-dense counterpart (batch
@@ -23,6 +23,15 @@
 //!    batching policy (batch 1, no window) misses the target, the
 //!    autotuned per-tenant policies meet it. Asserted, because it is a
 //!    pure function of the workload — if this fails the tuner broke.
+//! 3. **Quota demo** — deterministic SimClock replay of the interactive
+//!    pruned tenant sharing the pool with a dense batch tenant offered
+//!    10x its admission-quota rate. With the quota off the dense queue
+//!    pins at its cap, every dense launch is a full `max_batch`-128
+//!    batch (~7ms), and the interactive tenant's p99 blows through the
+//!    5ms target waiting out those batches; with the quota on the dense
+//!    backlog stays shallow and the same interactive load lands inside
+//!    the target. Asserted in both directions, same rationale as the
+//!    tuner demo.
 //!
 //! Results are written to `BENCH_sched.json` at the repository root so
 //! the numbers travel with the code.
@@ -31,7 +40,7 @@ use sb_json::{Json, ToJson};
 use sb_metrics::median_latency_us;
 use sb_sched::{
     autotune, merged_arrivals, profile, simulate, MultiServer, Priority, SchedConfig, TenantLoad,
-    TenantPolicy, TenantSpec, TuneSpec,
+    TenantPolicy, TenantQuota, TenantSpec, TuneSpec,
 };
 use sb_serve::{ArrivalProcess, BatchEngine, Clock, InferEngine, ServiceModel, WallClock};
 use std::sync::Arc;
@@ -85,6 +94,7 @@ fn tenants() -> Vec<TenantSpec> {
                 max_batch: MAX_BATCH,
                 max_wait_us: 200,
                 queue_cap: 128,
+                quota: None,
             },
             Arc::new(lenet_engine(16.0, Some(sb_infer::ExecFormat::Csr))),
         ),
@@ -96,6 +106,7 @@ fn tenants() -> Vec<TenantSpec> {
                 max_batch: MAX_BATCH,
                 max_wait_us: 200,
                 queue_cap: 128,
+                quota: None,
             },
             Arc::new(lenet_engine(1.0, Some(sb_infer::ExecFormat::Dense))),
         ),
@@ -237,6 +248,7 @@ fn tune_demo() -> Json {
         max_batch: 1,
         max_wait_us: 0,
         queue_cap: 256,
+        quota: None,
     };
     let base: Vec<TenantSpec> = base
         .into_iter()
@@ -306,9 +318,113 @@ fn tune_demo() -> Json {
     ])
 }
 
+/// Dense batch size for the quota demo: one full batch costs
+/// `BASE_US + 128 * per_sample` ≈ 7ms, comfortably past the 5ms target,
+/// so an interactive request stranded behind one provably misses.
+const QUOTA_DENSE_BATCH: usize = 128;
+/// The admission quota under test: the dense tenant may sustain 2k rps
+/// with a 16-request burst allowance, an order of magnitude below its
+/// offered load.
+const QUOTA_DENSE: TenantQuota = TenantQuota {
+    rate_per_s: 2_000,
+    burst: 16,
+};
+
+fn quota_demo() -> Json {
+    let specs = vec![
+        TenantSpec::new(
+            "csr-16x",
+            2,
+            Priority::Interactive,
+            TenantPolicy {
+                max_batch: MAX_BATCH,
+                max_wait_us: 200,
+                queue_cap: 128,
+                quota: None,
+            },
+            Arc::new(lenet_engine(16.0, Some(sb_infer::ExecFormat::Csr))),
+        ),
+        TenantSpec::new(
+            "dense",
+            1,
+            Priority::Batch,
+            TenantPolicy {
+                max_batch: QUOTA_DENSE_BATCH,
+                max_wait_us: 500,
+                queue_cap: 256,
+                quota: None,
+            },
+            Arc::new(lenet_engine(1.0, Some(sb_infer::ExecFormat::Dense))),
+        ),
+    ];
+    let loads = vec![
+        // Deliberately deadline-free: a deadline would shed the stranded
+        // requests and flatter the quota-off p99. The point is to
+        // *measure* the latency the interactive tenant actually eats.
+        TenantLoad {
+            arrivals: ArrivalProcess::Uniform { rate_rps: 2_000.0 },
+            seed: 0x0D0A,
+            deadline_us: None,
+        },
+        TenantLoad {
+            arrivals: ArrivalProcess::Bursty {
+                rate_rps: 10.0 * QUOTA_DENSE.rate_per_s as f64,
+                burst: QUOTA_DENSE_BATCH,
+            },
+            seed: 0x0D0B,
+            deadline_us: None,
+        },
+    ];
+    let cfg = SchedConfig { max_inflight: 2 };
+    let sample_fn = |t: usize, i: usize| sample(t, i);
+    let off = [specs[0].policy, specs[1].policy];
+    let on = [
+        off[0],
+        TenantPolicy {
+            quota: Some(QUOTA_DENSE),
+            ..off[1]
+        },
+    ];
+    let without = simulate(&specs, cfg, &loads, SIM_HORIZON_US, &off, &sample_fn);
+    let with_quota = simulate(&specs, cfg, &loads, SIM_HORIZON_US, &on, &sample_fn);
+    for (tag, p) in [("off", &without), ("on", &with_quota)] {
+        for t in &p.tenants {
+            println!(
+                "quota {tag:>3} {:>8}: completed {:>5}  quota shed {:>5}  p99 {:>7}us",
+                t.name, t.serve.completed, t.serve.rejected.quota_exceeded, t.serve.p99_us
+            );
+        }
+    }
+    // Pure SimClock functions again: the flip across the quota knob is
+    // a property of the scheduler, not wall-clock luck.
+    let miss = &without.tenants[0].serve;
+    assert!(
+        miss.completed > 0 && miss.p99_us > TARGET_P99_US,
+        "interactive p99 {}us unexpectedly meets the {TARGET_P99_US}us target with quotas off",
+        miss.p99_us
+    );
+    let hit = &with_quota.tenants[0].serve;
+    assert!(
+        hit.completed > 0 && hit.p99_us <= TARGET_P99_US,
+        "interactive p99 {}us misses the {TARGET_P99_US}us target with the dense quota on",
+        hit.p99_us
+    );
+    assert!(
+        with_quota.tenants[1].serve.rejected.quota_exceeded > 0,
+        "the dense tenant's quota never shed anything"
+    );
+    Json::Obj(vec![
+        ("target_p99_us".to_string(), Json::Int(TARGET_P99_US as i128)),
+        ("dense_quota".to_string(), QUOTA_DENSE.to_json()),
+        ("quota_off".to_string(), without.to_json()),
+        ("quota_on".to_string(), with_quota.to_json()),
+    ])
+}
+
 fn main() {
     let points = wall_sweep();
     let tune = tune_demo();
+    let quota = quota_demo();
     let doc = Json::Obj(vec![
         (
             "workload".to_string(),
@@ -323,6 +439,7 @@ fn main() {
         ),
         ("wall_sweep".to_string(), Json::Arr(points)),
         ("autotune".to_string(), tune),
+        ("quota".to_string(), quota),
     ]);
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

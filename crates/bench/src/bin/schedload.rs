@@ -4,6 +4,8 @@
 //! ```text
 //! schedload                    # 3-tenant virtual-clock scenario, JSON out
 //! schedload --horizon-ms 400   # longer offered-load window
+//! schedload --quota            # same scenario with admission quotas on
+//! schedload --picks picks.json # also dump the dequeue-decision log
 //! schedload --tune             # autotune per-tenant batching for p99
 //! schedload --smoke            # deterministic CI smoke (asserts)
 //! ```
@@ -12,14 +14,18 @@
 //! LeNet-300-100 (interactive, weight 2), its forced-dense counterpart
 //! (batch class, weight 1), and a cheap interactive echo canary —
 //! tenants priced by their compiled models' effective MACs, so the WFQ
-//! charge per batch reflects what the batch actually costs. Everything
-//! runs on the virtual clock: outcomes are a pure function of the flags
-//! and `--seed`, bit-identical at any `SB_RUNTIME_THREADS`. `--smoke`
-//! pins one workload's exact outcome counts for `scripts/ci.sh`.
+//! charge per batch reflects what the batch actually costs. `--quota`
+//! attaches token-bucket admission quotas to the two LeNet tenants
+//! (pruned 6k admits/s, dense 2k admits/s), shedding their overload
+//! with `QuotaExceeded` at the door instead of letting it pile into the
+//! shared window. Everything runs on the virtual clock: outcomes are a
+//! pure function of the flags and `--seed`, bit-identical at any
+//! `SB_RUNTIME_THREADS`. `--smoke` pins one workload's exact outcome
+//! counts for `scripts/ci.sh` — with and without `--quota`.
 
 use sb_sched::{
     autotune, profile, run_multi_open_loop_sim, MultiServer, Priority, SchedConfig, TenantLoad,
-    TenantPolicy, TenantSpec, TuneSpec,
+    TenantPolicy, TenantQuota, TenantSpec, TuneSpec,
 };
 use sb_serve::{ArrivalProcess, EchoEngine, InferEngine, ServiceModel, SimClock};
 use std::sync::Arc;
@@ -30,13 +36,18 @@ const ECHO_FEATURES: usize = 4;
 const LENET_FEATURES: usize = 256;
 
 fn usage() -> ! {
-    eprintln!("usage: schedload [--smoke] [--tune] [--horizon-ms M] [--seed S] [--target-p99-us T]");
+    eprintln!(
+        "usage: schedload [--smoke] [--tune] [--quota] [--picks PATH] \
+         [--horizon-ms M] [--seed S] [--target-p99-us T]"
+    );
     std::process::exit(2);
 }
 
 struct Opts {
     smoke: bool,
     tune: bool,
+    quota: bool,
+    picks: Option<String>,
     horizon_ms: u64,
     seed: u64,
     target_p99_us: u64,
@@ -46,6 +57,8 @@ fn parse() -> Opts {
     let mut o = Opts {
         smoke: false,
         tune: false,
+        quota: false,
+        picks: None,
         horizon_ms: 200,
         seed: 0x5C4E,
         target_p99_us: 5_000,
@@ -60,6 +73,8 @@ fn parse() -> Opts {
         match args[i].as_str() {
             "--smoke" => o.smoke = true,
             "--tune" => o.tune = true,
+            "--quota" => o.quota = true,
+            "--picks" => o.picks = Some(next(&args, &mut i)),
             "--horizon-ms" => {
                 o.horizon_ms = next(&args, &mut i).parse().unwrap_or_else(|_| usage())
             }
@@ -102,8 +117,11 @@ fn lenet_engine(ratio: f64, format: Option<sb_infer::ExecFormat>) -> InferEngine
     )
 }
 
-/// The stock 3-tenant scenario (see module docs).
-fn scenario(seed: u64) -> (Vec<TenantSpec>, Vec<TenantLoad>) {
+/// The stock 3-tenant scenario (see module docs). With `quota` set, the
+/// two LeNet tenants get token-bucket admission quotas below their
+/// offered rates, so part of their load is shed with `QuotaExceeded` at
+/// the door.
+fn scenario(seed: u64, quota: bool) -> (Vec<TenantSpec>, Vec<TenantLoad>) {
     let tenants = vec![
         TenantSpec::new(
             "pruned-16x",
@@ -113,6 +131,10 @@ fn scenario(seed: u64) -> (Vec<TenantSpec>, Vec<TenantLoad>) {
                 max_batch: 16,
                 max_wait_us: 500,
                 queue_cap: 64,
+                quota: quota.then_some(TenantQuota {
+                    rate_per_s: 6_000,
+                    burst: 16,
+                }),
             },
             Arc::new(lenet_engine(16.0, None)),
         ),
@@ -124,6 +146,10 @@ fn scenario(seed: u64) -> (Vec<TenantSpec>, Vec<TenantLoad>) {
                 max_batch: 16,
                 max_wait_us: 1_000,
                 queue_cap: 64,
+                quota: quota.then_some(TenantQuota {
+                    rate_per_s: 2_000,
+                    burst: 8,
+                }),
             },
             Arc::new(lenet_engine(1.0, Some(sb_infer::ExecFormat::Dense))),
         ),
@@ -135,6 +161,7 @@ fn scenario(seed: u64) -> (Vec<TenantSpec>, Vec<TenantLoad>) {
                 max_batch: 4,
                 max_wait_us: 250,
                 queue_cap: 32,
+                quota: None,
             },
             Arc::new(EchoEngine::new(
                 ECHO_FEATURES,
@@ -179,7 +206,7 @@ fn make_sample(seed: u64, tenant: usize, i: usize) -> Vec<f32> {
 }
 
 fn run(o: &Opts) -> sb_metrics::SchedProfile {
-    let (tenants, loads) = scenario(o.seed);
+    let (tenants, loads) = scenario(o.seed, o.quota);
     let horizon_us = o.horizon_ms * 1_000;
     let clock = Arc::new(SimClock::new());
     let mut ms = MultiServer::new(tenants, SchedConfig { max_inflight: 2 }, clock.clone());
@@ -188,15 +215,37 @@ fn run(o: &Opts) -> sb_metrics::SchedProfile {
         make_sample(seed, t, i)
     });
     let picks = ms.take_picks();
+    if let Some(path) = &o.picks {
+        std::fs::write(path, sb_bench::picks::render_picks(&picks))
+            .unwrap_or_else(|e| panic!("write pick log {path}: {e}"));
+        eprintln!("wrote {} pick records to {path}", picks.len());
+    }
     profile(&ms, &done, &picks, horizon_us)
 }
 
 fn tune(o: &Opts) {
-    let (tenants, loads) = scenario(o.seed);
+    let (tenants, loads) = scenario(o.seed, o.quota);
     let horizon_us = o.horizon_ms * 1_000;
     let cfg = SchedConfig { max_inflight: 2 };
     let spec = TuneSpec {
         target_p99_us: o.target_p99_us,
+        // With --quota, let the tuner weigh admission quotas against
+        // unlimited admission per tenant.
+        quota_candidates: if o.quota {
+            vec![
+                None,
+                Some(TenantQuota {
+                    rate_per_s: 2_000,
+                    burst: 8,
+                }),
+                Some(TenantQuota {
+                    rate_per_s: 6_000,
+                    burst: 16,
+                }),
+            ]
+        } else {
+            Vec::new()
+        },
         ..TuneSpec::default()
     };
     let seed = o.seed;
@@ -227,13 +276,16 @@ fn tune(o: &Opts) {
 }
 
 /// Pinned deterministic workload: the stock scenario, 200 virtual ms,
-/// seed 0x5C4E. The counts below are the exact outcome of that pure
-/// function; any drift in the WFQ charging, priority filter, per-tenant
-/// batching, deadline checks, or rng streams changes them.
-fn smoke() {
+/// seed 0x5C4E, with or without admission quotas. The counts below are
+/// the exact outcome of that pure function; any drift in the WFQ
+/// charging, EDF ordering, priority filter, per-tenant batching, quota
+/// refills, deadline checks, or rng streams changes them.
+fn smoke(quota: bool) {
     let o = Opts {
         smoke: true,
         tune: false,
+        quota,
+        picks: None,
         horizon_ms: 200,
         seed: 0x5C4E,
         target_p99_us: 5_000,
@@ -242,12 +294,13 @@ fn smoke() {
     let t = |name: &str| p.tenant(name).expect("stock tenant");
     for tp in &p.tenants {
         println!(
-            "smoke: {:>12} [{}, w{}] {} completed + {} shed; p99 {}us; cost share {:.3} (weight share {:.3})",
+            "smoke: {:>12} [{}, w{}] {} completed + {} shed ({} quota); p99 {}us; cost share {:.3} (weight share {:.3})",
             tp.name,
             tp.priority,
             tp.weight,
             tp.serve.completed,
             tp.serve.rejected.total(),
+            tp.serve.rejected.quota_exceeded,
             tp.serve.p99_us,
             tp.cost_share,
             tp.weight_share,
@@ -264,11 +317,30 @@ fn smoke() {
         t("canary").serve.p99_us,
     );
     println!("smoke signature: {signature:?}");
-    assert_eq!(
-        signature, SMOKE_SIGNATURE,
-        "deterministic sched smoke drifted — if the scheduling policy or \
-         rng stream changed intentionally, re-pin SMOKE_SIGNATURE"
-    );
+    if quota {
+        let quota_sheds = (
+            t("pruned-16x").serve.rejected.quota_exceeded,
+            t("dense").serve.rejected.quota_exceeded,
+            t("canary").serve.rejected.quota_exceeded,
+        );
+        println!("quota sheds: {quota_sheds:?}");
+        assert_eq!(
+            (signature, quota_sheds),
+            QUOTA_SMOKE_SIGNATURE,
+            "deterministic quota smoke drifted — if the scheduling policy \
+             or rng stream changed intentionally, re-pin QUOTA_SMOKE_SIGNATURE"
+        );
+        // Both quota'd tenants must actually have shed at the door, and
+        // the unquota'd canary must not have.
+        assert!(quota_sheds.0 > 0 && quota_sheds.1 > 0);
+        assert_eq!(quota_sheds.2, 0);
+    } else {
+        assert_eq!(
+            signature, SMOKE_SIGNATURE,
+            "deterministic sched smoke drifted — if the scheduling policy \
+             or rng stream changed intentionally, re-pin SMOKE_SIGNATURE"
+        );
+    }
     // The interactive deadline tenants must be inside their deadlines
     // despite the dense batch tenant sharing the pool.
     assert!(t("pruned-16x").serve.p99_us <= 5_000);
@@ -280,10 +352,17 @@ fn smoke() {
 const SMOKE_SIGNATURE: (usize, usize, usize, usize, usize, u64, u64, u64) =
     (2368, 1580, 604, 184, 0, 149_032, 718, 518);
 
+/// The exact outcome of the pinned [`smoke`] workload with `--quota`:
+/// the stock signature shape plus per-tenant `QuotaExceeded` counts.
+const QUOTA_SMOKE_SIGNATURE: (
+    (usize, usize, usize, usize, usize, u64, u64, u64),
+    (usize, usize, usize),
+) = ((2368, 1214, 407, 184, 563, 132_093, 718, 446), (366, 197, 0));
+
 fn main() {
     let o = parse();
     if o.smoke {
-        smoke();
+        smoke(o.quota);
         return;
     }
     if o.tune {

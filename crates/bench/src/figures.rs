@@ -1275,11 +1275,14 @@ pub fn serving_latency(paths: &OutputPaths) -> String {
 /// batch-class tenant — swept across offered-load multiples of the
 /// pool's virtual capacity. Everything runs on the virtual clock priced
 /// by effective MACs, so the artifact is deterministic and
-/// thread-count-independent. Shows all three scheduler mechanisms at
-/// once: within a class, served cost tracks weights (3:1) once the
-/// tenants are backlogged; across classes, strict priority protects
-/// interactive tail latency; deadlines shed what cannot be served in
-/// time instead of letting queues grow stale.
+/// thread-count-independent. Shows the scheduler's share mechanisms:
+/// within a class, served cost tracks weights (3:1) once the tenants
+/// are backlogged; across classes, strict priority protects interactive
+/// tail latency; the bounded queues shed the excess at admission. The
+/// interactive loads are deliberately deadline-free — a deadline-carrying
+/// queue head is served EDF-first *ahead of* WFQ order within its class,
+/// which would override the 3:1 share this figure demonstrates (the
+/// deadline/EDF/quota story is the sched bench's `quota_demo`).
 pub fn multi_model_fairness(paths: &OutputPaths) -> String {
     use sb_sched::{
         profile, run_multi_open_loop_sim, MultiServer, Priority, SchedConfig, TenantLoad,
@@ -1296,7 +1299,6 @@ pub fn multi_model_fairness(paths: &OutputPaths) -> String {
     const MAX_BATCH: usize = 16;
     const MAX_INFLIGHT: usize = 2;
     const HORIZON_US: u64 = 300_000;
-    const DEADLINE_US: u64 = 5_000;
 
     // One compiled model per tenant (engines are stateful); identical
     // networks, so any difference in service is the scheduler's doing.
@@ -1329,6 +1331,7 @@ pub fn multi_model_fairness(paths: &OutputPaths) -> String {
         max_batch: MAX_BATCH,
         max_wait_us: 500,
         queue_cap: 128,
+        quota: None,
     };
     let tenants = || {
         vec![
@@ -1365,7 +1368,7 @@ pub fn multi_model_fairness(paths: &OutputPaths) -> String {
     let dense_rps = 2_000.0;
 
     let mut out = String::from(
-        "Multi-model fairness: two identical 16x-pruned LeNet-300-100 interactive tenants (WFQ weights 3:1, 5ms deadline) and a dense batch-class tenant (2k req/s throughout) share one pool (batch<=16, 2 in flight) behind the sb-sched weighted-fair scheduler; the pruned tenants' combined offered load sweeps multiples of the pool's virtual capacity.\n\n",
+        "Multi-model fairness: two identical 16x-pruned LeNet-300-100 interactive tenants (WFQ weights 3:1, deadline-free so WFQ — not EDF — arbitrates) and a dense batch-class tenant (2k req/s throughout) share one pool (batch<=16, 2 in flight) behind the sb-sched weighted-fair scheduler; the pruned tenants' combined offered load sweeps multiples of the pool's virtual capacity.\n\n",
     );
     let mut table = Table::new(vec![
         "load_x",
@@ -1398,12 +1401,12 @@ pub fn multi_model_fairness(paths: &OutputPaths) -> String {
             TenantLoad {
                 arrivals: ArrivalProcess::Uniform { rate_rps: each_rps },
                 seed: 0xFA1,
-                deadline_us: Some(DEADLINE_US),
+                deadline_us: None,
             },
             TenantLoad {
                 arrivals: ArrivalProcess::Uniform { rate_rps: each_rps },
                 seed: 0xFA2,
-                deadline_us: Some(DEADLINE_US),
+                deadline_us: None,
             },
             TenantLoad {
                 arrivals: ArrivalProcess::Uniform { rate_rps: dense_rps },
@@ -1454,7 +1457,7 @@ pub fn multi_model_fairness(paths: &OutputPaths) -> String {
     out.push('\n');
     out.push_str(&chart.render());
     out.push_str(
-        "\nReading: at light load shares simply track demand and everyone's p99 is flat. As the interactive tenants saturate the pool, their served-cost shares converge to the 3:1 WFQ weights — same model, same arrivals, 3x the service — while the excess on the lighter-weighted tenant is shed — at admission once its bounded queue fills, or at its 5ms deadline — rather than queued stale. The dense batch-class tenant keeps its slack-time share at light load and is starved by strict priority at overload: proportional sharing belongs to weights within a class, and the pick log (sched:pick spans) records every decision that produced these shares.\n",
+        "\nReading: at light load shares simply track demand and everyone's p99 is flat. As the interactive tenants saturate the pool, their served-cost shares converge to the 3:1 WFQ weights — same model, same arrivals, 3x the service — while the excess on the lighter-weighted tenant is shed at admission once its bounded queue fills, rather than queued stale. The dense batch-class tenant keeps its slack-time share at light load and is starved by strict priority at overload: proportional sharing belongs to weights within a class (deadline-carrying heads would instead be served EDF-first), and the pick log (sched:pick spans) records every decision that produced these shares.\n",
     );
     save(paths, "multi-model-fairness", &out, Some(&table));
     out

@@ -21,6 +21,7 @@
 
 pub mod configs;
 pub mod figures;
+pub mod picks;
 pub mod timer;
 pub mod tracediff;
 

@@ -1,0 +1,22 @@
+//! Rendering for `sb-sched` pick logs: the dequeue-decision stream as a
+//! stable JSON artifact.
+//!
+//! The scheduler's [`PickRecord`](sb_sched::PickRecord) log is the
+//! externally checkable face of its dequeue policy — priority
+//! non-inversion, EDF ordering within a class (via the recorded head
+//! deadlines), and WFQ shares are all assertable from it without access
+//! to scheduler internals. `schedload --picks <path>` dumps the log with
+//! this renderer; the golden test pins the exact bytes for a small
+//! deterministic scenario so any drift in the record's shape or the
+//! pick order itself shows up as a diff.
+
+use sb_sched::PickRecord;
+
+/// Renders a pick log as pretty-printed JSON (one trailing newline),
+/// byte-stable for a given log.
+pub fn render_picks(picks: &[PickRecord]) -> String {
+    let mut out =
+        sb_json::to_string_pretty(&picks.to_vec()).expect("pick records serialize");
+    out.push('\n');
+    out
+}

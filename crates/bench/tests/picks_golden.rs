@@ -1,0 +1,113 @@
+//! Golden-file test for the pick-log artifact: the dequeue-decision
+//! stream of a pinned virtual-clock scheduler scenario must render
+//! byte-for-byte as committed (the same renderer backs
+//! `schedload --picks`). The scenario is built to produce contested
+//! picks — mixed priority classes, deadline-carrying and deadline-free
+//! queue heads, a quota'd tenant — so the record shape *and* the
+//! EDF-within-class pick order are both pinned.
+//!
+//! To regenerate after an intentional change to the pick record or the
+//! dequeue policy:
+//!
+//! ```text
+//! BLESS=1 cargo test -p sb-bench --test picks_golden
+//! ```
+
+use sb_bench::picks::render_picks;
+use sb_sched::{MultiServer, Priority, SchedConfig, TenantPolicy, TenantQuota, TenantSpec};
+use sb_serve::{EchoEngine, ServiceModel, SimClock};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Replays a small scripted workload on the virtual clock and renders
+/// its pick log. One inflight slot and staggered deadlines force the
+/// scheduler to arbitrate between classes, head deadlines, and WFQ
+/// vtime on nearly every launch.
+fn scenario() -> String {
+    let clock = Arc::new(SimClock::new());
+    let policy = |max_batch: usize, quota: Option<TenantQuota>| TenantPolicy {
+        max_batch,
+        max_wait_us: 100,
+        queue_cap: 8,
+        quota,
+    };
+    let engine = |base_us: u64, per_sample_us: u64| {
+        Arc::new(EchoEngine::new(
+            1,
+            4,
+            ServiceModel {
+                base_us,
+                per_sample_us,
+            },
+        ))
+    };
+    let specs = vec![
+        TenantSpec::new("fast", 2, Priority::Interactive, policy(4, None), engine(100, 20)),
+        TenantSpec::new(
+            "slow",
+            1,
+            Priority::Batch,
+            policy(
+                4,
+                Some(TenantQuota {
+                    rate_per_s: 10_000,
+                    burst: 2,
+                }),
+            ),
+            engine(300, 50),
+        ),
+        TenantSpec::new("edge", 1, Priority::Interactive, policy(2, None), engine(100, 20)),
+    ];
+    let mut ms = MultiServer::new(specs, SchedConfig { max_inflight: 1 }, clock.clone());
+    // `(time_us, tenant, absolute deadline)` — tenants 0 and 2 contend
+    // within the interactive class with and without head deadlines;
+    // tenant 1 waits behind both despite its earlier arrivals.
+    let script: &[(u64, usize, Option<u64>)] = &[
+        (0, 1, None),
+        (0, 1, Some(5_000)),
+        (10, 2, Some(900)),
+        (20, 0, None),
+        (120, 0, Some(2_000)),
+        (130, 2, None),
+        (150, 1, None),
+        (400, 0, Some(1_500)),
+        (410, 2, Some(1_200)),
+    ];
+    for &(t, tenant, deadline) in script {
+        while let Some(ev) = ms.next_event_us() {
+            if ev >= t {
+                break;
+            }
+            clock.advance_to(ev);
+            ms.pump();
+        }
+        clock.advance_to(t);
+        ms.submit(tenant, vec![tenant as f32], deadline);
+    }
+    ms.begin_drain();
+    while !ms.is_idle() {
+        let ev = ms.next_event_us().expect("non-idle scheduler has an event");
+        clock.advance_to(ev);
+        ms.pump();
+    }
+    let _ = ms.take_completions();
+    render_picks(&ms.take_picks())
+}
+
+#[test]
+fn pick_log_matches_golden_file() {
+    let rendered = scenario();
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/picks.golden.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("bless golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", golden_path.display()));
+    assert_eq!(
+        rendered, golden,
+        "pick-log output drifted from the golden file; if the dequeue \
+         policy or record change is intentional, regenerate it (see \
+         module docs)"
+    );
+}

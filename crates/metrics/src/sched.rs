@@ -24,9 +24,12 @@ pub struct TenantObs<'a> {
     pub priority: &'a str,
     /// The tenant's `max_batch` (denominator of occupancy).
     pub max_batch: usize,
+    /// The tenant's admission quota as `(rate_per_s, burst)`, `None`
+    /// when admission is bounded by the queue cap alone.
+    pub quota: Option<(u64, u64)>,
     /// `(latency_us, batch_size)` per completed request.
     pub completed: &'a [(u64, usize)],
-    /// The tenant's shed ledger.
+    /// The tenant's shed ledger (includes `quota_exceeded` sheds).
     pub rejected: RejectCounts,
     /// Total virtual cost (µs) of batches launched for this tenant.
     pub served_cost_us: u64,
@@ -41,6 +44,10 @@ pub struct TenantProfile {
     pub weight: u64,
     /// Priority-class label.
     pub priority: String,
+    /// Sustained admission-quota rate (requests/s); `None` = unlimited.
+    pub quota_rate_per_s: Option<u64>,
+    /// Admission-quota burst allowance; `None` = unlimited.
+    pub quota_burst: Option<u64>,
     /// The tenant's own serving distribution (latency percentiles,
     /// throughput, batches, shed ledger).
     pub serve: ServeProfile,
@@ -62,6 +69,8 @@ json_struct!(serialize_only TenantProfile {
     name,
     weight,
     priority,
+    quota_rate_per_s,
+    quota_burst,
     serve,
     occupancy,
     served_cost_us,
@@ -140,6 +149,8 @@ impl SchedProfile {
                     name: t.name.to_string(),
                     weight: t.weight,
                     priority: t.priority.to_string(),
+                    quota_rate_per_s: t.quota.map(|(rate, _)| rate),
+                    quota_burst: t.quota.map(|(_, burst)| burst),
                     serve,
                     occupancy,
                     served_cost_us: t.served_cost_us,
@@ -182,6 +193,7 @@ mod tests {
             weight,
             priority: "interactive",
             max_batch: 8,
+            quota: None,
             completed,
             rejected: RejectCounts::default(),
             served_cost_us,

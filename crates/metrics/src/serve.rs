@@ -29,19 +29,27 @@ pub struct RejectCounts {
     pub cancelled: usize,
     /// Refused because the server was draining.
     pub shutting_down: usize,
+    /// Rejected at admission: the submitter's token-bucket quota was
+    /// exhausted (multi-tenant rate limiting).
+    pub quota_exceeded: usize,
 }
 
 json_struct!(RejectCounts {
     queue_full,
     deadline_expired,
     cancelled,
-    shutting_down
+    shutting_down;
+    quota_exceeded
 });
 
 impl RejectCounts {
     /// Total requests refused, all reasons.
     pub fn total(&self) -> usize {
-        self.queue_full + self.deadline_expired + self.cancelled + self.shutting_down
+        self.queue_full
+            + self.deadline_expired
+            + self.cancelled
+            + self.shutting_down
+            + self.quota_exceeded
     }
 }
 

@@ -11,15 +11,19 @@
 //!
 //! Search is per-tenant coordinate descent: holding every other
 //! tenant's policy fixed, try each `(max_batch, max_wait_us)` candidate
-//! for one tenant, keep the best, move to the next tenant, and repeat
-//! for a fixed number of passes. Scores compare lexicographically:
-//! fewer tenants missing the p99 target, then less shed load, then a
-//! lower worst-tenant p99, then more completions. Ties keep the earlier
+//! for one tenant — crossed with each admission-quota candidate when
+//! [`TuneSpec::quota_candidates`] is nonempty — keep the best, move to
+//! the next tenant, and repeat for a fixed number of passes. Scores
+//! compare lexicographically: fewer tenants missing the p99 target,
+//! then less shed load, then a lower worst-tenant p99, then more
+//! completions. Because misses dominate shed load, the tuner will adopt
+//! a quota that sheds a sustained overload whenever that is the only way
+//! to pull a tenant's tail under the target. Ties keep the earlier
 //! candidate, so candidate order is part of the function's definition.
 
 use crate::load::{run_multi_open_loop_sim, TenantLoad};
 use crate::sched::{MultiServer, SchedConfig};
-use crate::tenant::{TenantPolicy, TenantSpec};
+use crate::tenant::{TenantPolicy, TenantQuota, TenantSpec};
 use sb_metrics::SchedProfile;
 use sb_serve::SimClock;
 use std::sync::Arc;
@@ -45,6 +49,10 @@ pub struct TuneSpec {
     pub batch_candidates: Vec<usize>,
     /// Candidate `max_wait_us` values, tried in order.
     pub wait_candidates: Vec<u64>,
+    /// Candidate admission quotas, tried in order (`None` = unlimited).
+    /// Empty keeps every tenant's configured quota untouched — like
+    /// `queue_cap`, shedding policy is opted into explicitly.
+    pub quota_candidates: Vec<Option<TenantQuota>>,
     /// Coordinate-descent passes over all tenants (≥1).
     pub passes: usize,
 }
@@ -55,6 +63,7 @@ impl Default for TuneSpec {
             target_p99_us: 5_000,
             batch_candidates: vec![1, 2, 4, 8, 16, 32],
             wait_candidates: vec![0, 100, 250, 500, 1_000, 2_000],
+            quota_candidates: Vec::new(),
             passes: 2,
         }
     }
@@ -122,10 +131,11 @@ pub fn simulate(
     crate::load::profile(&ms, &done, &picks, horizon_us)
 }
 
-/// Tunes every tenant's `max_batch`/`max_wait_us` for `spec.target_p99_us`
-/// on the given workload. Starts from the policies already in `base`
-/// (their `queue_cap` is kept — admission bounds are capacity planning,
-/// not batching). Deterministic; see the module docs.
+/// Tunes every tenant's `max_batch`/`max_wait_us` — and, when
+/// `spec.quota_candidates` is nonempty, its admission quota — for
+/// `spec.target_p99_us` on the given workload. Starts from the policies
+/// already in `base` (their `queue_cap` is kept — admission bounds are
+/// capacity planning, not batching). Deterministic; see the module docs.
 pub fn autotune(
     base: &[TenantSpec],
     cfg: SchedConfig,
@@ -146,27 +156,36 @@ pub fn autotune(
     let mut best_score = score(&best_profile, spec.target_p99_us);
     for _pass in 0..spec.passes {
         for tenant in 0..base.len() {
-            for &max_batch in &spec.batch_candidates {
-                for &max_wait_us in &spec.wait_candidates {
-                    let candidate = TenantPolicy {
-                        max_batch,
-                        max_wait_us,
-                        queue_cap: policies[tenant].queue_cap,
-                    };
-                    if candidate == policies[tenant] {
-                        continue;
-                    }
-                    let mut trial = policies.clone();
-                    trial[tenant] = candidate;
-                    let profile = simulate(base, cfg, loads, horizon_us, &trial, sample);
-                    sims += 1;
-                    let s = score(&profile, spec.target_p99_us);
-                    // Strict improvement only: ties keep the incumbent,
-                    // making candidate order part of the pure function.
-                    if s < best_score {
-                        best_score = s;
-                        best_profile = profile;
-                        policies = trial;
+            let quota_grid: Vec<Option<TenantQuota>> = if spec.quota_candidates.is_empty() {
+                vec![policies[tenant].quota]
+            } else {
+                spec.quota_candidates.clone()
+            };
+            for &quota in &quota_grid {
+                for &max_batch in &spec.batch_candidates {
+                    for &max_wait_us in &spec.wait_candidates {
+                        let candidate = TenantPolicy {
+                            max_batch,
+                            max_wait_us,
+                            queue_cap: policies[tenant].queue_cap,
+                            quota,
+                        };
+                        if candidate == policies[tenant] {
+                            continue;
+                        }
+                        let mut trial = policies.clone();
+                        trial[tenant] = candidate;
+                        let profile = simulate(base, cfg, loads, horizon_us, &trial, sample);
+                        sims += 1;
+                        let s = score(&profile, spec.target_p99_us);
+                        // Strict improvement only: ties keep the
+                        // incumbent, making candidate order part of the
+                        // pure function.
+                        if s < best_score {
+                            best_score = s;
+                            best_profile = profile;
+                            policies = trial;
+                        }
                     }
                 }
             }
@@ -197,6 +216,7 @@ mod tests {
             max_batch: 2,
             max_wait_us: 2_000,
             queue_cap: 64,
+            quota: None,
         };
         let tenants = vec![TenantSpec::new(
             "bursty",
@@ -224,6 +244,7 @@ mod tests {
             target_p99_us: 2_000,
             batch_candidates: vec![2, 4, 8, 16],
             wait_candidates: vec![0, 250, 1_000, 2_000],
+            quota_candidates: vec![],
             passes: 2,
         };
         let sample = |_t: usize, _i: usize| vec![0.0];
@@ -259,6 +280,84 @@ mod tests {
         assert_eq!(
             sb_json::to_string(&again.profile).expect("serialize"),
             sb_json::to_string(&tuned.profile).expect("serialize")
+        );
+        assert_eq!(
+            tuned.policies[0].quota, None,
+            "empty quota grid leaves the configured quota untouched"
+        );
+    }
+
+    #[test]
+    fn tuner_adopts_a_quota_when_only_shedding_meets_the_target() {
+        // Sustained absolute overload: even the largest batch cannot keep
+        // up (batch of 16 costs 300 + 16·300 = 5100µs for 16 requests ≈
+        // 3.1k rps < 4k rps offered), so every quota-free policy pins the
+        // queue at its cap and the tail lands tens of ms over target. A
+        // rate quota below capacity keeps the queue shallow instead.
+        let service = ServiceModel {
+            base_us: 300,
+            per_sample_us: 300,
+        };
+        let tenants = vec![TenantSpec::new(
+            "overloaded",
+            1,
+            Priority::Interactive,
+            TenantPolicy {
+                max_batch: 8,
+                max_wait_us: 250,
+                queue_cap: 64,
+                quota: None,
+            },
+            Arc::new(EchoEngine::new(1, 10, service)),
+        )];
+        let loads = vec![TenantLoad {
+            arrivals: ArrivalProcess::Uniform { rate_rps: 4_000.0 },
+            seed: 0xB3,
+            deadline_us: None,
+        }];
+        let horizon = 200_000;
+        let cfg = SchedConfig { max_inflight: 1 };
+        let spec = TuneSpec {
+            target_p99_us: 5_000,
+            batch_candidates: vec![2, 4, 8, 16],
+            wait_candidates: vec![0, 250, 1_000],
+            quota_candidates: vec![
+                None,
+                Some(TenantQuota {
+                    rate_per_s: 2_000,
+                    burst: 8,
+                }),
+            ],
+            passes: 2,
+        };
+        let sample = |_t: usize, _i: usize| vec![0.0];
+        let before = simulate(
+            &tenants,
+            cfg,
+            &loads,
+            horizon,
+            &[tenants[0].policy],
+            &sample,
+        );
+        assert!(
+            before.tenants[0].serve.p99_us > spec.target_p99_us,
+            "fixture must start out of budget (p99 {}us)",
+            before.tenants[0].serve.p99_us
+        );
+        let tuned = autotune(&tenants, cfg, &loads, horizon, &spec, &sample);
+        assert!(
+            tuned.policies[0].quota.is_some(),
+            "only a quota can meet the target here, got {:?}",
+            tuned.policies[0]
+        );
+        assert!(
+            tuned.profile.tenants[0].serve.p99_us <= spec.target_p99_us,
+            "quota'd policy meets the target (p99 {}us)",
+            tuned.profile.tenants[0].serve.p99_us
+        );
+        assert!(
+            tuned.profile.tenants[0].serve.rejected.quota_exceeded > 0,
+            "the overload was shed at admission"
         );
     }
 }

@@ -16,20 +16,29 @@
 //!
 //! * [`MultiServer`] — several [`BatchEngine`](sb_serve::BatchEngine)s
 //!   behind one `sb-runtime` pool, each tenant with its own bounded
-//!   queue and [`TenantPolicy`] (batch size, wait window, queue cap),
-//!   sharing one inflight window;
+//!   queue and [`TenantPolicy`] (batch size, wait window, queue cap,
+//!   admission quota), sharing one inflight window;
+//! * [`TenantQuota`] **admission quotas** — a token bucket per tenant
+//!   (`rate_per_s`/`burst`, refilled from the clock) shedding with
+//!   `QuotaExceeded` *before* the queue cap, so one tenant's burst
+//!   cannot outrun its provisioned rate; admission also sweeps
+//!   deadline-expired queue entries before the cap check, so a live
+//!   request is never shed against a stale "full" queue;
 //! * **Weighted fair queueing** — virtual-time WFQ over per-tenant
 //!   queues, charged in batch-cost units from the engines' service
 //!   models (for compiled models, the sb-infer cost model's effective
 //!   MACs), so a cheap pruned tenant cannot be starved by a dense one;
-//! * [`Priority`] **classes** — `Interactive` strictly preempts `Batch`
-//!   at dequeue; every decision lands in a [`PickRecord`] log that makes
-//!   non-inversion and fairness testable properties;
-//! * [`autotune`] — picks each tenant's `max_batch`/`max_wait_us` for a
-//!   target p99 by sweeping `sb-serve`'s deterministic
-//!   [`SimClock`](sb_serve::SimClock) simulator: a pure function of
-//!   `(config, workload, seed)`, byte-identical at any
-//!   `SB_RUNTIME_THREADS`;
+//! * [`Priority`] **classes with EDF** — `Interactive` strictly
+//!   preempts `Batch` at dequeue, and within a class an eligible tenant
+//!   whose queue head carries the earliest deadline is served before
+//!   WFQ order; every decision lands in a [`PickRecord`] log (eligible
+//!   set + head deadlines) that makes non-inversion, EDF ordering, and
+//!   fairness testable properties;
+//! * [`autotune`] — picks each tenant's `max_batch`/`max_wait_us` (and
+//!   optionally its admission quota) for a target p99 by sweeping
+//!   `sb-serve`'s deterministic [`SimClock`](sb_serve::SimClock)
+//!   simulator: a pure function of `(config, workload, seed)`,
+//!   byte-identical at any `SB_RUNTIME_THREADS`;
 //! * [`load`] — merged per-tenant arrival schedules, an open-loop sim
 //!   driver, and the [`sb_metrics::SchedProfile`] glue (per-tenant
 //!   throughput/p99/occupancy and fairness error vs ideal WFQ shares).
@@ -47,4 +56,4 @@ pub mod tenant;
 pub use autotune::{autotune, simulate, TuneResult, TuneSpec};
 pub use load::{drain_multi_sim, merged_arrivals, profile, run_multi_open_loop_sim, TenantLoad};
 pub use sched::{MultiServer, PickRecord, SchedCompletion, SchedConfig};
-pub use tenant::{Priority, TenantPolicy, TenantSpec};
+pub use tenant::{Priority, TenantPolicy, TenantQuota, TenantSpec};

@@ -110,6 +110,7 @@ pub fn profile(
                     RejectReason::DeadlineExpired => r.deadline_expired += 1,
                     RejectReason::Cancelled => r.cancelled += 1,
                     RejectReason::ShuttingDown => r.shutting_down += 1,
+                    RejectReason::QuotaExceeded => r.quota_exceeded += 1,
                 }
             }
         }
@@ -126,6 +127,7 @@ pub fn profile(
                 weight: spec.weight,
                 priority: spec.priority.name(),
                 max_batch: spec.policy.max_batch,
+                quota: spec.policy.quota.map(|q| (q.rate_per_s, q.burst)),
                 completed: &completed[i],
                 rejected: rejected[i],
                 served_cost_us: served_cost[i],
@@ -178,6 +180,7 @@ mod tests {
             max_batch: 8,
             max_wait_us: 500,
             queue_cap: 32,
+            quota: None,
         };
         let tenants = vec![
             TenantSpec::new(

@@ -21,6 +21,19 @@
 //! stream is a pure function of the submitted workload at any
 //! `SB_RUNTIME_THREADS`.
 //!
+//! # Admission policy
+//!
+//! Admission happens in a fixed order at [`MultiServer::submit`] time:
+//! the tenant's queue is first swept of dead occupants (expired
+//! deadlines, cancellations) so a live request is never shed against a
+//! stale "full" queue, then the request passes the drain check, its
+//! tenant's token-bucket quota ([`TenantQuota`](crate::TenantQuota),
+//! refilled from the [`Clock`] so SimClock runs stay deterministic), the
+//! queue cap, and the dead-on-arrival deadline check. Quota precedes the
+//! cap: a rate-limited tenant is shed with
+//! [`RejectReason::QuotaExceeded`] before its burst can pile work into
+//! the shared window.
+//!
 //! # Dequeue policy
 //!
 //! A tenant is **eligible** when its queue holds a formable batch (full
@@ -29,23 +42,29 @@
 //!
 //! 1. **Strict priority** — any eligible [`Priority::Interactive`]
 //!    tenant beats every [`Priority::Batch`] tenant;
-//! 2. **Weighted fair queueing** within the class — each tenant carries
-//!    a virtual time that advances by `batch cost / weight` per launch,
-//!    where the cost is the engine's [`service_us`] price (for compiled
-//!    models, derived from the sb-infer cost model's effective MACs).
-//!    The eligible tenant with the smallest virtual time wins; ties
-//!    break by tenant index. A tenant waking from idle is floored to the
-//!    scheduler's virtual clock so it cannot replay its idle time as a
-//!    monopoly burst (start-time fair queueing).
+//! 2. **Earliest deadline first** within the class — when a formable
+//!    batch's head carries a deadline, tenants are ordered by earliest
+//!    head deadline; deadline-free heads sort after every
+//!    deadline-carrying one. Latency targets outrank weight shares
+//!    inside a class;
+//! 3. **Weighted fair queueing** as the remaining arbiter — each tenant
+//!    carries a virtual time that advances by `batch cost / weight` per
+//!    launch, where the cost is the engine's [`service_us`] price (for
+//!    compiled models, derived from the sb-infer cost model's effective
+//!    MACs). The eligible tenant with the smallest virtual time wins;
+//!    ties break by tenant index. A tenant waking from idle is floored
+//!    to the scheduler's virtual clock so it cannot replay its idle
+//!    time as a monopoly burst (start-time fair queueing).
 //!
 //! Every launch appends a [`PickRecord`] with the eligible set *before*
-//! the priority filter, so fairness and non-inversion are externally
-//! checkable properties, not implementation trivia.
+//! the priority filter and each eligible tenant's head deadline, so
+//! fairness, EDF ordering, and non-inversion are externally checkable
+//! properties, not implementation trivia.
 //!
 //! [`service_us`]: sb_serve::BatchEngine::service_us
 
 use crate::tenant::{Priority, TenantSpec};
-use sb_json::{Json, ToJson};
+use sb_json::{json_struct, Json, ToJson};
 use sb_runtime::{JobHandle, JobQueue, JobSpec};
 use sb_serve::{Clock, Completion, Outcome, RejectReason};
 use sb_trace::CounterId;
@@ -54,6 +73,12 @@ use std::sync::Arc;
 
 /// Fixed-point scale for tenant virtual time (`cost << SHIFT / weight`).
 const VTIME_SHIFT: u32 = 16;
+
+/// Micro-tokens per admission. Quota buckets count in millionths of a
+/// token so that a refill of `rate_per_s` tokens/second is exactly
+/// `rate_per_s` micro-tokens per microsecond — integer-exact under a
+/// [`SimClock`](sb_serve::SimClock), no drift, no rounding residue.
+const QUOTA_TOKEN: u64 = 1_000_000;
 
 /// Shared scheduler knobs (per-tenant knobs live in
 /// [`TenantPolicy`](crate::TenantPolicy)).
@@ -101,11 +126,27 @@ pub struct PickRecord {
     pub priority: Priority,
     /// All tenants with a formable batch at this instant, ascending.
     pub eligible: Vec<usize>,
+    /// Each eligible tenant's queue-head deadline (absolute µs), parallel
+    /// to `eligible`. Within a priority class the scheduler serves the
+    /// earliest head deadline first, so EDF non-inversion is checkable
+    /// from this record alone: the winner's `(rank, deadline)` must be
+    /// lexicographically minimal over the eligible set.
+    pub head_deadlines: Vec<Option<u64>>,
     /// Samples in the launched batch.
     pub batch_size: usize,
     /// WFQ charge: the engine's virtual price of this batch, µs.
     pub cost_us: u64,
 }
+
+json_struct!(serialize_only PickRecord {
+    at_us,
+    tenant,
+    priority,
+    eligible,
+    head_deadlines,
+    batch_size,
+    cost_us
+});
 
 struct Pending {
     id: u64,
@@ -122,6 +163,29 @@ struct TenantState {
     vtime: u128,
     /// Total virtual cost launched for this tenant, µs.
     served_cost_us: u64,
+    /// Admission-quota bucket level, micro-tokens ([`QUOTA_TOKEN`] per
+    /// admit). Starts full; meaningless without a configured quota.
+    quota_tokens: u64,
+    /// Clock time the bucket was last refilled to.
+    quota_refill_us: u64,
+}
+
+impl TenantState {
+    /// Advances the token bucket to `now`. The refill is a pure integer
+    /// function of elapsed clock time (`rate_per_s` micro-tokens per
+    /// elapsed µs, capped at `burst` whole tokens), so under a virtual
+    /// clock quota decisions replay bit-identically.
+    fn refill_quota(&mut self, now: u64) {
+        let Some(q) = self.spec.policy.quota else {
+            return;
+        };
+        let dt = now.saturating_sub(self.quota_refill_us);
+        self.quota_refill_us = now;
+        self.quota_tokens = self
+            .quota_tokens
+            .saturating_add(q.rate_per_s.saturating_mul(dt))
+            .min(q.burst.saturating_mul(QUOTA_TOKEN));
+    }
 }
 
 struct Inflight {
@@ -155,9 +219,9 @@ impl MultiServer {
     ///
     /// # Panics
     ///
-    /// Panics on an empty tenant list, a zero weight, or a degenerate
-    /// policy (zero `max_batch`/`queue_cap`) — a misconfigured tenant
-    /// would otherwise silently starve or spin.
+    /// Panics on an empty tenant list, a zero weight, a degenerate
+    /// policy (zero `max_batch`/`queue_cap`), or a zero-burst quota — a
+    /// misconfigured tenant would otherwise silently starve or spin.
     pub fn new(tenants: Vec<TenantSpec>, cfg: SchedConfig, clock: Arc<dyn Clock>) -> Self {
         assert!(!tenants.is_empty(), "need at least one tenant");
         assert!(cfg.max_inflight > 0, "max_inflight must be positive");
@@ -171,6 +235,11 @@ impl MultiServer {
             assert!(
                 t.policy.queue_cap > 0,
                 "tenant {:?}: queue_cap must be positive",
+                t.name
+            );
+            assert!(
+                t.policy.quota.map_or(true, |q| q.burst > 0),
+                "tenant {:?}: quota burst must be positive",
                 t.name
             );
         }
@@ -197,10 +266,16 @@ impl MultiServer {
             tenants: tenants
                 .into_iter()
                 .map(|spec| TenantState {
+                    // Quota buckets start full: a fresh tenant may burst.
+                    quota_tokens: spec
+                        .policy
+                        .quota
+                        .map_or(0, |q| q.burst.saturating_mul(QUOTA_TOKEN)),
                     spec,
                     queue: VecDeque::new(),
                     vtime: 0,
                     served_cost_us: 0,
+                    quota_refill_us: 0,
                 })
                 .collect(),
             inflight: VecDeque::new(),
@@ -247,11 +322,21 @@ impl MultiServer {
         );
         let _admit = sb_trace::span("sched:admit");
         let now = self.clock.now_us();
+        // Sweep dead occupants *before* the admission decision: entries
+        // whose deadline has passed (or that were cancelled) since the
+        // last pump are not load, and counting them against `queue_cap`
+        // would shed a live request while every occupant of the "full"
+        // queue is already dead.
+        self.expire(now);
         let id = self.next_id;
         self.next_id += 1;
         let t = &mut self.tenants[tenant];
+        t.refill_quota(now);
+        let has_quota = t.spec.policy.quota.is_some();
         let reject = if self.draining {
             Some(RejectReason::ShuttingDown)
+        } else if has_quota && t.quota_tokens < QUOTA_TOKEN {
+            Some(RejectReason::QuotaExceeded)
         } else if t.queue.len() >= t.spec.policy.queue_cap {
             Some(RejectReason::QueueFull)
         } else if deadline_us.is_some_and(|d| d <= now) {
@@ -274,6 +359,12 @@ impl MultiServer {
             }
             None => {
                 sb_trace::add(CounterId::RequestsAdmitted, 1);
+                // Tokens are spent on *admissions* only; a shed request
+                // never burns quota, so the conformance bound
+                // `admits ≤ burst + rate·t` is exact.
+                if has_quota {
+                    t.quota_tokens -= QUOTA_TOKEN;
+                }
                 let was_idle = t.queue.is_empty();
                 t.queue.push_back(Pending {
                     id,
@@ -507,26 +598,48 @@ impl MultiServer {
             || now.saturating_sub(t.queue[0].submitted_us) >= t.spec.policy.max_wait_us
     }
 
-    /// One dequeue decision: strict priority, then min virtual time,
-    /// then lowest index. Returns false when no tenant is eligible.
+    /// One dequeue decision: strict priority, then earliest head
+    /// deadline within the class (deadline-free heads last), then min
+    /// virtual time, then lowest index. Returns false when no tenant is
+    /// eligible.
     fn pick_and_launch(&mut self, now: u64) -> bool {
         let _pick = sb_trace::span("sched:pick");
         let eligible: Vec<usize> = (0..self.tenants.len())
             .filter(|&i| self.is_eligible(&self.tenants[i], now))
             .collect();
-        let Some(&winner) = eligible.iter().min_by_key(|&&i| {
-            let t = &self.tenants[i];
-            (t.spec.priority.rank(), t.vtime, i)
-        }) else {
+        let head_deadlines: Vec<Option<u64>> = eligible
+            .iter()
+            .map(|&i| self.tenants[i].queue.front().and_then(|p| p.deadline_us))
+            .collect();
+        let Some(winner) = eligible
+            .iter()
+            .zip(&head_deadlines)
+            .min_by_key(|&(&i, head)| {
+                let t = &self.tenants[i];
+                (
+                    t.spec.priority.rank(),
+                    head.unwrap_or(u64::MAX),
+                    t.vtime,
+                    i,
+                )
+            })
+            .map(|(&i, _)| i)
+        else {
             return false;
         };
-        self.launch(winner, eligible, now);
+        self.launch(winner, eligible, head_deadlines, now);
         true
     }
 
     /// Closes one batch off `tenant`'s queue head, charges its virtual
     /// time, and submits the batch to the shared pool.
-    fn launch(&mut self, tenant: usize, eligible: Vec<usize>, now: u64) {
+    fn launch(
+        &mut self,
+        tenant: usize,
+        eligible: Vec<usize>,
+        head_deadlines: Vec<Option<u64>>,
+        now: u64,
+    ) {
         let _tenant_span =
             sb_trace::span_with(|| format!("sched:tenant:{}", self.tenants[tenant].spec.name));
         let _batch_span = sb_trace::span("sched:batch");
@@ -584,6 +697,7 @@ impl MultiServer {
             tenant,
             priority: t.spec.priority,
             eligible,
+            head_deadlines,
             batch_size: n,
             cost_us,
         });
@@ -613,7 +727,7 @@ impl MultiServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tenant::TenantPolicy;
+    use crate::tenant::{TenantPolicy, TenantQuota};
     use sb_serve::{BatchEngine, EchoEngine, ServiceModel, SimClock};
 
     fn echo(service: ServiceModel) -> Arc<dyn BatchEngine> {
@@ -634,6 +748,7 @@ mod tests {
             max_batch: 4,
             max_wait_us: 0,
             queue_cap: 64,
+            quota: None,
         };
         let tenants = vec![
             TenantSpec::new("a", weights.0, prios.0, policy, echo(service)),
@@ -722,6 +837,7 @@ mod tests {
             max_batch: 4,
             max_wait_us: 0,
             queue_cap: 64,
+            quota: None,
         };
         let expensive = ServiceModel {
             base_us: 0,
@@ -854,6 +970,7 @@ mod tests {
                     max_batch: 2,
                     max_wait_us: 10_000,
                     queue_cap: 2,
+                    quota: None,
                 },
                 echo(service),
             ),
@@ -865,6 +982,7 @@ mod tests {
                     max_batch: 8,
                     max_wait_us: 10_000,
                     queue_cap: 64,
+                    quota: None,
                 },
                 echo(service),
             ),
@@ -904,6 +1022,172 @@ mod tests {
                 predicted: 5,
                 batch_size: 1
             }
+        );
+    }
+
+    #[test]
+    fn quota_sheds_at_the_configured_rate_and_refills_with_the_clock() {
+        let clock = Arc::new(SimClock::new());
+        let service = ServiceModel {
+            base_us: 100,
+            per_sample_us: 10,
+        };
+        let tenants = vec![TenantSpec::new(
+            "limited",
+            1,
+            Priority::Interactive,
+            TenantPolicy {
+                max_batch: 8,
+                max_wait_us: 100_000,
+                queue_cap: 64,
+                quota: Some(TenantQuota {
+                    rate_per_s: 1_000,
+                    burst: 2,
+                }),
+            },
+            echo(service),
+        )];
+        let mut ms = MultiServer::new(tenants, SchedConfig { max_inflight: 1 }, clock.clone());
+        // Bucket starts full at `burst`: two admits, then sheds.
+        ms.submit(0, vec![0.0], None);
+        ms.submit(0, vec![1.0], None);
+        let shed = ms.submit(0, vec![2.0], None);
+        assert_eq!(ms.queue_len(0), 2, "quota shed never reaches the queue");
+        // 1000 admits/s refills exactly one token per 1000 µs.
+        clock.advance_to(1_000);
+        ms.submit(0, vec![3.0], None);
+        let shed_again = ms.submit(0, vec![4.0], None);
+        let done = ms.take_completions();
+        let rejected: Vec<u64> = done
+            .iter()
+            .filter(|c| {
+                c.completion.outcome
+                    == Outcome::Rejected {
+                        reason: RejectReason::QuotaExceeded,
+                    }
+            })
+            .map(|c| c.completion.id)
+            .collect();
+        assert_eq!(rejected, vec![shed, shed_again]);
+        assert_eq!(ms.queue_len(0), 3, "refilled token admitted one more");
+    }
+
+    #[test]
+    fn edf_outranks_vtime_within_a_class() {
+        // Tenant 0 already carries served cost (high vtime); tenant 1 is
+        // fresh (vtime 0). WFQ alone would pick 1, but 0's queue head has
+        // the earlier deadline, so EDF must pick 0 first.
+        let (mut ms, clock) = two_tenant_server(
+            (1, 1),
+            (Priority::Interactive, Priority::Interactive),
+            1,
+        );
+        ms.submit(0, vec![0.0], None); // launches, charges tenant 0's vtime
+        ms.submit(0, vec![1.0], Some(2_000)); // queued: window is full
+        ms.submit(1, vec![2.0], Some(9_000));
+        let ev = ms.next_event_us().expect("batch inflight");
+        clock.advance_to(ev);
+        ms.pump();
+        run_to_idle(&mut ms, &clock);
+        let picks = ms.take_picks();
+        assert_eq!(picks.len(), 3);
+        let contested = &picks[1];
+        assert_eq!(contested.eligible, vec![0, 1]);
+        assert_eq!(contested.head_deadlines, vec![Some(2_000), Some(9_000)]);
+        assert_eq!(
+            contested.tenant, 0,
+            "earlier head deadline must beat lower vtime"
+        );
+        assert_eq!(picks[2].tenant, 1);
+    }
+
+    #[test]
+    fn deadline_free_heads_sort_after_deadline_carrying_ones() {
+        // Same shape, but tenant 1's request has no deadline at all: a
+        // deadline-carrying head beats a deadline-free one regardless of
+        // virtual times.
+        let (mut ms, clock) = two_tenant_server(
+            (1, 1),
+            (Priority::Interactive, Priority::Interactive),
+            1,
+        );
+        ms.submit(0, vec![0.0], None);
+        ms.submit(0, vec![1.0], Some(5_000));
+        ms.submit(1, vec![2.0], None);
+        let ev = ms.next_event_us().expect("batch inflight");
+        clock.advance_to(ev);
+        ms.pump();
+        run_to_idle(&mut ms, &clock);
+        let picks = ms.take_picks();
+        let contested = picks
+            .iter()
+            .find(|p| p.eligible.len() == 2)
+            .expect("contested pick");
+        assert_eq!(contested.head_deadlines, vec![Some(5_000), None]);
+        assert_eq!(contested.tenant, 0);
+    }
+
+    #[test]
+    fn submit_sweeps_expired_entries_before_the_cap_check() {
+        // Regression: fill the queue with short-deadline requests, let
+        // them all expire without pumping, then submit a live one — it
+        // must be admitted, not shed against a queue of dead entries.
+        let clock = Arc::new(SimClock::new());
+        let service = ServiceModel {
+            base_us: 100,
+            per_sample_us: 10,
+        };
+        let tenants = vec![TenantSpec::new(
+            "t",
+            1,
+            Priority::Interactive,
+            TenantPolicy {
+                max_batch: 8,
+                max_wait_us: 100_000,
+                queue_cap: 4,
+                quota: None,
+            },
+            echo(service),
+        )];
+        let mut ms = MultiServer::new(tenants, SchedConfig { max_inflight: 1 }, clock.clone());
+        for i in 0..4 {
+            ms.submit(0, vec![i as f32], Some(500));
+        }
+        assert_eq!(ms.queue_len(0), 4, "queue at cap");
+        clock.advance_to(1_000); // every queued deadline passes
+        let live = ms.submit(0, vec![9.0], Some(50_000));
+        let done = ms.take_completions();
+        assert!(
+            !done.iter().any(|c| c.completion.id == live
+                && !c.completion.is_completed()),
+            "live submit was shed against a stale queue"
+        );
+        assert_eq!(
+            done.iter()
+                .filter(|c| c.completion.outcome
+                    == Outcome::Rejected {
+                        reason: RejectReason::DeadlineExpired,
+                    })
+                .count(),
+            4,
+            "the stale occupants were swept as expired"
+        );
+    }
+
+    #[test]
+    fn pick_record_serializes_head_deadlines() {
+        let p = PickRecord {
+            at_us: 5,
+            tenant: 1,
+            priority: Priority::Interactive,
+            eligible: vec![0, 1],
+            head_deadlines: vec![None, Some(700)],
+            batch_size: 2,
+            cost_us: 120,
+        };
+        assert_eq!(
+            sb_json::to_string(&p).expect("serialize"),
+            r#"{"at_us":5,"tenant":1,"priority":"Interactive","eligible":[0,1],"head_deadlines":[null,700],"batch_size":2,"cost_us":120}"#
         );
     }
 

@@ -40,9 +40,38 @@ impl Priority {
     }
 }
 
+/// Token-bucket admission quota: a sustained admit *rate*, not just a
+/// queue cap.
+///
+/// The bucket holds up to `burst` tokens and refills continuously at
+/// `rate_per_s` tokens per second, read off the scheduler's
+/// [`Clock`](sb_serve::Clock) — under a
+/// [`SimClock`](sb_serve::SimClock) the refill is a pure function of
+/// virtual time, so quota decisions stay bit-deterministic. Each
+/// admitted request spends one token; a submit that finds the bucket
+/// empty is shed with
+/// [`RejectReason::QuotaExceeded`](sb_serve::RejectReason::QuotaExceeded)
+/// *before* the queue cap is consulted, so one tenant's burst cannot
+/// consume the shared window faster than its provisioned rate no matter
+/// how deep its queue is allowed to grow.
+///
+/// Over any interval `[0, t]` the quota guarantees
+/// `admits ≤ burst + rate_per_s · t / 1e6µs` — the conformance bound the
+/// property suite (seed `0x7E45_000D`) checks exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Sustained admissions per second.
+    pub rate_per_s: u64,
+    /// Bucket capacity: admissions that may land back-to-back after an
+    /// idle spell. Must be positive (a zero-burst bucket admits nothing).
+    pub burst: u64,
+}
+
+json_struct!(TenantQuota { rate_per_s, burst });
+
 /// Per-tenant batching policy — the same knobs as
 /// [`sb_serve::ServeConfig`] minus the inflight window, which the
-/// multi-model scheduler owns globally.
+/// multi-model scheduler owns globally, plus the admission quota.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TenantPolicy {
     /// Largest batch coalesced for this tenant.
@@ -53,12 +82,16 @@ pub struct TenantPolicy {
     /// Admission bound on the tenant's own queue; arrivals beyond it are
     /// shed with `QueueFull`.
     pub queue_cap: usize,
+    /// Token-bucket admission quota; `None` leaves admission bounded by
+    /// `queue_cap` alone.
+    pub quota: Option<TenantQuota>,
 }
 
 json_struct!(TenantPolicy {
     max_batch,
     max_wait_us,
-    queue_cap
+    queue_cap;
+    quota
 });
 
 impl Default for TenantPolicy {
@@ -67,6 +100,7 @@ impl Default for TenantPolicy {
             max_batch: 8,
             max_wait_us: 1_000,
             queue_cap: 64,
+            quota: None,
         }
     }
 }
@@ -122,6 +156,35 @@ mod tests {
         assert_eq!(
             sb_json::to_string(&Priority::Batch).expect("serialize"),
             "\"Batch\""
+        );
+    }
+
+    #[test]
+    fn policy_round_trips_with_and_without_quota() {
+        let plain = TenantPolicy::default();
+        let text = sb_json::to_string(&plain).expect("serialize");
+        assert!(text.contains("\"quota\":null"));
+        assert_eq!(
+            sb_json::from_str::<TenantPolicy>(&text).expect("parse"),
+            plain
+        );
+        // Pre-quota policies (no `quota` key at all) still deserialize.
+        let legacy: TenantPolicy =
+            sb_json::from_str(r#"{"max_batch":4,"max_wait_us":100,"queue_cap":8}"#)
+                .expect("legacy policy parses");
+        assert_eq!(legacy.quota, None);
+        let quotad = TenantPolicy {
+            quota: Some(TenantQuota {
+                rate_per_s: 1_500,
+                burst: 8,
+            }),
+            ..TenantPolicy::default()
+        };
+        let text = sb_json::to_string(&quotad).expect("serialize");
+        assert!(text.contains("\"rate_per_s\":1500"));
+        assert_eq!(
+            sb_json::from_str::<TenantPolicy>(&text).expect("parse"),
+            quotad
         );
     }
 }

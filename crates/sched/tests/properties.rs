@@ -72,6 +72,7 @@ fn gen_fair(rng: &mut sb_rng::Rng) -> FairCase {
                 max_batch: 1 + rng.below(4),
                 max_wait_us: rng.below(1_000) as u64,
                 queue_cap: 512,
+                quota: None,
             };
             let service = ServiceModel {
                 base_us: 100 + rng.below(200) as u64,
@@ -177,6 +178,7 @@ fn gen_multi(rng: &mut sb_rng::Rng) -> MultiWorkload {
                 max_batch: 1 + rng.below(8),
                 max_wait_us: rng.below(2_000) as u64,
                 queue_cap: 1 + rng.below(16),
+                quota: None,
             };
             let service = ServiceModel {
                 base_us: rng.below(500) as u64,
@@ -350,6 +352,76 @@ fn non_inversion(w: &MultiWorkload, picks: &[sb_sched::PickRecord]) -> Result<()
 
 fn serialize(done: &[SchedCompletion]) -> String {
     sb_json::to_string(&done.to_vec()).expect("completions serialize")
+}
+
+/// Regression: `submit` must sweep deadline-expired queue entries
+/// *before* the `queue_cap` admission check. Before the fix, a queue
+/// full of already-dead requests (deadlines passed with no intervening
+/// pump) still counted as "full" and a live submit was shed with
+/// `QueueFull` — this test then failed with one `QueueFull` rejection
+/// where an admission was required.
+#[test]
+fn stale_queue_does_not_shed_live_submissions() {
+    let clock = Arc::new(SimClock::new());
+    let policy = TenantPolicy {
+        max_batch: 8,
+        max_wait_us: 50_000,
+        queue_cap: 3,
+        quota: None,
+    };
+    let service = ServiceModel {
+        base_us: 100,
+        per_sample_us: 10,
+    };
+    let mut ms = MultiServer::new(
+        vec![echo_tenant(
+            "t".to_string(),
+            1,
+            Priority::Interactive,
+            policy,
+            service,
+        )],
+        SchedConfig { max_inflight: 1 },
+        clock.clone(),
+    );
+    // Fill the queue to its cap with short-deadline requests. The long
+    // max_wait keeps them queued (no batch forms).
+    for i in 0..3 {
+        ms.submit(0, vec![i as f32], Some(400));
+    }
+    assert_eq!(ms.queue_len(0), 3, "queue at cap, nothing launched");
+    // Every queued deadline passes without a pump.
+    clock.advance_to(10_000);
+    let live = ms.submit(0, vec![7.0], Some(60_000));
+    let resolved = ms.take_completions();
+    let live_rejection = resolved
+        .iter()
+        .find(|c| c.completion.id == live && !c.completion.is_completed());
+    assert!(
+        live_rejection.is_none(),
+        "live request shed against a queue of dead entries: {:?}",
+        live_rejection.map(|c| &c.completion.outcome)
+    );
+    assert_eq!(ms.queue_len(0), 1, "the live request is queued");
+    assert_eq!(
+        resolved
+            .iter()
+            .filter(|c| c.completion.outcome
+                == Outcome::Rejected {
+                    reason: RejectReason::DeadlineExpired,
+                })
+            .count(),
+        3,
+        "the stale occupants resolve as expired, exactly once each"
+    );
+    // The live request completes once time is allowed to pass.
+    let mut out = Vec::new();
+    drain(&mut ms, &clock, &mut out);
+    assert!(
+        out.iter()
+            .any(|c| c.completion.id == live && c.completion.is_completed()),
+        "live request must complete"
+    );
 }
 
 #[test]

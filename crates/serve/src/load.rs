@@ -302,6 +302,7 @@ pub fn profile(completions: &[Completion], horizon_us: u64) -> sb_metrics::Serve
                 RejectReason::DeadlineExpired => rejected.deadline_expired += 1,
                 RejectReason::Cancelled => rejected.cancelled += 1,
                 RejectReason::ShuttingDown => rejected.shutting_down += 1,
+                RejectReason::QuotaExceeded => rejected.quota_exceeded += 1,
             },
         }
     }

@@ -79,13 +79,17 @@ pub enum RejectReason {
     Cancelled,
     /// The server was draining and no longer admits work.
     ShuttingDown,
+    /// The submitter's token-bucket admission quota was exhausted
+    /// (multi-tenant rate limiting — see `sb-sched`'s `TenantQuota`).
+    QuotaExceeded,
 }
 
 json_enum!(RejectReason {
     QueueFull,
     DeadlineExpired,
     Cancelled,
-    ShuttingDown
+    ShuttingDown,
+    QuotaExceeded
 });
 
 /// How a request resolved.
@@ -230,6 +234,12 @@ impl<E: BatchEngine + 'static> Server<E> {
         );
         let _admit = sb_trace::span("serve:admit");
         let now = self.clock.now_us();
+        // Sweep dead occupants *before* the admission decision: entries
+        // whose deadline has passed (or that were cancelled) since the
+        // last pump are not load, and counting them against `queue_cap`
+        // would shed a live request while every occupant of the "full"
+        // queue is already dead.
+        self.expire(now);
         let id = self.next_id;
         self.next_id += 1;
         let reject = if self.draining {

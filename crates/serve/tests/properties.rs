@@ -180,6 +180,63 @@ fn serialize(done: &[Completion]) -> String {
     sb_json::to_string(&done.to_vec()).expect("completions serialize")
 }
 
+/// Regression: `submit` must sweep deadline-expired queue entries
+/// *before* the `queue_cap` admission check. Before the fix, a queue
+/// full of already-dead requests (deadlines passed with no intervening
+/// pump) still counted as "full" and a live submit was shed with
+/// `QueueFull` even though every occupant of the queue was dead.
+#[test]
+fn stale_queue_does_not_shed_live_submissions() {
+    let clock = Arc::new(SimClock::new());
+    let cfg = ServeConfig {
+        max_batch: 8,
+        max_wait_us: 50_000,
+        queue_cap: 3,
+        max_inflight: 1,
+    };
+    let service = ServiceModel {
+        base_us: 100,
+        per_sample_us: 10,
+    };
+    let mut server = Server::new(EchoEngine::new(1, CLASSES, service), cfg, clock.clone());
+    // Fill the queue to its cap with short-deadline requests; the long
+    // max_wait keeps them queued rather than batched.
+    for i in 0..3 {
+        server.submit(vec![i as f32], Some(400));
+    }
+    assert_eq!(server.queue_len(), 3, "queue at cap, nothing launched");
+    // Every queued deadline passes without a pump.
+    clock.advance_to(10_000);
+    let live = server.submit(vec![7.0], Some(60_000));
+    let resolved = server.take_completions();
+    let live_rejection = resolved
+        .iter()
+        .find(|c| c.id == live && !c.is_completed());
+    assert!(
+        live_rejection.is_none(),
+        "live request shed against a queue of dead entries: {:?}",
+        live_rejection.map(|c| &c.outcome)
+    );
+    assert_eq!(server.queue_len(), 1, "the live request is queued");
+    assert_eq!(
+        resolved
+            .iter()
+            .filter(|c| c.outcome
+                == Outcome::Rejected {
+                    reason: RejectReason::DeadlineExpired,
+                })
+            .count(),
+        3,
+        "the stale occupants resolve as expired, exactly once each"
+    );
+    let mut out = Vec::new();
+    drain_sim(&mut server, &clock, &mut out);
+    assert!(
+        out.iter().any(|c| c.id == live && c.is_completed()),
+        "live request must complete"
+    );
+}
+
 #[test]
 fn serving_is_accountable_and_thread_count_invariant() {
     check(

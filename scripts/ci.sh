@@ -54,6 +54,13 @@ SB_RUNTIME_THREADS=4 ./target/release/serveload --smoke
 SB_RUNTIME_THREADS=1 ./target/release/schedload --smoke
 SB_RUNTIME_THREADS=4 ./target/release/schedload --smoke
 
+# And once more with per-tenant admission quotas enabled: the quota'd
+# smoke pins the token-bucket refill arithmetic and the QuotaExceeded
+# shed counts alongside the WFQ/EDF outcome signature, again at both
+# worker counts.
+SB_RUNTIME_THREADS=1 ./target/release/schedload --smoke --quota
+SB_RUNTIME_THREADS=4 ./target/release/schedload --smoke --quota
+
 # Tracing must leave experiment output byte-identical: run the same quick
 # grid with tracing off and on, and compare the persisted results JSON.
 # The traced run must also emit its grid trace artifacts.
