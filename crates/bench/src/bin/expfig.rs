@@ -51,6 +51,7 @@ const ARTIFACTS: &[(&str, &str)] = &[
     ("format-crossover", "Tentpole: realized wall-clock of dense/CSR/BSR/bitmap kernels across sparsity ratios"),
     ("sparsity-profile", "Mechanism: per-layer sparsity under Global vs Layerwise ranking"),
     ("serving-latency", "Serving: pruned vs dense tail latency across offered loads (sb-serve, virtual clock)"),
+    ("fault-recovery", "Robustness: seeded outage, breaker trip, pruned-model fallback, probe re-close (sb-serve + sb-fault)"),
     ("multi-model-fairness", "Scheduling: WFQ shares, priority classes, and deadlines across tenants (sb-sched, virtual clock)"),
     ("checklist", "Appendix B checklist applied to this suite"),
     ("mnist-saturation", "Motivation: MNIST-like results saturate (Section 4.2)"),
@@ -63,6 +64,9 @@ fn usage() -> ! {
 }
 
 fn main() {
+    // fault-recovery injects engine panics on purpose; keep its stderr
+    // clean without hiding any real panic.
+    sb_bench::silence_injected_panics();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
@@ -290,6 +294,7 @@ fn render_to_string(id: &str, scale: Scale, paths: &OutputPaths) -> String {
         "format-crossover" => sb_bench::figures::format_crossover(paths),
         "sparsity-profile" => sb_bench::figures::sparsity_profile(paths),
         "serving-latency" => serving_latency(paths),
+        "fault-recovery" => sb_bench::figures::fault_recovery(paths),
         "multi-model-fairness" => multi_model_fairness(paths),
         "checklist" => checklist_artifact(scale, paths),
         "mnist-saturation" => experiment_figure(

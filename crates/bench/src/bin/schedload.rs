@@ -7,6 +7,7 @@
 //! schedload --quota            # same scenario with admission quotas on
 //! schedload --picks picks.json # also dump the dequeue-decision log
 //! schedload --tune             # autotune per-tenant batching for p99
+//! schedload --faults 64023     # seeded faults + per-tenant breakers
 //! schedload --smoke            # deterministic CI smoke (asserts)
 //! ```
 //!
@@ -22,12 +23,26 @@
 //! pure function of the flags and `--seed`, bit-identical at any
 //! `SB_RUNTIME_THREADS`. `--smoke` pins one workload's exact outcome
 //! counts for `scripts/ci.sh` — with and without `--quota`.
+//!
+//! `--faults SEED` arms the fault-tolerance stack: every tenant's
+//! primary engine suffers a seeded outage burst (panics, transient
+//! flakes, slowdowns over a window of per-tenant batch indices), retry
+//! with backoff is shared, and the failure domains differ per tenant —
+//! the pruned tenant gets a circuit breaker with *no* fallback (its
+//! overload sheds `CircuitOpen` at the door while open), the dense
+//! tenant gets a breaker plus the 16x-pruned model as its degraded-mode
+//! fallback (it keeps serving, cheaper, while its primary is sick), and
+//! the canary gets neither (raw `EngineFailure`s, proving isolation).
+//! `--smoke --faults SEED` pins that whole arc as exact counts.
 
 use sb_sched::{
     autotune, profile, run_multi_open_loop_sim, MultiServer, Priority, SchedConfig, TenantLoad,
     TenantPolicy, TenantQuota, TenantSpec, TuneSpec,
 };
-use sb_serve::{ArrivalProcess, EchoEngine, InferEngine, ServiceModel, SimClock};
+use sb_serve::{
+    ArrivalProcess, BackoffPolicy, BreakerConfig, BreakerState, EchoEngine, FaultPlan, FaultSpec,
+    InferEngine, RetryPolicy, ServiceModel, SimClock,
+};
 use std::sync::Arc;
 
 const MACS_PER_US: u64 = 2_000;
@@ -37,7 +52,7 @@ const LENET_FEATURES: usize = 256;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: schedload [--smoke] [--tune] [--quota] [--picks PATH] \
+        "usage: schedload [--smoke] [--tune] [--quota] [--faults SEED] [--picks PATH] \
          [--horizon-ms M] [--seed S] [--target-p99-us T]"
     );
     std::process::exit(2);
@@ -47,6 +62,7 @@ struct Opts {
     smoke: bool,
     tune: bool,
     quota: bool,
+    faults: Option<u64>,
     picks: Option<String>,
     horizon_ms: u64,
     seed: u64,
@@ -58,6 +74,7 @@ fn parse() -> Opts {
         smoke: false,
         tune: false,
         quota: false,
+        faults: None,
         picks: None,
         horizon_ms: 200,
         seed: 0x5C4E,
@@ -74,6 +91,9 @@ fn parse() -> Opts {
             "--smoke" => o.smoke = true,
             "--tune" => o.tune = true,
             "--quota" => o.quota = true,
+            "--faults" => {
+                o.faults = Some(next(&args, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
             "--picks" => o.picks = Some(next(&args, &mut i)),
             "--horizon-ms" => {
                 o.horizon_ms = next(&args, &mut i).parse().unwrap_or_else(|_| usage())
@@ -117,62 +137,102 @@ fn lenet_engine(ratio: f64, format: Option<sb_infer::ExecFormat>) -> InferEngine
     )
 }
 
+/// The `--faults` outage schedule: a burst over per-tenant primary
+/// batch indices 10..25 mixing hard panics, transient flakes (outlasted
+/// by the shared retry budget), and slowdowns. Every tenant's primary
+/// is hit; what differs is each tenant's failure domain (breaker /
+/// fallback wiring in [`scenario`]).
+fn fault_spec(seed: u64) -> FaultSpec {
+    FaultSpec {
+        panic_per_mille: 700,
+        transient_per_mille: 200,
+        slow_per_mille: 100,
+        window_from: Some(10),
+        window_until: Some(25),
+        ..FaultSpec::none(seed)
+    }
+}
+
+/// The per-tenant breaker used under `--faults`: trips once half of a
+/// short sliding window fails, backs off 2 virtual ms, then probes the
+/// primary twice before re-closing.
+fn breaker() -> BreakerConfig {
+    BreakerConfig {
+        window: 8,
+        min_samples: 4,
+        error_threshold_per_mille: 500,
+        open_us: 2_000,
+        probe_batches: 2,
+    }
+}
+
 /// The stock 3-tenant scenario (see module docs). With `quota` set, the
 /// two LeNet tenants get token-bucket admission quotas below their
 /// offered rates, so part of their load is shed with `QuotaExceeded` at
-/// the door.
-fn scenario(seed: u64, quota: bool) -> (Vec<TenantSpec>, Vec<TenantLoad>) {
-    let tenants = vec![
-        TenantSpec::new(
-            "pruned-16x",
-            2,
-            Priority::Interactive,
-            TenantPolicy {
-                max_batch: 16,
-                max_wait_us: 500,
-                queue_cap: 64,
-                quota: quota.then_some(TenantQuota {
-                    rate_per_s: 6_000,
-                    burst: 16,
-                }),
+/// the door. With `faults` set, the pruned tenant gets a breaker (no
+/// fallback — sheds while open), the dense tenant gets a breaker plus
+/// the 16x-pruned model as its cheaper fallback, and the canary gets
+/// neither.
+fn scenario(seed: u64, quota: bool, faults: bool) -> (Vec<TenantSpec>, Vec<TenantLoad>) {
+    let mut pruned = TenantSpec::new(
+        "pruned-16x",
+        2,
+        Priority::Interactive,
+        TenantPolicy {
+            max_batch: 16,
+            max_wait_us: 500,
+            queue_cap: 64,
+            quota: quota.then_some(TenantQuota {
+                rate_per_s: 6_000,
+                burst: 16,
+            }),
+        },
+        Arc::new(lenet_engine(16.0, None)),
+    );
+    let mut dense = TenantSpec::new(
+        "dense",
+        1,
+        Priority::Batch,
+        TenantPolicy {
+            max_batch: 16,
+            max_wait_us: 1_000,
+            queue_cap: 64,
+            quota: quota.then_some(TenantQuota {
+                rate_per_s: 2_000,
+                burst: 8,
+            }),
+        },
+        Arc::new(lenet_engine(1.0, Some(sb_infer::ExecFormat::Dense))),
+    );
+    let canary = TenantSpec::new(
+        "canary",
+        1,
+        Priority::Interactive,
+        TenantPolicy {
+            max_batch: 4,
+            max_wait_us: 250,
+            queue_cap: 32,
+            quota: None,
+        },
+        Arc::new(EchoEngine::new(
+            ECHO_FEATURES,
+            10,
+            ServiceModel {
+                base_us: 100,
+                per_sample_us: 20,
             },
-            Arc::new(lenet_engine(16.0, None)),
-        ),
-        TenantSpec::new(
-            "dense",
-            1,
-            Priority::Batch,
-            TenantPolicy {
-                max_batch: 16,
-                max_wait_us: 1_000,
-                queue_cap: 64,
-                quota: quota.then_some(TenantQuota {
-                    rate_per_s: 2_000,
-                    burst: 8,
-                }),
-            },
-            Arc::new(lenet_engine(1.0, Some(sb_infer::ExecFormat::Dense))),
-        ),
-        TenantSpec::new(
-            "canary",
-            1,
-            Priority::Interactive,
-            TenantPolicy {
-                max_batch: 4,
-                max_wait_us: 250,
-                queue_cap: 32,
-                quota: None,
-            },
-            Arc::new(EchoEngine::new(
-                ECHO_FEATURES,
-                10,
-                ServiceModel {
-                    base_us: 100,
-                    per_sample_us: 20,
-                },
-            )),
-        ),
-    ];
+        )),
+    );
+    if faults {
+        // Distinct failure domains: the pruned tenant sheds while its
+        // breaker is open, the dense tenant degrades to its own pruned
+        // counterpart, the canary takes raw failures.
+        pruned = pruned.with_breaker(breaker());
+        dense = dense
+            .with_breaker(breaker())
+            .with_fallback(Arc::new(lenet_engine(16.0, None)));
+    }
+    let tenants = vec![pruned, dense, canary];
     let loads = vec![
         TenantLoad {
             arrivals: ArrivalProcess::Uniform { rate_rps: 8_000.0 },
@@ -205,15 +265,34 @@ fn make_sample(seed: u64, tenant: usize, i: usize) -> Vec<f32> {
     (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect()
 }
 
-fn run(o: &Opts) -> sb_metrics::SchedProfile {
-    let (tenants, loads) = scenario(o.seed, o.quota);
+/// Drive the scenario and hand back the server (breaker events and
+/// pick log still inside) alongside the completions.
+fn run_raw(o: &Opts) -> (MultiServer, Vec<sb_sched::SchedCompletion>, u64) {
+    let (tenants, loads) = scenario(o.seed, o.quota, o.faults.is_some());
     let horizon_us = o.horizon_ms * 1_000;
     let clock = Arc::new(SimClock::new());
     let mut ms = MultiServer::new(tenants, SchedConfig { max_inflight: 2 }, clock.clone());
+    if let Some(seed) = o.faults {
+        ms = ms
+            .with_faults(FaultPlan::new(fault_spec(seed)))
+            .with_retry(RetryPolicy {
+                max_attempts: 3,
+                backoff: BackoffPolicy {
+                    base_us: 100,
+                    multiplier: 2,
+                    max_delay_us: 2_000,
+                },
+            });
+    }
     let seed = o.seed;
     let done = run_multi_open_loop_sim(&mut ms, &clock, &loads, horizon_us, |t, i| {
         make_sample(seed, t, i)
     });
+    (ms, done, horizon_us)
+}
+
+fn run(o: &Opts) -> sb_metrics::SchedProfile {
+    let (mut ms, done, horizon_us) = run_raw(o);
     let picks = ms.take_picks();
     if let Some(path) = &o.picks {
         std::fs::write(path, sb_bench::picks::render_picks(&picks))
@@ -224,7 +303,7 @@ fn run(o: &Opts) -> sb_metrics::SchedProfile {
 }
 
 fn tune(o: &Opts) {
-    let (tenants, loads) = scenario(o.seed, o.quota);
+    let (tenants, loads) = scenario(o.seed, o.quota, false);
     let horizon_us = o.horizon_ms * 1_000;
     let cfg = SchedConfig { max_inflight: 2 };
     let spec = TuneSpec {
@@ -285,6 +364,7 @@ fn smoke(quota: bool) {
         smoke: true,
         tune: false,
         quota,
+        faults: None,
         picks: None,
         horizon_ms: 200,
         seed: 0x5C4E,
@@ -359,10 +439,122 @@ const QUOTA_SMOKE_SIGNATURE: (
     (usize, usize, usize),
 ) = ((2368, 1214, 407, 184, 563, 132_093, 718, 446), (366, 197, 0));
 
+/// Pinned deterministic faulted workload: the stock scenario armed with
+/// [`fault_spec`] and per-tenant failure domains (see module docs).
+/// Asserts the whole degraded-mode arc — the pruned tenant's breaker
+/// opens and sheds `CircuitOpen` with no fallback, the dense tenant
+/// degrades to its pruned fallback instead of shedding, the canary eats
+/// raw `EngineFailure`s without a breaker, both breakers re-close once
+/// probes find the primaries healthy — and, at the canonical CI seed,
+/// the exact counts.
+fn fault_smoke(seed: u64) {
+    let o = Opts {
+        smoke: true,
+        tune: false,
+        quota: false,
+        faults: Some(seed),
+        picks: None,
+        horizon_ms: 200,
+        seed: 0x5C4E,
+        target_p99_us: 5_000,
+    };
+    let (mut ms, done, horizon_us) = run_raw(&o);
+    let events = ms.take_breaker_events();
+    let picks = ms.take_picks();
+    let p = profile(&ms, &done, &picks, horizon_us);
+    let t = |name: &str| p.tenant(name).expect("stock tenant");
+    for tp in &p.tenants {
+        println!(
+            "fault smoke: {:>12} {} completed ({} via fallback) + {} engine_failure \
+             + {} circuit_open + {} other shed; p99 {}us",
+            tp.name,
+            tp.serve.completed,
+            tp.serve.completed_fallback,
+            tp.serve.rejected.engine_failure,
+            tp.serve.rejected.circuit_open,
+            tp.serve.rejected.total()
+                - tp.serve.rejected.engine_failure
+                - tp.serve.rejected.circuit_open,
+            tp.serve.p99_us,
+        );
+    }
+    let (pruned, dense, canary) = (t("pruned-16x"), t("dense"), t("canary"));
+    // Failure domains: the breakered-but-fallbackless pruned tenant
+    // sheds at the door while open; the dense tenant rides out the
+    // burst on its pruned fallback without shedding; the bare canary
+    // takes raw failures and nothing else.
+    assert!(pruned.serve.rejected.circuit_open > 0, "open breaker sheds");
+    assert_eq!(pruned.serve.completed_fallback, 0);
+    assert!(dense.serve.completed_fallback > 0, "dense degrades to pruned");
+    assert_eq!(dense.serve.rejected.circuit_open, 0);
+    assert!(canary.serve.rejected.engine_failure > 0, "canary hit raw");
+    assert_eq!(canary.serve.rejected.circuit_open, 0);
+    assert_eq!(canary.serve.completed_fallback, 0);
+    // Transitions only for the two breakered tenants, and both recover.
+    assert!(events.iter().all(|e| e.tenant < 2), "canary has no breaker");
+    for tenant in 0..2 {
+        let last = events.iter().rev().find(|e| e.tenant == tenant);
+        assert_eq!(
+            last.map(|e| e.to),
+            Some(BreakerState::Closed),
+            "tenant {tenant} breaker re-closes after the burst"
+        );
+        assert_eq!(ms.breaker_state(tenant), Some(BreakerState::Closed));
+    }
+    assert_eq!(ms.breaker_state(2), None, "canary has no breaker");
+    let signature = (
+        p.tenants.iter().map(|t| t.serve.requests).sum::<usize>(),
+        (
+            pruned.serve.completed,
+            pruned.serve.rejected.engine_failure,
+            pruned.serve.rejected.circuit_open,
+            pruned.serve.p99_us,
+        ),
+        (
+            dense.serve.completed,
+            dense.serve.completed_fallback,
+            dense.serve.rejected.engine_failure,
+        ),
+        (canary.serve.completed, canary.serve.rejected.engine_failure),
+        events.len(),
+    );
+    println!("fault smoke signature: {signature:?}");
+    if seed == FAULT_SMOKE_SEED {
+        assert_eq!(
+            signature, FAULT_SMOKE_SIGNATURE,
+            "deterministic sched fault smoke drifted — if the fault schedule, \
+             breaker policy, or WFQ charging changed intentionally, re-pin \
+             FAULT_SMOKE_SIGNATURE"
+        );
+    }
+    println!("sched fault smoke OK");
+}
+
+/// The canonical seed `scripts/ci.sh` passes to `--smoke --faults`.
+const FAULT_SMOKE_SEED: u64 = 0xFA17;
+
+/// The exact outcome of the pinned [`fault_smoke`] workload at
+/// [`FAULT_SMOKE_SEED`]: (requests, pruned (completed, engine_failure,
+/// circuit_open, p99_us), dense (completed, completed_fallback,
+/// engine_failure), canary (completed, engine_failure), transitions).
+const FAULT_SMOKE_SIGNATURE: (
+    usize,
+    (usize, usize, usize, u64),
+    (usize, usize, usize),
+    (usize, usize),
+    usize,
+) = (2368, (1365, 56, 159, 949), (565, 40, 39), (140, 44), 36);
+
 fn main() {
     let o = parse();
+    if o.faults.is_some() {
+        sb_bench::silence_injected_panics();
+    }
     if o.smoke {
-        smoke(o.quota);
+        match o.faults {
+            Some(seed) => fault_smoke(seed),
+            None => smoke(o.quota),
+        }
         return;
     }
     if o.tune {

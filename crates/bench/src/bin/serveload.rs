@@ -8,6 +8,7 @@
 //! serveload --ramp 20000            # ramp from --rps up to 20k rps
 //! serveload --closed 4 --think-us 500 --requests 64
 //! serveload --wall                  # measure the real machine instead
+//! serveload --faults 64023          # seeded faults + retry/breaker/fallback
 //! serveload --smoke                 # deterministic CI smoke (asserts)
 //! ```
 //!
@@ -15,18 +16,28 @@
 //! the flags and `--seed`, bit-identical at any `SB_RUNTIME_THREADS`.
 //! `--smoke` runs a pinned workload and asserts its exact outcome
 //! counts, which is what `scripts/ci.sh` calls.
+//!
+//! `--faults SEED` arms the canonical fault stack: a seeded outage
+//! burst (panics, transient flakes, and slowdowns over a window of
+//! primary batch indices), bounded retry with exponential backoff, a
+//! circuit breaker, and a cheaper fallback engine (a 64x-pruned LeNet
+//! under `--engine lenet`). The fault schedule is a pure function of
+//! the seed, so `--smoke --faults SEED` pins the whole degraded-mode
+//! arc — breaker opens, fallback holds, probes re-close — as exact
+//! counts.
 
 use sb_serve::{
     drain_sim, profile, run_closed_loop_sim, run_open_loop_sim, run_open_loop_wall,
-    ArrivalProcess, BatchEngine, Completion, EchoEngine, InferEngine, LoadSpec, Outcome,
-    RejectReason, ServeConfig, Server, ServiceModel, SimClock, WallClock,
+    ArrivalProcess, BackoffPolicy, BatchEngine, BreakerConfig, BreakerState, Completion,
+    EchoEngine, FaultPlan, FaultSpec, InferEngine, LoadSpec, Outcome, RejectReason, RetryPolicy,
+    ServeConfig, Server, ServiceModel, SimClock, WallClock,
 };
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: serveload [--smoke] [--engine echo|lenet] [--rps R] [--burst N] [--ramp END_RPS]\n\
-         \x20                [--horizon-ms M] [--deadline-us D] [--seed S] [--wall]\n\
+         \x20                [--horizon-ms M] [--deadline-us D] [--seed S] [--wall] [--faults SEED]\n\
          \x20                [--max-batch N] [--max-wait-us U] [--queue-cap N] [--inflight N]\n\
          \x20                [--closed CLIENTS] [--think-us U] [--requests N]"
     );
@@ -43,6 +54,7 @@ struct Opts {
     deadline_us: Option<u64>,
     seed: u64,
     wall: bool,
+    faults: Option<u64>,
     cfg: ServeConfig,
     closed: Option<usize>,
     think_us: u64,
@@ -60,6 +72,7 @@ fn parse() -> Opts {
         deadline_us: Some(10_000),
         seed: 0x5E4E,
         wall: false,
+        faults: None,
         cfg: ServeConfig {
             max_batch: 8,
             max_wait_us: 1_000,
@@ -92,6 +105,9 @@ fn parse() -> Opts {
             }
             "--seed" => o.seed = next(&args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--wall" => o.wall = true,
+            "--faults" => {
+                o.faults = Some(next(&args, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
             "--max-batch" => {
                 o.cfg.max_batch = next(&args, &mut i).parse().unwrap_or_else(|_| usage())
             }
@@ -116,14 +132,15 @@ fn parse() -> Opts {
 
 const ECHO_FEATURES: usize = 4;
 
-/// The lenet engine: 16x global-magnitude LeNet-300-100, auto-compiled,
-/// priced by effective MACs (2000 MACs per virtual µs, 200µs dispatch).
-fn lenet_engine() -> (InferEngine, usize) {
+/// The lenet engine at a given compression: global-magnitude
+/// LeNet-300-100, auto-compiled, priced by effective MACs (2000 MACs
+/// per virtual µs, 200µs dispatch).
+fn lenet_engine(ratio: f64) -> (InferEngine, usize) {
     use shrinkbench::{GlobalMagnitude, Pruner};
     let mut rng = sb_tensor::Rng::seed_from(0xBE7C);
     let mut net = sb_nn::models::lenet_300_100(256, 10, &mut rng);
     Pruner::default()
-        .prune(&mut net, &GlobalMagnitude, 16.0, &mut rng)
+        .prune(&mut net, &GlobalMagnitude, ratio, &mut rng)
         .expect("pruning a fresh network succeeds");
     let compiled = sb_infer::CompiledModel::compile(&net, &sb_infer::CompileOptions::default());
     let per_sample_us = (compiled.effective_macs() / 2_000).max(1);
@@ -134,7 +151,67 @@ fn lenet_engine() -> (InferEngine, usize) {
     (InferEngine::new(compiled, service), 256)
 }
 
-fn run<E: BatchEngine + 'static>(o: &Opts, engine: E, sample_len: usize) -> Vec<Completion> {
+/// The cheap echo used as the degraded-mode stand-in for the echo
+/// primary under `--faults`: same shape, a fraction of the service cost.
+fn echo_fallback() -> EchoEngine {
+    EchoEngine::new(
+        ECHO_FEATURES,
+        10,
+        ServiceModel {
+            base_us: 150,
+            per_sample_us: 30,
+        },
+    )
+}
+
+/// The canonical `--faults` schedule: an outage burst over primary batch
+/// indices 40..60 mixing hard panics, transient flakes (outlasted by the
+/// retry budget), and slowdowns. A pure function of the seed.
+fn fault_spec(seed: u64) -> FaultSpec {
+    FaultSpec {
+        panic_per_mille: 600,
+        transient_per_mille: 250,
+        slow_per_mille: 150,
+        window_from: Some(40),
+        window_until: Some(60),
+        ..FaultSpec::none(seed)
+    }
+}
+
+/// Arm a server with the canonical fault stack: the seeded fault plan,
+/// bounded retry with exponential backoff, a circuit breaker, and the
+/// given cheaper fallback engine.
+fn fault_stack<E: BatchEngine + 'static>(
+    server: Server<E>,
+    seed: u64,
+    fallback: impl BatchEngine + 'static,
+) -> Server<E> {
+    server
+        .with_faults(FaultPlan::new(fault_spec(seed)))
+        .with_retry(RetryPolicy {
+            max_attempts: 3,
+            backoff: BackoffPolicy {
+                base_us: 100,
+                multiplier: 2,
+                max_delay_us: 2_000,
+            },
+        })
+        .with_breaker(BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            error_threshold_per_mille: 500,
+            open_us: 2_000,
+            probe_batches: 2,
+        })
+        .with_fallback(fallback)
+}
+
+fn run<E: BatchEngine + 'static, F: BatchEngine + 'static>(
+    o: &Opts,
+    engine: E,
+    sample_len: usize,
+    make_fallback: impl Fn() -> F,
+) -> Vec<Completion> {
     let horizon_us = o.horizon_ms * 1_000;
     let arrivals = match (o.burst, o.ramp) {
         (Some(burst), _) => ArrivalProcess::Bursty {
@@ -159,13 +236,17 @@ fn run<E: BatchEngine + 'static>(o: &Opts, engine: E, sample_len: usize) -> Vec<
             .map(|_| input_rng.uniform(-1.0, 1.0))
             .collect()
     };
+    let arm = |server: Server<E>| match o.faults {
+        Some(seed) => fault_stack(server, seed, make_fallback()),
+        None => server,
+    };
     if o.wall {
         let clock = Arc::new(WallClock::new());
-        let mut server = Server::new(engine, o.cfg.clone(), clock.clone());
+        let mut server = arm(Server::new(engine, o.cfg.clone(), clock.clone()));
         run_open_loop_wall(&mut server, clock.as_ref(), &spec, make_input)
     } else {
         let clock = Arc::new(SimClock::new());
-        let mut server = Server::new(engine, o.cfg.clone(), clock.clone());
+        let mut server = arm(Server::new(engine, o.cfg.clone(), clock.clone()));
         match o.closed {
             Some(clients) => run_closed_loop_sim(
                 &mut server,
@@ -291,10 +372,177 @@ fn smoke() {
 const SMOKE_SIGNATURE: (usize, usize, usize, usize, usize, u64, u64) =
     (1593, 1185, 81, 327, 149, 2770, 3349);
 
+/// Pinned deterministic faulted workload: the [`smoke`] scenario armed
+/// with the canonical fault stack. During the batch 40..60 outage
+/// window the primary panics and flakes, the breaker opens, and the
+/// cheaper fallback echo keeps serving; once probes find the primary
+/// healthy again the breaker re-closes. A second no-fallback probe
+/// server pins the `CircuitOpen` shed path. The counts are the exact
+/// outcome for the canonical CI seed; other seeds still run the full
+/// accountability checks.
+fn fault_smoke(seed: u64) {
+    let cfg = ServeConfig {
+        max_batch: 8,
+        max_wait_us: 500,
+        queue_cap: 16,
+        max_inflight: 1,
+    };
+    let clock = Arc::new(SimClock::new());
+    let engine = EchoEngine::new(
+        ECHO_FEATURES,
+        10,
+        ServiceModel {
+            base_us: 400,
+            per_sample_us: 120,
+        },
+    );
+    let mut server = fault_stack(
+        Server::new(engine, cfg, clock.clone()),
+        seed,
+        echo_fallback(),
+    );
+    let spec = LoadSpec {
+        arrivals: ArrivalProcess::Uniform { rate_rps: 8_000.0 },
+        horizon_us: 200_000,
+        seed: 0x5E4E,
+        deadline_us: Some(2_000),
+    };
+    let done = run_open_loop_sim(&mut server, &clock, &spec, |i| {
+        vec![i as f32; ECHO_FEATURES]
+    });
+    let events = server.take_breaker_events();
+
+    let p = profile(&done, spec.horizon_us);
+    let count = |r: RejectReason| {
+        done.iter()
+            .filter(|c| c.outcome == Outcome::Rejected { reason: r })
+            .count()
+    };
+    assert_eq!(done.len(), p.requests, "every request resolves once");
+    let ids: std::collections::BTreeSet<u64> = done.iter().map(|c| c.id).collect();
+    assert_eq!(ids.len(), done.len(), "no duplicate resolutions");
+    // The degraded-mode arc: the burst must actually surface failures,
+    // the breaker must trip on them, the fallback must absorb the open
+    // window (so nothing sheds with CircuitOpen), and the probes must
+    // re-close the breaker before the horizon ends.
+    assert!(count(RejectReason::EngineFailure) > 0, "burst surfaced failures");
+    assert!(p.completed_fallback > 0, "fallback served while open");
+    assert_eq!(count(RejectReason::CircuitOpen), 0, "fallback absorbs the open breaker");
+    assert_eq!(
+        events.first().map(|e| (e.from, e.to)),
+        Some((BreakerState::Closed, BreakerState::Open)),
+        "breaker trips on the burst"
+    );
+    assert_eq!(
+        events.last().map(|e| e.to),
+        Some(BreakerState::Closed),
+        "probes re-close the breaker after the burst"
+    );
+    assert_eq!(server.breaker_state(), Some(BreakerState::Closed));
+    println!(
+        "fault smoke: {} offered = {} completed ({} via fallback) + {} engine_failure \
+         + {} queue_full + {} deadline_expired; {} batches, p99 {}us, {} breaker transitions",
+        p.requests,
+        p.completed,
+        p.completed_fallback,
+        count(RejectReason::EngineFailure),
+        count(RejectReason::QueueFull),
+        count(RejectReason::DeadlineExpired),
+        p.batches,
+        p.p99_us,
+        events.len(),
+    );
+    let expect = (
+        p.requests,
+        p.completed,
+        p.completed_fallback,
+        count(RejectReason::EngineFailure),
+        count(RejectReason::QueueFull),
+        count(RejectReason::DeadlineExpired),
+        p.batches,
+        p.p99_us,
+        events.len(),
+    );
+    println!("fault smoke signature: {expect:?}");
+    if seed == FAULT_SMOKE_SEED {
+        assert_eq!(
+            expect, FAULT_SMOKE_SIGNATURE,
+            "deterministic fault smoke drifted — if the fault schedule, retry \
+             pricing, or breaker policy changed intentionally, re-pin \
+             FAULT_SMOKE_SIGNATURE"
+        );
+    }
+
+    // With no fallback wired, an open breaker must shed at the door:
+    // all-panic faults fail the first min_samples batches, then every
+    // later submit resolves CircuitOpen (open_us is far beyond the run).
+    let mut shed = Server::new(
+        echo_fallback(),
+        ServeConfig {
+            max_batch: 1,
+            max_wait_us: 0,
+            queue_cap: 16,
+            max_inflight: 1,
+        },
+        clock.clone(),
+    )
+    .with_faults(FaultPlan::new(FaultSpec {
+        panic_per_mille: 1_000,
+        ..FaultSpec::none(seed)
+    }))
+    .with_breaker(BreakerConfig {
+        window: 4,
+        min_samples: 2,
+        error_threshold_per_mille: 500,
+        open_us: 1_000_000_000,
+        probe_batches: 1,
+    });
+    let mut out = Vec::new();
+    for i in 0..16 {
+        clock.advance(1_000);
+        shed.pump();
+        shed.submit(vec![i as f32; ECHO_FEATURES], None);
+        out.append(&mut shed.take_completions());
+    }
+    drain_sim(&mut shed, &clock, &mut out);
+    let shed_count = |r: RejectReason| {
+        out.iter()
+            .filter(|c| c.outcome == Outcome::Rejected { reason: r })
+            .count()
+    };
+    assert_eq!(out.len(), 16, "every probe request resolves once");
+    assert_eq!(
+        (
+            shed_count(RejectReason::EngineFailure),
+            shed_count(RejectReason::CircuitOpen)
+        ),
+        (2, 14),
+        "breaker trips after min_samples failures, then sheds at the door"
+    );
+    assert_eq!(shed.breaker_state(), Some(BreakerState::Open));
+    println!("serve fault smoke OK");
+}
+
+/// The canonical seed `scripts/ci.sh` passes to `--smoke --faults`.
+const FAULT_SMOKE_SEED: u64 = 0xFA17;
+
+/// The exact outcome of the pinned [`fault_smoke`] workload at
+/// [`FAULT_SMOKE_SEED`]: (requests, completed, completed_fallback,
+/// engine_failure, queue_full, deadline_expired, batches, p99_us,
+/// breaker transitions).
+const FAULT_SMOKE_SIGNATURE: (usize, usize, usize, usize, usize, usize, usize, u64, usize) =
+    (1593, 1120, 212, 95, 67, 311, 153, 4160, 18);
+
 fn main() {
     let o = parse();
+    if o.faults.is_some() {
+        sb_bench::silence_injected_panics();
+    }
     if o.smoke {
-        smoke();
+        match o.faults {
+            Some(seed) => fault_smoke(seed),
+            None => smoke(),
+        }
         return;
     }
     let done = match o.engine.as_str() {
@@ -309,10 +557,11 @@ fn main() {
                 },
             ),
             ECHO_FEATURES,
+            echo_fallback,
         ),
         "lenet" => {
-            let (engine, sample_len) = lenet_engine();
-            run(&o, engine, sample_len)
+            let (engine, sample_len) = lenet_engine(16.0);
+            run(&o, engine, sample_len, || lenet_engine(64.0).0)
         }
         _ => usage(),
     };

@@ -26,3 +26,22 @@ pub mod timer;
 pub mod tracediff;
 
 pub use configs::{experiment_config, Scale};
+
+/// Install a panic hook that drops the default stderr report for
+/// `sb-fault`-injected engine panics (they unwind through the worker
+/// pool's `catch_unwind` by design — one backtrace per faulted batch is
+/// pure noise) while forwarding every other panic to the previous hook.
+///
+/// Call once at binary startup before driving a faulted workload.
+pub fn silence_injected_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains("injected engine panic"));
+        if !injected {
+            default(info);
+        }
+    }));
+}

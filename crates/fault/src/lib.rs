@@ -1,0 +1,705 @@
+#![warn(missing_docs)]
+
+//! Fault-tolerance primitives for the serving stack.
+//!
+//! Three pieces, all deliberately **pure over `u64` microsecond
+//! timestamps** (no dependency on `sb-serve`'s `Clock` trait — the
+//! servers read their clock and pass `now_us` in, which keeps the
+//! dependency arrow pointing serve → fault and makes every decision here
+//! replayable under a virtual clock):
+//!
+//! * [`FaultPlan`] — deterministic, seeded fault injection. The fault a
+//!   batch experiences is a pure hash of `(seed, tenant, batch_index)`,
+//!   so a SimClock replay at 1 worker thread injects byte-identical
+//!   faults to a replay at 4 — fault *testing* inherits the same
+//!   determinism contract as the rest of the workspace.
+//! * [`BackoffPolicy`] / [`RetryPolicy`] — bounded retry with
+//!   exponential backoff as saturating integer arithmetic, so a policy
+//!   near `u64::MAX` degrades to "wait forever-ish" instead of
+//!   overflowing into "retry immediately".
+//! * [`CircuitBreaker`] — a per-tenant sliding-window breaker
+//!   (closed → open on error rate, open → half-open after a cooldown,
+//!   half-open → closed after successful probe batches), with every
+//!   transition recorded in a drainable [`BreakerTransition`] log.
+
+use sb_json::{json_enum, json_struct};
+use std::collections::VecDeque;
+
+/// SplitMix64 finalizer: the standard 64-bit avalanche mix.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The fault injected into one batch execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The batch executes normally.
+    None,
+    /// The batch job panics (fatal: no retry recovers it).
+    Panic,
+    /// The batch job fails its first `failing_attempts` attempts with a
+    /// transient error, then succeeds — a retry policy with more
+    /// attempts than that recovers it.
+    Transient {
+        /// Attempts that fail before the job would succeed.
+        failing_attempts: u32,
+    },
+    /// The batch executes correctly but takes `factor`× its normal
+    /// service time.
+    Slow {
+        /// Service-time multiplier (≥ 1).
+        factor: u32,
+    },
+}
+
+impl Fault {
+    /// True for [`Fault::None`].
+    pub fn is_none(&self) -> bool {
+        matches!(self, Fault::None)
+    }
+}
+
+/// Seeded fault-injection rates, in batches per mille.
+///
+/// Rates are checked against a hash roll in `[0, 1000)`: a batch rolls
+/// panic first, then transient, then slow, so the three rates must sum
+/// to at most 1000. `window`, when set, restricts injection to batch
+/// indices in `[start, end)` — the shape of an outage burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed of the fault stream.
+    pub seed: u64,
+    /// Batches per mille that panic.
+    pub panic_per_mille: u32,
+    /// Batches per mille that fail transiently.
+    pub transient_per_mille: u32,
+    /// Batches per mille that run slow.
+    pub slow_per_mille: u32,
+    /// Failing attempts per transient fault (see [`Fault::Transient`]).
+    pub transient_attempts: u32,
+    /// Service-time multiplier per slow fault (see [`Fault::Slow`]).
+    pub slow_factor: u32,
+    /// Batch-index window `[start, end)` the faults are confined to;
+    /// `None` injects over the whole run.
+    pub window_from: Option<u64>,
+    /// End (exclusive) of the fault window; `None` leaves it open.
+    pub window_until: Option<u64>,
+}
+
+json_struct!(FaultSpec {
+    seed,
+    panic_per_mille,
+    transient_per_mille,
+    slow_per_mille,
+    transient_attempts,
+    slow_factor,
+    window_from,
+    window_until
+});
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0,
+            panic_per_mille: 0,
+            transient_per_mille: 0,
+            slow_per_mille: 0,
+            transient_attempts: 1,
+            slow_factor: 4,
+            window_from: None,
+            window_until: None,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A spec injecting nothing (useful as a base for struct update).
+    pub fn none(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            ..FaultSpec::default()
+        }
+    }
+}
+
+/// A compiled fault schedule: [`FaultPlan::fault_for`] is a pure
+/// function of `(seed, tenant, batch_index)`, so the same plan replays
+/// identically at any worker count and in any crate that holds it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+}
+
+impl FaultPlan {
+    /// Compiles `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rates sum past 1000 per mille, a transient fault
+    /// would fail zero attempts, or a slow fault has factor zero.
+    pub fn new(spec: FaultSpec) -> Self {
+        assert!(
+            spec.panic_per_mille + spec.transient_per_mille + spec.slow_per_mille <= 1000,
+            "fault rates sum past 1000 per mille"
+        );
+        assert!(
+            spec.transient_per_mille == 0 || spec.transient_attempts > 0,
+            "a transient fault must fail at least one attempt"
+        );
+        assert!(
+            spec.slow_per_mille == 0 || spec.slow_factor >= 1,
+            "slow factor must be at least 1"
+        );
+        FaultPlan { spec }
+    }
+
+    /// The spec this plan was compiled from.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// The fault injected into `tenant`'s `batch_index`-th primary
+    /// batch. Pure: no internal state, no clock.
+    pub fn fault_for(&self, tenant: u64, batch_index: u64) -> Fault {
+        let s = &self.spec;
+        if s.window_from.is_some_and(|from| batch_index < from)
+            || s.window_until.is_some_and(|until| batch_index >= until)
+        {
+            return Fault::None;
+        }
+        let h = splitmix64(splitmix64(splitmix64(s.seed) ^ tenant) ^ batch_index);
+        let roll = (h % 1000) as u32;
+        if roll < s.panic_per_mille {
+            Fault::Panic
+        } else if roll < s.panic_per_mille + s.transient_per_mille {
+            Fault::Transient {
+                failing_attempts: s.transient_attempts,
+            }
+        } else if roll < s.panic_per_mille + s.transient_per_mille + s.slow_per_mille {
+            Fault::Slow {
+                factor: s.slow_factor,
+            }
+        } else {
+            Fault::None
+        }
+    }
+}
+
+/// Exponential backoff schedule: retry `k` waits
+/// `min(base_us · multiplier^k, max_delay_us)`. All arithmetic
+/// saturates, so policies near `u64::MAX` clamp instead of wrapping into
+/// an instant retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, µs.
+    pub base_us: u64,
+    /// Growth factor per retry (0 is treated as 1: constant backoff).
+    pub multiplier: u32,
+    /// Ceiling on any single delay, µs.
+    pub max_delay_us: u64,
+}
+
+json_struct!(BackoffPolicy {
+    base_us,
+    multiplier,
+    max_delay_us
+});
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base_us: 0,
+            multiplier: 2,
+            max_delay_us: u64::MAX,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay before retry `retry` (0-based: the wait after the first
+    /// failed attempt), µs. Saturating, capped at `max_delay_us`.
+    pub fn delay_us(&self, retry: u32) -> u64 {
+        let mult = self.multiplier.max(1) as u64;
+        let mut d = self.base_us;
+        for _ in 0..retry {
+            if d >= self.max_delay_us {
+                break;
+            }
+            d = d.saturating_mul(mult);
+        }
+        d.min(self.max_delay_us)
+    }
+
+    /// Total delay charged by `retries` retries, µs (saturating sum of
+    /// `delay_us(0..retries)`).
+    pub fn total_delay_us(&self, retries: u32) -> u64 {
+        let mut total = 0u64;
+        for k in 0..retries {
+            total = total.saturating_add(self.delay_us(k));
+            if total == u64::MAX {
+                break;
+            }
+        }
+        total
+    }
+}
+
+/// Bounded retry: how many attempts a transient engine error gets, and
+/// how long each retry waits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (initial try included). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff between attempts.
+    pub backoff: BackoffPolicy,
+}
+
+json_struct!(RetryPolicy { max_attempts, backoff });
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// One attempt, no retries, no backoff.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: BackoffPolicy::default(),
+        }
+    }
+}
+
+/// Circuit-breaker thresholds and timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Sliding window of recent primary batch outcomes consulted for the
+    /// trip decision.
+    pub window: usize,
+    /// Outcomes required in the window before the breaker may trip (a
+    /// single early failure is not an outage).
+    pub min_samples: usize,
+    /// Error rate (per mille of the window) at or above which the
+    /// breaker opens.
+    pub error_threshold_per_mille: u32,
+    /// How long the breaker stays open before probing, µs.
+    pub open_us: u64,
+    /// Consecutive successful probe batches required to re-close.
+    pub probe_batches: u32,
+}
+
+json_struct!(BreakerConfig {
+    window,
+    min_samples,
+    error_threshold_per_mille,
+    open_us,
+    probe_batches
+});
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 16,
+            min_samples: 8,
+            error_threshold_per_mille: 500,
+            open_us: 50_000,
+            probe_batches: 2,
+        }
+    }
+}
+
+/// The breaker's state machine position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all traffic goes to the primary.
+    Closed,
+    /// Tripped: traffic is shed or routed to a fallback.
+    Open,
+    /// Cooldown elapsed: a limited number of probe batches test the
+    /// primary while the rest stays on the fallback path.
+    HalfOpen,
+}
+
+json_enum!(BreakerState { Closed, Open, HalfOpen });
+
+/// One recorded breaker state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// Clock time of the transition, µs.
+    pub at_us: u64,
+    /// State left.
+    pub from: BreakerState,
+    /// State entered.
+    pub to: BreakerState,
+}
+
+json_struct!(BreakerTransition { at_us, from, to });
+
+/// A per-tenant circuit breaker over primary batch outcomes.
+///
+/// Driven entirely from the server's single driver thread: `poll` moves
+/// open → half-open once the cooldown elapses, `record` feeds normal
+/// batch outcomes (tripping closed → open at the error threshold),
+/// `try_probe`/`record_probe` manage the half-open probe budget. Every
+/// transition lands in a log drained by
+/// [`CircuitBreaker::take_transitions`].
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Recent primary outcomes, true = ok, newest at the back.
+    window: VecDeque<bool>,
+    opened_at_us: u64,
+    probes_issued: u32,
+    probes_ok: u32,
+    transitions: Vec<BreakerTransition>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero window, zero `min_samples`, or zero
+    /// `probe_batches` — each would make the machine degenerate (trip on
+    /// nothing, or re-close without evidence).
+    pub fn new(cfg: BreakerConfig) -> Self {
+        assert!(cfg.window > 0, "breaker window must be positive");
+        assert!(cfg.min_samples > 0, "min_samples must be positive");
+        assert!(cfg.probe_batches > 0, "probe_batches must be positive");
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            window: VecDeque::with_capacity(cfg.window),
+            opened_at_us: 0,
+            probes_issued: 0,
+            probes_ok: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The configuration the breaker was built with.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.cfg
+    }
+
+    /// Current state (as of the last `poll`/`record`).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Advances time-driven transitions: open → half-open once
+    /// `open_us` has elapsed since the trip. Returns the state after.
+    pub fn poll(&mut self, now_us: u64) -> BreakerState {
+        if self.state == BreakerState::Open
+            && now_us.saturating_sub(self.opened_at_us) >= self.cfg.open_us
+        {
+            self.transition(now_us, BreakerState::HalfOpen);
+            self.probes_issued = 0;
+            self.probes_ok = 0;
+        }
+        self.state
+    }
+
+    /// Feeds one non-probe primary batch outcome. In the closed state
+    /// this is what trips the breaker; results arriving while open or
+    /// half-open (batches launched before the trip) only update the
+    /// window.
+    pub fn record(&mut self, now_us: u64, ok: bool) {
+        self.push_outcome(ok);
+        if self.state != BreakerState::Closed {
+            return;
+        }
+        if self.window.len() >= self.cfg.min_samples {
+            let errors = self.window.iter().filter(|&&o| !o).count();
+            if errors as u64 * 1000
+                >= self.cfg.error_threshold_per_mille as u64 * self.window.len() as u64
+            {
+                self.trip(now_us);
+            }
+        }
+    }
+
+    /// In the half-open state, claims one probe slot (at most
+    /// `probe_batches` are ever outstanding per half-open episode).
+    /// Returns false in any other state or once the budget is spent.
+    pub fn try_probe(&mut self) -> bool {
+        if self.state == BreakerState::HalfOpen && self.probes_issued < self.cfg.probe_batches {
+            self.probes_issued += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Feeds one probe batch outcome: enough successes re-close the
+    /// breaker (with a fresh window); any failure re-opens it and
+    /// restarts the cooldown. Probe results landing after the state
+    /// already moved on are ignored.
+    pub fn record_probe(&mut self, now_us: u64, ok: bool) {
+        if self.state != BreakerState::HalfOpen {
+            return;
+        }
+        if ok {
+            self.probes_ok += 1;
+            if self.probes_ok >= self.cfg.probe_batches {
+                self.window.clear();
+                self.transition(now_us, BreakerState::Closed);
+            }
+        } else {
+            self.trip(now_us);
+        }
+    }
+
+    /// Drains the transition log, in occurrence order.
+    pub fn take_transitions(&mut self) -> Vec<BreakerTransition> {
+        std::mem::take(&mut self.transitions)
+    }
+
+    fn push_outcome(&mut self, ok: bool) {
+        if self.window.len() == self.cfg.window {
+            self.window.pop_front();
+        }
+        self.window.push_back(ok);
+    }
+
+    fn trip(&mut self, now_us: u64) {
+        self.window.clear();
+        self.opened_at_us = now_us;
+        self.probes_issued = 0;
+        self.probes_ok = 0;
+        self.transition(now_us, BreakerState::Open);
+    }
+
+    fn transition(&mut self, at_us: u64, to: BreakerState) {
+        let from = self.state;
+        self.state = to;
+        self.transitions.push(BreakerTransition { at_us, from, to });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burst_spec() -> FaultSpec {
+        FaultSpec {
+            seed: 0xFA17,
+            panic_per_mille: 300,
+            transient_per_mille: 200,
+            slow_per_mille: 100,
+            transient_attempts: 2,
+            slow_factor: 4,
+            window_from: None,
+            window_until: None,
+        }
+    }
+
+    #[test]
+    fn fault_stream_is_a_pure_function_of_seed_tenant_and_index() {
+        let plan = FaultPlan::new(burst_spec());
+        let trace: Vec<Fault> = (0..512).map(|i| plan.fault_for(3, i)).collect();
+        let replay: Vec<Fault> = (0..512).map(|i| plan.fault_for(3, i)).collect();
+        assert_eq!(trace, replay, "same plan, same trace");
+        let other_seed = FaultPlan::new(FaultSpec {
+            seed: 0xFA18,
+            ..burst_spec()
+        });
+        let other: Vec<Fault> = (0..512).map(|i| other_seed.fault_for(3, i)).collect();
+        assert_ne!(trace, other, "seed feeds the stream");
+        let other_tenant: Vec<Fault> = (0..512).map(|i| plan.fault_for(4, i)).collect();
+        assert_ne!(trace, other_tenant, "tenant feeds the stream");
+    }
+
+    #[test]
+    fn fault_rates_come_out_near_the_configured_per_mille() {
+        let plan = FaultPlan::new(burst_spec());
+        let n = 20_000u64;
+        let mut counts = [0usize; 4];
+        for i in 0..n {
+            match plan.fault_for(0, i) {
+                Fault::None => counts[0] += 1,
+                Fault::Panic => counts[1] += 1,
+                Fault::Transient { failing_attempts } => {
+                    assert_eq!(failing_attempts, 2);
+                    counts[2] += 1;
+                }
+                Fault::Slow { factor } => {
+                    assert_eq!(factor, 4);
+                    counts[3] += 1;
+                }
+            }
+        }
+        for (got, want_per_mille) in [(counts[1], 300), (counts[2], 200), (counts[3], 100)] {
+            let want = (n as usize * want_per_mille) / 1000;
+            assert!(
+                (got as i64 - want as i64).unsigned_abs() < want as u64 / 5,
+                "rate off: got {got}, want ~{want}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_window_confines_the_burst() {
+        let plan = FaultPlan::new(FaultSpec {
+            panic_per_mille: 1000,
+            transient_per_mille: 0,
+            slow_per_mille: 0,
+            window_from: Some(10),
+            window_until: Some(20),
+            ..burst_spec()
+        });
+        for i in 0..30 {
+            let want = if (10..20).contains(&i) {
+                Fault::Panic
+            } else {
+                Fault::None
+            };
+            assert_eq!(plan.fault_for(0, i), want, "batch {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum past 1000")]
+    fn oversubscribed_rates_are_rejected() {
+        FaultPlan::new(FaultSpec {
+            panic_per_mille: 600,
+            transient_per_mille: 600,
+            ..FaultSpec::default()
+        });
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let b = BackoffPolicy {
+            base_us: 100,
+            multiplier: 2,
+            max_delay_us: 1_500,
+        };
+        assert_eq!(b.delay_us(0), 100);
+        assert_eq!(b.delay_us(1), 200);
+        assert_eq!(b.delay_us(3), 800);
+        assert_eq!(b.delay_us(4), 1_500, "capped");
+        assert_eq!(b.delay_us(40), 1_500, "stays capped");
+        assert_eq!(b.total_delay_us(0), 0);
+        assert_eq!(b.total_delay_us(3), 100 + 200 + 400);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_wrapping() {
+        let b = BackoffPolicy {
+            base_us: u64::MAX / 2 + 1,
+            multiplier: 3,
+            max_delay_us: u64::MAX,
+        };
+        assert_eq!(b.delay_us(5), u64::MAX, "delay saturates");
+        assert_eq!(b.total_delay_us(4), u64::MAX, "sum saturates");
+        let zero_mult = BackoffPolicy {
+            base_us: 250,
+            multiplier: 0,
+            max_delay_us: u64::MAX,
+        };
+        assert_eq!(zero_mult.delay_us(7), 250, "multiplier 0 acts constant");
+    }
+
+    fn quick_breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            error_threshold_per_mille: 500,
+            open_us: 1_000,
+            probe_batches: 2,
+        })
+    }
+
+    #[test]
+    fn breaker_trips_at_the_error_threshold_and_probes_back_closed() {
+        let mut b = quick_breaker();
+        b.record(10, true);
+        b.record(20, false);
+        b.record(30, true);
+        assert_eq!(b.state(), BreakerState::Closed, "below min_samples");
+        b.record(40, false);
+        assert_eq!(b.state(), BreakerState::Open, "2/4 errors >= 50%");
+        assert_eq!(b.poll(500), BreakerState::Open, "cooldown not elapsed");
+        assert_eq!(b.poll(1_040), BreakerState::HalfOpen);
+        assert!(b.try_probe());
+        assert!(b.try_probe());
+        assert!(!b.try_probe(), "probe budget spent");
+        b.record_probe(1_100, true);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "one probe is not enough");
+        b.record_probe(1_200, true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        let log = b.take_transitions();
+        let path: Vec<(BreakerState, BreakerState)> =
+            log.iter().map(|t| (t.from, t.to)).collect();
+        assert_eq!(
+            path,
+            vec![
+                (BreakerState::Closed, BreakerState::Open),
+                (BreakerState::Open, BreakerState::HalfOpen),
+                (BreakerState::HalfOpen, BreakerState::Closed),
+            ]
+        );
+        assert_eq!(log[0].at_us, 40);
+        assert_eq!(log[2].at_us, 1_200);
+        assert!(b.take_transitions().is_empty(), "log drains");
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_restarts_the_cooldown() {
+        let mut b = quick_breaker();
+        for t in 0..4 {
+            b.record(t * 10, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        b.poll(2_000);
+        assert!(b.try_probe());
+        b.record_probe(2_100, false);
+        assert_eq!(b.state(), BreakerState::Open, "failed probe re-trips");
+        assert_eq!(b.poll(2_500), BreakerState::Open, "cooldown restarted");
+        assert_eq!(b.poll(3_100), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn stale_results_do_not_disturb_open_or_half_open_states() {
+        let mut b = quick_breaker();
+        for t in 0..4 {
+            b.record(t, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // A pre-trip batch completing late must not flip anything.
+        b.record(50, true);
+        assert_eq!(b.state(), BreakerState::Open);
+        b.poll(5_000);
+        b.record(5_010, false);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "non-probe result ignored");
+        // Probe results after the machine moved on are dropped.
+        let mut closed = quick_breaker();
+        closed.record_probe(10, false);
+        assert_eq!(closed.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_serialization_is_stable() {
+        let t = BreakerTransition {
+            at_us: 42,
+            from: BreakerState::Closed,
+            to: BreakerState::Open,
+        };
+        assert_eq!(
+            sb_json::to_string(&t).expect("serialize"),
+            r#"{"at_us":42,"from":"Closed","to":"Open"}"#
+        );
+        let spec = FaultSpec::none(7);
+        let round: FaultSpec =
+            sb_json::from_str(&sb_json::to_string(&spec).expect("serialize")).expect("parse");
+        assert_eq!(round, spec);
+    }
+}

@@ -29,6 +29,9 @@ pub struct TenantObs<'a> {
     pub quota: Option<(u64, u64)>,
     /// `(latency_us, batch_size)` per completed request.
     pub completed: &'a [(u64, usize)],
+    /// Of `completed`, how many were served by the tenant's
+    /// degraded-mode fallback engine (breaker open on the primary).
+    pub completed_fallback: usize,
     /// The tenant's shed ledger (includes `quota_exceeded` sheds).
     pub rejected: RejectCounts,
     /// Total virtual cost (µs) of batches launched for this tenant.
@@ -137,7 +140,8 @@ impl SchedProfile {
                     "tenant {:?}: max_batch must be positive",
                     t.name
                 );
-                let serve = ServeProfile::measure(t.completed, t.rejected, horizon_us);
+                let serve = ServeProfile::measure(t.completed, t.rejected, horizon_us)
+                    .with_fallback_count(t.completed_fallback);
                 let occupancy = serve.mean_batch / t.max_batch as f64;
                 let cost_share = if total_cost == 0 {
                     0.0
@@ -195,6 +199,7 @@ mod tests {
             max_batch: 8,
             quota: None,
             completed,
+            completed_fallback: 0,
             rejected: RejectCounts::default(),
             served_cost_us,
         }

@@ -32,6 +32,12 @@ pub struct RejectCounts {
     /// Rejected at admission: the submitter's token-bucket quota was
     /// exhausted (multi-tenant rate limiting).
     pub quota_exceeded: usize,
+    /// Resolved as failed: the batch carrying the request panicked or
+    /// exhausted its retry budget.
+    pub engine_failure: usize,
+    /// Shed because the engine's circuit breaker was open and no
+    /// fallback engine was configured.
+    pub circuit_open: usize,
 }
 
 json_struct!(RejectCounts {
@@ -39,7 +45,9 @@ json_struct!(RejectCounts {
     deadline_expired,
     cancelled,
     shutting_down;
-    quota_exceeded
+    quota_exceeded,
+    engine_failure,
+    circuit_open
 });
 
 impl RejectCounts {
@@ -50,6 +58,8 @@ impl RejectCounts {
             + self.cancelled
             + self.shutting_down
             + self.quota_exceeded
+            + self.engine_failure
+            + self.circuit_open
     }
 }
 
@@ -74,6 +84,9 @@ pub struct ServeProfile {
     pub requests: usize,
     /// Requests that executed and returned a prediction.
     pub completed: usize,
+    /// Of `completed`, how many were served by a degraded-mode fallback
+    /// engine (circuit breaker open on the primary).
+    pub completed_fallback: usize,
     /// The shed-load ledger.
     pub rejected: RejectCounts,
     /// Completed requests per second of horizon.
@@ -104,6 +117,7 @@ pub struct ServeProfile {
 json_struct!(serialize_only ServeProfile {
     requests,
     completed,
+    completed_fallback,
     rejected,
     throughput_rps,
     mean_latency_us,
@@ -158,6 +172,7 @@ impl ServeProfile {
         ServeProfile {
             requests: completed.len() + rejected.total(),
             completed: n,
+            completed_fallback: 0,
             rejected,
             throughput_rps: n as f64 / (horizon_us as f64 / 1.0e6),
             mean_latency_us: if n == 0 {
@@ -179,6 +194,18 @@ impl ServeProfile {
             batch_count,
             horizon_us,
         }
+    }
+
+    /// Records how many of the completed requests were served by the
+    /// degraded-mode fallback engine (provenance from the ledger).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the completed count.
+    pub fn with_fallback_count(mut self, n: usize) -> Self {
+        assert!(n <= self.completed, "fallback count exceeds completions");
+        self.completed_fallback = n;
+        self
     }
 
     /// Fraction of offered requests that were refused, in `[0, 1]`.

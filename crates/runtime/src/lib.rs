@@ -42,7 +42,7 @@ mod queue;
 
 pub use parallel::{for_each_chunk_mut, map_chunks, map_chunks_mut, map_items, parallel_for};
 pub use pool::{Pool, Scope};
-pub use queue::{JobContext, JobError, JobHandle, JobQueue, JobSpec};
+pub use queue::{Backoff, JobContext, JobError, JobHandle, JobQueue, JobSpec};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;

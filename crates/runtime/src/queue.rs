@@ -9,6 +9,9 @@
 //! Each job runs under a [`JobSpec`] policy:
 //! - **retries** — a job returning `Err` (or panicking) is re-run up to
 //!   `retries` extra times before the error is published;
+//! - **backoff** — an optional [`Backoff`] schedule waits between
+//!   attempts (exponential with a cap); a wait that would overshoot the
+//!   deadline resolves [`JobError::DeadlineExceeded`] without sleeping;
 //! - **deadline** — measured from submission; once exceeded, no further
 //!   attempt starts and the job resolves to [`JobError::DeadlineExceeded`];
 //! - **cancellation** — [`JobHandle::cancel`] flips a shared flag; a job
@@ -23,12 +26,51 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Per-job execution policy: an optional label plus retry, deadline, and
-/// (via the handle) cancellation behaviour.
+/// Exponential wait schedule between job attempts: retry `k` (0-based)
+/// waits `min(base · multiplier^k, max_delay)`. Arithmetic saturates —
+/// an extreme schedule clamps instead of wrapping into an instant retry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backoff {
+    /// Wait before the first retry.
+    pub base: Duration,
+    /// Growth factor per retry (0 is treated as 1: constant backoff).
+    pub multiplier: u32,
+    /// Ceiling on any single wait.
+    pub max_delay: Duration,
+}
+
+impl Backoff {
+    /// A constant schedule: every retry waits `base`.
+    pub fn constant(base: Duration) -> Self {
+        Backoff {
+            base,
+            multiplier: 1,
+            max_delay: base,
+        }
+    }
+
+    /// The wait before retry `retry` (0-based: the wait after the first
+    /// failed attempt).
+    pub fn delay(&self, retry: u32) -> Duration {
+        let mult = self.multiplier.max(1);
+        let mut d = self.base;
+        for _ in 0..retry {
+            if d >= self.max_delay {
+                break;
+            }
+            d = d.saturating_mul(mult);
+        }
+        d.min(self.max_delay)
+    }
+}
+
+/// Per-job execution policy: an optional label plus retry, backoff,
+/// deadline, and (via the handle) cancellation behaviour.
 #[derive(Clone, Debug, Default)]
 pub struct JobSpec {
     label: String,
     retries: u32,
+    backoff: Option<Backoff>,
     deadline: Option<Duration>,
 }
 
@@ -47,6 +89,15 @@ impl JobSpec {
     /// Re-runs a failing or panicking job up to `retries` extra times.
     pub fn retries(mut self, retries: u32) -> Self {
         self.retries = retries;
+        self
+    }
+
+    /// Waits per `backoff` between attempts instead of retrying
+    /// immediately. A wait that would overshoot the job's deadline
+    /// resolves [`JobError::DeadlineExceeded`] right away, without
+    /// sleeping out the doomed delay.
+    pub fn backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = Some(backoff);
         self
     }
 
@@ -272,6 +323,19 @@ where
             Ok(Err(message)) => last = JobError::Failed { attempts: attempt, message },
             Err(payload) => last = JobError::Panicked(panic_message(payload.as_ref())),
         }
+        if attempt < attempts {
+            if let Some(backoff) = spec.backoff {
+                let delay = backoff.delay(attempt - 1);
+                if let Some(deadline) = spec.deadline {
+                    if submitted.elapsed().saturating_add(delay) > deadline {
+                        return Err(JobError::DeadlineExceeded);
+                    }
+                }
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+        }
     }
     Err(last)
 }
@@ -349,6 +413,67 @@ mod tests {
         assert_eq!(handle.join(), Err(JobError::DeadlineExceeded));
         // The deadline cut retries short of the configured budget.
         assert!(attempts.load(Ordering::SeqCst) <= 1);
+    }
+
+    #[test]
+    fn backoff_schedule_grows_and_caps() {
+        let b = Backoff {
+            base: Duration::from_millis(10),
+            multiplier: 2,
+            max_delay: Duration::from_millis(35),
+        };
+        assert_eq!(b.delay(0), Duration::from_millis(10));
+        assert_eq!(b.delay(1), Duration::from_millis(20));
+        assert_eq!(b.delay(2), Duration::from_millis(35), "capped");
+        assert_eq!(b.delay(30), Duration::from_millis(35), "stays capped");
+        let c = Backoff::constant(Duration::from_millis(5));
+        assert_eq!(c.delay(0), c.delay(9));
+    }
+
+    #[test]
+    fn backoff_retries_run_the_full_attempt_budget() {
+        let queue = JobQueue::on(Arc::new(Pool::new(1)));
+        let tries = Arc::new(AtomicU32::new(0));
+        let tries_in = Arc::clone(&tries);
+        let handle = queue.submit(
+            JobSpec::new()
+                .retries(2)
+                .backoff(Backoff::constant(Duration::from_millis(1))),
+            move |ctx| {
+                tries_in.fetch_add(1, Ordering::SeqCst);
+                Err::<(), _>(format!("attempt {}", ctx.attempt()))
+            },
+        );
+        assert_eq!(
+            handle.join(),
+            Err(JobError::Failed { attempts: 3, message: "attempt 3".into() })
+        );
+        assert_eq!(tries.load(Ordering::SeqCst), 3, "backoff does not eat attempts");
+    }
+
+    #[test]
+    fn backoff_overshooting_the_deadline_fails_fast_without_sleeping() {
+        let queue = JobQueue::on(Arc::new(Pool::new(1)));
+        let attempts = Arc::new(AtomicU32::new(0));
+        let attempts_in = Arc::clone(&attempts);
+        let started = Instant::now();
+        let handle = queue.submit(
+            JobSpec::new()
+                .retries(10)
+                .deadline(Duration::from_millis(200))
+                // First retry would wait 60s — far past the deadline.
+                .backoff(Backoff::constant(Duration::from_secs(60))),
+            move |_| -> Result<(), String> {
+                attempts_in.fetch_add(1, Ordering::SeqCst);
+                Err("always failing".into())
+            },
+        );
+        assert_eq!(handle.join(), Err(JobError::DeadlineExceeded));
+        assert_eq!(attempts.load(Ordering::SeqCst), 1, "no retry past the deadline");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "the doomed 60s wait was skipped"
+        );
     }
 
     #[test]

@@ -36,6 +36,8 @@ impl Clone for TenantSpec {
             priority: self.priority,
             policy: self.policy,
             engine: Arc::clone(&self.engine),
+            fallback: self.fallback.as_ref().map(Arc::clone),
+            breaker: self.breaker,
         }
     }
 }

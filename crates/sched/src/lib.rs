@@ -41,7 +41,14 @@
 //!   byte-identical at any `SB_RUNTIME_THREADS`;
 //! * [`load`] — merged per-tenant arrival schedules, an open-loop sim
 //!   driver, and the [`sb_metrics::SchedProfile`] glue (per-tenant
-//!   throughput/p99/occupancy and fairness error vs ideal WFQ shares).
+//!   throughput/p99/occupancy and fairness error vs ideal WFQ shares);
+//! * **per-tenant fault tolerance** — each tenant is its own failure
+//!   domain: batch panics resolve members as `EngineFailure` without
+//!   touching other tenants, transient faults retry with backoff
+//!   ([`MultiServer::with_retry`]), and a per-tenant circuit breaker
+//!   ([`TenantSpec::with_breaker`]) reroutes to a pruned fallback
+//!   engine ([`TenantSpec::with_fallback`]) or sheds with
+//!   `CircuitOpen`; [`TenantBreakerEvent`]s log every transition.
 //!
 //! Spans: `sched:admit`, `sched:pick`, `sched:tenant:{name}`,
 //! `sched:batch`, `sched:exec`; counters reuse the serving set
@@ -55,5 +62,5 @@ pub mod tenant;
 
 pub use autotune::{autotune, simulate, TuneResult, TuneSpec};
 pub use load::{drain_multi_sim, merged_arrivals, profile, run_multi_open_loop_sim, TenantLoad};
-pub use sched::{MultiServer, PickRecord, SchedCompletion, SchedConfig};
+pub use sched::{MultiServer, PickRecord, SchedCompletion, SchedConfig, TenantBreakerEvent};
 pub use tenant::{Priority, TenantPolicy, TenantQuota, TenantSpec};

@@ -4,7 +4,7 @@
 //! into an [`sb_metrics::SchedProfile`].
 
 use crate::sched::{MultiServer, PickRecord, SchedCompletion};
-use sb_serve::{ArrivalProcess, Outcome, RejectReason, SimClock};
+use sb_serve::{ArrivalProcess, Outcome, RejectReason, ServedBy, SimClock};
 
 /// One tenant's offered load: an arrival schedule plus its deadline
 /// policy (mirrors [`sb_serve::LoadSpec`], per tenant).
@@ -97,11 +97,19 @@ pub fn profile(
 ) -> sb_metrics::SchedProfile {
     let n = ms.tenant_count();
     let mut completed: Vec<Vec<(u64, usize)>> = vec![Vec::new(); n];
+    let mut fallback = vec![0usize; n];
     let mut rejected: Vec<sb_metrics::RejectCounts> = vec![sb_metrics::RejectCounts::default(); n];
     for c in completions {
         match c.completion.outcome {
-            Outcome::Completed { batch_size, .. } => {
+            Outcome::Completed {
+                batch_size,
+                served_by,
+                ..
+            } => {
                 completed[c.tenant].push((c.completion.latency_us(), batch_size));
+                if served_by == ServedBy::Fallback {
+                    fallback[c.tenant] += 1;
+                }
             }
             Outcome::Rejected { reason } => {
                 let r = &mut rejected[c.tenant];
@@ -111,6 +119,8 @@ pub fn profile(
                     RejectReason::Cancelled => r.cancelled += 1,
                     RejectReason::ShuttingDown => r.shutting_down += 1,
                     RejectReason::QuotaExceeded => r.quota_exceeded += 1,
+                    RejectReason::EngineFailure => r.engine_failure += 1,
+                    RejectReason::CircuitOpen => r.circuit_open += 1,
                 }
             }
         }
@@ -129,6 +139,7 @@ pub fn profile(
                 max_batch: spec.policy.max_batch,
                 quota: spec.policy.quota.map(|q| (q.rate_per_s, q.burst)),
                 completed: &completed[i],
+                completed_fallback: fallback[i],
                 rejected: rejected[i],
                 served_cost_us: served_cost[i],
             }

@@ -61,15 +61,34 @@
 //! fairness, EDF ordering, and non-inversion are externally checkable
 //! properties, not implementation trivia.
 //!
+//! # Failure domains
+//!
+//! Each tenant is its own failure domain, mirroring
+//! [`sb_serve::Server`]'s model: a panicking or erroring batch resolves
+//! every member to [`RejectReason::EngineFailure`] without touching the
+//! driver thread or any other tenant's queue, transient errors retry
+//! with bounded backoff ([`MultiServer::with_retry`]), and a per-tenant
+//! circuit breaker ([`TenantSpec::with_breaker`]) trips on the tenant's
+//! own primary-engine error rate. While a tenant's breaker is open its
+//! traffic routes to that tenant's pruned fallback engine
+//! ([`TenantSpec::with_fallback`]) — charged at the *fallback's* WFQ
+//! price, so degraded tenants get cheaper batches, not starved ones —
+//! or, with no fallback, is shed as
+//! [`RejectReason::CircuitOpen`]. Injected faults
+//! ([`MultiServer::with_faults`]) key off `(tenant, primary batch
+//! index)`, so a fault run replays bit-identically at any thread count.
+//!
 //! [`service_us`]: sb_serve::BatchEngine::service_us
 
 use crate::tenant::{Priority, TenantSpec};
+use sb_fault::{BreakerState, CircuitBreaker, Fault, FaultPlan, RetryPolicy};
 use sb_json::{json_struct, Json, ToJson};
-use sb_runtime::{JobHandle, JobQueue, JobSpec};
-use sb_serve::{Clock, Completion, Outcome, RejectReason};
+use sb_runtime::{Backoff, JobHandle, JobQueue, JobSpec};
+use sb_serve::{BatchEngine, Clock, Completion, Outcome, RejectReason, ServedBy};
 use sb_trace::CounterId;
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Fixed-point scale for tenant virtual time (`cost << SHIFT / weight`).
 const VTIME_SHIFT: u32 = 16;
@@ -134,8 +153,13 @@ pub struct PickRecord {
     pub head_deadlines: Vec<Option<u64>>,
     /// Samples in the launched batch.
     pub batch_size: usize,
-    /// WFQ charge: the engine's virtual price of this batch, µs.
+    /// WFQ charge: the virtual price of this batch, µs — the *routed*
+    /// engine's price, so a breaker-open tenant on its pruned fallback
+    /// is charged the fallback's cheaper rate.
     pub cost_us: u64,
+    /// Which engine the batch routed to (fallback while the tenant's
+    /// breaker is open or its half-open probe budget is spent).
+    pub served_by: ServedBy,
 }
 
 json_struct!(serialize_only PickRecord {
@@ -145,7 +169,30 @@ json_struct!(serialize_only PickRecord {
     eligible,
     head_deadlines,
     batch_size,
-    cost_us
+    cost_us,
+    served_by
+});
+
+/// One circuit-breaker state change, tagged with the tenant whose
+/// breaker moved (the multi-tenant analogue of
+/// [`sb_fault::BreakerTransition`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantBreakerEvent {
+    /// Index of the tenant whose breaker transitioned.
+    pub tenant: usize,
+    /// Clock time of the transition, µs.
+    pub at_us: u64,
+    /// State left.
+    pub from: BreakerState,
+    /// State entered.
+    pub to: BreakerState,
+}
+
+json_struct!(serialize_only TenantBreakerEvent {
+    tenant,
+    at_us,
+    from,
+    to
 });
 
 struct Pending {
@@ -168,6 +215,11 @@ struct TenantState {
     quota_tokens: u64,
     /// Clock time the bucket was last refilled to.
     quota_refill_us: u64,
+    /// Circuit breaker over this tenant's primary-engine outcomes.
+    breaker: Option<CircuitBreaker>,
+    /// Primary batches launched for this tenant — the fault-plan key,
+    /// so fault schedules are per-tenant streams.
+    primary_batches: u64,
 }
 
 impl TenantState {
@@ -194,6 +246,11 @@ struct Inflight {
     members: Vec<(u64, u64)>,
     /// Virtual completion time; authoritative under a virtual clock.
     done_us: u64,
+    /// Which engine ran the batch (fallback outcomes never feed the
+    /// tenant's breaker).
+    served_by: ServedBy,
+    /// True when this is a half-open probe of the tenant's primary.
+    probe: bool,
     handle: JobHandle<(Vec<usize>, u64)>,
 }
 
@@ -211,6 +268,10 @@ pub struct MultiServer {
     next_id: u64,
     next_batch: u64,
     draining: bool,
+    /// Deterministic fault injection over `(tenant, primary batch)`.
+    faults: Option<FaultPlan>,
+    /// Retry budget and backoff for transient engine faults.
+    retry: RetryPolicy,
 }
 
 impl MultiServer {
@@ -271,11 +332,13 @@ impl MultiServer {
                         .policy
                         .quota
                         .map_or(0, |q| q.burst.saturating_mul(QUOTA_TOKEN)),
+                    breaker: spec.breaker.map(CircuitBreaker::new),
                     spec,
                     queue: VecDeque::new(),
                     vtime: 0,
                     served_cost_us: 0,
                     quota_refill_us: 0,
+                    primary_batches: 0,
                 })
                 .collect(),
             inflight: VecDeque::new(),
@@ -285,7 +348,52 @@ impl MultiServer {
             next_id: 0,
             next_batch: 0,
             draining: false,
+            faults: None,
+            retry: RetryPolicy::none(),
         }
+    }
+
+    /// Injects deterministic faults into primary batch execution: the
+    /// plan is keyed by `(tenant index, tenant's primary batch index)`,
+    /// so each tenant sees its own reproducible fault stream and
+    /// fallback batches are never faulted.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Bounded retry for transient engine faults, shared by all
+    /// tenants. Backoff is charged into the batch's virtual completion
+    /// time, so retries stay deterministic under a virtual clock.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        assert!(retry.max_attempts >= 1, "retry needs at least one attempt");
+        self.retry = retry;
+        self
+    }
+
+    /// A tenant's breaker state; `None` when the tenant has no breaker.
+    pub fn breaker_state(&self, tenant: usize) -> Option<BreakerState> {
+        self.tenants[tenant].breaker.as_ref().map(|b| b.state())
+    }
+
+    /// Drains every tenant's recorded breaker transitions as one
+    /// tenant-tagged stream, ordered by time (ties by tenant index).
+    pub fn take_breaker_events(&mut self) -> Vec<TenantBreakerEvent> {
+        let mut out: Vec<TenantBreakerEvent> = Vec::new();
+        for (ti, t) in self.tenants.iter_mut().enumerate() {
+            if let Some(b) = t.breaker.as_mut() {
+                out.extend(b.take_transitions().into_iter().map(|tr| {
+                    TenantBreakerEvent {
+                        tenant: ti,
+                        at_us: tr.at_us,
+                        from: tr.from,
+                        to: tr.to,
+                    }
+                }));
+            }
+        }
+        out.sort_by_key(|e| (e.at_us, e.tenant));
+        out
     }
 
     /// Number of tenants.
@@ -333,10 +441,19 @@ impl MultiServer {
         let t = &mut self.tenants[tenant];
         t.refill_quota(now);
         let has_quota = t.spec.policy.quota.is_some();
+        // Admission-time breaker check: with the tenant's breaker open
+        // and no fallback to degrade onto, new work is shed at the door
+        // rather than queued toward a known-failing engine.
+        let shed_open = t.spec.fallback.is_none()
+            && t.breaker
+                .as_mut()
+                .is_some_and(|b| b.poll(now) == BreakerState::Open);
         let reject = if self.draining {
             Some(RejectReason::ShuttingDown)
         } else if has_quota && t.quota_tokens < QUOTA_TOKEN {
             Some(RejectReason::QuotaExceeded)
+        } else if shed_open {
+            Some(RejectReason::CircuitOpen)
         } else if t.queue.len() >= t.spec.policy.queue_cap {
             Some(RejectReason::QueueFull)
         } else if deadline_us.is_some_and(|d| d <= now) {
@@ -521,32 +638,66 @@ impl MultiServer {
         }
     }
 
+    /// Resolves one finished batch. The batch job is the panic
+    /// containment boundary: the `JobQueue` catches panics and surfaces
+    /// them as errors here, and a failed batch resolves every member to
+    /// [`RejectReason::EngineFailure`] — the driver thread, the other
+    /// tenants, and the exactly-once ledger survive any engine fault.
     fn harvest_one(&mut self, batch: Inflight) {
         let virtual_done = batch.done_us;
         let size = batch.members.len();
-        let (preds, finished_us) = batch
-            .handle
-            .join()
-            .expect("batch jobs do not fail, retry, or cancel");
-        debug_assert_eq!(preds.len(), size, "one prediction per member");
-        let done_us = if self.clock.is_virtual() {
-            virtual_done
-        } else {
-            finished_us
+        let result = batch.handle.join();
+        let done_us = match &result {
+            _ if self.clock.is_virtual() => virtual_done,
+            Ok((_, finished_us)) => *finished_us,
+            Err(_) => self.clock.now_us(),
         };
-        for ((id, submitted_us), predicted) in batch.members.into_iter().zip(preds) {
-            self.completions.push(SchedCompletion {
-                tenant: batch.tenant,
-                completion: Completion {
-                    id,
-                    submitted_us,
-                    done_us,
-                    outcome: Outcome::Completed {
-                        predicted,
-                        batch_size: size,
-                    },
-                },
-            });
+        // Only primary outcomes feed the tenant's breaker: the fallback
+        // serving well says nothing about primary recovery.
+        if batch.served_by == ServedBy::Primary {
+            if let Some(b) = self.tenants[batch.tenant].breaker.as_mut() {
+                if batch.probe {
+                    b.record_probe(done_us, result.is_ok());
+                } else {
+                    b.record(done_us, result.is_ok());
+                }
+            }
+        }
+        match result {
+            Ok((preds, _)) => {
+                debug_assert_eq!(preds.len(), size, "one prediction per member");
+                for ((id, submitted_us), predicted) in batch.members.into_iter().zip(preds) {
+                    self.completions.push(SchedCompletion {
+                        tenant: batch.tenant,
+                        completion: Completion {
+                            id,
+                            submitted_us,
+                            done_us,
+                            outcome: Outcome::Completed {
+                                predicted,
+                                batch_size: size,
+                                served_by: batch.served_by,
+                            },
+                        },
+                    });
+                }
+            }
+            Err(_) => {
+                sb_trace::add(CounterId::RequestsRejected, size as u64);
+                for (id, submitted_us) in batch.members {
+                    self.completions.push(SchedCompletion {
+                        tenant: batch.tenant,
+                        completion: Completion {
+                            id,
+                            submitted_us,
+                            done_us,
+                            outcome: Outcome::Rejected {
+                                reason: RejectReason::EngineFailure,
+                            },
+                        },
+                    });
+                }
+            }
         }
     }
 
@@ -684,11 +835,64 @@ impl MultiServer {
         if members.is_empty() {
             return;
         }
+
+        // Route through the tenant's breaker: closed → primary, open →
+        // fallback (or shed), half-open → a bounded number of primary
+        // probes with the rest on the fallback path.
+        let state = match self.tenants[tenant].breaker.as_mut() {
+            Some(b) => b.poll(now),
+            None => BreakerState::Closed,
+        };
+        let has_fallback = self.tenants[tenant].spec.fallback.is_some();
+        let (served_by, probe) = match state {
+            BreakerState::Closed => (ServedBy::Primary, false),
+            BreakerState::HalfOpen => {
+                let probing = self.tenants[tenant]
+                    .breaker
+                    .as_mut()
+                    .expect("state implies breaker")
+                    .try_probe();
+                if probing {
+                    (ServedBy::Primary, true)
+                } else if has_fallback {
+                    (ServedBy::Fallback, false)
+                } else {
+                    self.shed_members(tenant, members, now, RejectReason::CircuitOpen);
+                    return;
+                }
+            }
+            BreakerState::Open => {
+                if has_fallback {
+                    (ServedBy::Fallback, false)
+                } else {
+                    self.shed_members(tenant, members, now, RejectReason::CircuitOpen);
+                    return;
+                }
+            }
+        };
         let t = &mut self.tenants[tenant];
+        let engine: Arc<dyn BatchEngine> = match served_by {
+            ServedBy::Primary => Arc::clone(&t.spec.engine),
+            ServedBy::Fallback => {
+                Arc::clone(t.spec.fallback.as_ref().expect("fallback routing checked"))
+            }
+        };
+        // Faults hit primary batches only, keyed per tenant.
+        let fault = match served_by {
+            ServedBy::Primary => {
+                let idx = t.primary_batches;
+                t.primary_batches += 1;
+                self.faults
+                    .map_or(Fault::None, |plan| plan.fault_for(tenant as u64, idx))
+            }
+            ServedBy::Fallback => Fault::None,
+        };
         let n = members.len();
-        let cost_us = t.spec.engine.service_us(n);
+        let cost_us = engine.service_us(n);
         // WFQ accounting: the scheduler's virtual clock is the winner's
-        // start tag; the winner is then charged cost/weight.
+        // start tag; the winner is then charged cost/weight — at the
+        // routed engine's price, so degraded traffic on a cheap pruned
+        // fallback is charged the fallback rate.
         self.vnow = self.vnow.max(t.vtime);
         t.vtime += ((cost_us as u128) << VTIME_SHIFT) / t.spec.weight as u128;
         t.served_cost_us += cost_us;
@@ -700,27 +904,85 @@ impl MultiServer {
             head_deadlines,
             batch_size: n,
             cost_us,
+            served_by,
         });
         sb_trace::add(CounterId::BatchesExecuted, 1);
         sb_trace::add(CounterId::BatchOccupancy, n as u64);
-        let engine = Arc::clone(&t.spec.engine);
         let clock = Arc::clone(&self.clock);
         let seq = self.next_batch;
         self.next_batch += 1;
-        let handle = self.jobs.submit(
-            JobSpec::new().label(format!("sched-batch-{seq}")),
-            move |_ctx| {
-                let _exec = sb_trace::span("sched:exec");
-                let preds = engine.run_batch(&inputs, n);
-                Ok((preds, clock.now_us()))
-            },
-        );
+        // Virtual completion prices the fault in: a slow batch takes
+        // factor× the service time; a transient failure pays one service
+        // time per attempt plus the backoff waits between them.
+        let done_us = match fault {
+            Fault::None | Fault::Panic => now + cost_us,
+            Fault::Slow { factor } => now.saturating_add(cost_us.saturating_mul(factor as u64)),
+            Fault::Transient { failing_attempts } => {
+                let attempts = (failing_attempts + 1).min(self.retry.max_attempts);
+                now.saturating_add(cost_us.saturating_mul(attempts as u64))
+                    .saturating_add(self.retry.backoff.total_delay_us(attempts - 1))
+            }
+        };
+        let mut spec = JobSpec::new().label(format!("sched-batch-{seq}"));
+        if matches!(fault, Fault::Transient { .. }) && self.retry.max_attempts > 1 {
+            spec = spec.retries(self.retry.max_attempts - 1);
+            // Real inter-attempt sleeps only make sense on a wall
+            // clock; under a virtual clock the backoff is already
+            // charged into `done_us` and sleeping would just stall the
+            // pool worker at wall speed.
+            if !self.clock.is_virtual() {
+                let b = self.retry.backoff;
+                spec = spec.backoff(Backoff {
+                    base: Duration::from_micros(b.base_us),
+                    multiplier: b.multiplier,
+                    max_delay: Duration::from_micros(b.max_delay_us),
+                });
+            }
+        }
+        let handle = self.jobs.submit(spec, move |ctx| {
+            let _exec = sb_trace::span("sched:exec");
+            match fault {
+                Fault::Panic => panic!("injected engine panic (batch {seq})"),
+                Fault::Transient { failing_attempts } if ctx.attempt() <= failing_attempts => {
+                    Err(format!("injected transient engine fault (batch {seq})"))
+                }
+                _ => {
+                    let preds = engine.run_batch(&inputs, n);
+                    Ok((preds, clock.now_us()))
+                }
+            }
+        });
         self.inflight.push_back(Inflight {
             tenant,
             members,
-            done_us: now + cost_us,
+            done_us,
+            served_by,
+            probe,
             handle,
         });
+    }
+
+    /// Resolves a formed-but-unlaunchable batch's members (breaker open
+    /// with no fallback and no probe budget).
+    fn shed_members(
+        &mut self,
+        tenant: usize,
+        members: Vec<(u64, u64)>,
+        now: u64,
+        reason: RejectReason,
+    ) {
+        sb_trace::add(CounterId::RequestsRejected, members.len() as u64);
+        for (id, submitted_us) in members {
+            self.completions.push(SchedCompletion {
+                tenant,
+                completion: Completion {
+                    id,
+                    submitted_us,
+                    done_us: now,
+                    outcome: Outcome::Rejected { reason },
+                },
+            });
+        }
     }
 }
 
@@ -1020,7 +1282,8 @@ mod tests {
             c.completion.outcome,
             Outcome::Completed {
                 predicted: 5,
-                batch_size: 1
+                batch_size: 1,
+                served_by: ServedBy::Primary
             }
         );
     }
@@ -1184,10 +1447,11 @@ mod tests {
             head_deadlines: vec![None, Some(700)],
             batch_size: 2,
             cost_us: 120,
+            served_by: ServedBy::Primary,
         };
         assert_eq!(
             sb_json::to_string(&p).expect("serialize"),
-            r#"{"at_us":5,"tenant":1,"priority":"Interactive","eligible":[0,1],"head_deadlines":[null,700],"batch_size":2,"cost_us":120}"#
+            r#"{"at_us":5,"tenant":1,"priority":"Interactive","eligible":[0,1],"head_deadlines":[null,700],"batch_size":2,"cost_us":120,"served_by":"Primary"}"#
         );
     }
 
@@ -1202,12 +1466,13 @@ mod tests {
                 outcome: Outcome::Completed {
                     predicted: 3,
                     batch_size: 4,
+                    served_by: ServedBy::Primary,
                 },
             },
         };
         assert_eq!(
             sb_json::to_string(&c).expect("serialize"),
-            r#"{"tenant":2,"id":7,"submitted_us":10,"done_us":150,"outcome":{"status":"completed","predicted":3,"batch_size":4}}"#
+            r#"{"tenant":2,"id":7,"submitted_us":10,"done_us":150,"outcome":{"status":"completed","predicted":3,"batch_size":4,"served_by":"Primary"}}"#
         );
     }
 }

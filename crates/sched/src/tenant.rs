@@ -1,6 +1,7 @@
 //! Tenant description: who is served, at what priority, with what
 //! batching policy, and how much of the pool it is entitled to.
 
+use sb_fault::BreakerConfig;
 use sb_json::{json_enum, json_struct};
 use sb_serve::BatchEngine;
 use std::sync::Arc;
@@ -123,6 +124,16 @@ pub struct TenantSpec {
     /// and WFQ charges, so a cheap pruned model is charged less per
     /// batch than a dense one and cannot be starved by it.
     pub engine: Arc<dyn BatchEngine>,
+    /// Degraded-mode engine (typically a heavily pruned variant of
+    /// `engine`) serving this tenant while its circuit breaker is open.
+    /// `None` means the tenant sheds with
+    /// [`RejectReason::CircuitOpen`](sb_serve::RejectReason::CircuitOpen)
+    /// instead of degrading.
+    pub fallback: Option<Arc<dyn BatchEngine>>,
+    /// Circuit-breaker thresholds guarding this tenant's primary engine;
+    /// `None` disables the breaker (failures still resolve as
+    /// `EngineFailure`, but nothing trips).
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl TenantSpec {
@@ -141,7 +152,37 @@ impl TenantSpec {
             priority,
             policy,
             engine,
+            fallback: None,
+            breaker: None,
         }
+    }
+
+    /// Attaches a degraded-mode fallback engine. Its sample shape must
+    /// match the primary's so queued inputs route to either unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fallback`'s `sample_len` or `classes` differ from the
+    /// primary engine's.
+    pub fn with_fallback(mut self, fallback: Arc<dyn BatchEngine>) -> Self {
+        assert_eq!(
+            fallback.sample_len(),
+            self.engine.sample_len(),
+            "fallback engine must accept the primary's sample shape"
+        );
+        assert_eq!(
+            fallback.classes(),
+            self.engine.classes(),
+            "fallback engine must emit the primary's class count"
+        );
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Attaches a circuit breaker with the given thresholds.
+    pub fn with_breaker(mut self, cfg: BreakerConfig) -> Self {
+        self.breaker = Some(cfg);
+        self
     }
 }
 

@@ -302,6 +302,7 @@ fn multi_accountability(w: &MultiWorkload, done: &[SchedCompletion]) -> Result<(
             Outcome::Completed {
                 predicted,
                 batch_size,
+                ..
             } => {
                 if predicted != i % CLASSES {
                     return Err(format!(

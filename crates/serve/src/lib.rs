@@ -38,9 +38,13 @@ pub mod load;
 pub mod server;
 
 pub use clock::{Clock, SimClock, WallClock};
-pub use engine::{BatchEngine, EchoEngine, InferEngine, ServiceModel};
+pub use engine::{BatchEngine, EchoEngine, FallbackEngine, InferEngine, ServiceModel};
 pub use load::{
     drain_sim, profile, run_closed_loop_sim, run_open_loop_sim, run_open_loop_wall,
     ArrivalProcess, LoadSpec,
 };
-pub use server::{Completion, Outcome, RejectReason, ServeConfig, Server};
+pub use sb_fault::{
+    BackoffPolicy, BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, Fault,
+    FaultPlan, FaultSpec, RetryPolicy,
+};
+pub use server::{Completion, Outcome, RejectReason, ServeConfig, ServedBy, Server};

@@ -289,13 +289,21 @@ pub fn run_closed_loop_sim<E: BatchEngine + 'static>(
 /// completed requests feed the latency/batch distributions, rejections
 /// feed the shed-load ledger.
 pub fn profile(completions: &[Completion], horizon_us: u64) -> sb_metrics::ServeProfile {
-    use crate::server::{Outcome, RejectReason};
+    use crate::server::{Outcome, RejectReason, ServedBy};
     let mut completed: Vec<(u64, usize)> = Vec::new();
+    let mut fallback = 0usize;
     let mut rejected = sb_metrics::RejectCounts::default();
     for c in completions {
         match c.outcome {
-            Outcome::Completed { batch_size, .. } => {
+            Outcome::Completed {
+                batch_size,
+                served_by,
+                ..
+            } => {
                 completed.push((c.latency_us(), batch_size));
+                if served_by == ServedBy::Fallback {
+                    fallback += 1;
+                }
             }
             Outcome::Rejected { reason } => match reason {
                 RejectReason::QueueFull => rejected.queue_full += 1,
@@ -303,10 +311,13 @@ pub fn profile(completions: &[Completion], horizon_us: u64) -> sb_metrics::Serve
                 RejectReason::Cancelled => rejected.cancelled += 1,
                 RejectReason::ShuttingDown => rejected.shutting_down += 1,
                 RejectReason::QuotaExceeded => rejected.quota_exceeded += 1,
+                RejectReason::EngineFailure => rejected.engine_failure += 1,
+                RejectReason::CircuitOpen => rejected.circuit_open += 1,
             },
         }
     }
     sb_metrics::ServeProfile::measure(&completed, rejected, horizon_us)
+        .with_fallback_count(fallback)
 }
 
 #[cfg(test)]

@@ -32,14 +32,36 @@
 //! all busy the queue keeps filling until admission control sheds load
 //! with [`RejectReason::QueueFull`] — that bounded queue *is* the
 //! backpressure.
+//!
+//! # Failure domains
+//!
+//! Batch execution is the server's only failure domain, and it is
+//! contained: a batch job that panics or exhausts its retry budget
+//! resolves every member to [`RejectReason::EngineFailure`] instead of
+//! killing the driver, so the exactly-once ledger survives any engine
+//! fault. Transient errors retry per a [`RetryPolicy`], with backoff
+//! charged through the [`Clock`](crate::Clock) (deterministic under
+//! `SimClock`). An optional per-server [`CircuitBreaker`] watches
+//! primary outcomes: while open, traffic routes to a cheaper fallback
+//! engine (provenance recorded as [`ServedBy::Fallback`]) or, with no
+//! fallback, sheds fast with [`RejectReason::CircuitOpen`]; half-open
+//! probe batches test the primary and re-close the breaker. Faults
+//! themselves can be injected deterministically via
+//! [`FaultPlan`] — fault `k` hits the `k`-th primary batch, a pure
+//! function of the plan's seed, so fault runs replay byte-identically
+//! at any worker count.
 
 use crate::clock::Clock;
-use crate::engine::BatchEngine;
+use crate::engine::{BatchEngine, FallbackEngine};
+use sb_fault::{
+    BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, Fault, FaultPlan, RetryPolicy,
+};
 use sb_json::{json_enum, json_struct, Json, ToJson};
-use sb_runtime::{JobHandle, JobQueue, JobSpec};
+use sb_runtime::{Backoff, JobHandle, JobQueue, JobSpec};
 use sb_trace::CounterId;
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Serving policy knobs.
 #[derive(Debug, Clone)]
@@ -82,6 +104,14 @@ pub enum RejectReason {
     /// The submitter's token-bucket admission quota was exhausted
     /// (multi-tenant rate limiting — see `sb-sched`'s `TenantQuota`).
     QuotaExceeded,
+    /// The batch carrying this request failed — the engine panicked, or
+    /// a transient error survived the retry budget. The ledger resolves
+    /// the members instead of orphaning them.
+    EngineFailure,
+    /// The engine's circuit breaker was open and no fallback engine was
+    /// configured, so the request was shed fast rather than queued
+    /// toward a known-failing engine.
+    CircuitOpen,
 }
 
 json_enum!(RejectReason {
@@ -89,8 +119,23 @@ json_enum!(RejectReason {
     DeadlineExpired,
     Cancelled,
     ShuttingDown,
-    QuotaExceeded
+    QuotaExceeded,
+    EngineFailure,
+    CircuitOpen
 });
+
+/// Which engine produced a completion: the primary model, or the
+/// cheaper (typically pruned) fallback that serves while the primary's
+/// circuit breaker is open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// The configured primary engine.
+    Primary,
+    /// The degraded-mode fallback engine.
+    Fallback,
+}
+
+json_enum!(ServedBy { Primary, Fallback });
 
 /// How a request resolved.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,6 +146,8 @@ pub enum Outcome {
         predicted: usize,
         /// Size of the batch the request rode in.
         batch_size: usize,
+        /// Which engine executed the batch (degraded-mode provenance).
+        served_by: ServedBy,
     },
     /// The request never executed.
     Rejected {
@@ -115,10 +162,12 @@ impl ToJson for Outcome {
             Outcome::Completed {
                 predicted,
                 batch_size,
+                served_by,
             } => Json::Obj(vec![
                 ("status".to_string(), Json::Str("completed".to_string())),
                 ("predicted".to_string(), Json::Int(*predicted as i128)),
                 ("batch_size".to_string(), Json::Int(*batch_size as i128)),
+                ("served_by".to_string(), served_by.to_json()),
             ]),
             Outcome::Rejected { reason } => Json::Obj(vec![
                 ("status".to_string(), Json::Str("rejected".to_string())),
@@ -173,9 +222,15 @@ struct Pending {
 struct Inflight {
     /// `(id, submitted_us)` per member, batch order.
     members: Vec<(u64, u64)>,
-    /// Virtual completion time (service-model priced); authoritative
-    /// under a virtual clock, ignored under wall time.
+    /// Virtual completion time (service-model priced, including injected
+    /// slowdowns and retry backoff); authoritative under a virtual
+    /// clock, ignored under wall time.
     done_us: u64,
+    /// Which engine is executing the batch.
+    served_by: ServedBy,
+    /// True for a half-open breaker probe (its outcome feeds
+    /// `record_probe`, not the normal window).
+    probe: bool,
     handle: JobHandle<(Vec<usize>, u64)>,
 }
 
@@ -191,6 +246,12 @@ pub struct Server<E: BatchEngine + 'static> {
     next_id: u64,
     next_batch: u64,
     draining: bool,
+    faults: Option<FaultPlan>,
+    retry: RetryPolicy,
+    breaker: Option<CircuitBreaker>,
+    fallback: Option<FallbackEngine>,
+    /// Primary batches launched so far; index into the fault plan.
+    primary_batches: u64,
 }
 
 impl<E: BatchEngine + 'static> Server<E> {
@@ -210,12 +271,70 @@ impl<E: BatchEngine + 'static> Server<E> {
             next_id: 0,
             next_batch: 0,
             draining: false,
+            faults: None,
+            retry: RetryPolicy::none(),
+            breaker: None,
+            fallback: None,
+            primary_batches: 0,
         }
+    }
+
+    /// Injects deterministic faults into primary batch execution: fault
+    /// `k` of the plan hits the `k`-th primary batch, so the whole fault
+    /// run is a pure function of the plan's seed and the workload.
+    /// Fallback batches are never faulted.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Bounded retry for transient engine errors. Backoff between
+    /// attempts is charged into the batch's virtual completion time, so
+    /// retries are deterministic under `SimClock`; under a wall clock
+    /// the pool worker really sleeps.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        assert!(retry.max_attempts >= 1, "retry needs at least one attempt");
+        self.retry = retry;
+        self
+    }
+
+    /// Arms a circuit breaker over primary batch outcomes (see the
+    /// module docs' failure-domain section for the state machine).
+    pub fn with_breaker(mut self, cfg: BreakerConfig) -> Self {
+        self.breaker = Some(CircuitBreaker::new(cfg));
+        self
+    }
+
+    /// Routes traffic to `fallback` (typically a heavily pruned variant
+    /// of the primary model) while the primary's breaker is open.
+    /// Completions carry [`ServedBy`] provenance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fallback's sample length or class count differs
+    /// from the primary's.
+    pub fn with_fallback(mut self, fallback: impl BatchEngine + 'static) -> Self {
+        let primary: Arc<dyn BatchEngine> = self.engine.clone();
+        self.fallback = Some(FallbackEngine::new(primary, Arc::new(fallback)));
+        self
     }
 
     /// The engine being served.
     pub fn engine(&self) -> &E {
         &self.engine
+    }
+
+    /// The breaker's current state; `None` when no breaker is armed.
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.breaker.as_ref().map(|b| b.state())
+    }
+
+    /// Drains recorded breaker state transitions, in occurrence order.
+    pub fn take_breaker_events(&mut self) -> Vec<BreakerTransition> {
+        self.breaker
+            .as_mut()
+            .map(|b| b.take_transitions())
+            .unwrap_or_default()
     }
 
     /// Admits (or rejects) one single-sample request. Returns its id;
@@ -244,6 +363,8 @@ impl<E: BatchEngine + 'static> Server<E> {
         self.next_id += 1;
         let reject = if self.draining {
             Some(RejectReason::ShuttingDown)
+        } else if self.shed_while_open(now) {
+            Some(RejectReason::CircuitOpen)
         } else if self.queue.len() >= self.cfg.queue_cap {
             Some(RejectReason::QueueFull)
         } else if deadline_us.is_some_and(|d| d <= now) {
@@ -412,29 +533,60 @@ impl<E: BatchEngine + 'static> Server<E> {
         }
     }
 
+    /// Resolves one finished batch. The batch job is the panic
+    /// containment boundary: the `JobQueue` catches panics and surfaces
+    /// them as errors here, and a failed batch resolves every member to
+    /// [`RejectReason::EngineFailure`] — the driver thread and the
+    /// exactly-once ledger survive any engine fault.
     fn harvest_one(&mut self, batch: Inflight) {
         let virtual_done = batch.done_us;
         let size = batch.members.len();
-        let (preds, finished_us) = batch
-            .handle
-            .join()
-            .expect("batch jobs do not fail, retry, or cancel");
-        debug_assert_eq!(preds.len(), size, "one prediction per member");
-        let done_us = if self.clock.is_virtual() {
-            virtual_done
-        } else {
-            finished_us
+        let result = batch.handle.join();
+        let done_us = match &result {
+            _ if self.clock.is_virtual() => virtual_done,
+            Ok((_, finished_us)) => *finished_us,
+            Err(_) => self.clock.now_us(),
         };
-        for ((id, submitted_us), predicted) in batch.members.into_iter().zip(preds) {
-            self.completions.push(Completion {
-                id,
-                submitted_us,
-                done_us,
-                outcome: Outcome::Completed {
-                    predicted,
-                    batch_size: size,
-                },
-            });
+        // Only primary outcomes feed the breaker: the fallback serving
+        // well says nothing about whether the primary has recovered.
+        if batch.served_by == ServedBy::Primary {
+            if let Some(b) = self.breaker.as_mut() {
+                if batch.probe {
+                    b.record_probe(done_us, result.is_ok());
+                } else {
+                    b.record(done_us, result.is_ok());
+                }
+            }
+        }
+        match result {
+            Ok((preds, _)) => {
+                debug_assert_eq!(preds.len(), size, "one prediction per member");
+                for ((id, submitted_us), predicted) in batch.members.into_iter().zip(preds) {
+                    self.completions.push(Completion {
+                        id,
+                        submitted_us,
+                        done_us,
+                        outcome: Outcome::Completed {
+                            predicted,
+                            batch_size: size,
+                            served_by: batch.served_by,
+                        },
+                    });
+                }
+            }
+            Err(_) => {
+                sb_trace::add(CounterId::RequestsRejected, size as u64);
+                for (id, submitted_us) in batch.members {
+                    self.completions.push(Completion {
+                        id,
+                        submitted_us,
+                        done_us,
+                        outcome: Outcome::Rejected {
+                            reason: RejectReason::EngineFailure,
+                        },
+                    });
+                }
+            }
         }
     }
 
@@ -509,26 +661,135 @@ impl<E: BatchEngine + 'static> Server<E> {
         if members.is_empty() {
             return;
         }
+
+        // Route through the breaker: closed → primary, open → fallback
+        // (or shed), half-open → a bounded number of primary probes with
+        // the rest on the fallback path.
+        let state = match self.breaker.as_mut() {
+            Some(b) => b.poll(now),
+            None => BreakerState::Closed,
+        };
+        let (served_by, probe) = match state {
+            BreakerState::Closed => (ServedBy::Primary, false),
+            BreakerState::HalfOpen => {
+                if self.breaker.as_mut().expect("state implies breaker").try_probe() {
+                    (ServedBy::Primary, true)
+                } else if self.fallback.is_some() {
+                    (ServedBy::Fallback, false)
+                } else {
+                    self.shed_members(members, now, RejectReason::CircuitOpen);
+                    return;
+                }
+            }
+            BreakerState::Open => {
+                if self.fallback.is_some() {
+                    (ServedBy::Fallback, false)
+                } else {
+                    self.shed_members(members, now, RejectReason::CircuitOpen);
+                    return;
+                }
+            }
+        };
+        let engine: Arc<dyn BatchEngine> = match served_by {
+            ServedBy::Primary => self.engine.clone(),
+            ServedBy::Fallback => Arc::clone(
+                self.fallback
+                    .as_ref()
+                    .expect("fallback routing checked")
+                    .fallback(),
+            ),
+        };
+        // Faults hit primary batches only, keyed by launch index.
+        let fault = match served_by {
+            ServedBy::Primary => {
+                let idx = self.primary_batches;
+                self.primary_batches += 1;
+                self.faults
+                    .map_or(Fault::None, |plan| plan.fault_for(0, idx))
+            }
+            ServedBy::Fallback => Fault::None,
+        };
+
         let n = members.len();
         sb_trace::add(CounterId::BatchesExecuted, 1);
         sb_trace::add(CounterId::BatchOccupancy, n as u64);
-        let engine = Arc::clone(&self.engine);
         let clock = Arc::clone(&self.clock);
         let seq = self.next_batch;
         self.next_batch += 1;
-        let handle = self.jobs.submit(
-            JobSpec::new().label(format!("batch-{seq}")),
-            move |_ctx| {
-                let _exec = sb_trace::span("serve:exec");
-                let preds = engine.run_batch(&inputs, n);
-                Ok((preds, clock.now_us()))
-            },
-        );
+        let service_us = engine.service_us(n);
+        // Virtual completion prices the fault in: a slow batch takes
+        // factor× the service time; a transient failure pays one service
+        // time per attempt plus the backoff waits between them.
+        let done_us = match fault {
+            Fault::None | Fault::Panic => now + service_us,
+            Fault::Slow { factor } => {
+                now.saturating_add(service_us.saturating_mul(factor as u64))
+            }
+            Fault::Transient { failing_attempts } => {
+                let attempts = (failing_attempts + 1).min(self.retry.max_attempts);
+                now.saturating_add(service_us.saturating_mul(attempts as u64))
+                    .saturating_add(self.retry.backoff.total_delay_us(attempts - 1))
+            }
+        };
+        let mut spec = JobSpec::new().label(format!("batch-{seq}"));
+        if matches!(fault, Fault::Transient { .. }) && self.retry.max_attempts > 1 {
+            spec = spec.retries(self.retry.max_attempts - 1);
+            // Real inter-attempt sleeps only make sense on a wall
+            // clock; under a virtual clock the backoff is already
+            // charged into `done_us` and sleeping would just stall the
+            // pool worker at wall speed.
+            if !self.clock.is_virtual() {
+                let b = self.retry.backoff;
+                spec = spec.backoff(Backoff {
+                    base: Duration::from_micros(b.base_us),
+                    multiplier: b.multiplier,
+                    max_delay: Duration::from_micros(b.max_delay_us),
+                });
+            }
+        }
+        let handle = self.jobs.submit(spec, move |ctx| {
+            let _exec = sb_trace::span("serve:exec");
+            match fault {
+                Fault::Panic => panic!("injected engine panic (batch {seq})"),
+                Fault::Transient { failing_attempts } if ctx.attempt() <= failing_attempts => {
+                    Err(format!("injected transient engine fault (batch {seq})"))
+                }
+                _ => {
+                    let preds = engine.run_batch(&inputs, n);
+                    Ok((preds, clock.now_us()))
+                }
+            }
+        });
         self.inflight.push_back(Inflight {
             members,
-            done_us: now + self.engine.service_us(n),
+            done_us,
+            served_by,
+            probe,
             handle,
         });
+    }
+
+    /// True when the breaker is open and no fallback exists to serve
+    /// degraded traffic: new work is shed at admission rather than
+    /// queued toward a known-failing engine.
+    fn shed_while_open(&mut self, now: u64) -> bool {
+        match (self.breaker.as_mut(), self.fallback.is_some()) {
+            (Some(b), false) => b.poll(now) == BreakerState::Open,
+            _ => false,
+        }
+    }
+
+    /// Resolves a formed-but-unlaunchable batch's members.
+    fn shed_members(&mut self, members: Vec<(u64, u64)>, now: u64, reason: RejectReason) {
+        sb_trace::add(CounterId::RequestsRejected, members.len() as u64);
+        for (id, submitted_us) in members {
+            self.completions.push(Completion {
+                id,
+                submitted_us,
+                done_us: now,
+                outcome: Outcome::Rejected { reason },
+            });
+        }
     }
 }
 
@@ -576,7 +837,8 @@ mod tests {
                 c.outcome,
                 Outcome::Completed {
                     predicted: i,
-                    batch_size: 4
+                    batch_size: 4,
+                    served_by: ServedBy::Primary,
                 }
             );
         }
@@ -722,11 +984,12 @@ mod tests {
             outcome: Outcome::Completed {
                 predicted: 3,
                 batch_size: 4,
+                served_by: ServedBy::Primary,
             },
         };
         assert_eq!(
             sb_json::to_string(&c).expect("serialize"),
-            r#"{"id":7,"submitted_us":10,"done_us":150,"outcome":{"status":"completed","predicted":3,"batch_size":4}}"#
+            r#"{"id":7,"submitted_us":10,"done_us":150,"outcome":{"status":"completed","predicted":3,"batch_size":4,"served_by":"Primary"}}"#
         );
         let r = Completion {
             id: 8,

@@ -5,7 +5,10 @@
 //! backwards — a driver that advances to an already-passed event time
 //! must be a no-op, not a rewind.
 
-use sb_serve::{Clock, SimClock, WallClock};
+use sb_serve::{
+    BackoffPolicy, Clock, EchoEngine, FaultPlan, FaultSpec, RetryPolicy, ServeConfig, Server,
+    ServiceModel, SimClock, WallClock,
+};
 use std::sync::Arc;
 use std::thread;
 
@@ -57,6 +60,107 @@ fn sim_clock_is_monotone_under_interleaved_advances() {
     a.join().expect("driver a");
     b.join().expect("driver b");
     assert_eq!(clock.now_us(), 10_000);
+}
+
+#[test]
+fn virtual_retry_backoff_saturates_at_the_clock_ceiling() {
+    // A transient fault near the end of virtual time: the backoff charge
+    // alone would overflow u64, so the virtual completion time must
+    // saturate at u64::MAX rather than wrap to a time before submission
+    // (a wrapped done_us would deadlock next_event_us-driven drivers or
+    // resolve a request before it was submitted).
+    let clock = Arc::new(SimClock::new());
+    let cfg = ServeConfig {
+        max_batch: 1,
+        max_wait_us: 0,
+        queue_cap: 4,
+        max_inflight: 1,
+    };
+    let service = ServiceModel {
+        base_us: 100,
+        per_sample_us: 10,
+    };
+    let spec = FaultSpec {
+        transient_per_mille: 1_000,
+        transient_attempts: 2,
+        ..FaultSpec::none(1)
+    };
+    let mut server = Server::new(EchoEngine::new(1, 10, service), cfg, clock.clone())
+        .with_faults(FaultPlan::new(spec))
+        .with_retry(RetryPolicy {
+            max_attempts: 3,
+            backoff: BackoffPolicy {
+                base_us: u64::MAX / 2 + 1,
+                multiplier: 2,
+                max_delay_us: u64::MAX,
+            },
+        });
+    clock.advance_to(u64::MAX - 10_000);
+    let id = server.submit(vec![1.0], None);
+    let ev = server.next_event_us().expect("batch inflight");
+    assert_eq!(ev, u64::MAX, "overflowing backoff charge saturates");
+    clock.advance_to(ev);
+    server.pump();
+    let done = server.take_completions();
+    assert_eq!(done.len(), 1, "the request resolves exactly once");
+    assert_eq!(done[0].id, id);
+    assert!(done[0].is_completed(), "retries outlast the fault");
+    assert!(
+        done[0].done_us >= done[0].submitted_us,
+        "saturation must not wrap completion before submission"
+    );
+}
+
+#[test]
+fn sim_clock_fault_schedule_replays_bit_identically() {
+    // The fault plan is a pure function of (seed, tenant, batch index)
+    // and the SimClock advances only under driver control, so the same
+    // faulted workload must produce byte-identical completion streams
+    // across runs — including which batches failed.
+    let run = || {
+        let clock = Arc::new(SimClock::new());
+        let cfg = ServeConfig {
+            max_batch: 2,
+            max_wait_us: 0,
+            queue_cap: 16,
+            max_inflight: 1,
+        };
+        let service = ServiceModel {
+            base_us: 100,
+            per_sample_us: 10,
+        };
+        let spec = FaultSpec {
+            panic_per_mille: 200,
+            transient_per_mille: 200,
+            slow_per_mille: 100,
+            ..FaultSpec::none(0xC10C)
+        };
+        let mut server = Server::new(EchoEngine::new(1, 10, service), cfg, clock.clone())
+            .with_faults(FaultPlan::new(spec))
+            .with_retry(RetryPolicy {
+                max_attempts: 2,
+                backoff: BackoffPolicy {
+                    base_us: 50,
+                    multiplier: 2,
+                    max_delay_us: 1_000,
+                },
+            });
+        let mut out = Vec::new();
+        for i in 0..40u64 {
+            clock.advance_to(i * 130);
+            server.pump();
+            server.submit(vec![i as f32], None);
+            out.append(&mut server.take_completions());
+        }
+        sb_serve::drain_sim(&mut server, &clock, &mut out);
+        sb_json::to_string(&out).expect("completions serialize")
+    };
+    let first = run();
+    assert!(
+        first.contains("EngineFailure") && first.contains("completed"),
+        "run produced both failures and completions"
+    );
+    assert_eq!(first, run(), "fault schedule must replay bit-identically");
 }
 
 #[test]

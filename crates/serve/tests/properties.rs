@@ -137,6 +137,7 @@ fn accountability(w: &Workload, done: &[Completion]) -> Result<(), String> {
             Outcome::Completed {
                 predicted,
                 batch_size,
+                ..
             } => {
                 if predicted != i % CLASSES {
                     return Err(format!(

@@ -61,6 +61,19 @@ SB_RUNTIME_THREADS=4 ./target/release/schedload --smoke
 SB_RUNTIME_THREADS=1 ./target/release/schedload --smoke --quota
 SB_RUNTIME_THREADS=4 ./target/release/schedload --smoke --quota
 
+# Fault-tolerance smokes: the same pinned workloads armed with seeded
+# fault injection (panic bursts, transient flakes, slowdowns), bounded
+# retry, circuit breakers, and pruned-model fallback. Each smoke
+# asserts the exact degraded-mode counts — EngineFailure resolutions,
+# CircuitOpen sheds, fallback completions, breaker transition counts —
+# at the canonical seed, so panic isolation and recovery are gated the
+# same way the happy path is, and again at both worker counts (the
+# fault schedule is a pure function of the seed, never of scheduling).
+SB_RUNTIME_THREADS=1 ./target/release/serveload --smoke --faults 64023
+SB_RUNTIME_THREADS=4 ./target/release/serveload --smoke --faults 64023
+SB_RUNTIME_THREADS=1 ./target/release/schedload --smoke --faults 64023
+SB_RUNTIME_THREADS=4 ./target/release/schedload --smoke --faults 64023
+
 # Tracing must leave experiment output byte-identical: run the same quick
 # grid with tracing off and on, and compare the persisted results JSON.
 # The traced run must also emit its grid trace artifacts.
